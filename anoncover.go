@@ -1,0 +1,285 @@
+// Package anoncover implements the distributed approximation algorithms
+// of Åstrand & Suomela, "Fast Distributed Approximation Algorithms for
+// Vertex Cover and Set Cover in Anonymous Networks" (SPAA 2010), together
+// with the synchronous anonymous-network simulator they run on.
+//
+// Three deterministic algorithms are provided, none of which needs node
+// identifiers or knowledge of the network size:
+//
+//   - VertexCover: a maximal edge packing and 2-approximate minimum-weight
+//     vertex cover in O(Δ + log* W) rounds in the port-numbering model
+//     (paper Section 3);
+//   - SetCover: a maximal fractional packing and f-approximate
+//     minimum-weight set cover in O(f²k² + fk·log* W) rounds in the
+//     broadcast model (Section 4);
+//   - VertexCoverBroadcast: the vertex cover algorithm in the strictly
+//     weaker broadcast model via full-history simulation, in
+//     O(Δ² + Δ·log* W) rounds (Section 5).
+//
+// Quick start:
+//
+//	g := anoncover.RandomGraph(1000, 2500, 6, 42)
+//	g.WeighRandom(100, 7)
+//	res := anoncover.VertexCover(g)
+//	fmt.Println(res.Weight, res.Rounds)
+//
+// All algorithms run on one of three interchangeable engines (sequential
+// reference, sharded parallel, goroutine-per-node CSP) that produce
+// bit-identical results.
+package anoncover
+
+import (
+	"math/big"
+
+	"anoncover/internal/bipartite"
+	"anoncover/internal/check"
+	"anoncover/internal/core/bcastvc"
+	"anoncover/internal/core/edgepack"
+	"anoncover/internal/core/fracpack"
+	"anoncover/internal/exact"
+	"anoncover/internal/graph"
+	"anoncover/internal/rational"
+	"anoncover/internal/sim"
+)
+
+// Engine selects how node programs are executed.  All engines produce
+// identical results.
+type Engine int
+
+const (
+	// EngineSequential steps nodes one at a time (the reference engine).
+	EngineSequential Engine = iota
+	// EngineParallel shards nodes across a worker pool.
+	EngineParallel
+	// EngineCSP runs one goroutine per node with channel-per-edge
+	// communication and no global barrier.
+	EngineCSP
+)
+
+func (e Engine) internal() sim.Engine {
+	switch e {
+	case EngineParallel:
+		return sim.Parallel
+	case EngineCSP:
+		return sim.CSP
+	}
+	return sim.Sequential
+}
+
+type config struct {
+	engine   Engine
+	workers  int
+	scramble int64
+	delta    int
+	f, k     int
+	maxW     int64
+}
+
+// Option configures an algorithm run.
+type Option func(*config)
+
+// WithEngine selects the execution engine.
+func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
+
+// WithWorkers sets the worker-pool size for EngineParallel.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithScrambleSeed shuffles broadcast delivery order deterministically;
+// correct broadcast algorithms give identical results for every seed.
+func WithScrambleSeed(s int64) Option { return func(c *config) { c.scramble = s } }
+
+// WithDegreeBound declares the globally known degree bound Δ (paper
+// Section 1.4: Δ may be an intrinsic hardware constraint such as the
+// number of physical ports, not the exact graph maximum).  It must be at
+// least the actual maximum degree.
+func WithDegreeBound(delta int) Option { return func(c *config) { c.delta = delta } }
+
+// WithWeightBound declares the globally known weight bound W, e.g. the
+// register width used to store weights.  It must be at least the actual
+// maximum weight.
+func WithWeightBound(w int64) Option { return func(c *config) { c.maxW = w } }
+
+// WithSetCoverBounds declares the globally known bounds f (maximum
+// element frequency) and k (maximum subset size) for SetCover.
+func WithSetCoverBounds(f, k int) Option {
+	return func(c *config) { c.f, c.k = f, k }
+}
+
+func buildConfig(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// VertexCoverResult holds a maximal edge packing and the induced
+// 2-approximate minimum-weight vertex cover.
+type VertexCoverResult struct {
+	// Cover marks the saturated nodes, a vertex cover of weight at most
+	// twice the optimum.
+	Cover []bool
+	// Packing holds the edge packing value y(e) per edge, in edge order.
+	Packing []*big.Rat
+	// Weight is the total weight of Cover.
+	Weight int64
+	// Rounds is the number of synchronous communication rounds used.
+	Rounds int
+	// Messages and Bytes count delivered messages and payload bytes.
+	Messages int64
+	Bytes    int64
+
+	g *graph.G
+	y []rational.Rat
+}
+
+// Verify re-checks every paper invariant: the packing is feasible and
+// maximal, Cover is exactly the saturated nodes, and the duality
+// certificate w(C) <= 2·Σy(e) holds.  It returns nil on success.
+func (r *VertexCoverResult) Verify() error {
+	if err := check.EdgePackingMaximal(r.g, r.y); err != nil {
+		return err
+	}
+	if err := check.VCDualityCertificate(r.g, r.y, r.Cover); err != nil {
+		return err
+	}
+	return nil
+}
+
+func newVCResult(g *graph.G, y []rational.Rat, cover []bool, rounds int, st sim.Stats) *VertexCoverResult {
+	res := &VertexCoverResult{
+		Cover:    cover,
+		Packing:  make([]*big.Rat, len(y)),
+		Weight:   check.CoverWeight(g, cover),
+		Rounds:   rounds,
+		Messages: st.Messages,
+		Bytes:    st.Bytes,
+		g:        g,
+		y:        y,
+	}
+	for e, v := range y {
+		res.Packing[e] = v.Big()
+	}
+	return res
+}
+
+// VertexCover runs the Section 3 algorithm on g: a deterministic
+// 2-approximation of minimum-weight vertex cover in O(Δ + log* W)
+// synchronous rounds in the anonymous port-numbering model.
+func VertexCover(g *Graph, opts ...Option) *VertexCoverResult {
+	c := buildConfig(opts)
+	res := edgepack.Run(g.g, edgepack.Options{
+		Engine: c.engine.internal(), Workers: c.workers, Delta: c.delta, W: c.maxW,
+	})
+	return newVCResult(g.g, res.Y, res.Cover, res.Rounds, res.Stats)
+}
+
+// MaximalEdgePacking is an alias for VertexCover emphasising the primal
+// object: the returned Packing is a maximal edge packing of (g, w).
+func MaximalEdgePacking(g *Graph, opts ...Option) *VertexCoverResult {
+	return VertexCover(g, opts...)
+}
+
+// VertexCoverBroadcast runs the Section 5 algorithm: the same guarantee
+// as VertexCover but in the strictly weaker broadcast model, paying
+// O(Δ² + Δ·log* W) rounds and linearly growing messages.
+func VertexCoverBroadcast(g *Graph, opts ...Option) *VertexCoverResult {
+	c := buildConfig(opts)
+	res := bcastvc.Run(g.g, bcastvc.Options{
+		Engine: c.engine.internal(), Workers: c.workers, ScrambleSeed: c.scramble,
+	})
+	out := newVCResult(g.g, res.Y, res.Cover, res.Rounds, res.Stats)
+	return out
+}
+
+// SetCoverResult holds a maximal fractional packing and the induced
+// f-approximate minimum-weight set cover.
+type SetCoverResult struct {
+	// Cover marks the chosen (saturated) subsets.
+	Cover []bool
+	// Packing holds y(u) per element.
+	Packing []*big.Rat
+	// Weight is the total weight of Cover.
+	Weight int64
+	// Rounds is the number of synchronous rounds executed;
+	// ScheduledRounds the deterministic worst-case schedule.
+	Rounds          int
+	ScheduledRounds int
+	Messages        int64
+	Bytes           int64
+
+	ins *bipartite.Instance
+	y   []rational.Rat
+}
+
+// Verify re-checks the paper invariants: feasibility, maximality, and
+// the f-approximation certificate w(C) <= f·Σy(u).
+func (r *SetCoverResult) Verify() error {
+	if err := check.FracPackingMaximal(r.ins, r.y); err != nil {
+		return err
+	}
+	return check.SCDualityCertificate(r.ins, r.y, r.Cover, r.ins.MaxF())
+}
+
+// SetCover runs the Section 4 algorithm on ins: a deterministic
+// f-approximation of minimum-weight set cover in O(f²k² + fk·log* W)
+// rounds in the anonymous broadcast model.
+func SetCover(ins *SetCoverInstance, opts ...Option) *SetCoverResult {
+	c := buildConfig(opts)
+	res := fracpack.Run(ins.ins, fracpack.Options{
+		Engine: c.engine.internal(), Workers: c.workers, ScrambleSeed: c.scramble,
+		F: c.f, K: c.k, W: c.maxW,
+	})
+	out := &SetCoverResult{
+		Cover:           res.Cover,
+		Packing:         make([]*big.Rat, len(res.Y)),
+		Weight:          res.CoverWeight(ins.ins),
+		Rounds:          res.Rounds,
+		ScheduledRounds: res.ScheduledRounds,
+		Messages:        res.Stats.Messages,
+		Bytes:           res.Stats.Bytes,
+		ins:             ins.ins,
+		y:               res.Y,
+	}
+	for u, v := range res.Y {
+		out.Packing[u] = v.Big()
+	}
+	return out
+}
+
+// MaximalFractionalPacking is an alias for SetCover emphasising the
+// primal object.
+func MaximalFractionalPacking(ins *SetCoverInstance, opts ...Option) *SetCoverResult {
+	return SetCover(ins, opts...)
+}
+
+// PredictedVertexCoverRounds returns the deterministic round schedule of
+// VertexCover for maximum degree delta and maximum weight maxWeight —
+// the O(Δ + log* W) bound made concrete.
+func PredictedVertexCoverRounds(delta int, maxWeight int64) int {
+	return edgepack.Rounds(sim.Params{Delta: delta, W: maxWeight})
+}
+
+// PredictedSetCoverRounds returns the deterministic round schedule of
+// SetCover for maximum frequency f, maximum subset size k, and maximum
+// weight maxWeight — the O(f²k² + fk·log* W) bound made concrete.
+func PredictedSetCoverRounds(f, k int, maxWeight int64) int {
+	return fracpack.Rounds(sim.Params{F: f, K: k, W: maxWeight})
+}
+
+// PredictedBroadcastVCRounds returns the round schedule of
+// VertexCoverBroadcast — the O(Δ² + Δ·log* W) bound made concrete.
+func PredictedBroadcastVCRounds(delta int, maxWeight int64) int {
+	return bcastvc.Rounds(sim.Params{Delta: delta, W: maxWeight})
+}
+
+// OptimalVertexCover solves minimum-weight vertex cover exactly (branch
+// and bound; intended for small and medium instances).
+func OptimalVertexCover(g *Graph) (cover []bool, weight int64) {
+	return exact.VertexCover(g.g)
+}
+
+// OptimalSetCover solves minimum-weight set cover exactly.
+func OptimalSetCover(ins *SetCoverInstance) (cover []bool, weight int64) {
+	return exact.SetCover(ins.ins)
+}

@@ -1,0 +1,81 @@
+// Command graphgen emits graph or set-cover instance files in the text
+// formats understood by vcover and setcover.
+//
+// Usage:
+//
+//	graphgen -kind graph -n 500 -m 1200 -maxdeg 6 -maxw 20 > g.txt
+//	graphgen -kind regular -n 100 -d 4 > reg.txt
+//	graphgen -kind setcover -s 30 -u 90 -f 3 -k 8 > sc.txt
+//	graphgen -kind frucht > frucht.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"anoncover"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "graph", "graph | regular | cycle | grid | frucht | setcover | symmetric | cyclered")
+		n      = flag.Int("n", 100, "nodes")
+		m      = flag.Int("m", 200, "edges (kind=graph)")
+		d      = flag.Int("d", 3, "degree (kind=regular)")
+		rows   = flag.Int("rows", 10, "rows (kind=grid)")
+		cols   = flag.Int("cols", 10, "cols (kind=grid)")
+		maxDeg = flag.Int("maxdeg", 6, "maximum degree (kind=graph)")
+		maxW   = flag.Int64("maxw", 1, "maximum weight")
+		seed   = flag.Int64("seed", 1, "seed")
+		s      = flag.Int("s", 20, "subsets (kind=setcover)")
+		u      = flag.Int("u", 60, "elements (kind=setcover)")
+		f      = flag.Int("f", 3, "max frequency (kind=setcover)")
+		k      = flag.Int("k", 8, "max subset size (kind=setcover)")
+		p      = flag.Int("p", 3, "p (kind=symmetric | cyclered)")
+	)
+	flag.Parse()
+
+	switch *kind {
+	case "setcover":
+		ins := anoncover.RandomSetCover(*s, *u, *f, *k, *maxW, *seed)
+		if err := anoncover.WriteSetCover(os.Stdout, ins); err != nil {
+			log.Fatal(err)
+		}
+		return
+	case "symmetric":
+		if err := anoncover.WriteSetCover(os.Stdout, anoncover.SymmetricSetCover(*p)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	case "cyclered":
+		if err := anoncover.WriteSetCover(os.Stdout, anoncover.CycleSetCover(*n, *p)); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	var g *anoncover.Graph
+	switch *kind {
+	case "graph":
+		g = anoncover.RandomGraph(*n, *m, *maxDeg, *seed)
+	case "regular":
+		g = anoncover.RandomRegularGraph(*n, *d, *seed)
+	case "cycle":
+		g = anoncover.CycleGraph(*n)
+	case "grid":
+		g = anoncover.GridGraph(*rows, *cols)
+	case "frucht":
+		g = anoncover.FruchtGraph()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if *maxW > 1 {
+		g.WeighRandom(*maxW, *seed+1)
+	}
+	if err := anoncover.WriteGraph(os.Stdout, g); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+// Sensornet: weighted vertex cover as conflict monitoring in a wireless
+// sensor grid — the kind of workload the paper's strictly-local model is
+// designed for.
+//
+// Sensors sit on a grid with some diagonal interference links.  Every
+// radio link must be monitored by at least one of its endpoints, and
+// activating a sensor costs energy inversely related to its remaining
+// battery.  A minimum-weight vertex cover is the cheapest monitoring
+// assignment; the distributed algorithm finds a 2-approximation in a
+// constant number of rounds regardless of how large the deployment is —
+// no identifiers, no routing, no global coordination.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anoncover"
+)
+
+func main() {
+	const rows, cols = 20, 30
+	idx := func(r, c int) int { return r*cols + c }
+
+	b := anoncover.NewGraph(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(idx(r, c), idx(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(idx(r, c), idx(r+1, c))
+			}
+			// Sparse diagonal interference links.
+			if r+1 < rows && c+1 < cols && (r*7+c*3)%5 == 0 {
+				b.AddEdge(idx(r, c), idx(r+1, c+1))
+			}
+		}
+	}
+	// Activation cost: sensors in a "depleted" band are expensive.
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			cost := int64(1 + (r+c)%4)
+			if r >= 8 && r < 12 {
+				cost *= 10 // low-battery band
+			}
+			b.SetWeight(idx(r, c), cost)
+		}
+	}
+	g := b.Build()
+
+	res := anoncover.VertexCover(g)
+	if err := res.Verify(); err != nil {
+		log.Fatalf("invariant violated: %v", err)
+	}
+
+	active, depleted := 0, 0
+	for v, in := range res.Cover {
+		if !in {
+			continue
+		}
+		active++
+		if r := v / cols; r >= 8 && r < 12 {
+			depleted++
+		}
+	}
+	fmt.Printf("deployment: %d sensors, %d links, Δ=%d\n", g.N(), g.M(), g.MaxDegree())
+	fmt.Printf("monitoring set: %d sensors, total cost %d (≤ 2·OPT)\n", active, res.Weight)
+	fmt.Printf("depleted-band sensors activated: %d — the weighting steers the cover away\n", depleted)
+	fmt.Printf("converged in %d synchronous rounds, independent of deployment size\n", res.Rounds)
+
+	// Scale the deployment 4x: the round count must not change.
+	big := anoncover.GridGraph(2*rows, 2*cols)
+	big.WeighUniform(1)
+	small := anoncover.GridGraph(rows, cols)
+	small.WeighUniform(1)
+	rBig := anoncover.VertexCover(big)
+	rSmall := anoncover.VertexCover(small)
+	fmt.Printf("locality check: %d rounds at n=%d vs %d rounds at n=%d\n",
+		rSmall.Rounds, small.N(), rBig.Rounds, big.N())
+}

@@ -1,0 +1,72 @@
+// Symmetry: the paper's Section 7 discussion, executed.
+//
+// The Frucht graph is 3-regular but has no non-trivial automorphism.  A
+// deterministic broadcast-model algorithm cannot distinguish it from its
+// universal cover (the infinite 3-regular tree), so every node must
+// produce the same output: the unique symmetric maximal edge packing
+// y(e) = 1/3, putting all 12 nodes in the cover.  (On this uniform
+// regular instance the port-numbering algorithm happens to agree — its
+// first offer step saturates everything — but nothing forces it to:
+// the paper notes a port-numbering algorithm that never outputs 1/3,
+// whereas in the broadcast model 1/3 is the only possible answer.)
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anoncover"
+)
+
+func main() {
+	g := anoncover.FruchtGraph()
+
+	bcast := anoncover.VertexCoverBroadcast(g)
+	if err := bcast.Verify(); err != nil {
+		log.Fatalf("broadcast result invalid: %v", err)
+	}
+	allThird := true
+	for _, y := range bcast.Packing {
+		if y.Num().Int64() != 1 || y.Denom().Int64() != 3 {
+			allThird = false
+		}
+	}
+	bcastSize := 0
+	for _, in := range bcast.Cover {
+		if in {
+			bcastSize++
+		}
+	}
+	fmt.Println("Frucht graph, broadcast model (no port numbers):")
+	fmt.Printf("  y(e) = 1/3 on every edge: %v  (Section 7's prediction)\n", allThird)
+	fmt.Printf("  cover: all %d nodes, weight %d\n", bcastSize, bcast.Weight)
+
+	port := anoncover.VertexCover(g)
+	if err := port.Verify(); err != nil {
+		log.Fatalf("port-numbering result invalid: %v", err)
+	}
+	portSize := 0
+	for _, in := range port.Cover {
+		if in {
+			portSize++
+		}
+	}
+	_, opt := anoncover.OptimalVertexCover(g)
+	fmt.Println("Frucht graph, port-numbering model:")
+	fmt.Printf("  cover: %d nodes, weight %d\n", portSize, port.Weight)
+	fmt.Printf("optimum: %d — both covers are within the guaranteed factor 2\n", opt)
+
+	// Covering-graph invariance: on a 3-fold lift the broadcast output
+	// is constant on fibres.
+	lift := anoncover.LiftGraph(g, 3, 1)
+	lres := anoncover.VertexCoverBroadcast(lift)
+	fibreConstant := true
+	for v := 0; v < g.N(); v++ {
+		for i := 0; i < 3; i++ {
+			if lres.Cover[v*3+i] != bcast.Cover[v] {
+				fibreConstant = false
+			}
+		}
+	}
+	fmt.Printf("3-fold lift: outputs constant on fibres: %v\n", fibreConstant)
+}

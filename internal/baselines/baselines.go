@@ -1,0 +1,315 @@
+// Package baselines implements the comparison algorithms of the paper's
+// Table 1 and Section 2, so the comparison can be regenerated from
+// running code rather than cited numbers:
+//
+//   - sequential Bar-Yehuda–Even maximal edge packing (the centralised
+//     technique of Section 1.1);
+//   - the trivial k-approximation for set cover (Section 2: every element
+//     picks a cheapest adjacent subset; port numbering suffices);
+//   - Polishchuk–Suomela's local 3-approximation for unweighted vertex
+//     cover [30]: a maximal matching in the bipartite double cover found
+//     by port-ordered proposals;
+//   - a randomised maximal-matching 2-approximation (Israeli–Itai style),
+//     standing in for the randomised rows [12, 17];
+//   - greedy set cover (the classical ln-approximation; non-local), used
+//     as the strong centralised contender in the Figure 4 experiment;
+//   - an edge-colouring-driven maximal edge packing (the Panconesi–Rizzi
+//     route [28]): saturate one colour class at a time.  The colouring
+//     itself comes from a centralised (2Δ-1)-greedy, standing in for the
+//     O(Δ + log* n) distributed colouring that needs unique identifiers.
+package baselines
+
+import (
+	"math/rand"
+	"sort"
+
+	"anoncover/internal/bipartite"
+	"anoncover/internal/graph"
+	"anoncover/internal/rational"
+)
+
+// GreedyEdgePacking runs the sequential Bar-Yehuda–Even algorithm: visit
+// edges in index order and raise y(e) until an endpoint saturates.
+// Returns the packing and the saturated-node cover.
+func GreedyEdgePacking(g *graph.G) ([]rational.Rat, []bool) {
+	res := make([]rational.Rat, g.N())
+	for v := range res {
+		res[v] = rational.FromInt(g.Weight(v))
+	}
+	y := make([]rational.Rat, g.M())
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(e)
+		inc := rational.Min(res[u], res[v])
+		y[e] = inc
+		res[u] = res[u].Sub(inc)
+		res[v] = res[v].Sub(inc)
+	}
+	cover := make([]bool, g.N())
+	for v := range cover {
+		cover[v] = res[v].IsZero() && g.Deg(v) > 0
+	}
+	return y, cover
+}
+
+// TrivialKApprox is the constant-time k-approximation: every element
+// joins its minimum-weight adjacent subset, breaking ties by port number.
+// It needs the port-numbering model and 2 communication rounds.
+type TrivialResult struct {
+	Cover  []bool
+	Rounds int
+}
+
+// TrivialKApprox simulates the algorithm; the two rounds are (1) subsets
+// broadcast weights, (2) elements notify their chosen subset.
+func TrivialKApprox(ins *bipartite.Instance) TrivialResult {
+	cover := make([]bool, ins.S())
+	for v := ins.S(); v < ins.N(); v++ {
+		bestPort := -1
+		var bestW int64
+		for p, h := range ins.Ports(v) {
+			w := ins.Weight(h.To)
+			if bestPort < 0 || w < bestW {
+				bestPort, bestW = p, w
+			}
+		}
+		if bestPort >= 0 {
+			cover[ins.Ports(v)[bestPort].To] = true
+		}
+	}
+	return TrivialResult{Cover: cover, Rounds: 2}
+}
+
+// PSResult is the outcome of the Polishchuk–Suomela 3-approximation.
+type PSResult struct {
+	Cover  []bool
+	Rounds int
+}
+
+// PolishchukSuomela3Approx finds a maximal matching in the bipartite
+// double cover of g by port-ordered proposals and outputs every node
+// whose white or black copy is matched: a local 3-approximation of
+// minimum (unweighted) vertex cover in 2Δ rounds, no identifiers needed.
+func PolishchukSuomela3Approx(g *graph.G) PSResult {
+	n := g.N()
+	delta := g.MaxDegree()
+	whiteMatch := make([]bool, n) // v1 matched
+	blackMatch := make([]bool, n) // v2 matched
+	rounds := 0
+	for k := 0; k < delta; k++ {
+		rounds += 2 // proposal round + accept round
+		// Proposal round: every unmatched white copy proposes along
+		// port k (if it has one).
+		proposals := make([][]int, n) // black node -> proposing ports
+		for v := 0; v < n; v++ {
+			if whiteMatch[v] || k >= g.Deg(v) {
+				continue
+			}
+			h := g.Ports(v)[k]
+			proposals[h.To] = append(proposals[h.To], h.RevPort)
+		}
+		// Accept round: an unmatched black copy accepts the proposal on
+		// its smallest port.
+		for u := 0; u < n; u++ {
+			if blackMatch[u] || len(proposals[u]) == 0 {
+				continue
+			}
+			sort.Ints(proposals[u])
+			h := g.Ports(u)[proposals[u][0]]
+			blackMatch[u] = true
+			whiteMatch[h.To] = true
+		}
+	}
+	cover := make([]bool, n)
+	for v := range cover {
+		cover[v] = whiteMatch[v] || blackMatch[v]
+	}
+	return PSResult{Cover: cover, Rounds: rounds}
+}
+
+// RandomizedResult is the outcome of the randomised matching baseline.
+type RandomizedResult struct {
+	Cover    []bool
+	Matching []int // matched partner per node, -1 if unmatched
+	Rounds   int
+}
+
+// RandomizedMatchingVC runs an Israeli–Itai-style randomised maximal
+// matching: every free node proposes to a uniformly random free
+// neighbour, proposees accept one proposer at random; repeat until the
+// matching is maximal.  Matched nodes form a 2-approximate vertex cover
+// of an unweighted graph.  Rounds are counted as two per iteration; the
+// expectation is O(log n) iterations.
+func RandomizedMatchingVC(g *graph.G, seed int64) RandomizedResult {
+	r := rand.New(rand.NewSource(seed))
+	n := g.N()
+	partner := make([]int, n)
+	for v := range partner {
+		partner[v] = -1
+	}
+	rounds := 0
+	for {
+		rounds += 2
+		// Propose.
+		proposals := make([][]int, n)
+		active := false
+		for v := 0; v < n; v++ {
+			if partner[v] >= 0 {
+				continue
+			}
+			var free []int
+			for _, h := range g.Ports(v) {
+				if partner[h.To] < 0 {
+					free = append(free, h.To)
+				}
+			}
+			if len(free) == 0 {
+				continue
+			}
+			active = true
+			to := free[r.Intn(len(free))]
+			proposals[to] = append(proposals[to], v)
+		}
+		if !active {
+			break
+		}
+		// Accept.
+		for u := 0; u < n; u++ {
+			if partner[u] >= 0 || len(proposals[u]) == 0 {
+				continue
+			}
+			var still []int
+			for _, v := range proposals[u] {
+				if partner[v] < 0 {
+					still = append(still, v)
+				}
+			}
+			if len(still) == 0 {
+				continue
+			}
+			v := still[r.Intn(len(still))]
+			partner[u], partner[v] = v, u
+		}
+	}
+	cover := make([]bool, n)
+	for v := range cover {
+		cover[v] = partner[v] >= 0
+	}
+	return RandomizedResult{Cover: cover, Matching: partner, Rounds: rounds}
+}
+
+// GreedySetCover runs the classical H_k-approximation: repeatedly pick
+// the subset minimising weight per newly covered element.  It is
+// inherently sequential (non-local); the Figure 4 experiment uses it as
+// the strong centralised contender.
+func GreedySetCover(ins *bipartite.Instance) []bool {
+	chosen := make([]bool, ins.S())
+	covered := make([]bool, ins.U())
+	remaining := 0
+	for u := 0; u < ins.U(); u++ {
+		if ins.Deg(ins.ElementNode(u)) > 0 {
+			remaining++
+		}
+	}
+	for remaining > 0 {
+		bestS, bestNum, bestDen := -1, int64(0), 0
+		for s := 0; s < ins.S(); s++ {
+			if chosen[s] {
+				continue
+			}
+			gain := 0
+			for _, h := range ins.Ports(s) {
+				if !covered[ins.ElementIndex(h.To)] {
+					gain++
+				}
+			}
+			if gain == 0 {
+				continue
+			}
+			// compare weight/gain fractions: w1/g1 < w2/g2
+			w := ins.Weight(s)
+			if bestS < 0 || w*int64(bestDen) < bestNum*int64(gain) {
+				bestS, bestNum, bestDen = s, w, gain
+			}
+		}
+		if bestS < 0 {
+			break // uncoverable residue
+		}
+		chosen[bestS] = true
+		for _, h := range ins.Ports(bestS) {
+			u := ins.ElementIndex(h.To)
+			if !covered[u] {
+				covered[u] = true
+				remaining--
+			}
+		}
+	}
+	return chosen
+}
+
+// ColouredPackingResult is the outcome of the edge-colouring route.
+type ColouredPackingResult struct {
+	Y       []rational.Rat
+	Cover   []bool
+	Colours int
+	// SaturationRounds counts the distributed saturation schedule (2
+	// rounds per colour class); the O(Δ + log* n) cost of obtaining the
+	// colouring with the Panconesi–Rizzi algorithm is analytic and
+	// excluded — it requires unique identifiers.
+	SaturationRounds int
+}
+
+// EdgeColouringPacking computes a proper edge colouring greedily (at most
+// 2Δ-1 colours) and then saturates one colour class at a time, the
+// Section 2 recipe for a maximal edge packing via edge colourings.
+func EdgeColouringPacking(g *graph.G) ColouredPackingResult {
+	colourOf := make([]int, g.M())
+	colours := 0
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(e)
+		used := make(map[int]bool)
+		for _, h := range g.Ports(u) {
+			if h.Edge != e && colourOf[h.Edge] > 0 {
+				used[colourOf[h.Edge]] = true
+			}
+		}
+		for _, h := range g.Ports(v) {
+			if h.Edge != e && colourOf[h.Edge] > 0 {
+				used[colourOf[h.Edge]] = true
+			}
+		}
+		c := 1
+		for used[c] {
+			c++
+		}
+		colourOf[e] = c
+		if c > colours {
+			colours = c
+		}
+	}
+	res := make([]rational.Rat, g.N())
+	for v := range res {
+		res[v] = rational.FromInt(g.Weight(v))
+	}
+	y := make([]rational.Rat, g.M())
+	for c := 1; c <= colours; c++ {
+		// All edges of one colour class saturate in parallel; they are
+		// vertex-disjoint, so order within the class is irrelevant.
+		for e := 0; e < g.M(); e++ {
+			if colourOf[e] != c {
+				continue
+			}
+			u, v := g.Endpoints(e)
+			inc := rational.Min(res[u], res[v])
+			y[e] = inc
+			res[u] = res[u].Sub(inc)
+			res[v] = res[v].Sub(inc)
+		}
+	}
+	cover := make([]bool, g.N())
+	for v := range cover {
+		cover[v] = res[v].IsZero() && g.Deg(v) > 0
+	}
+	return ColouredPackingResult{
+		Y: y, Cover: cover, Colours: colours, SaturationRounds: 2 * colours,
+	}
+}

@@ -1,0 +1,121 @@
+package baselines
+
+import (
+	"anoncover/internal/bipartite"
+	"anoncover/internal/graph"
+	"anoncover/internal/sim"
+)
+
+// TrivialBroadcast is the trivial algorithm in the broadcast model:
+// without port numbers an element cannot address its chosen subset, so
+// every minimum-weight neighbour of every element joins.  The guarantee
+// degrades from k to f·k (each element may recruit up to f subsets, each
+// of weight w*(u), and Σ_u w*(u) <= k·OPT) — a concrete measurement of
+// what the port-numbering model buys (cf. paper Section 7).
+func TrivialBroadcast(ins *bipartite.Instance) TrivialResult {
+	cover := make([]bool, ins.S())
+	for v := ins.S(); v < ins.N(); v++ {
+		if ins.Deg(v) == 0 {
+			continue
+		}
+		var best int64 = -1
+		for _, h := range ins.Ports(v) {
+			if w := ins.Weight(h.To); best < 0 || w < best {
+				best = w
+			}
+		}
+		for _, h := range ins.Ports(v) {
+			if ins.Weight(h.To) == best {
+				cover[h.To] = true
+			}
+		}
+	}
+	return TrivialResult{Cover: cover, Rounds: 2}
+}
+
+// psProgram is the Polishchuk–Suomela 3-approximation implemented as a
+// genuine sim.PortProgram: each node simulates its white and black
+// copies in the bipartite double cover and runs Δ port-ordered
+// proposal/accept round pairs.  It must produce exactly the same cover
+// as the reference implementation PolishchukSuomela3Approx.
+type psProgram struct {
+	deg        int
+	delta      int
+	whiteDone  bool // white copy matched
+	blackDone  bool // black copy matched
+	acceptPort int  // port accepted by the black copy this round pair, -1 none
+}
+
+type psProposal struct{}
+type psAccept struct{}
+
+func newPSProgram(env sim.Env) *psProgram {
+	return &psProgram{deg: env.Degree, delta: env.Params.Delta, acceptPort: -1}
+}
+
+func (p *psProgram) Init(env sim.Env) {}
+
+func (p *psProgram) Send(round int) []sim.Message {
+	out := make([]sim.Message, p.deg)
+	k := (round - 1) / 2 // proposal index 0..Δ-1
+	if round%2 == 1 {
+		// Proposal round: unmatched white proposes along port k.
+		if !p.whiteDone && k < p.deg {
+			out[k] = psProposal{}
+		}
+	} else if p.acceptPort >= 0 {
+		// Accept round: black answers the chosen proposer.
+		out[p.acceptPort] = psAccept{}
+	}
+	return out
+}
+
+func (p *psProgram) Recv(round int, msgs []sim.Message) {
+	if round%2 == 1 {
+		// Black collects proposals; if unmatched, accept the smallest
+		// proposing port and become matched.
+		p.acceptPort = -1
+		if p.blackDone {
+			return
+		}
+		for q, m := range msgs {
+			if _, ok := m.(psProposal); ok {
+				p.acceptPort = q
+				p.blackDone = true
+				return
+			}
+		}
+		return
+	}
+	// White learns whether its round-k proposal was accepted.
+	k := (round - 1) / 2
+	if p.whiteDone || k >= p.deg {
+		return
+	}
+	if _, ok := msgs[k].(psAccept); ok {
+		p.whiteDone = true
+	}
+}
+
+func (p *psProgram) Output() any { return p.whiteDone || p.blackDone }
+
+// PolishchukSuomelaDistributed runs the 3-approximation on the actual
+// simulation engine (2Δ rounds, port-numbering model) and returns the
+// cover together with engine statistics.
+func PolishchukSuomelaDistributed(g *graph.G, opt sim.Options) (PSResult, sim.Stats) {
+	params := sim.GraphParams(g)
+	envs := sim.GraphEnvs(g, params)
+	progs := make([]sim.PortProgram, g.N())
+	nodes := make([]*psProgram, g.N())
+	for v := range progs {
+		nodes[v] = newPSProgram(envs[v])
+		progs[v] = nodes[v]
+	}
+	rounds := 2 * params.Delta
+	stats := sim.RunPort(g, progs, rounds, opt)
+	cover := make([]bool, g.N())
+	for v := range cover {
+		cover[v] = nodes[v].Output().(bool)
+	}
+	return PSResult{Cover: cover, Rounds: rounds}, stats
+}

@@ -1,0 +1,338 @@
+// Package bipartite represents set-cover instances as bipartite graphs
+// H = (S ∪ U, A), following Section 1.2 of Åstrand & Suomela (SPAA 2010).
+// Subset nodes s ∈ S carry positive weights; element nodes u ∈ U are
+// unweighted.  Both sides are computational entities in the distributed
+// algorithms of Section 4.
+//
+// Nodes are addressed in a combined index space — subsets first
+// (0..S-1), then elements (S..S+U-1) — so an Instance plugs directly into
+// the sim engines as a Topology.
+package bipartite
+
+import (
+	"fmt"
+	"math/rand"
+
+	"anoncover/internal/graph"
+)
+
+// Instance is a finalized set-cover instance.
+type Instance struct {
+	s, u    int
+	adj     [][]graph.Half // combined indexing, subsets first
+	weights []int64        // per subset
+	ends    [][2]int       // edge -> (subset index, element index), local
+}
+
+// Builder accumulates a set-cover instance.
+type Builder struct {
+	s, u    int
+	weights []int64
+	edges   [][2]int
+	seen    map[[2]int]bool
+}
+
+// NewBuilder returns a builder for an instance with s subsets and u
+// elements; subset weights default to 1.
+func NewBuilder(s, u int) *Builder {
+	if s < 0 || u < 0 {
+		panic("bipartite: negative sizes")
+	}
+	w := make([]int64, s)
+	for i := range w {
+		w[i] = 1
+	}
+	return &Builder{s: s, u: u, weights: w, seen: make(map[[2]int]bool)}
+}
+
+// SetWeight sets the weight of subset i; weights must be positive.
+func (b *Builder) SetWeight(i int, w int64) *Builder {
+	if w <= 0 {
+		panic(fmt.Sprintf("bipartite: non-positive weight %d", w))
+	}
+	b.weights[i] = w
+	return b
+}
+
+// AddEdge declares that element u is a member of subset s.
+func (b *Builder) AddEdge(s, u int) *Builder {
+	if s < 0 || s >= b.s || u < 0 || u >= b.u {
+		panic(fmt.Sprintf("bipartite: edge (%d,%d) out of range", s, u))
+	}
+	key := [2]int{s, u}
+	if b.seen[key] {
+		panic(fmt.Sprintf("bipartite: duplicate edge (%d,%d)", s, u))
+	}
+	b.seen[key] = true
+	b.edges = append(b.edges, key)
+	return b
+}
+
+// HasEdge reports whether (s, u) was added.
+func (b *Builder) HasEdge(s, u int) bool { return b.seen[[2]int{s, u}] }
+
+// Build finalizes the instance.  Ports are numbered in edge insertion
+// order on both sides.
+func (b *Builder) Build() *Instance {
+	ins := &Instance{
+		s:       b.s,
+		u:       b.u,
+		adj:     make([][]graph.Half, b.s+b.u),
+		weights: append([]int64(nil), b.weights...),
+		ends:    append([][2]int(nil), b.edges...),
+	}
+	for e, su := range b.edges {
+		sNode, uNode := su[0], b.s+su[1]
+		ps, pu := len(ins.adj[sNode]), len(ins.adj[uNode])
+		ins.adj[sNode] = append(ins.adj[sNode], graph.Half{To: uNode, Edge: e, RevPort: pu})
+		ins.adj[uNode] = append(ins.adj[uNode], graph.Half{To: sNode, Edge: e, RevPort: ps})
+	}
+	return ins
+}
+
+// S returns the number of subset nodes.
+func (ins *Instance) S() int { return ins.s }
+
+// U returns the number of element nodes.
+func (ins *Instance) U() int { return ins.u }
+
+// N returns the combined node count S+U (Topology interface).
+func (ins *Instance) N() int { return ins.s + ins.u }
+
+// M returns the number of incidences (edges of H).
+func (ins *Instance) M() int { return len(ins.ends) }
+
+// IsSubset reports whether combined node v is a subset node.
+func (ins *Instance) IsSubset(v int) bool { return v < ins.s }
+
+// ElementIndex converts combined node v to an element index.
+func (ins *Instance) ElementIndex(v int) int { return v - ins.s }
+
+// SubsetNode converts a subset index to a combined node id (identity).
+func (ins *Instance) SubsetNode(i int) int { return i }
+
+// ElementNode converts an element index to a combined node id.
+func (ins *Instance) ElementNode(i int) int { return ins.s + i }
+
+// Deg returns the degree of combined node v.
+func (ins *Instance) Deg(v int) int { return len(ins.adj[v]) }
+
+// Ports returns the half-edges of combined node v in port order.
+func (ins *Instance) Ports(v int) []graph.Half { return ins.adj[v] }
+
+// Weight returns the weight of subset i (local index).
+func (ins *Instance) Weight(i int) int64 { return ins.weights[i] }
+
+// SetWeight replaces the weight of subset i on a built instance.
+func (ins *Instance) SetWeight(i int, w int64) {
+	if w <= 0 {
+		panic("bipartite: non-positive weight")
+	}
+	ins.weights[i] = w
+}
+
+// Endpoints returns edge e as (subset index, element index).
+func (ins *Instance) Endpoints(e int) (s, u int) { return ins.ends[e][0], ins.ends[e][1] }
+
+// MaxF returns f, the maximum element degree (an element occurs in at most
+// f subsets); at least 1 for parameter sanity.
+func (ins *Instance) MaxF() int {
+	f := 1
+	for v := ins.s; v < ins.s+ins.u; v++ {
+		if d := len(ins.adj[v]); d > f {
+			f = d
+		}
+	}
+	return f
+}
+
+// MaxK returns k, the maximum subset size; at least 1.
+func (ins *Instance) MaxK() int {
+	k := 1
+	for v := 0; v < ins.s; v++ {
+		if d := len(ins.adj[v]); d > k {
+			k = d
+		}
+	}
+	return k
+}
+
+// MaxWeight returns W, the maximum subset weight.
+func (ins *Instance) MaxWeight() int64 {
+	var w int64 = 1
+	for _, x := range ins.weights {
+		if x > w {
+			w = x
+		}
+	}
+	return w
+}
+
+// TotalWeight returns the sum of subset weights.
+func (ins *Instance) TotalWeight() int64 {
+	var t int64
+	for _, x := range ins.weights {
+		t += x
+	}
+	return t
+}
+
+// CoverWeight returns the total weight of the subsets marked in cover
+// (indexed by subset).
+func (ins *Instance) CoverWeight(cover []bool) int64 {
+	var t int64
+	for i, in := range cover {
+		if in {
+			t += ins.weights[i]
+		}
+	}
+	return t
+}
+
+// IsCover reports whether every element has a chosen neighbour.
+func (ins *Instance) IsCover(cover []bool) bool {
+	for v := ins.s; v < ins.s+ins.u; v++ {
+		if len(ins.adj[v]) == 0 {
+			return false // uncoverable element
+		}
+		ok := false
+		for _, h := range ins.adj[v] {
+			if cover[h.To] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks internal consistency.
+func (ins *Instance) Validate() error {
+	for v := range ins.adj {
+		for p, h := range ins.adj[v] {
+			if (v < ins.s) == (h.To < ins.s) {
+				return fmt.Errorf("bipartite: edge within one side at node %d", v)
+			}
+			back := ins.adj[h.To][h.RevPort]
+			if back.To != v || back.Edge != h.Edge {
+				return fmt.Errorf("bipartite: reverse port broken at node %d port %d", v, p)
+			}
+		}
+	}
+	for i, w := range ins.weights {
+		if w <= 0 {
+			return fmt.Errorf("bipartite: subset %d non-positive weight", i)
+		}
+	}
+	for e, su := range ins.ends {
+		if su[0] < 0 || su[0] >= ins.s || su[1] < 0 || su[1] >= ins.u {
+			return fmt.Errorf("bipartite: edge %d out of range", e)
+		}
+	}
+	return nil
+}
+
+// FromGraph builds the vertex-cover incidence instance of Section 5:
+// subsets are the nodes of g (with their weights), elements are the edges
+// of g, and subset s(v) contains element u(e) iff e is incident to v.
+// f = 2 and k = Δ.  Subset port order mirrors g's port order.
+func FromGraph(g *graph.G) *Instance {
+	b := NewBuilder(g.N(), g.M())
+	for v := 0; v < g.N(); v++ {
+		b.SetWeight(v, g.Weight(v))
+		for _, h := range g.Ports(v) {
+			b.AddEdge(v, h.Edge)
+		}
+	}
+	return b.Build()
+}
+
+// SymmetricKpp builds the Figure 3 lower-bound instance: the complete
+// bipartite graph K_{p,p} with a circulant, fully symmetric port
+// numbering — port j of subset i leads to element (i+j) mod p, and the
+// reverse port index equals j on the element side.  Every subset node has
+// an identical local view, so any deterministic port-numbering algorithm
+// outputs all p subsets while the optimum is a single subset.
+func SymmetricKpp(p int) *Instance {
+	if p < 1 {
+		panic("bipartite: p must be positive")
+	}
+	b := NewBuilder(p, p)
+	for j := 0; j < p; j++ {
+		for i := 0; i < p; i++ {
+			b.AddEdge(i, (i+j)%p)
+		}
+	}
+	return b.Build()
+}
+
+// CycleReduction builds the Figure 4 instance from a directed n-cycle:
+// for every cycle node v there is a subset v1 and an element v2, and
+// subset u1 covers element v2 iff the directed path from u to v has
+// length at most p-1.  Here f = k = p.  n must be at least p.
+func CycleReduction(n, p int) *Instance {
+	if p < 1 || n < p {
+		panic("bipartite: need n >= p >= 1")
+	}
+	b := NewBuilder(n, n)
+	for u := 0; u < n; u++ {
+		for d := 0; d < p; d++ {
+			b.AddEdge(u, (u+d)%n)
+		}
+	}
+	return b.Build()
+}
+
+// Random builds a random instance with s subsets and u elements where
+// every element belongs to between 1 and f subsets, every subset holds at
+// most k elements, and weights are uniform in {1..maxW}.  Deterministic in
+// seed.  Panics if the capacity constraints cannot be met.
+func Random(s, u, f, k int, maxW int64, seed int64) *Instance {
+	if s*k < u {
+		panic("bipartite: not enough subset capacity to cover all elements")
+	}
+	r := rand.New(rand.NewSource(seed))
+	b := NewBuilder(s, u)
+	load := make([]int, s)
+	totalLoad := 0
+	for e := 0; e < u; e++ {
+		// Guaranteed placement: pick uniformly among subsets with spare
+		// capacity.  One always exists because extras below never eat
+		// into the capacity reserved for the remaining elements.
+		var open []int
+		for si := 0; si < s; si++ {
+			if load[si] < k {
+				open = append(open, si)
+			}
+		}
+		first := open[r.Intn(len(open))]
+		b.AddEdge(first, e)
+		load[first]++
+		totalLoad++
+		// Extra memberships up to the degree target are best-effort and
+		// respect the reservation for elements e+1..u-1.
+		want := 1 + r.Intn(f)
+		for placed, tries := 1, 0; placed < want && tries < 20*s; tries++ {
+			if s*k-totalLoad <= u-e-1 {
+				break // no spare capacity beyond the reservation
+			}
+			si := r.Intn(s)
+			if load[si] >= k || b.HasEdge(si, e) {
+				continue
+			}
+			b.AddEdge(si, e)
+			load[si]++
+			totalLoad++
+			placed++
+		}
+	}
+	for i := 0; i < s; i++ {
+		if maxW > 1 {
+			b.SetWeight(i, 1+r.Int63n(maxW))
+		}
+	}
+	return b.Build()
+}

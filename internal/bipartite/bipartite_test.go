@@ -1,0 +1,224 @@
+package bipartite
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"anoncover/internal/graph"
+)
+
+func mustValidate(t *testing.T, ins *Instance) {
+	t.Helper()
+	if err := ins.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(2, 3)
+	b.AddEdge(0, 0).AddEdge(0, 1).AddEdge(1, 1).AddEdge(1, 2)
+	b.SetWeight(1, 5)
+	ins := b.Build()
+	mustValidate(t, ins)
+	if ins.S() != 2 || ins.U() != 3 || ins.N() != 5 || ins.M() != 4 {
+		t.Fatalf("sizes wrong: %d %d %d %d", ins.S(), ins.U(), ins.N(), ins.M())
+	}
+	if ins.Weight(0) != 1 || ins.Weight(1) != 5 {
+		t.Fatal("weights wrong")
+	}
+	if ins.MaxF() != 2 || ins.MaxK() != 2 || ins.MaxWeight() != 5 {
+		t.Fatalf("f=%d k=%d W=%d", ins.MaxF(), ins.MaxK(), ins.MaxWeight())
+	}
+	if ins.TotalWeight() != 6 {
+		t.Fatal("total weight")
+	}
+}
+
+func TestCombinedIndexing(t *testing.T) {
+	ins := NewBuilder(2, 2).AddEdge(0, 0).AddEdge(1, 1).Build()
+	if !ins.IsSubset(0) || !ins.IsSubset(1) || ins.IsSubset(2) {
+		t.Fatal("IsSubset wrong")
+	}
+	if ins.ElementNode(0) != 2 || ins.ElementIndex(3) != 1 || ins.SubsetNode(1) != 1 {
+		t.Fatal("index conversion wrong")
+	}
+	h := ins.Ports(0)[0]
+	if h.To != 2 {
+		t.Fatalf("subset 0 port 0 goes to %d, want combined element 2", h.To)
+	}
+}
+
+func TestDuplicateEdgePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewBuilder(1, 1).AddEdge(0, 0).AddEdge(0, 0)
+}
+
+func TestIsCoverAndCoverWeight(t *testing.T) {
+	ins := NewBuilder(3, 3).
+		AddEdge(0, 0).AddEdge(0, 1).
+		AddEdge(1, 1).AddEdge(1, 2).
+		AddEdge(2, 2).
+		Build()
+	ins.SetWeight(0, 4)
+	ins.SetWeight(1, 2)
+	if !ins.IsCover([]bool{true, true, false}) {
+		t.Fatal("{0,1} covers all")
+	}
+	if ins.IsCover([]bool{true, false, false}) {
+		t.Fatal("{0} does not cover element 2")
+	}
+	if got := ins.CoverWeight([]bool{true, true, false}); got != 6 {
+		t.Fatalf("cover weight %d", got)
+	}
+}
+
+func TestIsCoverUncoverableElement(t *testing.T) {
+	ins := NewBuilder(1, 2).AddEdge(0, 0).Build()
+	if ins.IsCover([]bool{true}) {
+		t.Fatal("element 1 has no neighbours; nothing covers it")
+	}
+}
+
+func TestFromGraph(t *testing.T) {
+	g := graph.Cycle(5)
+	graph.RandomWeights(g, 10, 1)
+	ins := FromGraph(g)
+	mustValidate(t, ins)
+	if ins.S() != 5 || ins.U() != 5 || ins.M() != 10 {
+		t.Fatalf("sizes %d %d %d", ins.S(), ins.U(), ins.M())
+	}
+	if ins.MaxF() != 2 {
+		t.Fatalf("f=%d, want 2 (edges have two endpoints)", ins.MaxF())
+	}
+	if ins.MaxK() != g.MaxDegree() {
+		t.Fatalf("k=%d, want Δ=%d", ins.MaxK(), g.MaxDegree())
+	}
+	for v := 0; v < g.N(); v++ {
+		if ins.Weight(v) != g.Weight(v) {
+			t.Fatal("weight not copied")
+		}
+		// Subset port order mirrors graph port order.
+		for p, h := range g.Ports(v) {
+			if ins.ElementIndex(ins.Ports(v)[p].To) != h.Edge {
+				t.Fatalf("port order mismatch at node %d port %d", v, p)
+			}
+		}
+	}
+}
+
+func TestSymmetricKpp(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5} {
+		ins := SymmetricKpp(p)
+		mustValidate(t, ins)
+		if ins.S() != p || ins.U() != p || ins.M() != p*p {
+			t.Fatalf("p=%d: wrong sizes", p)
+		}
+		if ins.MaxF() != p || ins.MaxK() != p {
+			t.Fatalf("p=%d: f=%d k=%d", p, ins.MaxF(), ins.MaxK())
+		}
+		// The defining symmetry: port j of subset i reaches element
+		// (i+j) mod p, and the reverse port index is also j.
+		for i := 0; i < p; i++ {
+			for j, h := range ins.Ports(i) {
+				if ins.ElementIndex(h.To) != (i+j)%p {
+					t.Fatalf("p=%d: subset %d port %d -> element %d", p, i, j, ins.ElementIndex(h.To))
+				}
+				if h.RevPort != j {
+					t.Fatalf("p=%d: asymmetric reverse port %d != %d", p, h.RevPort, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCycleReduction(t *testing.T) {
+	n, p := 12, 3
+	ins := CycleReduction(n, p)
+	mustValidate(t, ins)
+	if ins.MaxF() != p || ins.MaxK() != p {
+		t.Fatalf("f=%d k=%d, want %d", ins.MaxF(), ins.MaxK(), p)
+	}
+	// Every p-th subset is a cover: optimum has size n/p.
+	cover := make([]bool, n)
+	for i := 0; i < n; i += p {
+		cover[i] = true
+	}
+	if !ins.IsCover(cover) {
+		t.Fatal("periodic selection should cover")
+	}
+	// Subset u covers exactly elements u..u+p-1 (mod n).
+	for _, h := range ins.Ports(0) {
+		e := ins.ElementIndex(h.To)
+		if e != 0 && e != 1 && e != 2 {
+			t.Fatalf("subset 0 covers unexpected element %d", e)
+		}
+	}
+}
+
+func TestRandom(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		ins := Random(20, 40, 3, 8, 50, seed)
+		mustValidate(t, ins)
+		if ins.MaxF() > 3 || ins.MaxK() > 8 {
+			t.Fatalf("seed %d: f=%d k=%d exceed bounds", seed, ins.MaxF(), ins.MaxK())
+		}
+		all := make([]bool, ins.S())
+		for i := range all {
+			all[i] = true
+		}
+		if !ins.IsCover(all) {
+			t.Fatalf("seed %d: some element has no subset", seed)
+		}
+	}
+}
+
+func TestIORoundTrip(t *testing.T) {
+	ins := Random(10, 25, 3, 6, 30, 4)
+	var buf bytes.Buffer
+	if err := Write(&buf, ins); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValidate(t, got)
+	if got.S() != ins.S() || got.U() != ins.U() || got.M() != ins.M() {
+		t.Fatal("size mismatch")
+	}
+	for i := 0; i < ins.S(); i++ {
+		if got.Weight(i) != ins.Weight(i) {
+			t.Fatal("weight mismatch")
+		}
+	}
+	for e := 0; e < ins.M(); e++ {
+		s1, u1 := ins.Endpoints(e)
+		s2, u2 := got.Endpoints(e)
+		if s1 != s2 || u1 != u2 {
+			t.Fatal("edge mismatch")
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"edge 0 0",
+		"setcover 1 1\nedge 0 0\nedge 0 0",
+		"setcover 1 1\nsubset 0 0",
+		"setcover 1 1\nsubset 3 1",
+		"setcover -1 2",
+		"setcover 1 1\nsetcover 1 1",
+		"setcover 1 1\nwhat 1 1",
+	}
+	for _, s := range bad {
+		if _, err := Parse(strings.NewReader(s)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}

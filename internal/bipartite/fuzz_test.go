@@ -1,0 +1,40 @@
+package bipartite
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the set-cover parser against arbitrary input.
+func FuzzParse(f *testing.F) {
+	f.Add("setcover 2 3\nedge 0 0\nedge 1 2\n")
+	f.Add("setcover 1 1\nsubset 0 9\nedge 0 0\n")
+	f.Add("setcover 0 0\n")
+	f.Add("setcover 1 1\nedge 0 0\nedge 0 0\n")
+	f.Add("subset 0 1\n")
+	f.Add("setcover -2 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		ins, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := ins.Validate(); err != nil {
+			t.Fatalf("parsed instance fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, ins); err != nil {
+			t.Fatalf("cannot re-serialize: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.S() != ins.S() || back.U() != ins.U() || back.M() != ins.M() {
+			t.Fatal("round trip changed the instance")
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package bipartite
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format mirrors the graph format:
+//
+//	# comment
+//	setcover <s> <u>
+//	subset <i> <weight>
+//	edge <s> <u>
+//
+// Port numbering on both sides follows edge-line order.
+
+// Write serializes the instance.
+func Write(w io.Writer, ins *Instance) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "setcover %d %d\n", ins.S(), ins.U())
+	for i := 0; i < ins.S(); i++ {
+		if ins.Weight(i) != 1 {
+			fmt.Fprintf(bw, "subset %d %d\n", i, ins.Weight(i))
+		}
+	}
+	for e := 0; e < ins.M(); e++ {
+		s, u := ins.Endpoints(e)
+		fmt.Fprintf(bw, "edge %d %d\n", s, u)
+	}
+	return bw.Flush()
+}
+
+// Parse reads an instance in the text format.
+func Parse(r io.Reader) (*Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<24)
+	var b *Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "setcover":
+			if b != nil {
+				return nil, fmt.Errorf("bipartite: line %d: duplicate header", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("bipartite: line %d: want 'setcover <s> <u>'", line)
+			}
+			s, err1 := strconv.Atoi(fields[1])
+			u, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || s < 0 || u < 0 {
+				return nil, fmt.Errorf("bipartite: line %d: bad sizes", line)
+			}
+			b = NewBuilder(s, u)
+		case "subset":
+			if b == nil {
+				return nil, fmt.Errorf("bipartite: line %d: subset before header", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("bipartite: line %d: want 'subset <i> <weight>'", line)
+			}
+			i, err1 := strconv.Atoi(fields[1])
+			w, err2 := strconv.ParseInt(fields[2], 10, 64)
+			if err1 != nil || err2 != nil || i < 0 || i >= b.s || w <= 0 {
+				return nil, fmt.Errorf("bipartite: line %d: bad subset line", line)
+			}
+			b.SetWeight(i, w)
+		case "edge":
+			if b == nil {
+				return nil, fmt.Errorf("bipartite: line %d: edge before header", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("bipartite: line %d: want 'edge <s> <u>'", line)
+			}
+			s, err1 := strconv.Atoi(fields[1])
+			u, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || s < 0 || s >= b.s || u < 0 || u >= b.u || b.HasEdge(s, u) {
+				return nil, fmt.Errorf("bipartite: line %d: invalid edge", line)
+			}
+			b.AddEdge(s, u)
+		default:
+			return nil, fmt.Errorf("bipartite: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("bipartite: missing header")
+	}
+	return b.Build(), nil
+}

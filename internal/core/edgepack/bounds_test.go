@@ -1,0 +1,62 @@
+package edgepack
+
+import (
+	"testing"
+
+	"anoncover/internal/check"
+	"anoncover/internal/graph"
+	"anoncover/internal/sim"
+)
+
+// TestDeclaredBoundsOverride: Section 1.4 allows Δ and W to be loose
+// global upper bounds (hardware constraints) rather than exact maxima;
+// the algorithm must stay correct and follow the inflated schedule.
+func TestDeclaredBoundsOverride(t *testing.T) {
+	g := graph.RandomBoundedDegree(25, 40, 4, 1)
+	graph.RandomWeights(g, 9, 2)
+	for _, c := range []struct {
+		delta int
+		w     int64
+	}{
+		{0, 0},       // derive from the graph
+		{7, 0},       // loose Δ
+		{0, 1 << 40}, // loose W
+		{10, 1 << 50},
+	} {
+		res := Run(g, Options{Delta: c.delta, W: c.w})
+		if err := check.EdgePackingMaximal(g, res.Y); err != nil {
+			t.Fatalf("Δ=%d W=%d: %v", c.delta, c.w, err)
+		}
+		if err := check.VCDualityCertificate(g, res.Y, res.Cover); err != nil {
+			t.Fatalf("Δ=%d W=%d: %v", c.delta, c.w, err)
+		}
+		wantParams := sim.GraphParams(g)
+		if c.delta != 0 {
+			wantParams.Delta = c.delta
+		}
+		if c.w != 0 {
+			wantParams.W = c.w
+		}
+		if res.Rounds != Rounds(wantParams) {
+			t.Fatalf("Δ=%d W=%d: rounds %d, want schedule %d",
+				c.delta, c.w, res.Rounds, Rounds(wantParams))
+		}
+	}
+}
+
+func TestDeclaredBoundsTooSmallPanic(t *testing.T) {
+	g := graph.Star(6) // Δ = 5
+	for _, opt := range []Options{{Delta: 3}, {W: 1}} {
+		if opt.W == 1 {
+			graph.UniformWeights(g, 7)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("opts %+v: no panic for under-declared bound", opt)
+				}
+			}()
+			Run(g, opt)
+		}()
+	}
+}

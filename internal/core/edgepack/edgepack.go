@@ -1,0 +1,567 @@
+// Package edgepack implements the paper's primary contribution (Åstrand &
+// Suomela, SPAA 2010, Section 3): a deterministic distributed algorithm
+// that computes a maximal edge packing — and hence a 2-approximate
+// minimum-weight vertex cover — in O(Δ + log* W) synchronous rounds in the
+// anonymous port-numbering model.
+//
+// The algorithm runs in two phases.  Phase I repeats Δ times: every
+// active node offers x(v) = r(v)/deg_yc(v) units to each incident active
+// edge and each active edge accepts the minimum of the two offers; the
+// offered values double as colour-sequence elements, so an edge that a
+// step fails to saturate becomes multicoloured (Lemma 1).  Phase II
+// orients the remaining unsaturated (hence multicoloured) edges from
+// lower to higher colour, splits them into Δ forests by outgoing port
+// rank, 3-colours every forest with Cole–Vishkin colour reduction plus
+// shift-down/eliminate steps, and finally saturates the edges of each
+// (forest, colour) class — a disjoint union of stars — in parallel.
+//
+// Each Phase I iteration takes two rounds: an offer round that performs
+// the paper's steps (i)–(iii), and a status round that gives both
+// endpoints of every edge a consistent view of each other's saturation
+// before the next offers are computed (the paper leaves this bookkeeping
+// implicit).  The status round after the last iteration also feeds the
+// Phase II orientation.
+package edgepack
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+
+	"anoncover/internal/colour"
+	"anoncover/internal/graph"
+	"anoncover/internal/rational"
+	"anoncover/internal/sim"
+)
+
+// Schedule segments.
+const (
+	segPhase1 = iota // 2Δ rounds: (offer, status) per iteration
+	segCV            // CVRounds(bound) rounds: Cole–Vishkin per forest
+	segShift         // 6 rounds: 3 x (shift-down, eliminate) to 3 colours
+	segStars         // 6Δ rounds: 2 per (forest, colour) batch
+)
+
+// ColourBitsBound bounds the bit length of the Phase I colour encoding:
+// each of the Δ sequence elements is a rational q with 0 < q <= W and
+// q·(Δ!)^Δ integral (Lemma 2 of the paper).
+func ColourBitsBound(p sim.Params) int {
+	if p.Delta == 0 {
+		return 1
+	}
+	fact := p.Delta * colour.FactorialBits(p.Delta)
+	numBits := bits.Len64(uint64(p.W)) + fact
+	return colour.BitsBoundSeq(numBits, fact, p.Delta)
+}
+
+// ScheduleFor returns the global round schedule all nodes derive from the
+// parameters (Δ, W); the total is O(Δ + log* W).
+func ScheduleFor(p sim.Params) sim.Schedule {
+	d := p.Delta
+	if d == 0 {
+		return sim.NewSchedule(0, 0, 0, 0)
+	}
+	return sim.NewSchedule(2*d, colour.CVRounds(ColourBitsBound(p)), 6, 6*d)
+}
+
+// Rounds returns the number of communication rounds the algorithm uses
+// for the given parameters.
+func Rounds(p sim.Params) int { return ScheduleFor(p).Total() }
+
+// Message types.  All values are immutable once sent.
+
+type offerMsg struct {
+	Elem rational.Rat // colour-sequence element: x(v), or 1 if v ∉ V_yc
+}
+
+func (m offerMsg) WireSize() int { return m.Elem.WireBytes() }
+
+type statusMsg struct {
+	RPos bool // r(v) > 0 after the iteration just completed
+}
+
+func (m statusMsg) WireSize() int { return 1 }
+
+type cvMsg struct {
+	Cols []*big.Int // current per-forest colours
+}
+
+func (m cvMsg) WireSize() int {
+	n := 1
+	for _, c := range m.Cols {
+		n += c.BitLen()/8 + 1
+	}
+	return n
+}
+
+type smallColsMsg struct {
+	Cols []int8 // per-forest colours, small palette
+}
+
+func (m smallColsMsg) WireSize() int { return len(m.Cols) }
+
+type starReq struct {
+	R rational.Rat // leaf residual
+}
+
+func (m starReq) WireSize() int { return m.R.WireBytes() }
+
+type starReply struct {
+	Inc rational.Rat // increment for the requesting leaf's edge
+}
+
+func (m starReply) WireSize() int { return m.Inc.WireBytes() }
+
+// Program is the per-node state machine.  It implements sim.PortProgram.
+type Program struct {
+	env   sim.Env
+	sched sim.Schedule
+	deg   int
+
+	// shared edge state (identical copies at both endpoints)
+	y    []rational.Rat // per port
+	mcol []bool         // edge already multicoloured
+	nPos []bool         // neighbour's r > 0, from the last status round
+
+	// own packing state
+	w    rational.Rat
+	r    rational.Rat
+	rPos bool
+
+	// colour sequences
+	ownSeq []rational.Rat
+	nbrSeq [][]rational.Rat // per port
+
+	// Phase II state, built at the Phase I -> CV transition
+	oriented   bool
+	parentOf   []int // forest -> port of parent edge, -1 if root
+	forestCols []*big.Int
+	smallCols  []int8 // colours once reduced to {0..5}
+	preShift   []int8 // own colour before the last shift-down, per forest
+
+	// star-phase scratch: pending replies per port for the current batch
+	pendingReply []rational.Rat
+	pendingMask  []bool
+}
+
+// New returns an initialized node program for the given environment.
+func New(env sim.Env) *Program {
+	p := &Program{
+		env:   env,
+		sched: ScheduleFor(env.Params),
+		deg:   env.Degree,
+		w:     rational.FromInt(env.Weight),
+	}
+	p.r = p.w
+	p.rPos = true
+	p.y = make([]rational.Rat, p.deg)
+	p.mcol = make([]bool, p.deg)
+	p.nPos = make([]bool, p.deg)
+	for i := range p.nPos {
+		p.nPos[i] = true // every node starts unsaturated (weights > 0)
+	}
+	p.nbrSeq = make([][]rational.Rat, p.deg)
+	return p
+}
+
+// Init implements sim.PortProgram; New performs the work.
+func (p *Program) Init(env sim.Env) {}
+
+// edgeActive reports whether port q's edge is in E_yc at the start of the
+// current iteration: both endpoints unsaturated and not multicoloured.
+// Symmetry holds because nPos comes from the status round both endpoints
+// share and mcol is derived from the identical element history.
+func (p *Program) edgeActive(q int) bool {
+	return p.rPos && p.nPos[q] && !p.mcol[q]
+}
+
+// currentElem returns this iteration's colour-sequence element: the offer
+// x(v) = r(v)/deg_yc(v) when v ∈ V_yc, and 1 otherwise.
+func (p *Program) currentElem() rational.Rat {
+	degyc := 0
+	for q := 0; q < p.deg; q++ {
+		if p.edgeActive(q) {
+			degyc++
+		}
+	}
+	if degyc == 0 {
+		return rational.One
+	}
+	return p.r.DivInt(int64(degyc))
+}
+
+// Send implements sim.PortProgram.
+func (p *Program) Send(round int) []sim.Message {
+	out := make([]sim.Message, p.deg)
+	if p.deg == 0 {
+		return out
+	}
+	seg, local := p.sched.Locate(round)
+	switch seg {
+	case segPhase1:
+		var m sim.Message
+		if local%2 == 1 {
+			m = offerMsg{Elem: p.currentElem()}
+		} else {
+			m = statusMsg{RPos: p.rPos}
+		}
+		for q := range out {
+			out[q] = m
+		}
+	case segCV:
+		if !p.oriented {
+			p.orient()
+		}
+		m := cvMsg{Cols: p.forestCols}
+		for q := range out {
+			out[q] = m
+		}
+	case segShift:
+		if p.smallCols == nil {
+			p.shrinkCols()
+		}
+		m := smallColsMsg{Cols: p.smallCols}
+		for q := range out {
+			out[q] = m
+		}
+	case segStars:
+		batch := (local - 1) / 2
+		forest := batch / 3
+		col := int8(batch % 3)
+		if local%2 == 1 {
+			// Round A: leaves of this batch request.
+			if p.parentOf[forest] >= 0 && p.smallCols[forest] == col && p.rPos {
+				out[p.parentOf[forest]] = starReq{R: p.r}
+			}
+		} else {
+			// Round B: roots reply with per-leaf increments.
+			for q := 0; q < p.deg; q++ {
+				if p.pendingMask != nil && p.pendingMask[q] {
+					out[q] = starReply{Inc: p.pendingReply[q]}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Recv implements sim.PortProgram.
+func (p *Program) Recv(round int, msgs []sim.Message) {
+	if p.deg == 0 {
+		return
+	}
+	seg, local := p.sched.Locate(round)
+	switch seg {
+	case segPhase1:
+		if local%2 == 1 {
+			p.recvOffers(msgs)
+		} else {
+			for q, raw := range msgs {
+				p.nPos[q] = raw.(statusMsg).RPos
+			}
+		}
+	case segCV:
+		p.recvCV(msgs)
+	case segShift:
+		// local 1,3,5 shift down within palettes 6,5,4;
+		// local 2,4,6 eliminate colours 5,4,3.
+		iter := (local + 1) / 2 // 1..3
+		if local%2 == 1 {
+			p.recvShift(msgs, 7-iter) // palette size 6, 5, 4
+		} else {
+			p.recvEliminate(msgs, int8(6-iter)) // eliminate 5, 4, 3
+		}
+	case segStars:
+		batch := (local - 1) / 2
+		forest := batch / 3
+		col := int8(batch % 3)
+		if local%2 == 1 {
+			p.recvStarRequests(msgs)
+		} else {
+			p.recvStarReplies(msgs, forest, col)
+		}
+	}
+}
+
+// recvOffers performs the accept half of one Phase I iteration (paper
+// steps (ii)–(iii)): each active edge accepts the minimum of the two
+// offers, every node extends its colour sequence, and edges whose
+// endpoints appended different elements become multicoloured.
+func (p *Program) recvOffers(msgs []sim.Message) {
+	ownElem := p.currentElem()
+	for q, raw := range msgs {
+		m := raw.(offerMsg)
+		if p.edgeActive(q) {
+			p.y[q] = p.y[q].Add(rational.Min(ownElem, m.Elem))
+		}
+		if !m.Elem.Equal(ownElem) {
+			p.mcol[q] = true
+		}
+		p.nbrSeq[q] = append(p.nbrSeq[q], m.Elem)
+	}
+	p.ownSeq = append(p.ownSeq, ownElem)
+	p.recomputeResidual()
+}
+
+// recomputeResidual refreshes r(v) and the saturation flag.
+func (p *Program) recomputeResidual() {
+	load := rational.Sum(p.y...)
+	p.r = p.w.Sub(load)
+	switch p.r.Sign() {
+	case -1:
+		panic(fmt.Sprintf("edgepack: node overpacked: r = %v", p.r))
+	case 0:
+		p.rPos = false
+	default:
+		p.rPos = true
+	}
+}
+
+// orient computes the Phase II orientation and forest decomposition at
+// the transition out of Phase I: unsaturated edges point from lower to
+// higher colour, and a node's i-th outgoing edge joins forest i.
+func (p *Program) orient() {
+	p.oriented = true
+	ownEnc := colour.EncodeRatSeq(p.ownSeq)
+	delta := p.env.Params.Delta
+	p.parentOf = make([]int, delta)
+	for i := range p.parentOf {
+		p.parentOf[i] = -1
+	}
+	forest := 0
+	for q := 0; q < p.deg; q++ {
+		if !p.rPos || !p.nPos[q] {
+			continue // edge saturated in Phase I
+		}
+		nbrEnc := colour.EncodeRatSeq(p.nbrSeq[q])
+		cmp := ownEnc.Cmp(nbrEnc)
+		if cmp == 0 {
+			panic("edgepack: unsaturated edge with equal colours after Phase I (Lemma 1 violated)")
+		}
+		if cmp < 0 {
+			// Oriented from lower to higher colour: outgoing.
+			p.parentOf[forest] = q
+			forest++
+		}
+	}
+	p.forestCols = make([]*big.Int, delta)
+	for i := range p.forestCols {
+		p.forestCols[i] = ownEnc
+	}
+}
+
+// recvCV performs one Cole–Vishkin step in every forest.
+func (p *Program) recvCV(msgs []sim.Message) {
+	next := make([]*big.Int, len(p.forestCols))
+	for i := range p.forestCols {
+		if q := p.parentOf[i]; q >= 0 {
+			parentCols := msgs[q].(cvMsg).Cols
+			next[i] = colour.CVStep(p.forestCols[i], parentCols[i])
+		} else {
+			next[i] = colour.CVRootStep(p.forestCols[i])
+		}
+	}
+	p.forestCols = next
+}
+
+// shrinkCols converts the per-forest colours to the small-int palette
+// after the CV segment has brought them into {0..5}.
+func (p *Program) shrinkCols() {
+	p.smallCols = make([]int8, len(p.forestCols))
+	p.preShift = make([]int8, len(p.forestCols))
+	for i, c := range p.forestCols {
+		if c.BitLen() > 3 || c.Int64() > 5 {
+			panic(fmt.Sprintf("edgepack: colour %v escaped the CV plateau", c))
+		}
+		p.smallCols[i] = int8(c.Int64())
+	}
+}
+
+// recvShift performs a shift-down: every non-root adopts its parent's
+// colour; roots rotate within the current palette.  Afterwards the
+// children of any node are monochromatic (they all adopted that node's
+// previous colour), which the eliminate step exploits.  A fresh slice is
+// allocated because the previous one was shared with sent messages.
+func (p *Program) recvShift(msgs []sim.Message, palette int) {
+	next := make([]int8, len(p.smallCols))
+	for i := range p.smallCols {
+		p.preShift[i] = p.smallCols[i]
+		if q := p.parentOf[i]; q >= 0 {
+			next[i] = msgs[q].(smallColsMsg).Cols[i]
+		} else {
+			next[i] = (p.smallCols[i] + 1) % int8(palette)
+		}
+	}
+	p.smallCols = next
+}
+
+// recvEliminate recolours every node of colour t into {0,1,2}, avoiding
+// its parent's current colour and its children's common colour (the
+// node's own pre-shift colour).  Colour class t is independent in every
+// forest, so simultaneous moves keep the colouring proper.
+func (p *Program) recvEliminate(msgs []sim.Message, t int8) {
+	next := append([]int8(nil), p.smallCols...)
+	for i := range p.smallCols {
+		if p.smallCols[i] != t {
+			continue
+		}
+		var parentCol int8 = -1
+		if q := p.parentOf[i]; q >= 0 {
+			parentCol = msgs[q].(smallColsMsg).Cols[i]
+		}
+		childCol := p.preShift[i]
+		for c := int8(0); c < 3; c++ {
+			if c != parentCol && c != childCol {
+				next[i] = c
+				break
+			}
+		}
+	}
+	p.smallCols = next
+}
+
+// recvStarRequests runs the root side of a star batch: collect leaf
+// residuals, split the root residual proportionally (or fully pay the
+// leaves when they fit), apply the increments locally, and queue replies.
+func (p *Program) recvStarRequests(msgs []sim.Message) {
+	p.pendingReply = make([]rational.Rat, p.deg)
+	p.pendingMask = make([]bool, p.deg)
+	total := rational.Zero
+	var reqPorts []int
+	for q, raw := range msgs {
+		if req, ok := raw.(starReq); ok {
+			reqPorts = append(reqPorts, q)
+			p.pendingReply[q] = req.R
+			total = total.Add(req.R)
+		}
+	}
+	if len(reqPorts) == 0 {
+		return
+	}
+	if !p.rPos {
+		// Root already saturated: every requesting edge is saturated
+		// through the root; reply with zero increments.
+		for _, q := range reqPorts {
+			p.pendingReply[q] = rational.Zero
+			p.pendingMask[q] = true
+		}
+		return
+	}
+	// α = Σ r(u) / r(v); α <= 1 saturates the leaves, α > 1 the root.
+	scaleNeeded := total.Cmp(p.r) > 0
+	root := p.r
+	for _, q := range reqPorts {
+		inc := p.pendingReply[q]
+		if scaleNeeded {
+			inc = inc.Mul(root).Div(total)
+		}
+		p.pendingReply[q] = inc
+		p.pendingMask[q] = true
+		p.y[q] = p.y[q].Add(inc)
+	}
+	p.recomputeResidual()
+}
+
+// recvStarReplies runs the leaf side: apply the root's increment.
+func (p *Program) recvStarReplies(msgs []sim.Message, forest int, col int8) {
+	if p.parentOf[forest] >= 0 && p.smallCols[forest] == col {
+		q := p.parentOf[forest]
+		if rep, ok := msgs[q].(starReply); ok {
+			p.y[q] = p.y[q].Add(rep.Inc)
+			p.recomputeResidual()
+		}
+	}
+	p.pendingReply, p.pendingMask = nil, nil
+}
+
+// NodeResult is a node's final output.
+type NodeResult struct {
+	Y        []rational.Rat // y(e) for each port
+	InCover  bool           // saturated, i.e. y[v] == w_v
+	Residual rational.Rat
+}
+
+// Output implements sim.PortProgram.
+func (p *Program) Output() any {
+	return NodeResult{Y: p.y, InCover: !p.rPos, Residual: p.r}
+}
+
+// Result is the assembled outcome of a run.
+type Result struct {
+	Y      []rational.Rat // maximal edge packing, per edge
+	Cover  []bool         // saturated nodes: 2-approximate min-weight VC
+	Rounds int
+	Stats  sim.Stats
+}
+
+// CoverWeight returns the weight of the computed cover.
+func (r *Result) CoverWeight(g *graph.G) int64 {
+	var w int64
+	for v, in := range r.Cover {
+		if in {
+			w += g.Weight(v)
+		}
+	}
+	return w
+}
+
+// Options configure a run.
+type Options struct {
+	Engine  sim.Engine
+	Workers int
+	// Delta and W, when non-zero, override the globally known upper
+	// bounds on degree and weight (paper Section 1.4: the parameters
+	// may be intrinsic hardware constraints rather than exact graph
+	// maxima).  They must not be smaller than the actual values.
+	Delta int
+	W     int64
+}
+
+// Run executes the algorithm on g and assembles the result.  Both copies
+// of every edge value are cross-checked for consistency.
+func Run(g *graph.G, opt Options) *Result {
+	params := sim.GraphParams(g)
+	if opt.Delta != 0 {
+		if opt.Delta < params.Delta {
+			panic(fmt.Sprintf("edgepack: declared Δ=%d below actual %d", opt.Delta, params.Delta))
+		}
+		params.Delta = opt.Delta
+	}
+	if opt.W != 0 {
+		if opt.W < params.W {
+			panic(fmt.Sprintf("edgepack: declared W=%d below actual %d", opt.W, params.W))
+		}
+		params.W = opt.W
+	}
+	envs := sim.GraphEnvs(g, params)
+	progs := make([]sim.PortProgram, g.N())
+	nodes := make([]*Program, g.N())
+	for v := range progs {
+		nodes[v] = New(envs[v])
+		progs[v] = nodes[v]
+	}
+	rounds := Rounds(params)
+	stats := sim.RunPort(g, progs, rounds, sim.Options{Engine: opt.Engine, Workers: opt.Workers})
+
+	res := &Result{
+		Y:      make([]rational.Rat, g.M()),
+		Cover:  make([]bool, g.N()),
+		Rounds: rounds,
+		Stats:  stats,
+	}
+	seen := make([]bool, g.M())
+	for v := 0; v < g.N(); v++ {
+		out := nodes[v].Output().(NodeResult)
+		res.Cover[v] = out.InCover
+		for q, h := range g.Ports(v) {
+			if !seen[h.Edge] {
+				seen[h.Edge] = true
+				res.Y[h.Edge] = out.Y[q]
+			} else if !res.Y[h.Edge].Equal(out.Y[q]) {
+				panic(fmt.Sprintf("edgepack: endpoints disagree on edge %d: %v vs %v",
+					h.Edge, res.Y[h.Edge], out.Y[q]))
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,115 @@
+package edgepack
+
+import (
+	"testing"
+
+	"anoncover/internal/graph"
+	"anoncover/internal/sim"
+)
+
+// TestLemma1MaxDegreeDecreases instruments Phase I and checks the
+// paper's Lemma 1: in each iteration of steps (i)-(iii), the maximum
+// degree of G_yc (the subgraph of unsaturated, not-multicoloured edges)
+// decreases by at least one, so after Δ iterations G_yc is empty.
+func TestLemma1MaxDegreeDecreases(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := graph.RandomBoundedDegree(30, 60, 6, seed)
+		graph.RandomWeights(g, 13, seed+40)
+		params := sim.GraphParams(g)
+		envs := sim.GraphEnvs(g, params)
+		progs := make([]sim.PortProgram, g.N())
+		nodes := make([]*Program, g.N())
+		for v := range progs {
+			nodes[v] = New(envs[v])
+			progs[v] = nodes[v]
+		}
+		// Oracle: max degree of G_yc from the programs' ground truth.
+		maxDegYC := func() int {
+			deg := make([]int, g.N())
+			for v := 0; v < g.N(); v++ {
+				for q, h := range g.Ports(v) {
+					if v > h.To {
+						continue
+					}
+					u := h.To
+					// Edge active: both endpoints unsaturated and the
+					// edge never multicoloured.
+					if nodes[v].rPos && nodes[u].rPos && !nodes[v].mcol[q] {
+						deg[v]++
+						deg[u]++
+					}
+				}
+			}
+			m := 0
+			for _, d := range deg {
+				if d > m {
+					m = d
+				}
+			}
+			return m
+		}
+
+		prev := maxDegYC()
+		if prev != g.MaxDegree() {
+			t.Fatalf("seed %d: initial G_yc degree %d != Δ %d", seed, prev, g.MaxDegree())
+		}
+		delta := params.Delta
+		iter := 0
+		hook := func(round int) {
+			if round > 2*delta || round%2 == 0 {
+				return // only offer rounds complete an iteration's step (i)-(iii)
+			}
+			iter++
+			cur := maxDegYC()
+			if prev > 0 && cur > prev-1 {
+				t.Errorf("seed %d iteration %d: max deg G_yc went %d -> %d (Lemma 1 violated)",
+					seed, iter, prev, cur)
+			}
+			prev = cur
+		}
+		sim.RunPort(g, progs, Rounds(params), sim.Options{OnRound: hook})
+		if prev != 0 {
+			t.Fatalf("seed %d: G_yc not empty after Δ iterations (max deg %d)", seed, prev)
+		}
+	}
+}
+
+// TestPhaseISaturatedStaySaturated checks the monotonicity Lemma 1's
+// proof relies on: once an edge is saturated it stays saturated, and
+// once multicoloured it stays multicoloured.
+func TestPhaseISaturatedStaySaturated(t *testing.T) {
+	g := graph.RandomBoundedDegree(25, 50, 5, 3)
+	graph.RandomWeights(g, 9, 44)
+	params := sim.GraphParams(g)
+	envs := sim.GraphEnvs(g, params)
+	progs := make([]sim.PortProgram, g.N())
+	nodes := make([]*Program, g.N())
+	for v := range progs {
+		nodes[v] = New(envs[v])
+		progs[v] = nodes[v]
+	}
+	satEver := make([]bool, g.N())
+	mcolEver := make([][]bool, g.N())
+	for v := range mcolEver {
+		mcolEver[v] = make([]bool, g.Deg(v))
+	}
+	hook := func(round int) {
+		for v := 0; v < g.N(); v++ {
+			if satEver[v] && nodes[v].rPos {
+				t.Fatalf("round %d: node %d became unsaturated again", round, v)
+			}
+			if !nodes[v].rPos {
+				satEver[v] = true
+			}
+			for q := range mcolEver[v] {
+				if mcolEver[v][q] && !nodes[v].mcol[q] {
+					t.Fatalf("round %d: node %d port %d lost multicolouring", round, v, q)
+				}
+				if nodes[v].mcol[q] {
+					mcolEver[v][q] = true
+				}
+			}
+		}
+	}
+	sim.RunPort(g, progs, Rounds(params), sim.Options{OnRound: hook})
+}

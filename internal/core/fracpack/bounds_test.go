@@ -1,0 +1,59 @@
+package fracpack
+
+import (
+	"testing"
+
+	"anoncover/internal/bipartite"
+	"anoncover/internal/check"
+	"anoncover/internal/sim"
+)
+
+// TestDeclaredBoundsOverride: loose global bounds on f, k and W keep the
+// algorithm correct and stretch the schedule accordingly.
+func TestDeclaredBoundsOverride(t *testing.T) {
+	ins := bipartite.Random(8, 16, 2, 4, 6, 3)
+	for _, c := range []struct {
+		f, k int
+		w    int64
+	}{
+		{0, 0, 0},
+		{3, 5, 0},
+		{0, 0, 1 << 30},
+	} {
+		res := Run(ins, Options{F: c.f, K: c.k, W: c.w})
+		if err := check.FracPackingMaximal(ins, res.Y); err != nil {
+			t.Fatalf("f=%d k=%d W=%d: %v", c.f, c.k, c.w, err)
+		}
+		if err := check.SCDualityCertificate(ins, res.Y, res.Cover, ins.MaxF()); err != nil {
+			t.Fatalf("f=%d k=%d W=%d: %v", c.f, c.k, c.w, err)
+		}
+		want := sim.BipartiteParams(ins)
+		if c.f != 0 {
+			want.F = c.f
+		}
+		if c.k != 0 {
+			want.K = c.k
+		}
+		if c.w != 0 {
+			want.W = c.w
+		}
+		if res.ScheduledRounds != Rounds(want) {
+			t.Fatalf("f=%d k=%d W=%d: schedule %d, want %d",
+				c.f, c.k, c.w, res.ScheduledRounds, Rounds(want))
+		}
+	}
+}
+
+func TestDeclaredBoundsTooSmallPanic(t *testing.T) {
+	ins := bipartite.Random(8, 16, 3, 5, 6, 4)
+	for _, opt := range []Options{{F: 1}, {K: 1}, {W: 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("opts %+v: no panic", opt)
+				}
+			}()
+			Run(ins, opt)
+		}()
+	}
+}

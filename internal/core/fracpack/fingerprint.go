@@ -1,0 +1,52 @@
+package fracpack
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"anoncover/internal/sim"
+)
+
+// Fingerprint returns a canonical string for any fracpack wire message.
+// Two messages are semantically equal iff their fingerprints are equal.
+// The Section 5 simulation uses fingerprints to pair anonymous message
+// histories; the strings never contain the history separator '|'.
+func Fingerprint(m sim.Message) string {
+	switch m := m.(type) {
+	case nil:
+		return "-"
+	case mY:
+		return "y:" + m.Y.String()
+	case mR:
+		return "r:" + m.R.String()
+	case mMember:
+		return "m"
+	case mX:
+		return "x:" + m.X.String()
+	case mP:
+		return "p:" + m.P.String()
+	case weakTriplet:
+		return "t:" + tripletBody(m)
+	case mWeakSet:
+		parts := make([]string, len(m.Items))
+		for i, it := range m.Items {
+			parts[i] = tripletBody(it)
+		}
+		return "W:" + strings.Join(parts, ";")
+	case classState:
+		return "c:" + strconv.Itoa(m.C3) + "," + strconv.Itoa(m.CNew)
+	case mClassSet:
+		parts := make([]string, len(m.Items))
+		for i, it := range m.Items {
+			parts[i] = strconv.Itoa(it.C3) + "," + strconv.Itoa(it.CNew)
+		}
+		return "C:" + strings.Join(parts, ";")
+	default:
+		panic(fmt.Sprintf("fracpack: Fingerprint of unknown message type %T", m))
+	}
+}
+
+func tripletBody(t weakTriplet) string {
+	return t.CPrime.String() + "," + strconv.Itoa(t.C) + "," + t.P.String()
+}

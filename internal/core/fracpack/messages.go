@@ -1,0 +1,70 @@
+package fracpack
+
+import (
+	"math/big"
+
+	"anoncover/internal/rational"
+)
+
+// Message types.  nil messages mean "not participating this round".
+// All payloads are immutable once sent.
+
+// mY carries an element's current y(u) (steps (i) and the status round).
+type mY struct{ Y rational.Rat }
+
+func (m mY) WireSize() int { return m.Y.WireBytes() }
+
+// mR carries a subset's residual r(s) (step (ii) and the status round).
+type mR struct{ R rational.Rat }
+
+func (m mR) WireSize() int { return m.R.WireBytes() }
+
+// mMember signals u ∈ U_yi (step (iii)); absence (nil) means not a member.
+type mMember struct{}
+
+func (m mMember) WireSize() int { return 1 }
+
+// mX carries x_i(s) = r(s)/|U_yi(s)| (step (iv)).
+type mX struct{ X rational.Rat }
+
+func (m mX) WireSize() int { return m.X.WireBytes() }
+
+// mP carries p(u) = min x_i(s) (step (v)).
+type mP struct{ P rational.Rat }
+
+func (m mP) WireSize() int { return m.P.WireBytes() }
+
+// weakTriplet is §4.5's (c'(v), c(v), p(v)) as broadcast by elements, and
+// (c'(v), i, x_i(s)) as relayed by subsets (P then holds x_i(s)).
+type weakTriplet struct {
+	CPrime *big.Int
+	C      int
+	P      rational.Rat
+}
+
+func (m weakTriplet) WireSize() int { return m.CPrime.BitLen()/8 + 2 + m.P.WireBytes() }
+
+// mWeakSet is the subset-side relay of matching triplets.
+type mWeakSet struct{ Items []weakTriplet }
+
+func (m mWeakSet) WireSize() int {
+	n := 1
+	for _, it := range m.Items {
+		n += it.WireSize()
+	}
+	return n
+}
+
+// classState is an element's (c3, new colour) pair during the trivial
+// colour reduction; CNew == 0 means not yet recoloured.
+type classState struct {
+	C3   int
+	CNew int
+}
+
+func (m classState) WireSize() int { return 4 }
+
+// mClassSet is the subset-side relay of its elements' class states.
+type mClassSet struct{ Items []classState }
+
+func (m mClassSet) WireSize() int { return 1 + 4*len(m.Items) }

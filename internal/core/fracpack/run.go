@@ -1,0 +1,153 @@
+package fracpack
+
+import (
+	"fmt"
+
+	"anoncover/internal/bipartite"
+	"anoncover/internal/check"
+	"anoncover/internal/rational"
+	"anoncover/internal/sim"
+)
+
+// Result is the assembled outcome of a run.
+type Result struct {
+	Y               []rational.Rat // maximal fractional packing, per element
+	Cover           []bool         // saturated subsets: f-approximate set cover
+	Rounds          int            // rounds actually executed
+	ScheduledRounds int            // the deterministic O(f²k² + fk log* W) schedule
+	Stats           sim.Stats
+}
+
+// CoverWeight returns the weight of the computed cover.
+func (r *Result) CoverWeight(ins *bipartite.Instance) int64 {
+	return ins.CoverWeight(r.Cover)
+}
+
+// Options configure a run.
+type Options struct {
+	Engine       sim.Engine
+	Workers      int
+	ScrambleSeed int64
+	// EarlyExit stops the simulation at an iteration boundary once the
+	// packing is already maximal.  This is a simulator-side optimisation
+	// (ablation A3): real anonymous nodes cannot detect global
+	// saturation, so ScheduledRounds remains the honest cost.
+	EarlyExit bool
+	// F, K and W, when non-zero, override the globally known upper
+	// bounds (paper Section 1.4); they must not be below the actual
+	// instance values.
+	F, K int
+	W    int64
+}
+
+// offsetProg shifts a program's round numbering so a schedule can be run
+// in chunks.
+type offsetProg struct {
+	inner sim.BroadcastProgram
+	off   int
+}
+
+func (o *offsetProg) Init(env sim.Env)               {}
+func (o *offsetProg) Send(r int) sim.Message         { return o.inner.Send(r + o.off) }
+func (o *offsetProg) Recv(r int, msgs []sim.Message) { o.inner.Recv(r+o.off, msgs) }
+func (o *offsetProg) Output() any                    { return o.inner.Output() }
+
+// Run executes the algorithm on ins and assembles the result.
+func Run(ins *bipartite.Instance, opt Options) *Result {
+	for v := ins.S(); v < ins.N(); v++ {
+		if ins.Deg(v) == 0 {
+			panic(fmt.Sprintf("fracpack: element %d belongs to no subset; the instance has no cover",
+				ins.ElementIndex(v)))
+		}
+	}
+	params := sim.BipartiteParams(ins)
+	if opt.F != 0 {
+		if opt.F < params.F {
+			panic(fmt.Sprintf("fracpack: declared f=%d below actual %d", opt.F, params.F))
+		}
+		params.F = opt.F
+	}
+	if opt.K != 0 {
+		if opt.K < params.K {
+			panic(fmt.Sprintf("fracpack: declared k=%d below actual %d", opt.K, params.K))
+		}
+		params.K = opt.K
+	}
+	if opt.W != 0 {
+		if opt.W < params.W {
+			panic(fmt.Sprintf("fracpack: declared W=%d below actual %d", opt.W, params.W))
+		}
+		params.W = opt.W
+	}
+	envs := sim.BipartiteEnvs(ins, params)
+	progs := make([]sim.BroadcastProgram, ins.N())
+	subs := make([]*SubsetProgram, ins.S())
+	elems := make([]*ElemProgram, ins.U())
+	for v := range progs {
+		if ins.IsSubset(v) {
+			subs[v] = NewSubset(envs[v])
+			progs[v] = subs[v]
+		} else {
+			elems[ins.ElementIndex(v)] = NewElement(envs[v])
+			progs[v] = elems[ins.ElementIndex(v)]
+		}
+	}
+	scheduled := Rounds(params)
+	simOpt := sim.Options{Engine: opt.Engine, Workers: opt.Workers, ScrambleSeed: opt.ScrambleSeed}
+
+	res := &Result{ScheduledRounds: scheduled}
+	if !opt.EarlyExit {
+		res.Stats = sim.RunBroadcast(ins, progs, scheduled, simOpt)
+		res.Rounds = scheduled
+	} else {
+		lay := newLayout(params)
+		wrapped := make([]sim.BroadcastProgram, len(progs))
+		for i, pr := range progs {
+			wrapped[i] = &offsetProg{inner: pr}
+		}
+		for done := 0; done < scheduled; {
+			for i := range wrapped {
+				wrapped[i].(*offsetProg).off = done
+			}
+			st := sim.RunBroadcast(ins, wrapped, lay.perIter, simOpt)
+			done += lay.perIter
+			res.Rounds = done
+			res.Stats.Rounds += st.Rounds
+			res.Stats.Messages += st.Messages
+			res.Stats.Bytes += st.Bytes
+			if maximalNow(ins, elems) {
+				break
+			}
+		}
+	}
+
+	res.Y = make([]rational.Rat, ins.U())
+	for u, ep := range elems {
+		out := ep.Output().(ElemResult)
+		res.Y[u] = out.Y
+	}
+	res.Cover = make([]bool, ins.S())
+	loads := check.SubsetLoads(ins, res.Y)
+	for s, sp := range subs {
+		out := sp.Output().(SubsetResult)
+		res.Cover[s] = out.InCover
+		// The subset's tracked residual must agree with the recomputed
+		// one — a distributed-consistency cross-check.
+		want := rational.FromInt(ins.Weight(s)).Sub(loads[s])
+		if !out.Residual.Equal(want) {
+			panic(fmt.Sprintf("fracpack: subset %d residual drift: tracked %v, actual %v",
+				s, out.Residual, want))
+		}
+	}
+	return res
+}
+
+// maximalNow reports whether the packing held by the element programs is
+// already maximal (simulator-side check for EarlyExit).
+func maximalNow(ins *bipartite.Instance, elems []*ElemProgram) bool {
+	y := make([]rational.Rat, len(elems))
+	for u, ep := range elems {
+		y[u] = ep.y
+	}
+	return check.FracPackingMaximal(ins, y) == nil
+}

@@ -1,0 +1,140 @@
+// Package fracpack implements Section 4 of Åstrand & Suomela (SPAA 2010):
+// a deterministic distributed algorithm that computes a maximal fractional
+// packing — and hence an f-approximate minimum-weight set cover — in
+// O(f²k² + fk·log* W) synchronous rounds in the anonymous broadcast model.
+//
+// The set-cover instance is the bipartite graph H = (S ∪ U, A); both
+// subset nodes and element nodes are computational entities.  The
+// algorithm runs D+1 = (k-1)f+1 iterations.  Each iteration performs one
+// saturation phase per colour class (paper §4.3), then a colouring phase
+// (§4.4) that combines the weak Cole–Vishkin reduction of §4.5 with a
+// trivial class-by-class colour reduction, guaranteeing that every
+// element that survives an iteration loses at least one outgoing edge of
+// the derived multigraph K — after D+1 iterations every element is
+// saturated.
+package fracpack
+
+import (
+	"math/bits"
+
+	"anoncover/internal/colour"
+	"anoncover/internal/sim"
+)
+
+// layout is the per-iteration round plan, identical at every node because
+// it is derived from the global parameters only.
+type layout struct {
+	D        int // (k-1)·f: max outdegree of K
+	colours  int // D+1 colour classes
+	satLen   int // 5 rounds per saturation phase x colours
+	weakReps int // CV iterations + 1 final exchange for the 6->4 step
+	weakLen  int // 2 rounds per weak iteration
+	redLen   int // 2 rounds per c3 class, 4·(D+1) classes
+	perIter  int
+	iters    int // D+1
+}
+
+// Step identifiers within an iteration.
+type stepKind int
+
+const (
+	stepSatYBroadcast stepKind = iota // (i)   elements broadcast y(u)
+	stepSatResidual                   // (ii)  subsets broadcast r(s)
+	stepSatMembership                 // (iii) elements broadcast u ∈ U_yi
+	stepSatOffer                      // (iv)  subsets broadcast x_i(s)
+	stepSatPick                       // (v)   elements broadcast p(u); (vi) local
+	stepStatusY                       // colouring-phase entry: fresh y
+	stepStatusR                       // colouring-phase entry: fresh r
+	stepWeakUp                        // §4.5 (i): elements broadcast triplets
+	stepWeakDown                      // §4.5 (ii)+(iii): subsets relay, elements step
+	stepReduceUp                      // trivial reduction: elements broadcast class state
+	stepReduceDown                    // trivial reduction: subsets relay, class τ recolours
+)
+
+// pos locates a round within the algorithm.
+type pos struct {
+	iter   int      // 1-based outer iteration
+	kind   stepKind // which protocol step this round performs
+	colour int      // saturation phase colour i (for sat steps)
+	weak   int      // 1-based weak iteration (for weak steps)
+	class  int      // c3 class value τ (for reduce steps)
+}
+
+func newLayout(p sim.Params) layout {
+	d := (p.K - 1) * p.F
+	l := layout{D: d, colours: d + 1}
+	l.satLen = 5 * l.colours
+	l.weakReps = colour.CVRounds(c1BitsBound(p)) + 1
+	l.weakLen = 2 * l.weakReps
+	l.redLen = 2 * 4 * l.colours
+	l.perIter = l.satLen + 2 + l.weakLen + l.redLen
+	l.iters = l.colours
+	return l
+}
+
+// c1BitsBound bounds the bit length of the χ-colouring c1 = EncodeRat(p):
+// across the whole run there are at most (D+1)² saturation phases, each
+// dividing a residual by at most k, so denominators divide (k!)^((D+1)²)
+// and numerators are bounded by W times that (the paper's χ).
+func c1BitsBound(p sim.Params) int {
+	d := (p.K-1)*p.F + 1
+	den := d * d * colour.FactorialBits(p.K)
+	num := bits.Len64(uint64(p.W)) + den
+	return colour.BitsBoundRat(num, den)
+}
+
+// Rounds returns the total number of communication rounds for the given
+// parameters: O(f²k² + fk·log* W).
+func Rounds(p sim.Params) int {
+	if p.K <= 0 || p.F <= 0 {
+		return 0
+	}
+	l := newLayout(p)
+	return l.iters * l.perIter
+}
+
+// locate decodes a global 1-based round number.
+func (l layout) locate(round int) pos {
+	idx := round - 1
+	p := pos{iter: idx/l.perIter + 1}
+	rr := idx % l.perIter // 0-based within iteration
+	if rr < l.satLen {
+		p.colour = rr/5 + 1
+		p.kind = stepKind(rr % 5) // stepSatYBroadcast..stepSatPick
+		return p
+	}
+	rr -= l.satLen
+	if rr < 2 {
+		if rr == 0 {
+			p.kind = stepStatusY
+		} else {
+			p.kind = stepStatusR
+		}
+		return p
+	}
+	rr -= 2
+	if rr < l.weakLen {
+		p.weak = rr/2 + 1
+		if rr%2 == 0 {
+			p.kind = stepWeakUp
+		} else {
+			p.kind = stepWeakDown
+		}
+		return p
+	}
+	rr -= l.weakLen
+	classIdx := rr / 2
+	// Classes processed from the highest c3 value, 4(D+1)+3, downwards
+	// to 4; c3 = 4c + c2 with c in 1..D+1 and c2 in 0..3.
+	p.class = 4*l.colours + 3 - classIdx
+	if rr%2 == 0 {
+		p.kind = stepReduceUp
+	} else {
+		p.kind = stepReduceDown
+	}
+	return p
+}
+
+// lastWeak reports whether weak iteration w is the final exchange, whose
+// ℓ values feed the 6->4 palette step instead of a CV step.
+func (l layout) lastWeak(w int) bool { return w == l.weakReps }

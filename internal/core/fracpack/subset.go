@@ -1,0 +1,173 @@
+package fracpack
+
+import (
+	"fmt"
+
+	"anoncover/internal/rational"
+	"anoncover/internal/sim"
+)
+
+// SubsetProgram is the broadcast-model node program run by every subset
+// node s ∈ S.  It implements sim.BroadcastProgram.
+type SubsetProgram struct {
+	env sim.Env
+	lay layout
+
+	w, r rational.Rat
+
+	// per-iteration state
+	lastIter int
+	x        []rational.Rat // x_i(s), indexed by colour 1..D+1
+	xSet     []bool
+	q        []rational.Rat // q_i(s)
+	qSet     []bool
+
+	// relay scratch
+	weakM  []weakTriplet // M(s): triplets received in the last weak up-round
+	classM []classState  // class states received in the last reduce up-round
+}
+
+// NewSubset returns an initialized subset-node program.
+func NewSubset(env sim.Env) *SubsetProgram {
+	p := &SubsetProgram{
+		env: env,
+		lay: newLayout(env.Params),
+		w:   rational.FromInt(env.Weight),
+	}
+	p.r = p.w
+	p.resetIter(1)
+	return p
+}
+
+// Init implements sim.BroadcastProgram; NewSubset performs the work.
+func (p *SubsetProgram) Init(env sim.Env) {}
+
+func (p *SubsetProgram) resetIter(it int) {
+	p.lastIter = it
+	n := p.lay.colours + 1
+	p.x = make([]rational.Rat, n)
+	p.xSet = make([]bool, n)
+	p.q = make([]rational.Rat, n)
+	p.qSet = make([]bool, n)
+	p.weakM = nil
+	p.classM = nil
+}
+
+func (p *SubsetProgram) at(round int) pos {
+	loc := p.lay.locate(round)
+	if loc.iter != p.lastIter {
+		p.resetIter(loc.iter)
+	}
+	return loc
+}
+
+// Send implements sim.BroadcastProgram.
+func (p *SubsetProgram) Send(round int) sim.Message {
+	switch loc := p.at(round); loc.kind {
+	case stepSatResidual, stepStatusR:
+		return mR{R: p.r}
+	case stepSatOffer:
+		if p.xSet[loc.colour] {
+			return mX{X: p.x[loc.colour]}
+		}
+	case stepWeakDown:
+		// §4.5 step (ii): relay (c'(v), i, x_i(s)) for every stored
+		// triplet whose p(v) equals q_i(s).
+		var items []weakTriplet
+		for _, t := range p.weakM {
+			i := t.C
+			if i >= 1 && i <= p.lay.colours && p.qSet[i] && t.P.Equal(p.q[i]) {
+				items = append(items, weakTriplet{CPrime: t.CPrime, C: i, P: p.x[i]})
+			}
+		}
+		if items != nil {
+			return mWeakSet{Items: items}
+		}
+	case stepReduceDown:
+		if p.classM != nil {
+			return mClassSet{Items: p.classM}
+		}
+	}
+	return nil
+}
+
+// Recv implements sim.BroadcastProgram.
+func (p *SubsetProgram) Recv(round int, msgs []sim.Message) {
+	switch loc := p.at(round); loc.kind {
+	case stepSatYBroadcast, stepStatusY:
+		// Every element broadcasts y(u); recompute y[s] and r(s).
+		load := rational.Zero
+		seen := 0
+		for _, raw := range msgs {
+			if m, ok := raw.(mY); ok {
+				load = load.Add(m.Y)
+				seen++
+			}
+		}
+		if seen != p.env.Degree {
+			panic(fmt.Sprintf("fracpack: subset heard %d of %d elements", seen, p.env.Degree))
+		}
+		p.r = p.w.Sub(load)
+		if p.r.Sign() < 0 {
+			panic(fmt.Sprintf("fracpack: subset overpacked: r = %v", p.r))
+		}
+	case stepSatMembership:
+		cnt := 0
+		for _, raw := range msgs {
+			if _, ok := raw.(mMember); ok {
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			// s ∈ S': x_i(s) = r(s) / |U_yi(s)|.
+			p.x[loc.colour] = p.r.DivInt(int64(cnt))
+			p.xSet[loc.colour] = true
+		}
+	case stepSatPick:
+		first := true
+		for _, raw := range msgs {
+			m, ok := raw.(mP)
+			if !ok {
+				continue
+			}
+			if first || m.P.Less(p.q[loc.colour]) {
+				p.q[loc.colour] = m.P
+			}
+			first = false
+		}
+		if !first {
+			p.qSet[loc.colour] = true
+		}
+		if p.xSet[loc.colour] == first {
+			panic("fracpack: x_i(s) and q_i(s) must be set together")
+		}
+	case stepWeakUp:
+		// Fresh slices, never [:0] reuse: sent messages may be retained
+		// indefinitely by the Section 5 history simulation, so a buffer
+		// that ever left this node must not be overwritten.
+		p.weakM = nil
+		for _, raw := range msgs {
+			if t, ok := raw.(weakTriplet); ok {
+				p.weakM = append(p.weakM, t)
+			}
+		}
+	case stepReduceUp:
+		p.classM = nil
+		for _, raw := range msgs {
+			if c, ok := raw.(classState); ok {
+				p.classM = append(p.classM, c)
+			}
+		}
+	}
+}
+
+// SubsetResult is a subset node's final output.
+type SubsetResult struct {
+	Residual rational.Rat
+	InCover  bool // saturated: y[s] == w_s
+}
+
+// Output implements sim.BroadcastProgram.
+func (p *SubsetProgram) Output() any {
+	return SubsetResult{Residual: p.r, InCover: p.r.IsZero()}
+}

@@ -1,0 +1,204 @@
+// Package exact provides optimal solvers for minimum-weight vertex cover
+// and minimum-weight set cover on small and medium instances.  The
+// experiment harness uses them to measure the true approximation ratios
+// of the distributed algorithms; they are branch-and-bound searches with
+// simple but effective pruning, validated against brute force in tests.
+package exact
+
+import (
+	"math"
+
+	"anoncover/internal/bipartite"
+	"anoncover/internal/graph"
+)
+
+// VertexCover returns a minimum-weight vertex cover of g and its weight.
+func VertexCover(g *graph.G) ([]bool, int64) {
+	s := &vcSolver{g: g, state: make([]int8, g.N())}
+	s.best = math.MaxInt64
+	s.run(0)
+	return s.bestCover, s.best
+}
+
+// node states during the search
+const (
+	vcUndecided int8 = iota
+	vcIn
+	vcOut
+)
+
+type vcSolver struct {
+	g         *graph.G
+	state     []int8
+	weight    int64
+	best      int64
+	bestCover []bool
+}
+
+// firstOpenEdge returns an edge with no endpoint in the cover and neither
+// endpoint decided-out on both sides (an edge with both endpoints out is
+// infeasible), or -1 when every edge is covered.
+func (s *vcSolver) firstOpenEdge() int {
+	for e := 0; e < s.g.M(); e++ {
+		u, v := s.g.Endpoints(e)
+		if s.state[u] != vcIn && s.state[v] != vcIn {
+			return e
+		}
+	}
+	return -1
+}
+
+// lowerBound adds a matching-based bound: greedily pick vertex-disjoint
+// uncovered edges; each needs at least its lighter undecided endpoint.
+func (s *vcSolver) lowerBound() int64 {
+	used := make([]bool, s.g.N())
+	var lb int64
+	for e := 0; e < s.g.M(); e++ {
+		u, v := s.g.Endpoints(e)
+		if s.state[u] == vcIn || s.state[v] == vcIn || used[u] || used[v] {
+			continue
+		}
+		used[u], used[v] = true, true
+		wu, wv := s.g.Weight(u), s.g.Weight(v)
+		if s.state[u] == vcOut {
+			lb += wv
+		} else if s.state[v] == vcOut {
+			lb += wu
+		} else if wu < wv {
+			lb += wu
+		} else {
+			lb += wv
+		}
+	}
+	return lb
+}
+
+func (s *vcSolver) run(depth int) {
+	if s.weight+s.lowerBound() >= s.best {
+		return
+	}
+	e := s.firstOpenEdge()
+	if e < 0 {
+		s.best = s.weight
+		s.bestCover = make([]bool, s.g.N())
+		for v, st := range s.state {
+			s.bestCover[v] = st == vcIn
+		}
+		return
+	}
+	u, v := s.g.Endpoints(e)
+	if s.state[u] == vcOut && s.state[v] == vcOut {
+		return // infeasible: an uncoverable edge
+	}
+	if s.state[u] == vcOut {
+		u, v = v, u // u is the undecided endpoint below
+	}
+	// Branch 1: u in the cover.
+	s.state[u] = vcIn
+	s.weight += s.g.Weight(u)
+	s.run(depth + 1)
+	s.weight -= s.g.Weight(u)
+	s.state[u] = vcUndecided
+	// Branch 2: u out; then v must be in to cover the edge.
+	if s.state[v] == vcUndecided {
+		s.state[u] = vcOut
+		s.state[v] = vcIn
+		s.weight += s.g.Weight(v)
+		s.run(depth + 1)
+		s.weight -= s.g.Weight(v)
+		s.state[v] = vcUndecided
+		s.state[u] = vcUndecided
+	}
+}
+
+// SetCover returns a minimum-weight set cover of ins and its weight.  It
+// panics if some element cannot be covered.
+func SetCover(ins *bipartite.Instance) ([]bool, int64) {
+	s := &scSolver{ins: ins, chosen: make([]bool, ins.S())}
+	s.best = math.MaxInt64
+	s.covered = make([]int, ins.U())
+	for u := 0; u < ins.U(); u++ {
+		if ins.Deg(ins.ElementNode(u)) == 0 {
+			panic("exact: element with no subsets")
+		}
+	}
+	s.run()
+	return s.bestCover, s.best
+}
+
+type scSolver struct {
+	ins       *bipartite.Instance
+	chosen    []bool
+	covered   []int // how many chosen subsets contain each element
+	weight    int64
+	best      int64
+	bestCover []bool
+}
+
+// nextUncovered picks the uncovered element with the fewest subsets — the
+// strongest branching constraint.
+func (s *scSolver) nextUncovered() int {
+	bestU, bestDeg := -1, math.MaxInt64
+	for u := 0; u < s.ins.U(); u++ {
+		if s.covered[u] > 0 {
+			continue
+		}
+		d := s.ins.Deg(s.ins.ElementNode(u))
+		if d < bestDeg {
+			bestU, bestDeg = u, d
+		}
+	}
+	return bestU
+}
+
+// lowerBound: every uncovered element needs its cheapest subset; dividing
+// by k (a subset can cover at most k uncovered elements) keeps the bound
+// admissible.
+func (s *scSolver) lowerBound() int64 {
+	k := int64(s.ins.MaxK())
+	var sum int64
+	for u := 0; u < s.ins.U(); u++ {
+		if s.covered[u] > 0 {
+			continue
+		}
+		cheap := int64(math.MaxInt64)
+		for _, h := range s.ins.Ports(s.ins.ElementNode(u)) {
+			if w := s.ins.Weight(h.To); w < cheap {
+				cheap = w
+			}
+		}
+		sum += cheap
+	}
+	return (sum + k - 1) / k
+}
+
+func (s *scSolver) take(si int, delta int) {
+	for _, h := range s.ins.Ports(si) {
+		s.covered[s.ins.ElementIndex(h.To)] += delta
+	}
+}
+
+func (s *scSolver) run() {
+	if s.weight+s.lowerBound() >= s.best {
+		return
+	}
+	u := s.nextUncovered()
+	if u < 0 {
+		s.best = s.weight
+		s.bestCover = append([]bool(nil), s.chosen...)
+		return
+	}
+	for _, h := range s.ins.Ports(s.ins.ElementNode(u)) {
+		si := h.To
+		if s.chosen[si] {
+			continue
+		}
+		s.chosen[si] = true
+		s.weight += s.ins.Weight(si)
+		s.take(si, 1)
+		s.run()
+		s.take(si, -1)
+		s.weight -= s.ins.Weight(si)
+		s.chosen[si] = false
+	}
+}

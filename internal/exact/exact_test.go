@@ -1,0 +1,167 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"anoncover/internal/bipartite"
+	"anoncover/internal/check"
+	"anoncover/internal/graph"
+)
+
+// vcBrute enumerates all 2^n covers (n <= 20).
+func vcBrute(g *graph.G) int64 {
+	n := g.N()
+	best := int64(math.MaxInt64)
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		for e := 0; e < g.M() && ok; e++ {
+			u, v := g.Endpoints(e)
+			if mask&(1<<u) == 0 && mask&(1<<v) == 0 {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		var w int64
+		for v := 0; v < n; v++ {
+			if mask&(1<<v) != 0 {
+				w += g.Weight(v)
+			}
+		}
+		if w < best {
+			best = w
+		}
+	}
+	return best
+}
+
+// scBrute enumerates all 2^s covers (s <= 20).
+func scBrute(ins *bipartite.Instance) int64 {
+	s := ins.S()
+	best := int64(math.MaxInt64)
+	for mask := 0; mask < 1<<s; mask++ {
+		cover := make([]bool, s)
+		for i := 0; i < s; i++ {
+			cover[i] = mask&(1<<i) != 0
+		}
+		if !ins.IsCover(cover) {
+			continue
+		}
+		if w := ins.CoverWeight(cover); w < best {
+			best = w
+		}
+	}
+	return best
+}
+
+func TestVertexCoverAgainstBruteForce(t *testing.T) {
+	gens := []func(seed int64) *graph.G{
+		func(s int64) *graph.G { return graph.Cycle(9) },
+		func(s int64) *graph.G { return graph.Path(10) },
+		func(s int64) *graph.G { return graph.Star(8) },
+		func(s int64) *graph.G { return graph.Complete(6) },
+		func(s int64) *graph.G { return graph.RandomBoundedDegree(12, 20, 5, s) },
+		func(s int64) *graph.G { return graph.RandomTree(13, s) },
+	}
+	for gi, gen := range gens {
+		for seed := int64(0); seed < 4; seed++ {
+			g := gen(seed)
+			graph.RandomWeights(g, 9, seed*31+int64(gi))
+			cover, w := VertexCover(g)
+			if err := check.VertexCover(g, cover); err != nil {
+				t.Fatalf("gen %d seed %d: %v", gi, seed, err)
+			}
+			if got := check.CoverWeight(g, cover); got != w {
+				t.Fatalf("gen %d seed %d: reported weight %d, actual %d", gi, seed, w, got)
+			}
+			if want := vcBrute(g); w != want {
+				t.Fatalf("gen %d seed %d: B&B %d, brute force %d", gi, seed, w, want)
+			}
+		}
+	}
+}
+
+func TestVertexCoverUnweightedKnownValues(t *testing.T) {
+	cases := []struct {
+		g    *graph.G
+		want int64
+	}{
+		{graph.Cycle(6), 3},
+		{graph.Cycle(7), 4}, // odd cycle: ceil(7/2)
+		{graph.Star(9), 1},
+		{graph.Complete(5), 4},
+		{graph.Path(2), 1},
+	}
+	for i, c := range cases {
+		if _, w := VertexCover(c.g); w != c.want {
+			t.Errorf("case %d: OPT = %d, want %d", i, w, c.want)
+		}
+	}
+}
+
+func TestVertexCoverEmptyAndEdgeless(t *testing.T) {
+	g := graph.NewBuilder(4).Build()
+	cover, w := VertexCover(g)
+	if w != 0 {
+		t.Fatalf("edgeless OPT = %d", w)
+	}
+	for _, in := range cover {
+		if in {
+			t.Fatal("edgeless graph needs nobody")
+		}
+	}
+}
+
+func TestSetCoverAgainstBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		ins := bipartite.Random(8, 16, 3, 6, 9, seed)
+		cover, w := SetCover(ins)
+		if err := check.SetCover(ins, cover); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got := ins.CoverWeight(cover); got != w {
+			t.Fatalf("seed %d: reported %d, actual %d", seed, w, got)
+		}
+		if want := scBrute(ins); w != want {
+			t.Fatalf("seed %d: B&B %d, brute force %d", seed, w, want)
+		}
+	}
+}
+
+func TestSetCoverKnownValues(t *testing.T) {
+	// SymmetricKpp: one subset covers everything.
+	ins := bipartite.SymmetricKpp(4)
+	if _, w := SetCover(ins); w != 1 {
+		t.Fatalf("K_{4,4} OPT = %d, want 1", w)
+	}
+	// CycleReduction(n, p): n/p subsets.
+	cyc := bipartite.CycleReduction(12, 3)
+	if _, w := SetCover(cyc); w != 4 {
+		t.Fatalf("cycle reduction OPT = %d, want 4", w)
+	}
+}
+
+func TestSetCoverFromGraphMatchesVertexCover(t *testing.T) {
+	// Minimum set cover of the incidence instance == minimum vertex
+	// cover of the graph.
+	for seed := int64(0); seed < 4; seed++ {
+		g := graph.RandomBoundedDegree(10, 16, 4, seed)
+		graph.RandomWeights(g, 7, seed+50)
+		_, wv := VertexCover(g)
+		_, ws := SetCover(bipartite.FromGraph(g))
+		if wv != ws {
+			t.Fatalf("seed %d: VC OPT %d != SC OPT %d", seed, wv, ws)
+		}
+	}
+}
+
+func TestSetCoverPanicsOnUncoverable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	SetCover(bipartite.NewBuilder(1, 2).AddEdge(0, 0).Build())
+}

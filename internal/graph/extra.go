@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// BipartiteDoubleCover returns the bipartite double cover of g: nodes
+// (v, white) = v and (v, black) = n + v, with an edge between (u, white)
+// and (v, black) for every edge {u, v} of g.  Port numbers are inherited
+// from g on both copies, which is what lets an anonymous algorithm on g
+// simulate one on the double cover — the construction behind the
+// Polishchuk–Suomela 3-approximation [30].
+func BipartiteDoubleCover(g *G) *G {
+	n := g.N()
+	d := &G{
+		adj:     make([][]Half, 2*n),
+		weights: make([]int64, 2*n),
+	}
+	for v := 0; v < n; v++ {
+		d.adj[v] = make([]Half, g.Deg(v))
+		d.adj[n+v] = make([]Half, g.Deg(v))
+		d.weights[v] = g.Weight(v)
+		d.weights[n+v] = g.Weight(v)
+	}
+	edge := 0
+	for v := 0; v < n; v++ {
+		for p, h := range g.Ports(v) {
+			// One double-cover edge per directed base edge: white v
+			// port p -> black h.To.
+			u := h.To
+			d.adj[v][p] = Half{To: n + u, Edge: edge, RevPort: h.RevPort}
+			d.adj[n+u][h.RevPort] = Half{To: v, Edge: edge, RevPort: p}
+			lo, hi := v, n+u
+			d.ends = append(d.ends, [2]int{lo, hi})
+			edge++
+		}
+	}
+	return d
+}
+
+// Petersen returns the Petersen graph: 3-regular, 10 nodes, girth 5.
+func Petersen() *G {
+	b := NewBuilder(10)
+	for v := 0; v < 5; v++ {
+		b.AddEdge(v, (v+1)%5)     // outer cycle
+		b.AddEdge(5+v, 5+(v+2)%5) // inner pentagram
+		b.AddEdge(v, 5+v)         // spokes
+	}
+	return b.Build()
+}
+
+// PowerLawBounded returns a preferential-attachment-flavoured graph with
+// maximum degree capped at maxDeg: node i attaches to `attach` earlier
+// nodes chosen with probability proportional to current degree + 1,
+// skipping saturated nodes.  Deterministic in seed.
+func PowerLawBounded(n, attach, maxDeg int, seed int64) *G {
+	if attach < 1 || maxDeg < attach+1 {
+		panic("graph: need attach >= 1 and maxDeg > attach")
+	}
+	r := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	deg := make([]int, n)
+	for v := 1; v < n; v++ {
+		targets := attach
+		if v < attach {
+			targets = v
+		}
+		for placed, tries := 0, 0; placed < targets && tries < 50*v+100; tries++ {
+			// Degree-biased sampling over earlier nodes.
+			total := 0
+			for u := 0; u < v; u++ {
+				if deg[u] < maxDeg && !b.HasEdge(u, v) {
+					total += deg[u] + 1
+				}
+			}
+			if total == 0 {
+				break
+			}
+			pick := r.Intn(total)
+			for u := 0; u < v; u++ {
+				if deg[u] >= maxDeg || b.HasEdge(u, v) {
+					continue
+				}
+				pick -= deg[u] + 1
+				if pick < 0 {
+					b.AddEdge(u, v)
+					deg[u]++
+					deg[v]++
+					placed++
+					break
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// WriteDOT emits the graph in Graphviz DOT format; cover, when non-nil,
+// highlights the marked nodes.
+func WriteDOT(w io.Writer, g *G, cover []bool) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph anoncover {")
+	fmt.Fprintln(bw, "  node [shape=circle];")
+	for v := 0; v < g.N(); v++ {
+		attrs := fmt.Sprintf("label=\"%d\\nw=%d\"", v, g.Weight(v))
+		if cover != nil && v < len(cover) && cover[v] {
+			attrs += ", style=filled, fillcolor=gray80"
+		}
+		fmt.Fprintf(bw, "  n%d [%s];\n", v, attrs)
+	}
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(e)
+		fmt.Fprintf(bw, "  n%d -- n%d;\n", u, v)
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

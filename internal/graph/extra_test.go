@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBipartiteDoubleCover(t *testing.T) {
+	g := RandomBoundedDegree(15, 25, 4, 1)
+	RandomWeights(g, 7, 2)
+	d := BipartiteDoubleCover(g)
+	mustValidate(t, d)
+	if d.N() != 2*g.N() || d.M() != 2*g.M() {
+		t.Fatalf("size: n=%d m=%d", d.N(), d.M())
+	}
+	n := g.N()
+	for v := 0; v < n; v++ {
+		if d.Deg(v) != g.Deg(v) || d.Deg(n+v) != g.Deg(v) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+		if d.Weight(v) != g.Weight(v) || d.Weight(n+v) != g.Weight(v) {
+			t.Fatalf("weight mismatch at %d", v)
+		}
+		for p, h := range d.Ports(v) {
+			// White copies connect only to black copies, preserving
+			// the base port structure.
+			if h.To < n {
+				t.Fatalf("white-white edge at %d", v)
+			}
+			if h.To-n != g.Ports(v)[p].To {
+				t.Fatalf("port %d of white %d goes to wrong black copy", p, v)
+			}
+		}
+	}
+	// The double cover is bipartite: white side {0..n-1} is independent.
+	for e := 0; e < d.M(); e++ {
+		u, v := d.Endpoints(e)
+		if (u < n) == (v < n) {
+			t.Fatal("double cover not bipartite")
+		}
+	}
+}
+
+func TestBipartiteDoubleCoverOfOddCycle(t *testing.T) {
+	// The double cover of an odd cycle is a single 2n-cycle.
+	d := BipartiteDoubleCover(Cycle(5))
+	mustValidate(t, d)
+	if d.N() != 10 || d.M() != 10 || d.MaxDegree() != 2 {
+		t.Fatal("wrong shape")
+	}
+	// Connected 2-regular graph with 10 nodes = C10: check by walking.
+	seen := map[int]bool{0: true}
+	prev, cur := -1, 0
+	for i := 0; i < 9; i++ {
+		next := -1
+		for _, h := range d.Ports(cur) {
+			if h.To != prev {
+				next = h.To
+				break
+			}
+		}
+		prev, cur = cur, next
+		seen[cur] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("double cover of C5 is not a single cycle: reached %d nodes", len(seen))
+	}
+}
+
+func TestPetersen(t *testing.T) {
+	g := Petersen()
+	mustValidate(t, g)
+	if g.N() != 10 || g.M() != 15 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	for v := 0; v < 10; v++ {
+		if g.Deg(v) != 3 {
+			t.Fatalf("node %d degree %d", v, g.Deg(v))
+		}
+	}
+}
+
+func TestPowerLawBounded(t *testing.T) {
+	g := PowerLawBounded(200, 2, 8, 5)
+	mustValidate(t, g)
+	if g.MaxDegree() > 8 {
+		t.Fatalf("Δ=%d exceeds cap", g.MaxDegree())
+	}
+	if g.M() < 150 {
+		t.Fatalf("suspiciously few edges: %d", g.M())
+	}
+	// Degree-biased attachment should produce a hub heavier than the
+	// median degree.
+	degs := g.Degrees()
+	if degs[len(degs)-1] <= degs[len(degs)/2] {
+		t.Fatal("no hubs emerged")
+	}
+}
+
+func TestPowerLawBoundedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	PowerLawBounded(10, 3, 3, 1)
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := Path(3)
+	g.SetWeight(1, 5)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, []bool{false, true, false}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph anoncover {", "n0 -- n1", "n1 -- n2", "fillcolor=gray80", "w=5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "fillcolor") != 1 {
+		t.Fatal("exactly one node should be highlighted")
+	}
+}
+
+func TestRandomRegularLarge(t *testing.T) {
+	// The swap-repair pairing must handle sizes where whole-pairing
+	// restarts would virtually never succeed.
+	for _, c := range [][2]int{{2000, 6}, {500, 10}, {101, 4}} {
+		g := RandomRegular(c[0], c[1], 7)
+		mustValidate(t, g)
+		for v := 0; v < g.N(); v++ {
+			if g.Deg(v) != c[1] {
+				t.Fatalf("n=%d d=%d: node %d has degree %d", c[0], c[1], v, g.Deg(v))
+			}
+		}
+	}
+}

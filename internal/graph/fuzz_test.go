@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the text-format parser: arbitrary input must either
+// fail cleanly or produce a graph that validates and round-trips.
+func FuzzParse(f *testing.F) {
+	f.Add("graph 3\nedge 0 1\nedge 1 2\n")
+	f.Add("graph 2\nnode 0 5\nedge 0 1\n")
+	f.Add("# comment\n\ngraph 1\n")
+	f.Add("graph 0\n")
+	f.Add("graph 2\nedge 0 0\n")
+	f.Add("graph -1\n")
+	f.Add("graph 99999999999999999999\n")
+	f.Add("edge 1 2\ngraph 3\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		g, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // clean rejection is fine
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed graph fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("cannot re-serialize: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}

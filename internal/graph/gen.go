@@ -1,0 +1,301 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Cycle returns the n-cycle, n >= 3.
+func Cycle(n int) *G {
+	if n < 3 {
+		panic("graph: cycle needs n >= 3")
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(v, (v+1)%n)
+	}
+	return b.Build()
+}
+
+// Path returns the path on n nodes.
+func Path(n int) *G {
+	b := NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(v, v+1)
+	}
+	return b.Build()
+}
+
+// Star returns a star with one centre (node 0) and n-1 leaves.
+func Star(n int) *G {
+	if n < 1 {
+		panic("graph: star needs n >= 1")
+	}
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v)
+	}
+	return b.Build()
+}
+
+// Complete returns K_n.
+func Complete(n int) *G {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// CompleteBipartite returns K_{a,b}; the first a nodes form one side.
+func CompleteBipartite(a, b int) *G {
+	bl := NewBuilder(a + b)
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			bl.AddEdge(u, a+v)
+		}
+	}
+	return bl.Build()
+}
+
+// Grid returns the r x c grid graph.
+func Grid(r, c int) *G {
+	idx := func(i, j int) int { return i*c + j }
+	b := NewBuilder(r * c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				b.AddEdge(idx(i, j), idx(i, j+1))
+			}
+			if i+1 < r {
+				b.AddEdge(idx(i, j), idx(i+1, j))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Hypercube returns the dim-dimensional hypercube graph on 2^dim nodes.
+func Hypercube(dim int) *G {
+	if dim < 0 || dim > 24 {
+		panic("graph: hypercube dimension out of range")
+	}
+	n := 1 << dim
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for i := 0; i < dim; i++ {
+			u := v ^ (1 << i)
+			if u > v {
+				b.AddEdge(v, u)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RandomTree returns a uniformly random labelled tree on n nodes
+// (random Prüfer-free attachment: node i attaches to a uniform earlier
+// node), deterministic in seed.
+func RandomTree(n int, seed int64) *G {
+	r := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(v, r.Intn(v))
+	}
+	return b.Build()
+}
+
+// Caterpillar returns a path of spine nodes with legs leaves attached to
+// every spine node.
+func Caterpillar(spine, legs int) *G {
+	n := spine + spine*legs
+	b := NewBuilder(n)
+	for v := 0; v+1 < spine; v++ {
+		b.AddEdge(v, v+1)
+	}
+	leaf := spine
+	for v := 0; v < spine; v++ {
+		for l := 0; l < legs; l++ {
+			b.AddEdge(v, leaf)
+			leaf++
+		}
+	}
+	return b.Build()
+}
+
+// RandomRegular returns a random d-regular simple graph on n nodes via
+// the pairing model with swap repair: stubs are paired at random, and
+// self-loops or duplicate edges are fixed by swapping endpoints with
+// random other pairs (restarting whole pairings fails already at modest
+// n·d, since a clean pairing is exponentially unlikely).  n*d must be
+// even and d < n.
+func RandomRegular(n, d int, seed int64) *G {
+	if n*d%2 != 0 {
+		panic("graph: n*d must be even for a d-regular graph")
+	}
+	if d >= n {
+		panic("graph: need d < n")
+	}
+	r := rand.New(rand.NewSource(seed))
+	stubs := make([]int, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, v)
+		}
+	}
+	r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	pairs := len(stubs) / 2
+	key := func(i int) [2]int {
+		u, v := stubs[2*i], stubs[2*i+1]
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int{u, v}
+	}
+	count := make(map[[2]int]int, pairs)
+	bad := func(i int) bool {
+		u, v := stubs[2*i], stubs[2*i+1]
+		return u == v || count[key(i)] > 1
+	}
+	for i := 0; i < pairs; i++ {
+		count[key(i)]++
+	}
+	for budget := 200 * pairs; ; budget-- {
+		if budget < 0 {
+			panic(fmt.Sprintf("graph: RandomRegular(%d,%d) repair did not converge", n, d))
+		}
+		i := -1
+		for j := 0; j < pairs; j++ {
+			if bad(j) {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			break
+		}
+		// Swap the second stub of the bad pair with a random pair's.
+		j := r.Intn(pairs)
+		if j == i {
+			continue
+		}
+		count[key(i)]--
+		count[key(j)]--
+		stubs[2*i+1], stubs[2*j+1] = stubs[2*j+1], stubs[2*i+1]
+		count[key(i)]++
+		count[key(j)]++
+	}
+	b := NewBuilder(n)
+	for i := 0; i < pairs; i++ {
+		b.AddEdge(stubs[2*i], stubs[2*i+1])
+	}
+	return b.Build()
+}
+
+// RandomBoundedDegree returns a random simple graph on n nodes with m
+// edges and maximum degree at most maxDeg, deterministic in seed.  It
+// panics if m edges cannot be placed.
+func RandomBoundedDegree(n, m, maxDeg int, seed int64) *G {
+	r := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	deg := make([]int, n)
+	placed := 0
+	for tries := 0; placed < m; tries++ {
+		if tries > 200*m+10000 {
+			panic(fmt.Sprintf("graph: cannot place %d edges with n=%d maxDeg=%d", m, n, maxDeg))
+		}
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v || deg[u] >= maxDeg || deg[v] >= maxDeg || b.HasEdge(u, v) {
+			continue
+		}
+		b.AddEdge(u, v)
+		deg[u]++
+		deg[v]++
+		placed++
+	}
+	return b.Build()
+}
+
+// Frucht returns the Frucht graph: 3-regular, 12 nodes, and its only
+// automorphism is the identity.  Section 7 of the paper uses it to show
+// that broadcast-model algorithms must output y(e) = 1/3 on every edge.
+func Frucht() *G {
+	b := NewBuilder(12)
+	// Standard LCF notation [-5,-2,-4,2,5,-2,2,5,-2,-5,4,2]: outer
+	// 12-cycle plus chords.
+	for v := 0; v < 12; v++ {
+		b.AddEdge(v, (v+1)%12)
+	}
+	lcf := []int{-5, -2, -4, 2, 5, -2, 2, 5, -2, -5, 4, 2}
+	for v, off := range lcf {
+		u := ((v+off)%12 + 12) % 12
+		if !b.HasEdge(v, u) {
+			b.AddEdge(v, u)
+		}
+	}
+	return b.Build()
+}
+
+// Lift returns a k-fold covering graph of g: node (v,i) is v*k+i, and for
+// every base edge a permutation pi (deterministic in seed) matches the
+// fibres.  Ports are arranged so the projection (v,i) -> v preserves port
+// numbers, making the local view of (v,i) identical to that of v — the
+// property Section 7 exploits.  Base weights are copied fibre-wise.
+func Lift(g *G, k int, seed int64) *G {
+	r := rand.New(rand.NewSource(seed))
+	n := g.N()
+	lifted := &G{
+		adj:     make([][]Half, n*k),
+		weights: make([]int64, n*k),
+	}
+	for v := 0; v < n; v++ {
+		for i := 0; i < k; i++ {
+			lifted.adj[v*k+i] = make([]Half, g.Deg(v))
+			lifted.weights[v*k+i] = g.Weight(v)
+		}
+	}
+	perms := make([][]int, g.M())
+	for e := range perms {
+		perms[e] = r.Perm(k)
+	}
+	edgeCount := 0
+	for v := 0; v < n; v++ {
+		for p, h := range g.Ports(v) {
+			u, w := g.Endpoints(h.Edge)
+			if v != u || w != h.To {
+				continue // handle each base edge once, from its low endpoint slot
+			}
+			pi := perms[h.Edge]
+			for i := 0; i < k; i++ {
+				a, bNode := v*k+i, h.To*k+pi[i]
+				lifted.adj[a][p] = Half{To: bNode, Edge: edgeCount, RevPort: h.RevPort}
+				lifted.adj[bNode][h.RevPort] = Half{To: a, Edge: edgeCount, RevPort: p}
+				lo, hi := a, bNode
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				lifted.ends = append(lifted.ends, [2]int{lo, hi})
+				edgeCount++
+			}
+		}
+	}
+	return lifted
+}
+
+// UniformWeights sets every node weight to w.
+func UniformWeights(g *G, w int64) {
+	for v := 0; v < g.N(); v++ {
+		g.SetWeight(v, w)
+	}
+}
+
+// RandomWeights assigns independent uniform weights in {1..maxW},
+// deterministic in seed.
+func RandomWeights(g *G, maxW int64, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	for v := 0; v < g.N(); v++ {
+		g.SetWeight(v, 1+r.Int63n(maxW))
+	}
+}

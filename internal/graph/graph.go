@@ -1,0 +1,272 @@
+// Package graph provides the simple undirected node-weighted graphs on
+// which the distributed algorithms run, together with port numberings,
+// generators and serialization.
+//
+// A port numbering (paper Section 1.3) gives every node v a local ordering
+// 1..deg(v) of its incident edges.  The graph package is simulator-side
+// bookkeeping: node programs never see global node or edge identifiers,
+// only their own ports.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Half is a half-edge: what a node sees through one of its ports.
+//
+// Port p of node v is adj[v][p]; To is the neighbour reached through the
+// port, Edge the global edge index, and RevPort the port index at To that
+// leads back to v.  These global identifiers exist only for the simulator
+// and the checkers; algorithms are never shown them.
+type Half struct {
+	To      int
+	Edge    int
+	RevPort int
+}
+
+// G is a finite simple undirected graph with positive integer node weights
+// and a port numbering.
+type G struct {
+	adj     [][]Half
+	weights []int64
+	ends    [][2]int // edge index -> endpoints, ends[e][0] < ends[e][1]
+}
+
+// Builder accumulates edges before the graph is finalized.
+type Builder struct {
+	n       int
+	weights []int64
+	edges   [][2]int
+	seen    map[[2]int]bool
+}
+
+// NewBuilder returns a builder for a graph on n nodes, all with weight 1.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return &Builder{n: n, weights: w, seen: make(map[[2]int]bool)}
+}
+
+// SetWeight sets the weight of node v.  Weights must be positive.
+func (b *Builder) SetWeight(v int, w int64) *Builder {
+	if w <= 0 {
+		panic(fmt.Sprintf("graph: non-positive weight %d for node %d", w, v))
+	}
+	b.weights[v] = w
+	return b
+}
+
+// AddEdge adds the undirected edge {u, v}.  Self-loops and duplicate edges
+// are rejected: the paper's graphs are simple.
+func (b *Builder) AddEdge(u, v int) *Builder {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop at node %d", u))
+	}
+	if u < 0 || v < 0 || u >= b.n || v >= b.n {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range [0,%d)", u, v, b.n))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	key := [2]int{u, v}
+	if b.seen[key] {
+		panic(fmt.Sprintf("graph: duplicate edge {%d,%d}", u, v))
+	}
+	b.seen[key] = true
+	b.edges = append(b.edges, key)
+	return b
+}
+
+// HasEdge reports whether {u, v} has been added.
+func (b *Builder) HasEdge(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	return b.seen[[2]int{u, v}]
+}
+
+// Build finalizes the graph.  Ports are numbered in edge insertion order;
+// use PermutePorts or RandomPorts afterwards for other numberings.
+func (b *Builder) Build() *G {
+	g := &G{
+		adj:     make([][]Half, b.n),
+		weights: append([]int64(nil), b.weights...),
+		ends:    append([][2]int(nil), b.edges...),
+	}
+	for e, uv := range b.edges {
+		u, v := uv[0], uv[1]
+		pu, pv := len(g.adj[u]), len(g.adj[v])
+		g.adj[u] = append(g.adj[u], Half{To: v, Edge: e, RevPort: pv})
+		g.adj[v] = append(g.adj[v], Half{To: u, Edge: e, RevPort: pu})
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *G) N() int { return len(g.adj) }
+
+// M returns the number of edges.
+func (g *G) M() int { return len(g.ends) }
+
+// Deg returns the degree of node v.
+func (g *G) Deg(v int) int { return len(g.adj[v]) }
+
+// Weight returns the weight of node v.
+func (g *G) Weight(v int) int64 { return g.weights[v] }
+
+// Ports returns the half-edges of v in port order.  The slice is shared;
+// callers must not modify it.
+func (g *G) Ports(v int) []Half { return g.adj[v] }
+
+// Endpoints returns the endpoints of edge e with u < v.
+func (g *G) Endpoints(e int) (u, v int) { return g.ends[e][0], g.ends[e][1] }
+
+// MaxDegree returns Δ, the maximum degree (0 for an empty graph).
+func (g *G) MaxDegree() int {
+	d := 0
+	for v := range g.adj {
+		if len(g.adj[v]) > d {
+			d = len(g.adj[v])
+		}
+	}
+	return d
+}
+
+// MaxWeight returns W, the maximum node weight (1 for an empty graph).
+func (g *G) MaxWeight() int64 {
+	var w int64 = 1
+	for _, x := range g.weights {
+		if x > w {
+			w = x
+		}
+	}
+	return w
+}
+
+// TotalWeight returns the sum of all node weights.
+func (g *G) TotalWeight() int64 {
+	var s int64
+	for _, x := range g.weights {
+		s += x
+	}
+	return s
+}
+
+// PermutePorts renumbers the ports of every node v by perms[v], which must
+// be a permutation of [0, deg(v)): new port p carries what old port
+// perms[v][p] carried.
+func (g *G) PermutePorts(perms [][]int) {
+	if len(perms) != g.N() {
+		panic("graph: PermutePorts length mismatch")
+	}
+	for v := range g.adj {
+		perm := perms[v]
+		if len(perm) != len(g.adj[v]) {
+			panic(fmt.Sprintf("graph: bad permutation length at node %d", v))
+		}
+		old := append([]Half(nil), g.adj[v]...)
+		used := make([]bool, len(perm))
+		for p, q := range perm {
+			if q < 0 || q >= len(perm) || used[q] {
+				panic(fmt.Sprintf("graph: invalid permutation at node %d", v))
+			}
+			used[q] = true
+			g.adj[v][p] = old[q]
+		}
+	}
+	g.fixRevPorts()
+}
+
+// RandomPorts renumbers all ports uniformly at random (deterministically
+// from seed).
+func (g *G) RandomPorts(seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	perms := make([][]int, g.N())
+	for v := range perms {
+		perms[v] = r.Perm(g.Deg(v))
+	}
+	g.PermutePorts(perms)
+}
+
+// fixRevPorts recomputes RevPort after a port renumbering.
+func (g *G) fixRevPorts() {
+	// port of node v that carries edge e
+	portOf := make(map[[2]int]int, 2*g.M())
+	for v := range g.adj {
+		for p, h := range g.adj[v] {
+			portOf[[2]int{v, h.Edge}] = p
+		}
+	}
+	for v := range g.adj {
+		for p, h := range g.adj[v] {
+			g.adj[v][p].RevPort = portOf[[2]int{h.To, h.Edge}]
+		}
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *G) Clone() *G {
+	c := &G{
+		adj:     make([][]Half, len(g.adj)),
+		weights: append([]int64(nil), g.weights...),
+		ends:    append([][2]int(nil), g.ends...),
+	}
+	for v := range g.adj {
+		c.adj[v] = append([]Half(nil), g.adj[v]...)
+	}
+	return c
+}
+
+// SetWeight replaces the weight of node v on a built graph.
+func (g *G) SetWeight(v int, w int64) {
+	if w <= 0 {
+		panic("graph: non-positive weight")
+	}
+	g.weights[v] = w
+}
+
+// Validate checks internal consistency (ports, reverse ports, edge
+// endpoints).  It is used by tests and the I/O layer.
+func (g *G) Validate() error {
+	for v := range g.adj {
+		for p, h := range g.adj[v] {
+			if h.To < 0 || h.To >= g.N() {
+				return fmt.Errorf("node %d port %d: bad neighbour %d", v, p, h.To)
+			}
+			if h.Edge < 0 || h.Edge >= g.M() {
+				return fmt.Errorf("node %d port %d: bad edge %d", v, p, h.Edge)
+			}
+			u, w := g.Endpoints(h.Edge)
+			if !(u == v && w == h.To) && !(w == v && u == h.To) {
+				return fmt.Errorf("node %d port %d: edge %d does not join %d-%d", v, p, h.Edge, v, h.To)
+			}
+			back := g.adj[h.To][h.RevPort]
+			if back.To != v || back.Edge != h.Edge {
+				return fmt.Errorf("node %d port %d: reverse port inconsistent", v, p)
+			}
+		}
+	}
+	for v := range g.weights {
+		if g.weights[v] <= 0 {
+			return fmt.Errorf("node %d: non-positive weight", v)
+		}
+	}
+	return nil
+}
+
+// Degrees returns the sorted degree sequence (useful in tests).
+func (g *G) Degrees() []int {
+	d := make([]int, g.N())
+	for v := range d {
+		d[v] = g.Deg(v)
+	}
+	sort.Ints(d)
+	return d
+}

@@ -1,0 +1,284 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func mustValidate(t *testing.T, g *G) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1).AddEdge(1, 2).AddEdge(2, 3).AddEdge(3, 0)
+	b.SetWeight(2, 7)
+	g := b.Build()
+	mustValidate(t, g)
+	if g.N() != 4 || g.M() != 4 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if g.Weight(2) != 7 || g.Weight(0) != 1 {
+		t.Fatal("weights wrong")
+	}
+	if g.MaxDegree() != 2 || g.MaxWeight() != 7 {
+		t.Fatalf("Δ=%d W=%d", g.MaxDegree(), g.MaxWeight())
+	}
+	if g.TotalWeight() != 10 {
+		t.Fatalf("TotalWeight=%d", g.TotalWeight())
+	}
+}
+
+func TestBuilderRejectsSelfLoop(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for self-loop")
+		}
+	}()
+	NewBuilder(2).AddEdge(1, 1)
+}
+
+func TestBuilderRejectsDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for duplicate edge")
+		}
+	}()
+	NewBuilder(3).AddEdge(0, 1).AddEdge(1, 0)
+}
+
+func TestPortsAndReversePorts(t *testing.T) {
+	g := Complete(5)
+	mustValidate(t, g)
+	for v := 0; v < g.N(); v++ {
+		for p, h := range g.Ports(v) {
+			back := g.Ports(h.To)[h.RevPort]
+			if back.To != v || back.Edge != h.Edge || back.RevPort != p {
+				t.Fatalf("reverse port broken at node %d port %d", v, p)
+			}
+		}
+	}
+}
+
+func TestPermutePorts(t *testing.T) {
+	g := Cycle(6)
+	before := make([][]Half, g.N())
+	for v := range before {
+		before[v] = append([]Half(nil), g.Ports(v)...)
+	}
+	perms := make([][]int, g.N())
+	for v := range perms {
+		perms[v] = []int{1, 0} // swap the two ports of every cycle node
+	}
+	g.PermutePorts(perms)
+	mustValidate(t, g)
+	for v := 0; v < g.N(); v++ {
+		if g.Ports(v)[0].To != before[v][1].To || g.Ports(v)[1].To != before[v][0].To {
+			t.Fatalf("node %d ports not swapped", v)
+		}
+	}
+}
+
+func TestRandomPortsPreservesStructure(t *testing.T) {
+	g := RandomBoundedDegree(60, 120, 6, 42)
+	degBefore := g.Degrees()
+	g.RandomPorts(7)
+	mustValidate(t, g)
+	degAfter := g.Degrees()
+	for i := range degBefore {
+		if degBefore[i] != degAfter[i] {
+			t.Fatal("degree sequence changed by port permutation")
+		}
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	cases := []struct {
+		name    string
+		g       *G
+		n, m, d int
+	}{
+		{"cycle", Cycle(9), 9, 9, 2},
+		{"path", Path(5), 5, 4, 2},
+		{"star", Star(7), 7, 6, 6},
+		{"complete", Complete(6), 6, 15, 5},
+		{"bipartite", CompleteBipartite(3, 4), 7, 12, 4},
+		{"grid", Grid(3, 4), 12, 17, 4},
+		{"hypercube", Hypercube(3), 8, 12, 3},
+		{"caterpillar", Caterpillar(4, 2), 12, 11, 4},
+		{"frucht", Frucht(), 12, 18, 3},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mustValidate(t, c.g)
+			if c.g.N() != c.n || c.g.M() != c.m || c.g.MaxDegree() != c.d {
+				t.Fatalf("n=%d m=%d Δ=%d, want %d %d %d",
+					c.g.N(), c.g.M(), c.g.MaxDegree(), c.n, c.m, c.d)
+			}
+		})
+	}
+}
+
+func TestFruchtIsCubic(t *testing.T) {
+	g := Frucht()
+	for v := 0; v < g.N(); v++ {
+		if g.Deg(v) != 3 {
+			t.Fatalf("node %d has degree %d, want 3", v, g.Deg(v))
+		}
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	for _, d := range []int{2, 3, 4} {
+		g := RandomRegular(20, d, int64(d))
+		mustValidate(t, g)
+		for v := 0; v < g.N(); v++ {
+			if g.Deg(v) != d {
+				t.Fatalf("d=%d: node %d has degree %d", d, v, g.Deg(v))
+			}
+		}
+	}
+}
+
+func TestRandomRegularOddProductPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for odd n*d")
+		}
+	}()
+	RandomRegular(5, 3, 1)
+}
+
+func TestRandomBoundedDegree(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 20; i++ {
+		n := 10 + r.Intn(50)
+		maxDeg := 2 + r.Intn(5)
+		m := r.Intn(n * maxDeg / 3)
+		g := RandomBoundedDegree(n, m, maxDeg, int64(i))
+		mustValidate(t, g)
+		if g.M() != m {
+			t.Fatalf("M=%d, want %d", g.M(), m)
+		}
+		if g.MaxDegree() > maxDeg {
+			t.Fatalf("Δ=%d exceeds bound %d", g.MaxDegree(), maxDeg)
+		}
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	g := RandomTree(50, 11)
+	mustValidate(t, g)
+	if g.M() != 49 {
+		t.Fatalf("tree edge count %d", g.M())
+	}
+}
+
+func TestLift(t *testing.T) {
+	base := Frucht()
+	RandomWeights(base, 9, 5)
+	k := 3
+	lifted := Lift(base, k, 99)
+	mustValidate(t, lifted)
+	if lifted.N() != base.N()*k || lifted.M() != base.M()*k {
+		t.Fatalf("lift size: n=%d m=%d", lifted.N(), lifted.M())
+	}
+	// The projection must preserve degree, weight and port structure.
+	for v := 0; v < base.N(); v++ {
+		for i := 0; i < k; i++ {
+			lv := v*k + i
+			if lifted.Deg(lv) != base.Deg(v) {
+				t.Fatalf("degree mismatch at fibre of %d", v)
+			}
+			if lifted.Weight(lv) != base.Weight(v) {
+				t.Fatalf("weight mismatch at fibre of %d", v)
+			}
+			for p, h := range lifted.Ports(lv) {
+				baseHalf := base.Ports(v)[p]
+				if h.To/k != baseHalf.To {
+					t.Fatalf("port %d of (%d,%d) projects to %d, want %d",
+						p, v, i, h.To/k, baseHalf.To)
+				}
+				if h.RevPort != baseHalf.RevPort {
+					t.Fatalf("rev port not preserved at (%d,%d) port %d", v, i, p)
+				}
+			}
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := Grid(3, 3)
+	c := g.Clone()
+	c.SetWeight(0, 55)
+	c.RandomPorts(1)
+	if g.Weight(0) != 1 {
+		t.Fatal("clone shares weights")
+	}
+	mustValidate(t, g)
+	mustValidate(t, c)
+}
+
+func TestIORoundTrip(t *testing.T) {
+	g := RandomBoundedDegree(30, 60, 5, 8)
+	RandomWeights(g, 100, 9)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValidate(t, got)
+	if got.N() != g.N() || got.M() != g.M() {
+		t.Fatal("size mismatch after round trip")
+	}
+	for v := 0; v < g.N(); v++ {
+		if got.Weight(v) != g.Weight(v) {
+			t.Fatalf("weight mismatch at %d", v)
+		}
+	}
+	for e := 0; e < g.M(); e++ {
+		u1, v1 := g.Endpoints(e)
+		u2, v2 := got.Endpoints(e)
+		if u1 != u2 || v1 != v2 {
+			t.Fatalf("edge %d mismatch", e)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"edge 0 1",
+		"graph 2\nedge 0 0",
+		"graph 2\nedge 0 1\nedge 1 0",
+		"graph 2\nnode 5 1",
+		"graph x",
+		"graph 2\nbogus 1 2",
+		"graph 2\ngraph 2",
+		"graph 2\nnode 0 -3",
+	}
+	for _, s := range bad {
+		if _, err := Parse(strings.NewReader(s)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseIgnoresCommentsAndBlanks(t *testing.T) {
+	src := "# header\n\ngraph 3\n# mid\nedge 0 1\n  \nedge 1 2\n"
+	g, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatal("comment handling broken")
+	}
+}

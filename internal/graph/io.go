@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is line-oriented:
+//
+//	# comment
+//	graph <n>
+//	node <v> <weight>
+//	edge <u> <v>
+//
+// Ports are numbered in edge-line order, so a file round-trips to the same
+// port numbering.  Weights default to 1 when no node line is present.
+
+// Write serializes g in the text format.
+func Write(w io.Writer, g *G) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "graph %d\n", g.N())
+	for v := 0; v < g.N(); v++ {
+		if g.Weight(v) != 1 {
+			fmt.Fprintf(bw, "node %d %d\n", v, g.Weight(v))
+		}
+	}
+	// Emit edges in the insertion order implied by the port numbering:
+	// sort by edge index, which Build assigned in insertion order.
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(e)
+		fmt.Fprintf(bw, "edge %d %d\n", u, v)
+	}
+	return bw.Flush()
+}
+
+// Parse reads a graph in the text format.
+func Parse(r io.Reader) (*G, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<24)
+	var b *Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "graph":
+			if b != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate graph header", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: want 'graph <n>'", line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad node count %q", line, fields[1])
+			}
+			b = NewBuilder(n)
+		case "node":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: node before graph header", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: want 'node <v> <weight>'", line)
+			}
+			v, err1 := strconv.Atoi(fields[1])
+			w, err2 := strconv.ParseInt(fields[2], 10, 64)
+			if err1 != nil || err2 != nil || v < 0 || v >= b.n || w <= 0 {
+				return nil, fmt.Errorf("graph: line %d: bad node line %q", line, text)
+			}
+			b.SetWeight(v, w)
+		case "edge":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before graph header", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: want 'edge <u> <v>'", line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge line %q", line, text)
+			}
+			if u == v || u < 0 || v < 0 || u >= b.n || v >= b.n || b.HasEdge(u, v) {
+				return nil, fmt.Errorf("graph: line %d: invalid edge {%d,%d}", line, u, v)
+			}
+			b.AddEdge(u, v)
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: missing graph header")
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,105 @@
+// Package lowerbound implements the machinery of the paper's Section 6:
+// the symmetric K_{p,p} instance (Figure 3) on which no deterministic
+// port-numbering algorithm can beat factor p = min{f,k}, and the local
+// reduction (Figure 4) from independent set in a numbered directed cycle
+// to set cover, which extends the lower bound to strictly local
+// algorithms with unique identifiers (via Czygrinow et al. / Lenzen &
+// Wattenhofer, Lemma 4).
+package lowerbound
+
+import (
+	"fmt"
+
+	"anoncover/internal/bipartite"
+)
+
+// SymmetricInstance returns the Figure 3 instance: K_{p,p} with the fully
+// symmetric circulant port numbering.  Its optimum cover is any single
+// subset, but every deterministic anonymous algorithm must output all p.
+func SymmetricInstance(p int) *bipartite.Instance { return bipartite.SymmetricKpp(p) }
+
+// CheckSymmetricOutput asserts the symmetry argument on an algorithm's
+// output for the Figure 3 instance: all subset decisions must be equal
+// (identical local views force identical outputs), and since the output
+// must be a cover, all p subsets are chosen.
+func CheckSymmetricOutput(p int, cover []bool) error {
+	if len(cover) != p {
+		return fmt.Errorf("lowerbound: cover length %d, want %d", len(cover), p)
+	}
+	for s := 1; s < p; s++ {
+		if cover[s] != cover[0] {
+			return fmt.Errorf("lowerbound: subsets %d and 0 decided differently despite identical views", s)
+		}
+	}
+	if !cover[0] {
+		return fmt.Errorf("lowerbound: empty output is not a cover")
+	}
+	return nil
+}
+
+// ReductionInstance returns the Figure 4 instance built from a directed
+// n-cycle: subset u1 covers element v2 iff the directed path u -> v has
+// length at most p-1.
+func ReductionInstance(n, p int) *bipartite.Instance { return bipartite.CycleReduction(n, p) }
+
+// ExtractIndependentSet maps a set cover C of ReductionInstance(n, p)
+// back to an independent set of the directed n-cycle, following the
+// Section 6 proof: X = {v : v1 ∉ C}, and I keeps the first node of every
+// maximal run of X (the nodes of indegree 0 in the induced subgraph).
+func ExtractIndependentSet(n, p int, cover []bool) []int {
+	if len(cover) != n {
+		panic("lowerbound: cover length mismatch")
+	}
+	inX := make([]bool, n)
+	allX := true
+	for v := 0; v < n; v++ {
+		inX[v] = !cover[v]
+		allX = allX && inX[v]
+	}
+	if allX {
+		// The empty cover is not a set cover; callers should not pass
+		// one, but guard against div-by-zero semantics: no valid runs.
+		panic("lowerbound: empty cover is not a set cover")
+	}
+	var is []int
+	for v := 0; v < n; v++ {
+		if inX[v] && !inX[(v-1+n)%n] {
+			is = append(is, v)
+		}
+	}
+	return is
+}
+
+// IsIndependentInCycle reports whether no two chosen nodes are adjacent
+// on the n-cycle.
+func IsIndependentInCycle(n int, set []int) bool {
+	chosen := make([]bool, n)
+	for _, v := range set {
+		if v < 0 || v >= n {
+			return false
+		}
+		chosen[v] = true
+	}
+	for v := 0; v < n; v++ {
+		if chosen[v] && chosen[(v+1)%n] {
+			return false
+		}
+	}
+	return true
+}
+
+// Epsilon returns the ε for which the given cover is a (p-ε)-approximation
+// on ReductionInstance(n, p), whose optimum is n/p: ε = p - |C|·p/n.
+func Epsilon(n, p, coverSize int) float64 {
+	return float64(p) - float64(coverSize)*float64(p)/float64(n)
+}
+
+// GuaranteedIS is the Section 6 guarantee: a (p-ε)-approximate cover
+// yields an independent set of at least n·ε/p² nodes.
+func GuaranteedIS(n, p int, coverSize int) float64 {
+	eps := Epsilon(n, p, coverSize)
+	if eps < 0 {
+		eps = 0
+	}
+	return float64(n) * eps / float64(p*p)
+}

@@ -1,0 +1,183 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"anoncover/internal/baselines"
+	"anoncover/internal/bipartite"
+	"anoncover/internal/check"
+	"anoncover/internal/core/fracpack"
+	"anoncover/internal/exact"
+)
+
+func TestSymmetricInstanceOptimumIsOne(t *testing.T) {
+	for _, p := range []int{2, 3, 5} {
+		ins := SymmetricInstance(p)
+		_, opt := exact.SetCover(ins)
+		if opt != 1 {
+			t.Fatalf("p=%d: OPT = %d, want 1", p, opt)
+		}
+	}
+}
+
+func TestSymmetricOutputOfLocalAlgorithm(t *testing.T) {
+	// Our f-approximation is a deterministic anonymous algorithm, so on
+	// the Figure 3 instance it must output all p subsets: ratio exactly
+	// p = min{f, k}.
+	for _, p := range []int{2, 3, 4} {
+		ins := SymmetricInstance(p)
+		res := fracpack.Run(ins, fracpack.Options{})
+		if err := CheckSymmetricOutput(p, res.Cover); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if got := res.CoverWeight(ins); got != int64(p) {
+			t.Fatalf("p=%d: cover weight %d, want %d (ratio p)", p, got, p)
+		}
+	}
+}
+
+func TestCheckSymmetricOutputRejects(t *testing.T) {
+	if err := CheckSymmetricOutput(3, []bool{true, false, true}); err == nil {
+		t.Fatal("asymmetric output accepted")
+	}
+	if err := CheckSymmetricOutput(3, []bool{false, false, false}); err == nil {
+		t.Fatal("empty output accepted")
+	}
+	if err := CheckSymmetricOutput(3, []bool{true, true}); err == nil {
+		t.Fatal("short output accepted")
+	}
+}
+
+func TestExtractIndependentSetFromOptimalCover(t *testing.T) {
+	n, p := 30, 3
+	ins := ReductionInstance(n, p)
+	cover, w := exact.SetCover(ins)
+	if w != int64(n/p) {
+		t.Fatalf("OPT = %d, want %d", w, n/p)
+	}
+	is := ExtractIndependentSet(n, p, cover)
+	if !IsIndependentInCycle(n, is) {
+		t.Fatal("extracted set not independent")
+	}
+	// An optimal cover has ε = p-1, so |I| >= n(p-1)/p².
+	if want := GuaranteedIS(n, p, n/p); float64(len(is)) < want {
+		t.Fatalf("|I| = %d below the guarantee %.2f", len(is), want)
+	}
+}
+
+func TestExtractIndependentSetFromGreedy(t *testing.T) {
+	// The non-local greedy finds a near-optimal cover, so the reduction
+	// extracts a large independent set — demonstrating exactly what a
+	// hypothetical local (p-ε)-approximation would do, and hence why
+	// none can exist (Lemma 4).
+	n, p := 60, 3
+	ins := ReductionInstance(n, p)
+	cover := baselines.GreedySetCover(ins)
+	if err := check.SetCover(ins, cover); err != nil {
+		t.Fatal(err)
+	}
+	size := 0
+	for _, in := range cover {
+		if in {
+			size++
+		}
+	}
+	is := ExtractIndependentSet(n, p, cover)
+	if !IsIndependentInCycle(n, is) {
+		t.Fatal("extracted set not independent")
+	}
+	if float64(len(is)) < GuaranteedIS(n, p, size) {
+		t.Fatalf("|I| = %d below guarantee %.2f", len(is), GuaranteedIS(n, p, size))
+	}
+	if len(is) == 0 {
+		t.Fatal("greedy cover should yield a non-empty independent set")
+	}
+}
+
+func TestLocalAlgorithmYieldsNothing(t *testing.T) {
+	// Our local f-approximation picks every subset on the transitive
+	// cycle instance (it cannot break symmetry), so ε = 0 and the
+	// extraction yields the empty set: the reduction is consistent with
+	// the lower bound.
+	n, p := 24, 3
+	ins := ReductionInstance(n, p)
+	res := fracpack.Run(ins, fracpack.Options{})
+	size := 0
+	for _, in := range res.Cover {
+		if in {
+			size++
+		}
+	}
+	if size != n {
+		t.Fatalf("local algorithm picked %d of %d", size, n)
+	}
+	if eps := Epsilon(n, p, size); eps != 0 {
+		t.Fatalf("ε = %v, want 0", eps)
+	}
+	is := ExtractIndependentSet(n, p, res.Cover)
+	if len(is) != 0 {
+		t.Fatalf("extracted %d nodes from the all-subsets cover", len(is))
+	}
+}
+
+// TestGuaranteeHoldsForArbitraryCovers fuzzes the Section 6 counting
+// argument: for any valid cover of the reduction instance, the extracted
+// independent set meets the n·ε/p² bound.
+func TestGuaranteeHoldsForArbitraryCovers(t *testing.T) {
+	n, p := 40, 4
+	ins := ReductionInstance(n, p)
+	for trial := 0; trial < 200; trial++ {
+		cover := make([]bool, n)
+		// Deterministic pseudo-random covers of varying density.
+		x := uint64(trial*2654435761 + 12345)
+		for v := 0; v < n; v++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			cover[v] = x>>60 < uint64(trial%16)
+		}
+		if !ins.IsCover(cover) {
+			continue
+		}
+		size := 0
+		for _, in := range cover {
+			if in {
+				size++
+			}
+		}
+		is := ExtractIndependentSet(n, p, cover)
+		if !IsIndependentInCycle(n, is) {
+			t.Fatalf("trial %d: not independent", trial)
+		}
+		if float64(len(is)) < GuaranteedIS(n, p, size) {
+			t.Fatalf("trial %d: |I| = %d < bound %.3f (|C| = %d)",
+				trial, len(is), GuaranteedIS(n, p, size), size)
+		}
+	}
+}
+
+func TestEpsilon(t *testing.T) {
+	// Optimal cover: |C| = n/p, ε = p-1.
+	if got := Epsilon(30, 3, 10); got != 2 {
+		t.Fatalf("ε = %v, want 2", got)
+	}
+	// Worst cover: |C| = n, ε = 0.
+	if got := Epsilon(30, 3, 30); got != 0 {
+		t.Fatalf("ε = %v, want 0", got)
+	}
+}
+
+func TestUncoverableExtractPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ExtractIndependentSet(6, 2, make([]bool, 6))
+}
+
+func TestReductionInstanceShape(t *testing.T) {
+	ins := ReductionInstance(10, 4)
+	if ins.MaxF() != 4 || ins.MaxK() != 4 {
+		t.Fatalf("f=%d k=%d", ins.MaxF(), ins.MaxK())
+	}
+	var _ *bipartite.Instance = ins
+}

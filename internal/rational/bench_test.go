@@ -1,0 +1,60 @@
+package rational
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// The algorithm's hot loop is Add/Min/DivInt on small rationals; these
+// benches quantify the int64 fast path against the big.Rat fallback
+// (ablation A2's micro level).
+
+func BenchmarkAddFastPath(b *testing.B) {
+	x, y := FromFrac(7, 12), FromFrac(5, 18)
+	for i := 0; i < b.N; i++ {
+		_ = x.Add(y)
+	}
+}
+
+func BenchmarkAddPromoted(b *testing.B) {
+	x := FromInt(math.MaxInt64).Mul(FromInt(3))
+	y := FromFrac(5, 18)
+	for i := 0; i < b.N; i++ {
+		_ = x.Add(y)
+	}
+}
+
+func BenchmarkAddBigRatBaseline(b *testing.B) {
+	x := new(big.Rat).SetFrac64(7, 12)
+	y := new(big.Rat).SetFrac64(5, 18)
+	for i := 0; i < b.N; i++ {
+		_ = new(big.Rat).Add(x, y)
+	}
+}
+
+func BenchmarkCmpFastPath(b *testing.B) {
+	x, y := FromFrac(7, 12), FromFrac(5, 18)
+	for i := 0; i < b.N; i++ {
+		_ = x.Cmp(y)
+	}
+}
+
+func BenchmarkDivIntFastPath(b *testing.B) {
+	x := FromFrac(123456, 7)
+	for i := 0; i < b.N; i++ {
+		_ = x.DivInt(6)
+	}
+}
+
+// BenchmarkOfferLoop mirrors Phase I's inner computation: residual
+// divided by degree, min with a neighbour offer, accumulate.
+func BenchmarkOfferLoop(b *testing.B) {
+	r := FromInt(1000)
+	nbr := FromFrac(997, 6)
+	for i := 0; i < b.N; i++ {
+		x := r.DivInt(5)
+		inc := Min(x, nbr)
+		_ = r.Sub(inc)
+	}
+}

@@ -1,0 +1,210 @@
+// Package selfstab turns the paper's synchronous local algorithms into
+// self-stabilising ones, the transformation Section 1.5 points to
+// ("standard techniques [4, 5, 23] can be used to convert our algorithms
+// into efficient self-stabilising algorithms").
+//
+// The construction is the classical rollback compiler specialised to
+// strictly local algorithms (Awerbuch–Varghese; Lenzen, Suomela &
+// Wattenhofer, SSS 2009).  A node's volatile state is the full table of
+// messages the underlying T-round algorithm A would send in rounds 1..T.
+// In every stabilisation step each node (i) sends, through every port,
+// the column of its table belonging to that port, and (ii) recomputes its
+// entire table from scratch: it replays a fresh instance of A, feeding it
+// round-t inputs taken from the neighbours' received columns.
+//
+// Correctness is by layer induction: row t of a node's table is a
+// function of rows < t of its neighbours' tables, so after i steps in
+// which no fault occurs, rows 1..i are correct everywhere regardless of
+// the initial (possibly adversarially corrupted) tables.  After T+1
+// steps the output of A is restored.  The price is message size: each
+// step ships O(T) rounds worth of messages — locality is what makes the
+// table, and hence the overhead, independent of n.
+package selfstab
+
+import (
+	"fmt"
+	"math/rand"
+
+	"anoncover/internal/graph"
+	"anoncover/internal/sim"
+)
+
+// Factory creates a fresh, fully initialised, deterministic instance of
+// the underlying algorithm's node program.
+type Factory func() sim.PortProgram
+
+// Table is a node's volatile state: Out[t-1][p] is the message A sends
+// in round t through port p.  A corrupted table is any table of the
+// right shape with arbitrary message values.
+type Table struct {
+	Out [][]sim.Message
+}
+
+// column extracts the per-port column sent through port p.
+func (tb *Table) column(p int) []sim.Message {
+	col := make([]sim.Message, len(tb.Out))
+	for t := range tb.Out {
+		col[t] = tb.Out[t][p]
+	}
+	return col
+}
+
+// System is a simulator-side harness running the self-stabilising
+// protocol on a graph.  It is deliberately synchronous: one Step is one
+// exchange plus one local recomputation at every node.
+type System struct {
+	g         *graph.G
+	rounds    int // T: the underlying algorithm's round count
+	factories []Factory
+	tables    []*Table
+	outputs   []any
+}
+
+// NewSystem builds a system whose tables start zeroed (all-nil
+// messages) — an arbitrary initial state as far as the protocol is
+// concerned.
+func NewSystem(g *graph.G, rounds int, factories []Factory) *System {
+	if len(factories) != g.N() {
+		panic("selfstab: factory count mismatch")
+	}
+	s := &System{g: g, rounds: rounds, factories: factories}
+	s.tables = make([]*Table, g.N())
+	s.outputs = make([]any, g.N())
+	for v := 0; v < g.N(); v++ {
+		s.tables[v] = emptyTable(rounds, g.Deg(v))
+	}
+	return s
+}
+
+func emptyTable(rounds, deg int) *Table {
+	tb := &Table{Out: make([][]sim.Message, rounds)}
+	for t := range tb.Out {
+		tb.Out[t] = make([]sim.Message, deg)
+	}
+	return tb
+}
+
+// Rounds returns T, the underlying algorithm's round count.
+func (s *System) Rounds() int { return s.rounds }
+
+// Step performs one synchronous stabilisation step: exchange columns,
+// then recompute every table by replaying the underlying algorithm.
+func (s *System) Step() {
+	n := s.g.N()
+	// Exchange: in[v][p] is the column received through port p, i.e.
+	// the sending neighbour's column for its own reverse port.
+	in := make([][][]sim.Message, n)
+	for v := 0; v < n; v++ {
+		in[v] = make([][]sim.Message, s.g.Deg(v))
+	}
+	for v := 0; v < n; v++ {
+		for p, h := range s.g.Ports(v) {
+			in[h.To][h.RevPort] = s.tables[v].column(p)
+		}
+	}
+	// Recompute: replay a fresh program against the received columns.
+	for v := 0; v < n; v++ {
+		s.tables[v], s.outputs[v] = s.replay(v, in[v])
+	}
+}
+
+// replay runs a fresh instance of the underlying algorithm against the
+// received columns.  Corrupted neighbour tables can make the program
+// panic (e.g. a failed type assertion on a garbage message); the replay
+// contains the damage by leaving the remaining rows nil — they are
+// exactly the rows the layer-induction argument does not yet claim
+// correct, so healing proceeds on schedule.
+func (s *System) replay(v int, cols [][]sim.Message) (tb *Table, output any) {
+	deg := s.g.Deg(v)
+	prog := s.factories[v]()
+	tb = emptyTable(s.rounds, deg)
+	recv := make([]sim.Message, deg)
+	broken := func() (b bool) {
+		defer func() {
+			if recover() != nil {
+				b = true
+			}
+		}()
+		for t := 1; t <= s.rounds; t++ {
+			out := prog.Send(t)
+			if len(out) != deg {
+				panic(fmt.Sprintf("selfstab: node %d sent %d messages, degree %d", v, len(out), deg))
+			}
+			copy(tb.Out[t-1], out)
+			for p := 0; p < deg; p++ {
+				recv[p] = cols[p][t-1]
+			}
+			prog.Recv(t, recv)
+		}
+		return false
+	}()
+	if broken {
+		return tb, nil
+	}
+	func() {
+		defer func() { _ = recover() }()
+		output = prog.Output()
+	}()
+	return tb, output
+}
+
+// Output returns node v's current output (meaningful once stabilised).
+func (s *System) Output(v int) any { return s.outputs[v] }
+
+// Corrupt adversarially corrupts the tables: each (node, round, port)
+// message is independently replaced with garbage with probability frac.
+// It models transient memory faults between steps.
+func (s *System) Corrupt(rng *rand.Rand, frac float64) {
+	for v := range s.tables {
+		for t := range s.tables[v].Out {
+			for p := range s.tables[v].Out[t] {
+				if rng.Float64() < frac {
+					switch rng.Intn(3) {
+					case 0:
+						s.tables[v].Out[t][p] = nil
+					case 1:
+						s.tables[v].Out[t][p] = rng.Int63()
+					default:
+						s.tables[v].Out[t][p] = "corrupted"
+					}
+				}
+			}
+		}
+	}
+}
+
+// CorruptNode replaces one node's entire table with garbage.
+func (s *System) CorruptNode(rng *rand.Rand, v int) {
+	for t := range s.tables[v].Out {
+		for p := range s.tables[v].Out[t] {
+			s.tables[v].Out[t][p] = rng.Int63()
+		}
+	}
+}
+
+// StepsToStabilise runs steps until converged reports true, returning
+// the number of steps taken; it gives up after max steps.
+func (s *System) StepsToStabilise(max int, converged func() bool) (int, bool) {
+	for i := 1; i <= max; i++ {
+		s.Step()
+		if converged() {
+			return i, true
+		}
+	}
+	return max, false
+}
+
+// Run is a convenience: build the system, run T+1 steps from an
+// arbitrary initial state, and return all outputs.  T+1 steps always
+// suffice in the absence of further faults.
+func Run(g *graph.G, rounds int, factories []Factory) []any {
+	s := NewSystem(g, rounds, factories)
+	for i := 0; i <= rounds; i++ {
+		s.Step()
+	}
+	out := make([]any, g.N())
+	for v := range out {
+		out[v] = s.Output(v)
+	}
+	return out
+}

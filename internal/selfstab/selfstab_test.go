@@ -1,0 +1,164 @@
+package selfstab
+
+import (
+	"math/rand"
+	"testing"
+
+	"anoncover/internal/check"
+	"anoncover/internal/core/edgepack"
+	"anoncover/internal/graph"
+	"anoncover/internal/rational"
+	"anoncover/internal/sim"
+)
+
+// edgepackFactories builds one factory per node for the Section 3
+// algorithm on g.
+func edgepackFactories(g *graph.G) ([]Factory, int) {
+	params := sim.GraphParams(g)
+	envs := sim.GraphEnvs(g, params)
+	fs := make([]Factory, g.N())
+	for v := range fs {
+		env := envs[v]
+		fs[v] = func() sim.PortProgram { return edgepack.New(env) }
+	}
+	return fs, edgepack.Rounds(params)
+}
+
+// referenceRun computes the non-stabilising reference result.
+func referenceRun(g *graph.G) *edgepack.Result {
+	return edgepack.Run(g, edgepack.Options{})
+}
+
+// outputsMatch compares the self-stabilised outputs with the reference.
+func outputsMatch(t *testing.T, g *graph.G, s *System, ref *edgepack.Result) bool {
+	t.Helper()
+	for v := 0; v < g.N(); v++ {
+		out, ok := s.Output(v).(edgepack.NodeResult)
+		if !ok {
+			return false
+		}
+		if out.InCover != ref.Cover[v] {
+			return false
+		}
+		for p, h := range g.Ports(v) {
+			if !out.Y[p].Equal(ref.Y[h.Edge]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestStabilisesFromZeroState(t *testing.T) {
+	g := graph.RandomBoundedDegree(18, 30, 4, 1)
+	graph.RandomWeights(g, 9, 2)
+	fs, rounds := edgepackFactories(g)
+	ref := referenceRun(g)
+	s := NewSystem(g, rounds, fs)
+	steps, ok := s.StepsToStabilise(rounds+1, func() bool { return outputsMatch(t, g, s, ref) })
+	if !ok {
+		t.Fatalf("did not stabilise within T+1 = %d steps", rounds+1)
+	}
+	t.Logf("stabilised from zero state in %d steps (T = %d)", steps, rounds)
+	// The stabilised output must satisfy all the paper's invariants.
+	y := collectPacking(g, s)
+	if err := check.EdgePackingMaximal(g, y); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func collectPacking(g *graph.G, s *System) []rational.Rat {
+	y := make([]rational.Rat, g.M())
+	for v := 0; v < g.N(); v++ {
+		out := s.Output(v).(edgepack.NodeResult)
+		for p, h := range g.Ports(v) {
+			y[h.Edge] = out.Y[p]
+		}
+	}
+	return y
+}
+
+func TestRecoversFromRandomCorruption(t *testing.T) {
+	g := graph.RandomBoundedDegree(16, 26, 4, 3)
+	graph.RandomWeights(g, 7, 4)
+	fs, rounds := edgepackFactories(g)
+	ref := referenceRun(g)
+	s := NewSystem(g, rounds, fs)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 5; trial++ {
+		// Stabilise first.
+		for i := 0; i <= rounds; i++ {
+			s.Step()
+		}
+		if !outputsMatch(t, g, s, ref) {
+			t.Fatalf("trial %d: failed to stabilise before corruption", trial)
+		}
+		// Corrupt 40%% of all table entries, then heal.
+		s.Corrupt(rng, 0.4)
+		steps, ok := s.StepsToStabilise(rounds+1, func() bool { return outputsMatch(t, g, s, ref) })
+		if !ok {
+			t.Fatalf("trial %d: did not recover within T+1 steps", trial)
+		}
+		t.Logf("trial %d: recovered from 40%% corruption in %d steps", trial, steps)
+	}
+}
+
+func TestRecoversFromSingleNodeWipe(t *testing.T) {
+	g := graph.Cycle(12)
+	graph.RandomWeights(g, 9, 5)
+	fs, rounds := edgepackFactories(g)
+	ref := referenceRun(g)
+	s := NewSystem(g, rounds, fs)
+	for i := 0; i <= rounds; i++ {
+		s.Step()
+	}
+	rng := rand.New(rand.NewSource(1))
+	s.CorruptNode(rng, 5)
+	// A single wiped node pollutes only its neighbourhood; recovery must
+	// still happen within T+1 steps.
+	if _, ok := s.StepsToStabilise(rounds+1, func() bool { return outputsMatch(t, g, s, ref) }); !ok {
+		t.Fatal("did not recover from a single-node wipe")
+	}
+}
+
+func TestContinuousFaultsThenQuiescence(t *testing.T) {
+	// Faults in every step for a while: the system may thrash, but must
+	// recover within T+1 steps after the last fault.
+	g := graph.RandomBoundedDegree(14, 20, 3, 6)
+	graph.RandomWeights(g, 5, 7)
+	fs, rounds := edgepackFactories(g)
+	ref := referenceRun(g)
+	s := NewSystem(g, rounds, fs)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 10; i++ {
+		s.Corrupt(rng, 0.2)
+		s.Step()
+	}
+	if _, ok := s.StepsToStabilise(rounds+1, func() bool { return outputsMatch(t, g, s, ref) }); !ok {
+		t.Fatal("did not recover after faults ceased")
+	}
+}
+
+func TestRunConvenience(t *testing.T) {
+	g := graph.Star(7)
+	graph.RandomWeights(g, 6, 8)
+	fs, rounds := edgepackFactories(g)
+	ref := referenceRun(g)
+	outs := Run(g, rounds, fs)
+	for v, raw := range outs {
+		out := raw.(edgepack.NodeResult)
+		if out.InCover != ref.Cover[v] {
+			t.Fatalf("node %d: self-stab output differs from reference", v)
+		}
+	}
+}
+
+func TestFactoryCountMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	g := graph.Cycle(4)
+	NewSystem(g, 3, make([]Factory, 2))
+}

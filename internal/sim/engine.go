@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"anoncover/internal/graph"
+)
+
+// RunPort executes port-numbering-model programs (one per node) for the
+// given number of rounds and returns run statistics.
+func RunPort(top Topology, progs []PortProgram, rounds int, opt Options) Stats {
+	r := &runner{top: top, port: progs, opt: opt}
+	return r.run(rounds)
+}
+
+// RunBroadcast executes broadcast-model programs (one per node) for the
+// given number of rounds and returns run statistics.
+func RunBroadcast(top Topology, progs []BroadcastProgram, rounds int, opt Options) Stats {
+	r := &runner{top: top, bcast: progs, opt: opt}
+	return r.run(rounds)
+}
+
+// runner holds one execution; exactly one of port/bcast is non-nil.
+type runner struct {
+	top   Topology
+	port  []PortProgram
+	bcast []BroadcastProgram
+	opt   Options
+}
+
+func (r *runner) n() int { return r.top.N() }
+
+func (r *runner) isBroadcast() bool { return r.bcast != nil }
+
+func (r *runner) checkSizes() {
+	want := r.n()
+	if r.port != nil && len(r.port) != want {
+		panic(fmt.Sprintf("sim: %d programs for %d nodes", len(r.port), want))
+	}
+	if r.bcast != nil && len(r.bcast) != want {
+		panic(fmt.Sprintf("sim: %d programs for %d nodes", len(r.bcast), want))
+	}
+}
+
+func (r *runner) run(rounds int) Stats {
+	r.checkSizes()
+	if rounds < 0 {
+		panic("sim: negative round count")
+	}
+	switch r.opt.Engine {
+	case Sequential:
+		return r.runBarrier(rounds, 1)
+	case Parallel:
+		w := r.opt.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		return r.runBarrier(rounds, w)
+	case CSP:
+		if r.opt.OnRound != nil {
+			panic("sim: OnRound hook is not supported by the CSP engine")
+		}
+		return r.runCSP(rounds)
+	}
+	panic(fmt.Sprintf("sim: unknown engine %v", r.opt.Engine))
+}
+
+// count tallies one delivered message into (msgs, bytes).
+func count(m Message, msgs, bytes *int64) {
+	if m == nil {
+		return
+	}
+	*msgs++
+	if s, ok := m.(Sizer); ok {
+		*bytes += int64(s.WireSize())
+	}
+}
+
+// sendInto runs node v's send step for the round and places the outgoing
+// messages into the neighbours' inboxes.  Each inbox slot (node, port) has
+// exactly one writer, so concurrent calls for distinct v are race-free.
+func (r *runner) sendInto(v, round int, inbox [][]Message, msgs, bytes *int64) {
+	ports := r.top.Ports(v)
+	if r.isBroadcast() {
+		m := r.bcast[v].Send(round)
+		for _, h := range ports {
+			inbox[h.To][h.RevPort] = m
+			count(m, msgs, bytes)
+		}
+		return
+	}
+	out := r.port[v].Send(round)
+	if len(out) != len(ports) {
+		panic(fmt.Sprintf("sim: node %d sent %d messages, degree %d", v, len(out), len(ports)))
+	}
+	for p, h := range ports {
+		inbox[h.To][h.RevPort] = out[p]
+		count(out[p], msgs, bytes)
+	}
+}
+
+// recvOne runs node v's receive step, scrambling broadcast delivery order
+// when configured.
+func (r *runner) recvOne(v, round int, in []Message) {
+	if r.isBroadcast() {
+		if r.opt.ScrambleSeed != 0 {
+			scramble(in, r.opt.ScrambleSeed, v, round)
+		}
+		r.bcast[v].Recv(round, in)
+		return
+	}
+	r.port[v].Recv(round, in)
+}
+
+// runBarrier is the shared implementation of the Sequential (workers == 1)
+// and Parallel engines: a send phase and a receive phase per round,
+// separated by barriers.
+func (r *runner) runBarrier(rounds, workers int) Stats {
+	n := r.n()
+	inbox := make([][]Message, n)
+	for v := 0; v < n; v++ {
+		inbox[v] = make([]Message, r.top.Deg(v))
+	}
+	var stats Stats
+	msgCounts := make([]int64, workers)
+	byteCounts := make([]int64, workers)
+	for round := 1; round <= rounds; round++ {
+		parallelFor(n, workers, func(w, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				r.sendInto(v, round, inbox, &msgCounts[w], &byteCounts[w])
+			}
+		})
+		parallelFor(n, workers, func(w, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				r.recvOne(v, round, inbox[v])
+			}
+		})
+		if r.opt.OnRound != nil {
+			r.opt.OnRound(round)
+		}
+	}
+	stats.Rounds = rounds
+	for w := 0; w < workers; w++ {
+		stats.Messages += msgCounts[w]
+		stats.Bytes += byteCounts[w]
+	}
+	return stats
+}
+
+// parallelFor splits [0, n) into `workers` contiguous ranges and runs fn
+// on each; with workers == 1 it runs inline (the sequential engine).
+func parallelFor(n, workers int, fn func(worker, lo, hi int)) {
+	if workers <= 1 || n <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// runCSP runs one goroutine per node.  Each undirected edge carries two
+// cap-1 channels, one per direction.  Synchronous rounds emerge from the
+// communication pattern itself (send to all ports, then receive from all
+// ports): a node can run at most one round ahead of its neighbours, which
+// a one-slot buffer absorbs, so the system is deadlock-free without any
+// global barrier.
+func (r *runner) runCSP(rounds int) Stats {
+	n := r.n()
+	maxEdge := -1
+	for v := 0; v < n; v++ {
+		for _, h := range r.top.Ports(v) {
+			if h.Edge > maxEdge {
+				maxEdge = h.Edge
+			}
+		}
+	}
+	// chans[2*e] carries low->high endpoint traffic, chans[2*e+1] the
+	// reverse.
+	chans := make([]chan Message, 2*(maxEdge+1))
+	for i := range chans {
+		chans[i] = make(chan Message, 1)
+	}
+	dir := func(v int, h graph.Half) int {
+		if v < h.To {
+			return 0
+		}
+		return 1
+	}
+	msgCounts := make([]int64, n)
+	byteCounts := make([]int64, n)
+	var wg sync.WaitGroup
+	for v := 0; v < n; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			ports := r.top.Ports(v)
+			in := make([]Message, len(ports))
+			for round := 1; round <= rounds; round++ {
+				if r.isBroadcast() {
+					m := r.bcast[v].Send(round)
+					for _, h := range ports {
+						chans[2*h.Edge+dir(v, h)] <- m
+						count(m, &msgCounts[v], &byteCounts[v])
+					}
+				} else {
+					out := r.port[v].Send(round)
+					if len(out) != len(ports) {
+						panic(fmt.Sprintf("sim: node %d sent %d messages, degree %d", v, len(out), len(ports)))
+					}
+					for p, h := range ports {
+						chans[2*h.Edge+dir(v, h)] <- out[p]
+						count(out[p], &msgCounts[v], &byteCounts[v])
+					}
+				}
+				for p, h := range ports {
+					in[p] = <-chans[2*h.Edge+1-dir(v, h)]
+				}
+				r.recvOne(v, round, in)
+			}
+		}(v)
+	}
+	wg.Wait()
+	var stats Stats
+	stats.Rounds = rounds
+	for v := 0; v < n; v++ {
+		stats.Messages += msgCounts[v]
+		stats.Bytes += byteCounts[v]
+	}
+	return stats
+}
+
+// scramble permutes msgs in place, deterministically in (seed, node,
+// round), to exercise the broadcast model's unordered-multiset semantics.
+func scramble(msgs []Message, seed int64, node, round int) {
+	s := mix64(uint64(seed) ^ mix64(uint64(node)+0x1234) ^ mix64(uint64(round)+0xabcd))
+	for i := len(msgs) - 1; i > 0; i-- {
+		s = mix64(s)
+		j := int(s % uint64(i+1))
+		msgs[i], msgs[j] = msgs[j], msgs[i]
+	}
+}
+
+// mix64 is the SplitMix64 finalizer, a cheap high-quality bit mixer.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,223 @@
+// Package sim is the synchronous anonymous-network runtime on which the
+// paper's algorithms execute (Section 1.3 of Åstrand & Suomela, SPAA 2010).
+//
+// During each synchronous communication round every node, in parallel,
+// (i) performs local computation, (ii) sends one message to each
+// neighbour, (iii) waits while messages propagate, and (iv) receives one
+// message from each neighbour.  Two addressing models are supported:
+//
+//   - Port-numbering model: a node of degree d refers to its neighbours
+//     by ports 1..d; it may send a different message through each port and
+//     knows which port each received message came through.
+//   - Broadcast model: a node sends one message to all neighbours and
+//     receives an unordered multiset; it cannot tell which message came
+//     from which neighbour.  Engines can scramble delivery order so that
+//     tests catch programs that illegally depend on it.
+//
+// Programs are deterministic state machines that see only their own
+// degree, weight, node kind and the global parameters — never node
+// identifiers or n.  Three engines execute them: a sequential reference
+// engine, a sharded data-parallel engine, and a CSP engine that runs one
+// goroutine per node with channel-per-edge lockstep.  All engines produce
+// identical outputs, which the tests verify.
+package sim
+
+import (
+	"fmt"
+
+	"anoncover/internal/bipartite"
+	"anoncover/internal/graph"
+)
+
+// Message is an immutable value exchanged between nodes.  nil means
+// "no payload this round" and is delivered like any other message but not
+// counted in the statistics.
+type Message any
+
+// Sizer lets a message report its wire size in bytes for the message-
+// complexity experiments.  Messages without WireSize count 0 bytes.
+type Sizer interface{ WireSize() int }
+
+// NodeKind distinguishes the two sides of a bipartite set-cover instance.
+type NodeKind int
+
+const (
+	KindPlain NodeKind = iota
+	KindSubset
+	KindElement
+)
+
+// Params carries the global parameters all nodes are assumed to know
+// (paper Section 1.4): Δ and W for vertex cover, f, k and W for set cover.
+type Params struct {
+	Delta int
+	F, K  int
+	W     int64
+}
+
+// Env is the entire local knowledge a node starts with.
+type Env struct {
+	Degree int
+	Weight int64
+	Kind   NodeKind
+	Params Params
+}
+
+// PortProgram is a node program in the port-numbering model.
+type PortProgram interface {
+	// Init is called once before round 1.
+	Init(env Env)
+	// Send returns the outgoing message for each port in round r
+	// (1-based).  The result must have length env.Degree.
+	Send(r int) []Message
+	// Recv delivers round r's incoming messages; msgs[p] arrived
+	// through port p.  The slice is reused by the engine: programs must
+	// not retain it.
+	Recv(r int, msgs []Message)
+	// Output returns the node's final output after the last round.
+	Output() any
+}
+
+// BroadcastProgram is a node program in the broadcast model.
+type BroadcastProgram interface {
+	Init(env Env)
+	// Send returns the single message broadcast in round r.
+	Send(r int) Message
+	// Recv delivers the multiset of round-r messages in arbitrary
+	// order.  Programs must not depend on the order or retain the slice.
+	Recv(r int, msgs []Message)
+	Output() any
+}
+
+// Topology is the simulator-side wiring.  *graph.G and
+// *bipartite.Instance both satisfy it.
+type Topology interface {
+	N() int
+	Deg(v int) int
+	Ports(v int) []graph.Half
+}
+
+var (
+	_ Topology = (*graph.G)(nil)
+	_ Topology = (*bipartite.Instance)(nil)
+)
+
+// Engine selects an execution strategy.
+type Engine int
+
+const (
+	// Sequential is the reference engine: one thread, nodes stepped in
+	// index order.
+	Sequential Engine = iota
+	// Parallel shards nodes across a worker pool with a barrier per
+	// phase (send, then receive).
+	Parallel
+	// CSP runs one goroutine per node; rounds emerge from cap-1
+	// channel communication with no global barrier.
+	CSP
+)
+
+func (e Engine) String() string {
+	switch e {
+	case Sequential:
+		return "sequential"
+	case Parallel:
+		return "parallel"
+	case CSP:
+		return "csp"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// Options configure a run.
+type Options struct {
+	Engine  Engine
+	Workers int // Parallel engine pool size; 0 means GOMAXPROCS
+	// ScrambleSeed, when non-zero, shuffles broadcast delivery order
+	// deterministically per (node, round).  Correct broadcast programs
+	// must produce identical outputs for every seed.
+	ScrambleSeed int64
+	// OnRound is called after each completed round (Sequential and
+	// Parallel engines only; the CSP engine has no global barrier and
+	// panics if a hook is set).
+	OnRound func(round int)
+}
+
+// Stats summarizes a completed run.
+type Stats struct {
+	Rounds   int
+	Messages int64 // non-nil messages delivered
+	Bytes    int64 // total WireSize of delivered messages implementing Sizer
+}
+
+// GraphEnvs builds per-node environments for a plain graph.
+func GraphEnvs(g *graph.G, p Params) []Env {
+	envs := make([]Env, g.N())
+	for v := range envs {
+		envs[v] = Env{Degree: g.Deg(v), Weight: g.Weight(v), Kind: KindPlain, Params: p}
+	}
+	return envs
+}
+
+// GraphParams derives Params from a graph: Δ and W.
+func GraphParams(g *graph.G) Params {
+	return Params{Delta: g.MaxDegree(), W: g.MaxWeight()}
+}
+
+// BipartiteEnvs builds per-node environments for a set-cover instance
+// (subset nodes carry their weight; element nodes have no input).
+func BipartiteEnvs(ins *bipartite.Instance, p Params) []Env {
+	envs := make([]Env, ins.N())
+	for v := range envs {
+		if ins.IsSubset(v) {
+			envs[v] = Env{Degree: ins.Deg(v), Weight: ins.Weight(v), Kind: KindSubset, Params: p}
+		} else {
+			envs[v] = Env{Degree: ins.Deg(v), Kind: KindElement, Params: p}
+		}
+	}
+	return envs
+}
+
+// BipartiteParams derives Params from an instance: f, k and W.
+func BipartiteParams(ins *bipartite.Instance) Params {
+	return Params{F: ins.MaxF(), K: ins.MaxK(), W: ins.MaxWeight()}
+}
+
+// Schedule maps a global 1-based round number to a segment of a phased
+// algorithm.  All segment lengths are functions of the global parameters
+// only, so every node computes the same schedule — a prerequisite for
+// lockstep phase changes in an anonymous network.
+type Schedule struct {
+	segs  []int
+	total int
+}
+
+// NewSchedule builds a schedule from segment lengths (each >= 0).
+func NewSchedule(segs ...int) Schedule {
+	total := 0
+	for _, s := range segs {
+		if s < 0 {
+			panic("sim: negative schedule segment")
+		}
+		total += s
+	}
+	return Schedule{segs: segs, total: total}
+}
+
+// Total returns the number of rounds in the schedule.
+func (s Schedule) Total() int { return s.total }
+
+// Locate returns the segment index and the 1-based round within that
+// segment for global round r in [1, Total()].
+func (s Schedule) Locate(r int) (seg, local int) {
+	if r < 1 || r > s.total {
+		panic(fmt.Sprintf("sim: round %d outside schedule of %d rounds", r, s.total))
+	}
+	for i, n := range s.segs {
+		if r <= n {
+			return i, r
+		}
+		r -= n
+	}
+	panic("unreachable")
+}

@@ -1,0 +1,130 @@
+// Package views computes canonical fingerprints of the local views that
+// determine what an anonymous deterministic algorithm can possibly
+// output (cf. paper Sections 1.3 and 7, and the covering-graph argument
+// of Angluin / Yamashita–Kameda).
+//
+// The depth-d view of a node in the port-numbering model is the
+// port-labelled unfolding tree of radius d: its own weight and degree,
+// and for every port the reverse port index and the depth-(d-1) view of
+// the neighbour.  In the broadcast model ports are invisible, so the
+// view is the unordered multiset of neighbour views.  Two nodes with
+// equal depth-d views receive identical message histories in any
+// deterministic d-round algorithm and must produce identical outputs —
+// the property the tests in this repository assert against the real
+// algorithms.
+//
+// Views are fingerprinted by iterated hashing (one refinement sweep per
+// depth level), which is linear per level and exact: level-d hashes
+// distinguish exactly what level-d views distinguish, up to hash
+// collisions (64-bit FNV, negligible at these scales).
+package views
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+
+	"anoncover/internal/graph"
+	"anoncover/internal/sim"
+)
+
+// Topology is the wiring interface shared with the sim package.
+type Topology interface {
+	N() int
+	Deg(v int) int
+	Ports(v int) []graph.Half
+}
+
+var _ Topology = (sim.Topology)(nil)
+
+// node attribute callback: anything the algorithm sees as local input
+// (weight, node kind).  It must be a pure function of the node.
+type Attr func(v int) uint64
+
+// WeightAttr builds an Attr from a graph's weights.
+func WeightAttr(g *graph.G) Attr {
+	return func(v int) uint64 { return uint64(g.Weight(v)) }
+}
+
+// PortHashes returns per-node fingerprints of the depth-d views in the
+// port-numbering model.
+func PortHashes(top Topology, attr Attr, depth int) []uint64 {
+	n := top.N()
+	cur := baseLevel(top, attr)
+	buf := make([]byte, 8)
+	for d := 0; d < depth; d++ {
+		next := make([]uint64, n)
+		for v := 0; v < n; v++ {
+			h := fnv.New64a()
+			put := func(x uint64) {
+				binary.BigEndian.PutUint64(buf, x)
+				h.Write(buf)
+			}
+			put(cur[v])
+			for _, half := range top.Ports(v) {
+				// The port order is the slice order; include the
+				// reverse port, which the node observes implicitly
+				// through the message pattern.
+				put(uint64(half.RevPort))
+				put(cur[half.To])
+			}
+			next[v] = h.Sum64()
+		}
+		cur = next
+	}
+	return cur
+}
+
+// BroadcastHashes returns per-node fingerprints of the depth-d views in
+// the broadcast model: neighbour views form an unordered multiset and
+// ports are invisible.
+func BroadcastHashes(top Topology, attr Attr, depth int) []uint64 {
+	n := top.N()
+	cur := baseLevel(top, attr)
+	buf := make([]byte, 8)
+	for d := 0; d < depth; d++ {
+		next := make([]uint64, n)
+		for v := 0; v < n; v++ {
+			hs := make([]uint64, 0, top.Deg(v))
+			for _, half := range top.Ports(v) {
+				hs = append(hs, cur[half.To])
+			}
+			sort.Slice(hs, func(a, b int) bool { return hs[a] < hs[b] })
+			h := fnv.New64a()
+			binary.BigEndian.PutUint64(buf, cur[v])
+			h.Write(buf)
+			for _, x := range hs {
+				binary.BigEndian.PutUint64(buf, x)
+				h.Write(buf)
+			}
+			next[v] = h.Sum64()
+		}
+		cur = next
+	}
+	return cur
+}
+
+// baseLevel hashes the depth-0 view: local input and degree.
+func baseLevel(top Topology, attr Attr) []uint64 {
+	n := top.N()
+	cur := make([]uint64, n)
+	buf := make([]byte, 8)
+	for v := 0; v < n; v++ {
+		h := fnv.New64a()
+		binary.BigEndian.PutUint64(buf, attr(v))
+		h.Write(buf)
+		binary.BigEndian.PutUint64(buf, uint64(top.Deg(v)))
+		h.Write(buf)
+		cur[v] = h.Sum64()
+	}
+	return cur
+}
+
+// Classes groups node indices by fingerprint.
+func Classes(hashes []uint64) map[uint64][]int {
+	m := make(map[uint64][]int)
+	for v, h := range hashes {
+		m[h] = append(m[h], v)
+	}
+	return m
+}

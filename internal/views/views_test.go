@@ -1,0 +1,168 @@
+package views
+
+import (
+	"testing"
+
+	"anoncover/internal/bipartite"
+	"anoncover/internal/core/bcastvc"
+	"anoncover/internal/core/edgepack"
+	"anoncover/internal/core/fracpack"
+	"anoncover/internal/graph"
+	"anoncover/internal/sim"
+)
+
+func TestUniformCycleAllViewsEqual(t *testing.T) {
+	g := graph.Cycle(12)
+	graph.UniformWeights(g, 3)
+	for _, depth := range []int{0, 1, 5, 20} {
+		hs := BroadcastHashes(g, WeightAttr(g), depth)
+		for v := 1; v < g.N(); v++ {
+			if hs[v] != hs[0] {
+				t.Fatalf("depth %d: cycle nodes have different broadcast views", depth)
+			}
+		}
+	}
+}
+
+func TestPathEndpointsDifferFromMiddle(t *testing.T) {
+	g := graph.Path(5)
+	hs := PortHashes(g, WeightAttr(g), 1)
+	if hs[0] == hs[2] {
+		t.Fatal("degree-1 endpoint and degree-2 middle share a view")
+	}
+	// In the PORT model the endpoints differ (insertion-order ports give
+	// node 1 and node 3 different reverse-port indices), but in the
+	// BROADCAST model, where ports are invisible, they are symmetric.
+	bh := BroadcastHashes(g, WeightAttr(g), 2)
+	if bh[0] != bh[4] {
+		t.Fatal("path endpoints are broadcast-symmetric")
+	}
+	if bh[1] != bh[3] {
+		t.Fatal("nodes 1 and 3 are broadcast-symmetric")
+	}
+}
+
+func TestWeightsBreakViewEquality(t *testing.T) {
+	g := graph.Cycle(6)
+	hs := BroadcastHashes(g, WeightAttr(g), 1)
+	if hs[0] != hs[3] {
+		t.Fatal("uniform cycle: views equal")
+	}
+	g.SetWeight(0, 7)
+	hs = BroadcastHashes(g, WeightAttr(g), 1)
+	if hs[0] == hs[3] {
+		t.Fatal("weight change must change the view")
+	}
+}
+
+func TestLiftPreservesViews(t *testing.T) {
+	base := graph.RandomBoundedDegree(12, 20, 4, 1)
+	graph.RandomWeights(base, 9, 2)
+	k := 3
+	lifted := graph.Lift(base, k, 3)
+	liftAttr := func(v int) uint64 { return uint64(lifted.Weight(v)) }
+	for _, depth := range []int{1, 3, 8} {
+		hb := PortHashes(base, WeightAttr(base), depth)
+		hl := PortHashes(lifted, liftAttr, depth)
+		for v := 0; v < base.N(); v++ {
+			for i := 0; i < k; i++ {
+				if hl[v*k+i] != hb[v] {
+					t.Fatalf("depth %d: fibre view differs from base view at node %d", depth, v)
+				}
+			}
+		}
+	}
+}
+
+// TestEqualViewsImplyEqualOutputs_PortModel is the fundamental anonymity
+// property, asserted against the real Section 3 algorithm: nodes whose
+// depth-R port views coincide must produce identical outputs, where R is
+// the algorithm's round count.
+func TestEqualViewsImplyEqualOutputs_PortModel(t *testing.T) {
+	gens := []func() *graph.G{
+		func() *graph.G { g := graph.Cycle(9); graph.UniformWeights(g, 4); return g },
+		func() *graph.G { return graph.CompleteBipartite(3, 3) },
+		func() *graph.G { g := graph.Grid(3, 4); return g },
+		func() *graph.G { g := graph.RandomBoundedDegree(20, 30, 4, 5); graph.RandomWeights(g, 3, 6); return g },
+	}
+	for gi, gen := range gens {
+		g := gen()
+		res := edgepack.Run(g, edgepack.Options{})
+		rounds := edgepack.Rounds(sim.GraphParams(g))
+		hs := PortHashes(g, WeightAttr(g), rounds)
+		for _, class := range Classes(hs) {
+			for _, v := range class[1:] {
+				if res.Cover[v] != res.Cover[class[0]] {
+					t.Fatalf("gen %d: nodes %d and %d share a depth-%d view but differ in output",
+						gi, class[0], v, rounds)
+				}
+			}
+		}
+	}
+}
+
+// TestEqualViewsImplyEqualOutputs_Broadcast asserts the property for the
+// Section 4 algorithm in the broadcast model on the bipartite topology.
+func TestEqualViewsImplyEqualOutputs_Broadcast(t *testing.T) {
+	instances := []*bipartite.Instance{
+		bipartite.SymmetricKpp(3),
+		bipartite.CycleReduction(12, 3),
+		bipartite.Random(8, 16, 3, 5, 4, 7),
+	}
+	for ii, ins := range instances {
+		res := fracpack.Run(ins, fracpack.Options{})
+		params := sim.BipartiteParams(ins)
+		attr := func(v int) uint64 {
+			if ins.IsSubset(v) {
+				return uint64(ins.Weight(v))<<1 | 1
+			}
+			return 0
+		}
+		depth := fracpack.Rounds(params)
+		if depth > 600 {
+			depth = 600 // view refinement saturates long before this
+		}
+		hs := BroadcastHashes(ins, attr, depth)
+		for _, class := range Classes(hs) {
+			for _, v := range class[1:] {
+				v0 := class[0]
+				if ins.IsSubset(v) != ins.IsSubset(v0) {
+					continue // weight attr disambiguates kinds; keep safe
+				}
+				if ins.IsSubset(v) {
+					if res.Cover[v] != res.Cover[v0] {
+						t.Fatalf("instance %d: subsets %d and %d share views but differ", ii, v0, v)
+					}
+				} else {
+					u0, u := ins.ElementIndex(v0), ins.ElementIndex(v)
+					if !res.Y[u].Equal(res.Y[u0]) {
+						t.Fatalf("instance %d: elements %d and %d share views but differ", ii, u0, u)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEqualViewsImplyEqualOutputs_BroadcastVC asserts it for the
+// Section 5 simulation on plain graphs.
+func TestEqualViewsImplyEqualOutputs_BroadcastVC(t *testing.T) {
+	g := graph.CompleteBipartite(2, 3)
+	graph.UniformWeights(g, 2)
+	res := bcastvc.Run(g, bcastvc.Options{})
+	hs := BroadcastHashes(g, WeightAttr(g), 200)
+	for _, class := range Classes(hs) {
+		for _, v := range class[1:] {
+			if res.Cover[v] != res.Cover[class[0]] {
+				t.Fatalf("nodes %d and %d share broadcast views but differ in output", class[0], v)
+			}
+		}
+	}
+}
+
+func TestClasses(t *testing.T) {
+	c := Classes([]uint64{5, 7, 5, 5})
+	if len(c[5]) != 3 || len(c[7]) != 1 {
+		t.Fatalf("classes wrong: %v", c)
+	}
+}

@@ -1,0 +1,98 @@
+package anoncover
+
+import (
+	"math/rand"
+
+	"anoncover/internal/core/edgepack"
+	"anoncover/internal/rational"
+	"anoncover/internal/selfstab"
+	"anoncover/internal/sim"
+)
+
+// SelfStabVertexCover wraps the Section 3 vertex cover algorithm in the
+// self-stabilising transformation the paper's Section 1.5 points to
+// (Awerbuch–Varghese / Lenzen–Suomela–Wattenhofer): node state becomes a
+// replayable table of the algorithm's messages, every step re-derives it
+// from the neighbours' tables, and any transient state corruption heals
+// within T+1 steps, where T is the algorithm's round count.
+type SelfStabVertexCover struct {
+	g   *Graph
+	sys *selfstab.System
+}
+
+// NewSelfStabVertexCover builds the self-stabilising system on g.  The
+// initial state is arbitrary (all-zero tables); call Step at least
+// Rounds()+1 times to reach a correct output.
+func NewSelfStabVertexCover(g *Graph) *SelfStabVertexCover {
+	params := sim.GraphParams(g.g)
+	envs := sim.GraphEnvs(g.g, params)
+	factories := make([]selfstab.Factory, g.N())
+	for v := range factories {
+		env := envs[v]
+		factories[v] = func() sim.PortProgram { return edgepack.New(env) }
+	}
+	return &SelfStabVertexCover{
+		g:   g,
+		sys: selfstab.NewSystem(g.g, edgepack.Rounds(params), factories),
+	}
+}
+
+// Rounds returns T, the underlying algorithm's round count; T+1
+// fault-free steps guarantee stabilisation from any state.
+func (s *SelfStabVertexCover) Rounds() int { return s.sys.Rounds() }
+
+// Step performs one synchronous stabilisation step.
+func (s *SelfStabVertexCover) Step() { s.sys.Step() }
+
+// Corrupt adversarially corrupts the volatile state: each table entry is
+// independently replaced with garbage with probability frac
+// (deterministic in seed).  Models transient memory faults.
+func (s *SelfStabVertexCover) Corrupt(seed int64, frac float64) {
+	s.sys.Corrupt(rand.New(rand.NewSource(seed)), frac)
+}
+
+// Result assembles the current outputs into a VertexCoverResult.  It
+// returns ok=false while the state is inconsistent (endpoints disagree
+// on an edge value or a node output is unusable) — i.e. before the
+// system has stabilised.
+func (s *SelfStabVertexCover) Result() (res *VertexCoverResult, ok bool) {
+	g := s.g.g
+	y := make([]rational.Rat, g.M())
+	seen := make([]bool, g.M())
+	cover := make([]bool, g.N())
+	for v := 0; v < g.N(); v++ {
+		out, isResult := s.sys.Output(v).(edgepack.NodeResult)
+		if !isResult {
+			return nil, false
+		}
+		cover[v] = out.InCover
+		for q, h := range g.Ports(v) {
+			if len(out.Y) <= q {
+				return nil, false
+			}
+			if !seen[h.Edge] {
+				seen[h.Edge] = true
+				y[h.Edge] = out.Y[q]
+			} else if !y[h.Edge].Equal(out.Y[q]) {
+				return nil, false
+			}
+		}
+	}
+	r := newVCResult(g, y, cover, s.sys.Rounds(), sim.Stats{})
+	if r.Verify() != nil {
+		return nil, false
+	}
+	return r, true
+}
+
+// Stabilise steps until Result verifies, up to max steps; it returns the
+// number of steps taken and whether stabilisation was reached.
+func (s *SelfStabVertexCover) Stabilise(max int) (steps int, ok bool) {
+	for i := 1; i <= max; i++ {
+		s.Step()
+		if _, good := s.Result(); good {
+			return i, true
+		}
+	}
+	return max, false
+}

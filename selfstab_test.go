@@ -1,0 +1,48 @@
+package anoncover
+
+import "testing"
+
+func TestSelfStabColdStart(t *testing.T) {
+	g := RandomGraph(30, 55, 4, 5)
+	g.WeighRandom(9, 6)
+	sys := NewSelfStabVertexCover(g)
+	steps, ok := sys.Stabilise(sys.Rounds() + 1)
+	if !ok {
+		t.Fatal("did not stabilise within T+1 steps")
+	}
+	res, good := sys.Result()
+	if !good {
+		t.Fatal("result not available after stabilisation")
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Must match the non-stabilising algorithm exactly.
+	ref := VertexCover(g)
+	if res.Weight != ref.Weight {
+		t.Fatalf("self-stab weight %d != reference %d", res.Weight, ref.Weight)
+	}
+	t.Logf("stabilised in %d of %d allowed steps", steps, sys.Rounds()+1)
+}
+
+func TestSelfStabHealsAfterCorruption(t *testing.T) {
+	g := CycleGraph(16)
+	g.WeighRandom(7, 2)
+	sys := NewSelfStabVertexCover(g)
+	if _, ok := sys.Stabilise(sys.Rounds() + 1); !ok {
+		t.Fatal("cold start failed")
+	}
+	before, _ := sys.Result()
+	for trial := int64(0); trial < 3; trial++ {
+		sys.Corrupt(trial, 0.5)
+		steps, ok := sys.Stabilise(sys.Rounds() + 1)
+		if !ok {
+			t.Fatalf("trial %d: did not heal within T+1 steps", trial)
+		}
+		after, good := sys.Result()
+		if !good || after.Weight != before.Weight {
+			t.Fatalf("trial %d: healed output differs", trial)
+		}
+		t.Logf("trial %d: healed in %d steps", trial, steps)
+	}
+}

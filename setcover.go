@@ -1,0 +1,113 @@
+package anoncover
+
+import (
+	"io"
+
+	"anoncover/internal/bipartite"
+)
+
+// SetCoverInstance is a weighted set-cover instance represented as the
+// bipartite graph H = (S ∪ U, A) of paper Section 1.2; the input of
+// SetCover.
+type SetCoverInstance struct {
+	ins *bipartite.Instance
+}
+
+// SetCoverBuilder accumulates subsets, elements and memberships.
+type SetCoverBuilder struct {
+	b *bipartite.Builder
+}
+
+// NewSetCover returns a builder for an instance with s subsets and u
+// elements (subset weights default 1).
+func NewSetCover(s, u int) *SetCoverBuilder {
+	return &SetCoverBuilder{b: bipartite.NewBuilder(s, u)}
+}
+
+// AddMember declares element u a member of subset s.
+func (b *SetCoverBuilder) AddMember(s, u int) *SetCoverBuilder {
+	b.b.AddEdge(s, u)
+	return b
+}
+
+// SetWeight sets subset s's positive weight.
+func (b *SetCoverBuilder) SetWeight(s int, w int64) *SetCoverBuilder {
+	b.b.SetWeight(s, w)
+	return b
+}
+
+// Build finalizes the instance.
+func (b *SetCoverBuilder) Build() *SetCoverInstance {
+	return &SetCoverInstance{ins: b.b.Build()}
+}
+
+// Subsets returns |S|.
+func (i *SetCoverInstance) Subsets() int { return i.ins.S() }
+
+// Elements returns |U|.
+func (i *SetCoverInstance) Elements() int { return i.ins.U() }
+
+// Memberships returns |A|, the number of (subset, element) incidences.
+func (i *SetCoverInstance) Memberships() int { return i.ins.M() }
+
+// Weight returns the weight of subset s.
+func (i *SetCoverInstance) Weight(s int) int64 { return i.ins.Weight(s) }
+
+// MaxFrequency returns f, the maximum number of subsets an element
+// belongs to.
+func (i *SetCoverInstance) MaxFrequency() int { return i.ins.MaxF() }
+
+// MaxSubsetSize returns k, the maximum subset cardinality.
+func (i *SetCoverInstance) MaxSubsetSize() int { return i.ins.MaxK() }
+
+// MaxWeight returns W.
+func (i *SetCoverInstance) MaxWeight() int64 { return i.ins.MaxWeight() }
+
+// IsCover reports whether the marked subsets cover every element.
+func (i *SetCoverInstance) IsCover(cover []bool) bool { return i.ins.IsCover(cover) }
+
+// CoverWeight returns the total weight of the marked subsets.
+func (i *SetCoverInstance) CoverWeight(cover []bool) int64 { return i.ins.CoverWeight(cover) }
+
+// Generators.
+
+// RandomSetCover returns a random instance with s subsets and u elements
+// where element frequency is at most f, subset size at most k, and
+// weights are uniform in {1..maxW}.  Requires s*k >= u.
+func RandomSetCover(s, u, f, k int, maxW, seed int64) *SetCoverInstance {
+	return &SetCoverInstance{ins: bipartite.Random(s, u, f, k, maxW, seed)}
+}
+
+// SymmetricSetCover returns the paper's Figure 3 lower-bound instance:
+// K_{p,p} with a fully symmetric port numbering.  Any deterministic
+// anonymous algorithm outputs all p subsets while the optimum is 1.
+func SymmetricSetCover(p int) *SetCoverInstance {
+	return &SetCoverInstance{ins: bipartite.SymmetricKpp(p)}
+}
+
+// CycleSetCover returns the paper's Figure 4 reduction instance from a
+// directed n-cycle with parameter p (f = k = p, optimum n/p).
+func CycleSetCover(n, p int) *SetCoverInstance {
+	return &SetCoverInstance{ins: bipartite.CycleReduction(n, p)}
+}
+
+// IncidenceSetCover converts a vertex cover instance into the set cover
+// instance of Section 5: subsets are nodes, elements are edges, f = 2,
+// k = Δ.
+func IncidenceSetCover(g *Graph) *SetCoverInstance {
+	return &SetCoverInstance{ins: bipartite.FromGraph(g.g)}
+}
+
+// ReadSetCover parses the text format produced by WriteSetCover.
+func ReadSetCover(r io.Reader) (*SetCoverInstance, error) {
+	ins, err := bipartite.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return &SetCoverInstance{ins: ins}, nil
+}
+
+// WriteSetCover serializes the instance in the text format.
+func WriteSetCover(w io.Writer, i *SetCoverInstance) error {
+	return bipartite.Write(w, i.ins)
+}
