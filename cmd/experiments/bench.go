@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"anoncover/internal/bipartite"
+	"anoncover/internal/graph"
+	"anoncover/internal/sim"
+)
+
+// benchRow is one cell of the scenario matrix, serialized into
+// BENCH_1.json so later PRs have a machine-readable perf trajectory to
+// beat.  Wall times are measured on whatever machine runs the command;
+// the file records the environment alongside the rows.
+type benchRow struct {
+	Engine         string  `json:"engine"`
+	Workers        int     `json:"workers"`
+	Family         string  `json:"family"`
+	N              int     `json:"n"`
+	HalfEdges      int     `json:"half_edges"`
+	Rounds         int     `json:"rounds"`
+	Messages       int64   `json:"messages"`
+	Bytes          int64   `json:"bytes"`
+	WallNS         int64   `json:"wall_ns"`
+	NsPerNodeRound float64 `json:"ns_per_node_round"`
+	// Per-round trace aggregates (barrier engines only; 0 for CSP).
+	MeanRoundNS    int64   `json:"mean_round_ns,omitempty"`
+	MaxRoundNS     int64   `json:"max_round_ns,omitempty"`
+	AllocsPerRound float64 `json:"allocs_per_round,omitempty"`
+}
+
+type benchFile struct {
+	Generated  string     `json:"generated"`
+	GoVersion  string     `json:"go_version"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	RoundsPer  int        `json:"rounds_per_run"`
+	Rows       []benchRow `json:"rows"`
+}
+
+// throughputProg is the engine-throughput workload: a broadcast program
+// with a pre-boxed constant message and an order-insensitive fold, so
+// the matrix measures simulator overhead rather than algorithm cost.
+type throughputProg struct {
+	msg sim.Message
+	acc uint64
+}
+
+func (p *throughputProg) Init(env sim.Env)       {}
+func (p *throughputProg) Send(r int) sim.Message { return p.msg }
+func (p *throughputProg) Recv(r int, msgs []sim.Message) {
+	for _, m := range msgs {
+		p.acc += m.(uint64)
+	}
+}
+func (p *throughputProg) Output() any { return p.acc }
+
+// benchTopologies builds the family × size matrix: grid, random-regular,
+// power-law and bipartite set-cover instances, each at two sizes.
+func benchTopologies() []struct {
+	family string
+	top    sim.Topology
+	n      int
+} {
+	type entry = struct {
+		family string
+		top    sim.Topology
+		n      int
+	}
+	var out []entry
+	for _, side := range []int{32, 100} {
+		g := graph.Grid(side, side)
+		out = append(out, entry{fmt.Sprintf("grid-%dx%d", side, side), g.Flat(), g.N()})
+	}
+	for _, n := range []int{1000, 10000} {
+		g := graph.RandomRegular(n, 6, int64(n))
+		out = append(out, entry{fmt.Sprintf("regular-%d-6", n), g.Flat(), g.N()})
+	}
+	for _, n := range []int{1000, 10000} {
+		g := graph.PowerLaw(n, 3, int64(n)+1)
+		out = append(out, entry{fmt.Sprintf("powerlaw-%d", n), g.Flat(), g.N()})
+	}
+	for _, s := range []int{500, 5000} {
+		ins := bipartite.Random(s, 2*s, 3, 8, 9, int64(s))
+		out = append(out, entry{fmt.Sprintf("bipartite-%d", s), ins.Flat(), ins.N()})
+	}
+	return out
+}
+
+// benchMatrix runs the engine × family × size scenario matrix and writes
+// the results to path as JSON (regenerate with
+// `go run ./cmd/experiments -exp bench [-out BENCH_1.json]`).
+func benchMatrix(path string) {
+	header("BENCH", "scenario matrix: engine × graph family × size")
+	const rounds = 20
+	engines := []struct {
+		name    string
+		engine  sim.Engine
+		workers int
+	}{
+		{"sequential", sim.Sequential, 1},
+		{"parallel-2", sim.Parallel, 2},
+		{fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), sim.Parallel, runtime.GOMAXPROCS(0)},
+		{"csp", sim.CSP, 0},
+	}
+	file := benchFile{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		RoundsPer:  rounds,
+	}
+	fmt.Println("| family | n | engine | wall | ns/node/round | allocs/round |")
+	fmt.Println("|---|---|---|---|---|---|")
+	for _, tp := range benchTopologies() {
+		for _, eng := range engines {
+			progs := make([]sim.BroadcastProgram, tp.top.N())
+			for v := range progs {
+				progs[v] = &throughputProg{msg: uint64(3)}
+			}
+			opt := sim.Options{Engine: eng.engine, Workers: eng.workers}
+			trace := eng.engine != sim.CSP
+			opt.Trace = trace
+			start := time.Now()
+			stats := sim.RunBroadcast(tp.top, progs, rounds, opt)
+			wall := time.Since(start)
+			row := benchRow{
+				Engine:    eng.name,
+				Workers:   eng.workers,
+				Family:    tp.family,
+				N:         tp.n,
+				HalfEdges: int(stats.Messages / int64(rounds)),
+				Rounds:    stats.Rounds,
+				Messages:  stats.Messages,
+				Bytes:     stats.Bytes,
+				WallNS:    wall.Nanoseconds(),
+				NsPerNodeRound: float64(wall.Nanoseconds()) /
+					float64(rounds) / float64(tp.n),
+			}
+			if trace {
+				var sum, max int64
+				for _, ns := range stats.RoundNanos {
+					sum += ns
+					if ns > max {
+						max = ns
+					}
+				}
+				var allocs uint64
+				for _, a := range stats.RoundAllocs {
+					allocs += a
+				}
+				row.MeanRoundNS = sum / int64(len(stats.RoundNanos))
+				row.MaxRoundNS = max
+				row.AllocsPerRound = float64(allocs) / float64(rounds)
+			}
+			file.Rows = append(file.Rows, row)
+			fmt.Printf("| %s | %d | %s | %v | %.1f | %.1f |\n",
+				tp.family, tp.n, eng.name, wall.Round(time.Millisecond),
+				row.NsPerNodeRound, row.AllocsPerRound)
+		}
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nwrote %d rows to %s\n", len(file.Rows), path)
+}

@@ -8,6 +8,10 @@
 //	experiments -exp all
 //	experiments -exp e1      (Table 1)
 //	experiments -exp e6      (Figure 1 worked example)
+//	experiments -exp bench   (engine × family × size matrix -> BENCH_1.json)
+//
+// The bench matrix is not part of -exp all: it is a machine-speed
+// measurement, regenerated on demand with `-exp bench [-out path]`.
 package main
 
 import (
@@ -34,7 +38,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: e1..e12, a1, a3, or all")
+	exp := flag.String("exp", "all", "experiment id: e1..e13, a1, a3, bench, or all")
+	benchOut := flag.String("out", "BENCH_1.json", "output path for the -exp bench scenario matrix")
 	flag.Parse()
 	all := map[string]func(){
 		"e1": e1Table1, "e2": e2RoundsVsDelta, "e3": e3RoundsVsW,
@@ -43,6 +48,7 @@ func main() {
 		"e10": e10BroadcastVC, "e11": e11Frucht, "e12": e12Engines,
 		"e13": e13SelfStab,
 		"a1":  a1PhaseBreakdown, "a3": a3EarlyExit,
+		"bench": func() { benchMatrix(*benchOut) },
 	}
 	if *exp == "all" {
 		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "a1", "a3"} {

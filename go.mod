@@ -1,0 +1,3 @@
+module anoncover
+
+go 1.24

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// PortSource is the minimal port structure a CSR view can be built from.
+// *G, *bipartite.Instance and the sim Topology interface all satisfy it.
+type PortSource interface {
+	N() int
+	Deg(v int) int
+	Ports(v int) []Half
+}
+
+// FlatTopology is a compressed-sparse-row (CSR) view of a port
+// structure: every half-edge of the network in one contiguous slice,
+// with node v's ports at halves[off[v]:off[v+1]].  The offsets double as
+// the index space for the sim engines' flat inboxes — the message
+// arriving at node v through port p lives at slot Off(v)+p — so the
+// whole receive state of a round is one allocation instead of one slice
+// per node.
+type FlatTopology struct {
+	off    []int32
+	halves []Half
+}
+
+// Flatten builds the CSR view of src.  Offsets are 32-bit for
+// compactness; networks with 2^31 or more half-edges are rejected.
+func Flatten(src PortSource) *FlatTopology {
+	n := src.N()
+	off := make([]int32, n+1)
+	total := 0
+	for v := 0; v < n; v++ {
+		off[v] = int32(total)
+		total += src.Deg(v)
+		if total > math.MaxInt32 {
+			panic(fmt.Sprintf("graph: %d half-edges overflow CSR offsets", total))
+		}
+	}
+	off[n] = int32(total)
+	halves := make([]Half, total)
+	for v := 0; v < n; v++ {
+		copy(halves[off[v]:off[v+1]], src.Ports(v))
+	}
+	return &FlatTopology{off: off, halves: halves}
+}
+
+// N returns the number of nodes.
+func (f *FlatTopology) N() int { return len(f.off) - 1 }
+
+// Deg returns the degree of node v.
+func (f *FlatTopology) Deg(v int) int { return int(f.off[v+1] - f.off[v]) }
+
+// Ports returns the half-edges of v in port order as a CSR subslice;
+// callers must not modify it.
+func (f *FlatTopology) Ports(v int) []Half { return f.halves[f.off[v]:f.off[v+1]] }
+
+// Off returns the CSR offset of node v's first half-edge; Off(N()) is
+// the total half-edge count, so slot ranges are Off(v):Off(v+1).
+func (f *FlatTopology) Off(v int) int { return int(f.off[v]) }
+
+// HalfEdges returns the total number of half-edges (2M for a simple
+// graph, M incidences counted from both sides for a bipartite instance).
+func (f *FlatTopology) HalfEdges() int { return len(f.halves) }
+
+// Validate cross-checks the CSR view against its source: same node
+// count, same degrees, same ports, monotone offsets.
+func (f *FlatTopology) Validate(src PortSource) error {
+	if f.N() != src.N() {
+		return fmt.Errorf("flat: node count %d != %d", f.N(), src.N())
+	}
+	for v := 0; v < f.N(); v++ {
+		if f.off[v] > f.off[v+1] {
+			return fmt.Errorf("flat: offsets not monotone at node %d", v)
+		}
+		if f.Deg(v) != src.Deg(v) {
+			return fmt.Errorf("flat: node %d degree %d != %d", v, f.Deg(v), src.Deg(v))
+		}
+		want := src.Ports(v)
+		for p, h := range f.Ports(v) {
+			if h != want[p] {
+				return fmt.Errorf("flat: node %d port %d is %+v, want %+v", v, p, h, want[p])
+			}
+		}
+	}
+	return nil
+}
+
+// Flat returns the CSR view of g.
+func (g *G) Flat() *FlatTopology { return Flatten(g) }

@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestFlattenRoundTrip(t *testing.T) {
+	gs := map[string]*G{
+		"grid":     Grid(5, 6),
+		"regular":  RandomRegular(30, 4, 3),
+		"powerlaw": PowerLaw(40, 2, 4),
+		"star":     Star(9),
+		"isolated": NewBuilder(4).AddEdge(0, 1).Build(),
+		"empty":    NewBuilder(0).Build(),
+	}
+	for name, g := range gs {
+		t.Run(name, func(t *testing.T) {
+			ft := g.Flat()
+			if err := ft.Validate(g); err != nil {
+				t.Fatal(err)
+			}
+			if ft.HalfEdges() != 2*g.M() {
+				t.Fatalf("half-edges %d, want %d", ft.HalfEdges(), 2*g.M())
+			}
+			if ft.Off(ft.N()) != ft.HalfEdges() {
+				t.Fatalf("final offset %d != total %d", ft.Off(ft.N()), ft.HalfEdges())
+			}
+			off := 0
+			for v := 0; v < g.N(); v++ {
+				if ft.Off(v) != off {
+					t.Fatalf("node %d offset %d, want %d", v, ft.Off(v), off)
+				}
+				off += g.Deg(v)
+			}
+		})
+	}
+}
+
+func TestFlattenAfterPortPermutation(t *testing.T) {
+	g := RandomRegular(20, 4, 7)
+	g.RandomPorts(8)
+	ft := g.Flat()
+	if err := ft.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// CSR reverse-port wiring must agree with the graph's invariant:
+	// following a half-edge and its RevPort leads back.
+	for v := 0; v < ft.N(); v++ {
+		for p, h := range ft.Ports(v) {
+			back := ft.Ports(h.To)[h.RevPort]
+			if back.To != v || back.Edge != h.Edge {
+				t.Fatalf("node %d port %d: reverse wiring broken in CSR view", v, p)
+			}
+		}
+	}
+}
+
+func TestPowerLaw(t *testing.T) {
+	g := PowerLaw(200, 2, 5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 200 {
+		t.Fatalf("n = %d", g.N())
+	}
+	if g.M() < 150 {
+		t.Fatalf("only %d edges placed", g.M())
+	}
+	// Heavy tail: the maximum degree should well exceed the attachment
+	// parameter (hubs accumulate edges).
+	if g.MaxDegree() < 6 {
+		t.Fatalf("max degree %d, expected hubs", g.MaxDegree())
+	}
+	// Determinism in seed.
+	h := PowerLaw(200, 2, 5)
+	if h.M() != g.M() {
+		t.Fatal("PowerLaw not deterministic in seed")
+	}
+}

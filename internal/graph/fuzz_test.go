@@ -6,6 +6,57 @@ import (
 	"testing"
 )
 
+// FuzzFlatTopology hardens the CSR construction: for any parseable
+// graph, the flattened view must round-trip Deg/Ports exactly, with
+// monotone offsets summing to the half-edge total — including after a
+// deterministic port renumbering derived from the input.
+func FuzzFlatTopology(f *testing.F) {
+	f.Add("graph 3\nedge 0 1\nedge 1 2\n", int64(0))
+	f.Add("graph 5\nedge 0 1\nedge 0 2\nedge 0 3\nedge 0 4\n", int64(7))
+	f.Add("graph 4\n", int64(1))
+	f.Add("graph 2\nnode 0 5\nedge 0 1\n", int64(-3))
+	f.Fuzz(func(t *testing.T, input string, portSeed int64) {
+		if len(input) > 1<<16 {
+			return
+		}
+		g, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // clean rejection is fine
+		}
+		if g.N() > 1<<12 || g.M() > 1<<14 {
+			return // keep fuzz iterations cheap
+		}
+		check := func(g *G) {
+			t.Helper()
+			ft := Flatten(g)
+			if err := ft.Validate(g); err != nil {
+				t.Fatalf("CSR view diverges from source: %v", err)
+			}
+			if ft.HalfEdges() != 2*g.M() {
+				t.Fatalf("half-edges %d, want %d", ft.HalfEdges(), 2*g.M())
+			}
+			total := 0
+			for v := 0; v < g.N(); v++ {
+				if ft.Off(v) != total {
+					t.Fatalf("node %d offset %d, want %d", v, ft.Off(v), total)
+				}
+				total += g.Deg(v)
+			}
+			if ft.Off(g.N()) != total {
+				t.Fatalf("final offset %d, want %d", ft.Off(g.N()), total)
+			}
+			// A FlatTopology is itself a PortSource; flattening it again
+			// must be a fixed point.
+			if err := Flatten(ft).Validate(ft); err != nil {
+				t.Fatalf("re-flattening not a fixed point: %v", err)
+			}
+		}
+		check(g)
+		g.RandomPorts(portSeed)
+		check(g)
+	})
+}
+
 // FuzzParse hardens the text-format parser: arbitrary input must either
 // fail cleanly or produce a graph that validates and round-trips.
 func FuzzParse(f *testing.F) {

@@ -194,6 +194,43 @@ func RandomRegular(n, d int, seed int64) *G {
 	return b.Build()
 }
 
+// PowerLaw returns a preferential-attachment (Barabási–Albert style)
+// graph on n nodes, deterministic in seed: each new node attaches up to
+// m edges to earlier nodes chosen proportionally to their current
+// degree, giving a heavy-tailed degree distribution with a few hubs.
+// n must be at least 1 and m at least 1.
+func PowerLaw(n, m int, seed int64) *G {
+	if n < 1 || m < 1 {
+		panic("graph: PowerLaw needs n >= 1 and m >= 1")
+	}
+	r := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	// targets holds one entry per half-edge endpoint, so sampling an
+	// entry uniformly samples a node proportionally to its degree.
+	targets := make([]int, 0, 2*m*n)
+	for v := 1; v < n; v++ {
+		want := m
+		if v < m {
+			want = v
+		}
+		for placed, tries := 0, 0; placed < want && tries < 20*m+50; tries++ {
+			var u int
+			if len(targets) == 0 {
+				u = r.Intn(v)
+			} else {
+				u = targets[r.Intn(len(targets))]
+			}
+			if u == v || b.HasEdge(u, v) {
+				continue
+			}
+			b.AddEdge(u, v)
+			targets = append(targets, u, v)
+			placed++
+		}
+	}
+	return b.Build()
+}
+
 // RandomBoundedDegree returns a random simple graph on n nodes with m
 // edges and maximum degree at most maxDeg, deterministic in seed.  It
 // panics if m edges cannot be placed.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"anoncover/internal/graph"
 )
@@ -28,6 +29,11 @@ type runner struct {
 	port  []PortProgram
 	bcast []BroadcastProgram
 	opt   Options
+
+	// Barrier-engine state, shared by the send/receive phase bodies.
+	ft    *graph.FlatTopology
+	inbox []Message // one slot per half-edge, CSR-indexed
+	round int       // current round; workers read it after the barrier
 }
 
 func (r *runner) n() int { return r.top.N() }
@@ -62,6 +68,9 @@ func (r *runner) run(rounds int) Stats {
 		if r.opt.OnRound != nil {
 			panic("sim: OnRound hook is not supported by the CSP engine")
 		}
+		if r.opt.Trace {
+			panic("sim: Trace is not supported by the CSP engine (no global barrier)")
+		}
 		return r.runCSP(rounds)
 	}
 	panic(fmt.Sprintf("sim: unknown engine %v", r.opt.Engine))
@@ -78,32 +87,52 @@ func count(m Message, msgs, bytes *int64) {
 	}
 }
 
-// sendInto runs node v's send step for the round and places the outgoing
-// messages into the neighbours' inboxes.  Each inbox slot (node, port) has
-// exactly one writer, so concurrent calls for distinct v are race-free.
-func (r *runner) sendInto(v, round int, inbox [][]Message, msgs, bytes *int64) {
-	ports := r.top.Ports(v)
+// flatten returns the CSR view of top, reusing it when top already is
+// one (e.g. the caller pre-flattened a topology shared across runs).
+func flatten(top Topology) *graph.FlatTopology {
+	if ft, ok := top.(*graph.FlatTopology); ok {
+		return ft
+	}
+	return graph.Flatten(top)
+}
+
+// counters is one worker's message tallies, padded so adjacent workers
+// do not share a cache line during the send phase.
+type counters struct {
+	msgs, bytes int64
+	_           [48]byte
+}
+
+// sendFlat runs node v's send step and scatters the outgoing messages
+// into the flat inbox.  Slot Off(h.To)+h.RevPort has exactly one writer
+// per round (the half-edge's origin), so concurrent calls for distinct
+// v are race-free.
+func (r *runner) sendFlat(v int, msgs, bytes *int64) {
+	ports := r.ft.Ports(v)
 	if r.isBroadcast() {
-		m := r.bcast[v].Send(round)
-		for _, h := range ports {
-			inbox[h.To][h.RevPort] = m
+		m := r.bcast[v].Send(r.round)
+		for i := range ports {
+			h := &ports[i]
+			r.inbox[r.ft.Off(h.To)+h.RevPort] = m
 			count(m, msgs, bytes)
 		}
 		return
 	}
-	out := r.port[v].Send(round)
+	out := r.port[v].Send(r.round)
 	if len(out) != len(ports) {
 		panic(fmt.Sprintf("sim: node %d sent %d messages, degree %d", v, len(out), len(ports)))
 	}
-	for p, h := range ports {
-		inbox[h.To][h.RevPort] = out[p]
-		count(out[p], msgs, bytes)
+	for i := range ports {
+		h := &ports[i]
+		r.inbox[r.ft.Off(h.To)+h.RevPort] = out[i]
+		count(out[i], msgs, bytes)
 	}
 }
 
-// recvOne runs node v's receive step, scrambling broadcast delivery order
-// when configured.
-func (r *runner) recvOne(v, round int, in []Message) {
+// recv runs node v's receive step for the round, scrambling broadcast
+// delivery order when configured.  Shared by the barrier and CSP
+// engines so delivery semantics cannot diverge between them.
+func (r *runner) recv(v, round int, in []Message) {
 	if r.isBroadcast() {
 		if r.opt.ScrambleSeed != 0 {
 			scramble(in, r.opt.ScrambleSeed, v, round)
@@ -114,62 +143,140 @@ func (r *runner) recvOne(v, round int, in []Message) {
 	r.port[v].Recv(round, in)
 }
 
-// runBarrier is the shared implementation of the Sequential (workers == 1)
-// and Parallel engines: a send phase and a receive phase per round,
-// separated by barriers.
+// recvFlat runs node v's receive step on its CSR slice of the inbox.
+func (r *runner) recvFlat(v int) {
+	r.recv(v, r.round, r.inbox[r.ft.Off(v):r.ft.Off(v+1)])
+}
+
+// Phase identifiers dispatched through the worker pool.
+const (
+	phaseSend = iota
+	phaseRecv
+)
+
+// workerPool is a persistent pool: goroutines are started once per run
+// and re-dispatched every phase over per-worker channels, replacing the
+// seed engine's 2×rounds×workers goroutine spawns.  A channel send of a
+// phase id plus a WaitGroup completion is the entire per-phase barrier,
+// and neither allocates, so the steady state of a run is allocation-free
+// (asserted by TestEngineAllocsPerRound).
+type workerPool struct {
+	body  func(w, phase int)
+	start []chan int
+	wg    sync.WaitGroup
+}
+
+// newWorkerPool starts `workers` goroutines running body on dispatch.
+func newWorkerPool(workers int, body func(w, phase int)) *workerPool {
+	p := &workerPool{body: body, start: make([]chan int, workers)}
+	for w := range p.start {
+		p.start[w] = make(chan int, 1)
+		go func(w int) {
+			for phase := range p.start[w] {
+				p.body(w, phase)
+				p.wg.Done()
+			}
+		}(w)
+	}
+	return p
+}
+
+// dispatch runs one phase on every worker and waits for all to finish.
+// The channel send happens-before the worker's execution and wg.Wait
+// happens-after it, so shared state written between phases (the round
+// number, the inbox) is safely published.
+func (p *workerPool) dispatch(phase int) {
+	p.wg.Add(len(p.start))
+	for _, c := range p.start {
+		c <- phase
+	}
+	p.wg.Wait()
+}
+
+// stop terminates the worker goroutines.
+func (p *workerPool) stop() {
+	for _, c := range p.start {
+		close(c)
+	}
+}
+
+// runBarrier is the shared implementation of the Sequential
+// (workers == 1) and Parallel engines: a send phase and a receive phase
+// per round over the flat CSR inbox, separated by pool barriers.
 func (r *runner) runBarrier(rounds, workers int) Stats {
 	n := r.n()
-	inbox := make([][]Message, n)
-	for v := 0; v < n; v++ {
-		inbox[v] = make([]Message, r.top.Deg(v))
+	if workers > n && n > 0 {
+		workers = n
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	r.ft = flatten(r.top)
+	r.inbox = make([]Message, r.ft.HalfEdges())
+	counts := make([]counters, workers)
+	bounds := make([]int, workers+1)
+	for w := 0; w <= workers; w++ {
+		bounds[w] = w * n / workers
+	}
+	body := func(w, phase int) {
+		lo, hi := bounds[w], bounds[w+1]
+		if phase == phaseSend {
+			var msgs, bytes int64
+			for v := lo; v < hi; v++ {
+				r.sendFlat(v, &msgs, &bytes)
+			}
+			counts[w].msgs += msgs
+			counts[w].bytes += bytes
+			return
+		}
+		for v := lo; v < hi; v++ {
+			r.recvFlat(v)
+		}
+	}
+	var pool *workerPool
+	if workers > 1 {
+		pool = newWorkerPool(workers, body)
+		defer pool.stop()
+	}
+
 	var stats Stats
-	msgCounts := make([]int64, workers)
-	byteCounts := make([]int64, workers)
+	trace := r.opt.Trace
+	var ms runtime.MemStats
+	if trace {
+		stats.RoundNanos = make([]int64, 0, rounds)
+		stats.RoundAllocs = make([]uint64, 0, rounds)
+	}
 	for round := 1; round <= rounds; round++ {
-		parallelFor(n, workers, func(w, lo, hi int) {
-			for v := lo; v < hi; v++ {
-				r.sendInto(v, round, inbox, &msgCounts[w], &byteCounts[w])
-			}
-		})
-		parallelFor(n, workers, func(w, lo, hi int) {
-			for v := lo; v < hi; v++ {
-				r.recvOne(v, round, inbox[v])
-			}
-		})
+		r.round = round
+		var t0 time.Time
+		var m0 uint64
+		if trace {
+			runtime.ReadMemStats(&ms)
+			m0 = ms.Mallocs
+			t0 = time.Now()
+		}
+		if pool == nil {
+			body(0, phaseSend)
+			body(0, phaseRecv)
+		} else {
+			pool.dispatch(phaseSend)
+			pool.dispatch(phaseRecv)
+		}
+		if trace {
+			stats.RoundNanos = append(stats.RoundNanos, time.Since(t0).Nanoseconds())
+			runtime.ReadMemStats(&ms)
+			stats.RoundAllocs = append(stats.RoundAllocs, ms.Mallocs-m0)
+		}
 		if r.opt.OnRound != nil {
 			r.opt.OnRound(round)
 		}
 	}
 	stats.Rounds = rounds
-	for w := 0; w < workers; w++ {
-		stats.Messages += msgCounts[w]
-		stats.Bytes += byteCounts[w]
+	for w := range counts {
+		stats.Messages += counts[w].msgs
+		stats.Bytes += counts[w].bytes
 	}
 	return stats
-}
-
-// parallelFor splits [0, n) into `workers` contiguous ranges and runs fn
-// on each; with workers == 1 it runs inline (the sequential engine).
-func parallelFor(n, workers int, fn func(worker, lo, hi int)) {
-	if workers <= 1 || n <= 1 {
-		fn(0, 0, n)
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * n / workers
-		hi := (w + 1) * n / workers
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			fn(w, lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
 }
 
 // runCSP runs one goroutine per node.  Each undirected edge carries two
@@ -229,7 +336,7 @@ func (r *runner) runCSP(rounds int) Stats {
 				for p, h := range ports {
 					in[p] = <-chans[2*h.Edge+1-dir(v, h)]
 				}
-				r.recvOne(v, round, in)
+				r.recv(v, round, in)
 			}
 		}(v)
 	}

@@ -17,9 +17,25 @@
 // Programs are deterministic state machines that see only their own
 // degree, weight, node kind and the global parameters — never node
 // identifiers or n.  Three engines execute them: a sequential reference
-// engine, a sharded data-parallel engine, and a CSP engine that runs one
-// goroutine per node with channel-per-edge lockstep.  All engines produce
-// identical outputs, which the tests verify.
+// engine, a data-parallel engine that shards nodes across a persistent
+// worker pool (goroutines started once per run, re-dispatched each phase
+// over per-worker channels), and a CSP engine that runs one goroutine
+// per node with channel-per-edge lockstep.
+//
+// The Sequential and Parallel engines deliver messages through a flat
+// inbox: one contiguous []Message indexed by per-node CSR offsets
+// (graph.FlatTopology), so the message arriving at node v through port p
+// lives at slot Off(v)+p.  Both *graph.G and *bipartite.Instance are
+// flattened through the same compact path, and a pre-built
+// *graph.FlatTopology may be passed as the Topology directly to amortize
+// flattening across runs.  The steady state of a run is allocation-free.
+//
+// All engines produce bit-identical outputs and identical
+// Messages/Bytes statistics, which equiv_test.go locks down across every
+// algorithm package in the repo.  Options.Trace additionally records
+// per-round wall time and allocation counts (barrier engines only);
+// `go run ./cmd/experiments -exp bench` uses it to regenerate the
+// BENCH_1.json scenario matrix.
 package sim
 
 import (
@@ -100,6 +116,7 @@ type Topology interface {
 var (
 	_ Topology = (*graph.G)(nil)
 	_ Topology = (*bipartite.Instance)(nil)
+	_ Topology = (*graph.FlatTopology)(nil)
 )
 
 // Engine selects an execution strategy.
@@ -141,13 +158,25 @@ type Options struct {
 	// Parallel engines only; the CSP engine has no global barrier and
 	// panics if a hook is set).
 	OnRound func(round int)
+	// Trace records per-round wall time and allocation counts into
+	// Stats.RoundNanos/RoundAllocs.  Barrier engines only (the CSP
+	// engine has no global barrier and panics if Trace is set).
+	// Tracing reads runtime.MemStats twice per round, so it perturbs
+	// absolute timings; use it for profiles, not for ns-level claims.
+	Trace bool
 }
 
-// Stats summarizes a completed run.
+// Stats summarizes a completed run.  Rounds, Messages and Bytes are
+// engine-independent — all engines must agree on them exactly, and the
+// equivalence suite asserts it.  The trace slices are measurements of
+// the run itself and are only populated when Options.Trace is set.
 type Stats struct {
 	Rounds   int
 	Messages int64 // non-nil messages delivered
 	Bytes    int64 // total WireSize of delivered messages implementing Sizer
+
+	RoundNanos  []int64  // per-round wall time (Options.Trace only)
+	RoundAllocs []uint64 // per-round heap allocations (Options.Trace only)
 }
 
 // GraphEnvs builds per-node environments for a plain graph.

@@ -265,6 +265,43 @@ func TestOnRoundPanicsOnCSP(t *testing.T) {
 	RunPort(g, progs, 1, Options{Engine: CSP, OnRound: func(int) {}})
 }
 
+func TestTracePanicsOnCSP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	g := graph.Cycle(3)
+	progs := make([]PortProgram, g.N())
+	for v := range progs {
+		p := &echoProg{token: v}
+		progs[v] = p
+		p.Init(Env{Degree: g.Deg(v)})
+	}
+	RunPort(g, progs, 1, Options{Engine: CSP, Trace: true})
+}
+
+func TestTraceRecordsPerRound(t *testing.T) {
+	g := graph.Cycle(8)
+	for _, eng := range []Engine{Sequential, Parallel} {
+		progs := make([]BroadcastProgram, g.N())
+		for v := range progs {
+			progs[v] = &sumProg{}
+			progs[v].Init(Env{})
+		}
+		stats := RunBroadcast(g, progs, 5, Options{Engine: eng, Trace: true})
+		if len(stats.RoundNanos) != 5 || len(stats.RoundAllocs) != 5 {
+			t.Fatalf("engine %v: trace lengths %d/%d, want 5/5",
+				eng, len(stats.RoundNanos), len(stats.RoundAllocs))
+		}
+		for r, ns := range stats.RoundNanos {
+			if ns < 0 {
+				t.Fatalf("engine %v round %d: negative wall time", eng, r+1)
+			}
+		}
+	}
+}
+
 func TestWrongSendLengthPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
