@@ -23,9 +23,13 @@
 //	res := anoncover.VertexCover(g)
 //	fmt.Println(res.Weight, res.Rounds)
 //
-// All algorithms run on one of three interchangeable engines (sequential
-// reference, sharded parallel, goroutine-per-node CSP) that produce
-// bit-identical results.
+// All algorithms run on one of four interchangeable engines — a
+// sequential reference, a worker-pool parallel engine, a sharded
+// partitioned-graph engine (degree-balanced partitions with halo
+// message exchange on the cut edges, internal/shard), and a
+// goroutine-per-node CSP reference — that produce bit-identical
+// results: the execution strategy is never observable, only the
+// synchronous port-numbering semantics of the paper.
 package anoncover
 
 import (
@@ -49,11 +53,20 @@ type Engine int
 const (
 	// EngineSequential steps nodes one at a time (the reference engine).
 	EngineSequential Engine = iota
-	// EngineParallel shards nodes across a worker pool.
+	// EngineParallel splits nodes into contiguous index ranges across a
+	// worker pool sharing one global inbox.
 	EngineParallel
 	// EngineCSP runs one goroutine per node with channel-per-edge
-	// communication and no global barrier.
+	// communication and no global barrier.  It is a semantic reference
+	// kept for the equivalence suite, not a throughput engine.
 	EngineCSP
+	// EngineSharded partitions the graph into degree-balanced shards,
+	// one pinned worker per shard, each stepping its nodes against a
+	// compact local inbox; messages on cut edges cross through
+	// double-buffered halo buffers at the phase barrier.  WithWorkers
+	// sets the shard count.  Sharding is an execution detail: results
+	// are bit-identical to EngineSequential.
+	EngineSharded
 )
 
 func (e Engine) internal() sim.Engine {
@@ -62,6 +75,8 @@ func (e Engine) internal() sim.Engine {
 		return sim.Parallel
 	case EngineCSP:
 		return sim.CSP
+	case EngineSharded:
+		return sim.Sharded
 	}
 	return sim.Sequential
 }
@@ -81,7 +96,8 @@ type Option func(*config)
 // WithEngine selects the execution engine.
 func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
 
-// WithWorkers sets the worker-pool size for EngineParallel.
+// WithWorkers sets the worker-pool size for EngineParallel and the
+// shard count for EngineSharded.
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
 // WithScrambleSeed shuffles broadcast delivery order deterministically;

@@ -75,7 +75,7 @@ func TestEnginesAgreeThroughAPI(t *testing.T) {
 	g := RandomGraph(40, 80, 5, 7)
 	g.WeighRandom(20, 8)
 	ref := VertexCover(g, WithEngine(EngineSequential))
-	for _, e := range []Engine{EngineParallel, EngineCSP} {
+	for _, e := range []Engine{EngineParallel, EngineCSP, EngineSharded} {
 		got := VertexCover(g, WithEngine(e), WithWorkers(4))
 		if got.Weight != ref.Weight {
 			t.Fatalf("engine %v: weight %d != %d", e, got.Weight, ref.Weight)

@@ -9,34 +9,45 @@ import (
 
 	"anoncover/internal/bipartite"
 	"anoncover/internal/graph"
+	"anoncover/internal/shard"
 	"anoncover/internal/sim"
 )
 
 // benchRow is one cell of the scenario matrix, serialized into
-// BENCH_1.json so later PRs have a machine-readable perf trajectory to
-// beat.  Wall times are measured on whatever machine runs the command;
-// the file records the environment alongside the rows.
+// BENCH_<pr>.json so later PRs have a machine-readable perf trajectory
+// to beat.  Wall times are measured on whatever machine runs the
+// command; the file records the environment alongside the rows, and
+// every row records the GOMAXPROCS it actually ran under — BENCH_1.json
+// silently ran all parallel rows at gomaxprocs 1, which made them
+// meaningless as parallelism measurements.
 type benchRow struct {
-	Engine         string  `json:"engine"`
-	Workers        int     `json:"workers"`
+	Engine  string `json:"engine"`
+	Workers int    `json:"workers"`
+	// Gomaxprocs is runtime.GOMAXPROCS(0) during this row's run; for
+	// parallel and sharded rows it is forced to at least Workers.
+	Gomaxprocs     int     `json:"gomaxprocs"`
 	Family         string  `json:"family"`
 	N              int     `json:"n"`
 	HalfEdges      int     `json:"half_edges"`
+	CutEdges       int     `json:"cut_edges,omitempty"` // sharded rows: partition edge cut
 	Rounds         int     `json:"rounds"`
 	Messages       int64   `json:"messages"`
 	Bytes          int64   `json:"bytes"`
 	WallNS         int64   `json:"wall_ns"`
 	NsPerNodeRound float64 `json:"ns_per_node_round"`
-	// Per-round trace aggregates (barrier engines only; 0 for CSP).
+	// Per-round trace aggregates.
 	MeanRoundNS    int64   `json:"mean_round_ns,omitempty"`
 	MaxRoundNS     int64   `json:"max_round_ns,omitempty"`
 	AllocsPerRound float64 `json:"allocs_per_round,omitempty"`
 }
 
 type benchFile struct {
-	Generated  string     `json:"generated"`
-	GoVersion  string     `json:"go_version"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	// GOMAXPROCS is the process default; individual rows may raise it
+	// (see benchRow.Gomaxprocs).
 	GOMAXPROCS int        `json:"gomaxprocs"`
+	NumCPU     int        `json:"num_cpu"`
 	RoundsPer  int        `json:"rounds_per_run"`
 	Rows       []benchRow `json:"rows"`
 }
@@ -59,15 +70,17 @@ func (p *throughputProg) Recv(r int, msgs []sim.Message) {
 func (p *throughputProg) Output() any { return p.acc }
 
 // benchTopologies builds the family × size matrix: grid, random-regular,
-// power-law and bipartite set-cover instances, each at two sizes.
+// power-law and bipartite set-cover instances, each at two sizes.  The
+// CSR views are pre-built so flattening cost is not measured; sharded
+// rows likewise pre-build their partitioned views (benchMatrix).
 func benchTopologies() []struct {
 	family string
-	top    sim.Topology
+	flat   *graph.FlatTopology
 	n      int
 } {
 	type entry = struct {
 		family string
-		top    sim.Topology
+		flat   *graph.FlatTopology
 		n      int
 	}
 	var out []entry
@@ -92,7 +105,12 @@ func benchTopologies() []struct {
 
 // benchMatrix runs the engine × family × size scenario matrix and writes
 // the results to path as JSON (regenerate with
-// `go run ./cmd/experiments -exp bench [-out BENCH_1.json]`).
+// `go run ./cmd/experiments -exp bench [-out BENCH_<pr>.json]`).
+//
+// The CSP engine is excluded: it is a semantic reference for the
+// equivalence suite (internal/sim/equiv_test.go), not a throughput
+// engine, and benching its per-run channel allocation tells us nothing
+// the suite does not.
 func benchMatrix(path string) {
 	header("BENCH", "scenario matrix: engine × graph family × size")
 	const rounds = 20
@@ -103,61 +121,83 @@ func benchMatrix(path string) {
 	}{
 		{"sequential", sim.Sequential, 1},
 		{"parallel-2", sim.Parallel, 2},
-		{fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), sim.Parallel, runtime.GOMAXPROCS(0)},
-		{"csp", sim.CSP, 0},
+		{"parallel-4", sim.Parallel, 4},
+		{"sharded-2", sim.Sharded, 2},
+		{"sharded-4", sim.Sharded, 4},
+		{"sharded-8", sim.Sharded, 8},
 	}
+	base := runtime.GOMAXPROCS(0)
 	file := benchFile{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOMAXPROCS: base,
+		NumCPU:     runtime.NumCPU(),
 		RoundsPer:  rounds,
 	}
-	fmt.Println("| family | n | engine | wall | ns/node/round | allocs/round |")
-	fmt.Println("|---|---|---|---|---|---|")
+	fmt.Println("| family | n | engine | procs | wall | ns/node/round | allocs/round |")
+	fmt.Println("|---|---|---|---|---|---|---|")
 	for _, tp := range benchTopologies() {
 		for _, eng := range engines {
-			progs := make([]sim.BroadcastProgram, tp.top.N())
+			top := sim.Topology(tp.flat)
+			cut := 0
+			if eng.engine == sim.Sharded {
+				// Pre-build the partitioned view, like the flat CSR: the
+				// matrix measures execution, not one-time partitioning.
+				st := shard.BuildK(tp.flat, eng.workers)
+				cut = st.Part().CutEdges
+				top = st
+			}
+			progs := make([]sim.BroadcastProgram, tp.n)
 			for v := range progs {
 				progs[v] = &throughputProg{msg: uint64(3)}
 			}
-			opt := sim.Options{Engine: eng.engine, Workers: eng.workers}
-			trace := eng.engine != sim.CSP
-			opt.Trace = trace
+			opt := sim.Options{Engine: eng.engine, Workers: eng.workers, Trace: true}
+			// Parallel and sharded rows are meaningless below
+			// GOMAXPROCS = workers; force it up for the row and restore
+			// after, recording the value actually used.
+			procs := base
+			if eng.workers > procs {
+				procs = eng.workers
+				runtime.GOMAXPROCS(procs)
+			}
 			start := time.Now()
-			stats := sim.RunBroadcast(tp.top, progs, rounds, opt)
+			stats := sim.RunBroadcast(top, progs, rounds, opt)
 			wall := time.Since(start)
+			if procs != base {
+				runtime.GOMAXPROCS(base)
+			}
 			row := benchRow{
-				Engine:    eng.name,
-				Workers:   eng.workers,
-				Family:    tp.family,
-				N:         tp.n,
-				HalfEdges: int(stats.Messages / int64(rounds)),
-				Rounds:    stats.Rounds,
-				Messages:  stats.Messages,
-				Bytes:     stats.Bytes,
-				WallNS:    wall.Nanoseconds(),
+				Engine:     eng.name,
+				Workers:    eng.workers,
+				Gomaxprocs: procs,
+				Family:     tp.family,
+				N:          tp.n,
+				HalfEdges:  int(stats.Messages / int64(rounds)),
+				CutEdges:   cut,
+				Rounds:     stats.Rounds,
+				Messages:   stats.Messages,
+				Bytes:      stats.Bytes,
+				WallNS:     wall.Nanoseconds(),
 				NsPerNodeRound: float64(wall.Nanoseconds()) /
 					float64(rounds) / float64(tp.n),
 			}
-			if trace {
-				var sum, max int64
-				for _, ns := range stats.RoundNanos {
-					sum += ns
-					if ns > max {
-						max = ns
-					}
+			var sum, max int64
+			for _, ns := range stats.RoundNanos {
+				sum += ns
+				if ns > max {
+					max = ns
 				}
-				var allocs uint64
-				for _, a := range stats.RoundAllocs {
-					allocs += a
-				}
-				row.MeanRoundNS = sum / int64(len(stats.RoundNanos))
-				row.MaxRoundNS = max
-				row.AllocsPerRound = float64(allocs) / float64(rounds)
 			}
+			var allocs uint64
+			for _, a := range stats.RoundAllocs {
+				allocs += a
+			}
+			row.MeanRoundNS = sum / int64(len(stats.RoundNanos))
+			row.MaxRoundNS = max
+			row.AllocsPerRound = float64(allocs) / float64(rounds)
 			file.Rows = append(file.Rows, row)
-			fmt.Printf("| %s | %d | %s | %v | %.1f | %.1f |\n",
-				tp.family, tp.n, eng.name, wall.Round(time.Millisecond),
+			fmt.Printf("| %s | %d | %s | %d | %v | %.1f | %.1f |\n",
+				tp.family, tp.n, eng.name, procs, wall.Round(time.Millisecond),
 				row.NsPerNodeRound, row.AllocsPerRound)
 		}
 	}

@@ -8,7 +8,7 @@
 //	experiments -exp all
 //	experiments -exp e1      (Table 1)
 //	experiments -exp e6      (Figure 1 worked example)
-//	experiments -exp bench   (engine × family × size matrix -> BENCH_1.json)
+//	experiments -exp bench   (engine × family × size matrix -> BENCH_<pr>.json)
 //
 // The bench matrix is not part of -exp all: it is a machine-speed
 // measurement, regenerated on demand with `-exp bench [-out path]`.
@@ -39,7 +39,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: e1..e13, a1, a3, bench, or all")
-	benchOut := flag.String("out", "BENCH_1.json", "output path for the -exp bench scenario matrix")
+	benchOut := flag.String("out", "BENCH_2.json", "output path for the -exp bench scenario matrix")
 	flag.Parse()
 	all := map[string]func(){
 		"e1": e1Table1, "e2": e2RoundsVsDelta, "e3": e3RoundsVsW,
@@ -498,7 +498,7 @@ func e12Engines() {
 	fmt.Println("| engine | wall time | cover weight |")
 	fmt.Println("|---|---|---|")
 	var ref int64 = -1
-	for _, eng := range []sim.Engine{sim.Sequential, sim.Parallel, sim.CSP} {
+	for _, eng := range []sim.Engine{sim.Sequential, sim.Parallel, sim.Sharded, sim.CSP} {
 		start := time.Now()
 		res := edgepack.Run(g, edgepack.Options{Engine: eng})
 		el := time.Since(start)

@@ -28,7 +28,7 @@ func main() {
 		maxW      = flag.Int64("maxw", 1, "maximum subset weight")
 		seed      = flag.Int64("seed", 1, "generator seed")
 		symmetric = flag.Int("symmetric", 0, "use the symmetric K_{p,p} lower-bound instance")
-		engine    = flag.String("engine", "sequential", "engine: sequential | parallel | csp")
+		engine    = flag.String("engine", "sequential", "engine: sequential | parallel | sharded | csp")
 		doOpt     = flag.Bool("exact", false, "also compute the exact optimum (small instances)")
 	)
 	flag.Parse()
@@ -57,6 +57,8 @@ func main() {
 		eng = anoncover.EngineSequential
 	case "parallel":
 		eng = anoncover.EngineParallel
+	case "sharded":
+		eng = anoncover.EngineSharded
 	case "csp":
 		eng = anoncover.EngineCSP
 	default:

@@ -27,7 +27,7 @@ func main() {
 		maxW   = flag.Int64("maxw", 1, "maximum node weight; 1 = unweighted")
 		seed   = flag.Int64("seed", 1, "generator seed")
 		model  = flag.String("model", "port", "communication model: port | broadcast")
-		engine = flag.String("engine", "sequential", "engine: sequential | parallel | csp")
+		engine = flag.String("engine", "sequential", "engine: sequential | parallel | sharded | csp")
 		doOpt  = flag.Bool("exact", false, "also compute the exact optimum (small graphs)")
 	)
 	flag.Parse()
@@ -56,6 +56,8 @@ func main() {
 		eng = anoncover.EngineSequential
 	case "parallel":
 		eng = anoncover.EngineParallel
+	case "sharded":
+		eng = anoncover.EngineSharded
 	case "csp":
 		eng = anoncover.EngineCSP
 	default:

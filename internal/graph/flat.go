@@ -64,6 +64,14 @@ func (f *FlatTopology) Off(v int) int { return int(f.off[v]) }
 // graph, M incidences counted from both sides for a bipartite instance).
 func (f *FlatTopology) HalfEdges() int { return len(f.halves) }
 
+// Halves returns the raw CSR half-edge slice, node by node in port
+// order, with node v's ports at Halves()[Off(v):Off(v+1)].  It exists
+// for partition-aware consumers (the shard subsystem's boundary sweeps
+// and route-table construction) that scan every half-edge in one flat
+// pass without materializing a slice header per node.  Callers must not
+// modify it.
+func (f *FlatTopology) Halves() []Half { return f.halves }
+
 // Validate cross-checks the CSR view against its source: same node
 // count, same degrees, same ports, monotone offsets.
 func (f *FlatTopology) Validate(src PortSource) error {

@@ -32,6 +32,19 @@ func TestFlattenRoundTrip(t *testing.T) {
 				}
 				off += g.Deg(v)
 			}
+			// The raw half-edge slice is the same data the per-node
+			// views expose.
+			halves := ft.Halves()
+			if len(halves) != ft.HalfEdges() {
+				t.Fatalf("Halves() length %d, want %d", len(halves), ft.HalfEdges())
+			}
+			for v := 0; v < ft.N(); v++ {
+				for p, h := range ft.Ports(v) {
+					if halves[ft.Off(v)+p] != h {
+						t.Fatalf("node %d port %d: Halves() diverges from Ports()", v, p)
+					}
+				}
+			}
 		})
 	}
 }

@@ -1,0 +1,53 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+
+	"anoncover/internal/graph"
+)
+
+// FuzzPartition hardens the partitioner and the sharded routing view:
+// for any parseable graph and any shard count, the partition must
+// satisfy the node-coverage and boundary-symmetry invariants
+// (Partition.Validate: every node in exactly one shard, every cut edge
+// in both endpoints' boundary lists exactly once), and the execution
+// view built on it must route every half-edge to exactly the inbox
+// slot the global CSR semantics prescribe (Topology.Validate's token
+// round-trip).  CI runs this for a short budget on every push:
+// go test -run='^$' -fuzz=FuzzPartition -fuzztime=10s ./internal/shard
+func FuzzPartition(f *testing.F) {
+	f.Add("graph 3\nedge 0 1\nedge 1 2\n", 2, int64(0))
+	f.Add("graph 5\nedge 0 1\nedge 0 2\nedge 0 3\nedge 0 4\n", 3, int64(7))
+	f.Add("graph 4\n", 2, int64(1))
+	f.Add("graph 9\nedge 0 1\nedge 1 2\nedge 3 4\nedge 7 8\n", 4, int64(-3))
+	f.Add("graph 6\nedge 0 1\nedge 1 2\nedge 2 3\nedge 3 4\nedge 4 5\nedge 5 0\n", 6, int64(5))
+	f.Fuzz(func(t *testing.T, input string, k int, portSeed int64) {
+		if len(input) > 1<<16 {
+			return
+		}
+		g, err := graph.Parse(strings.NewReader(input))
+		if err != nil {
+			return // clean rejection is fine
+		}
+		if g.N() > 1<<12 || g.M() > 1<<14 {
+			return // keep fuzz iterations cheap
+		}
+		if k < -1 || k > 1<<10 {
+			return
+		}
+		g.RandomPorts(portSeed)
+		ft := g.Flat()
+		p := New(ft, k)
+		if err := p.Validate(ft); err != nil {
+			t.Fatalf("partition invariants broken (k=%d): %v", k, err)
+		}
+		if got := p.K(); k >= 1 && g.N() >= 1 && got > g.N() {
+			t.Fatalf("K = %d exceeds n = %d", got, g.N())
+		}
+		st := Build(ft, p)
+		if err := st.Validate(); err != nil {
+			t.Fatalf("halo routing broken (k=%d): %v", k, err)
+		}
+	})
+}

@@ -1,0 +1,223 @@
+// Package shard partitions a flat CSR topology (graph.FlatTopology)
+// into degree-balanced shards and builds the routing structure for
+// executing one synchronous round per shard with explicit halo
+// exchange on the cut edges.
+//
+// Sharding is purely an execution detail: the simulator semantics stay
+// the synchronous anonymous port-numbering model of the paper, and the
+// sharded engine built on this package must remain bit-identical to
+// the sequential reference engine (internal/sim/equiv_test.go enforces
+// it).  What sharding buys is locality — each shard steps its nodes
+// against a compact local inbox and a precomputed route table, and cut
+// edges travel through fixed-slot halo buffers that have exactly one
+// writer per round, so shards never take a lock.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"anoncover/internal/graph"
+)
+
+// Partition assigns every node of a topology to exactly one of K
+// shards.  Cut edges (endpoints in different shards) are recorded in
+// the boundary list of both endpoint shards, which is the contract the
+// halo exchange is built on.
+type Partition struct {
+	// ShardOf maps node -> shard, a total assignment.
+	ShardOf []int32
+	// Nodes lists each shard's owned nodes in ascending global order.
+	// Membership comes from contiguous segments of a BFS order (so a
+	// shard is a union of topologically close clusters), but within a
+	// shard nodes are stepped in index order: program and weight arrays
+	// are laid out by global id, and walking them sequentially is worth
+	// more than any intra-shard reordering.
+	Nodes [][]int32
+	// Boundary lists, per shard, the global edge ids of every cut edge
+	// with an endpoint in that shard.  Each cut edge appears in exactly
+	// two boundary lists — both endpoints' — and in each list once.
+	Boundary [][]int32
+	// CutEdges is the total number of cut (undirected) edges.
+	CutEdges int
+}
+
+// K returns the number of shards.
+func (p *Partition) K() int { return len(p.Nodes) }
+
+// New partitions ft into k degree-balanced shards by greedy BFS
+// growth: nodes are laid out in a global BFS order (restarting at the
+// lowest-id unvisited node, so disconnected graphs work) and the order
+// is chopped into k contiguous segments of roughly equal degree mass.
+// Consecutive BFS nodes are topologically close, so each segment is a
+// union of connected clusters and the edge cut stays near the BFS
+// frontier size rather than growing with shard volume.
+//
+// k is clamped to [1, max(1, n)].  The construction is deterministic
+// in (ft, k).
+func New(ft *graph.FlatTopology, k int) *Partition {
+	n := ft.N()
+	if k < 1 || n == 0 {
+		k = 1
+	}
+	if k > n && n > 0 {
+		k = n
+	}
+
+	order := bfsOrder(ft)
+
+	p := &Partition{
+		ShardOf:  make([]int32, n),
+		Nodes:    make([][]int32, k),
+		Boundary: make([][]int32, k),
+	}
+	// Chop the BFS order into k segments.  Node cost is deg+1 (the +1
+	// keeps isolated nodes advancing the budget); each shard's budget
+	// is the remaining mass over the remaining shards, recomputed per
+	// shard so rounding imbalance cannot accumulate, and every later
+	// shard is guaranteed at least one node.
+	remaining := ft.HalfEdges() + n
+	pos := 0
+	for s := 0; s < k; s++ {
+		budget := remaining / (k - s)
+		cost := 0
+		var nodes []int32
+		for pos < n {
+			if s < k-1 && len(nodes) > 0 {
+				if cost >= budget || n-pos <= k-s-1 {
+					break
+				}
+			}
+			v := order[pos]
+			pos++
+			nodes = append(nodes, v)
+			c := ft.Deg(int(v)) + 1
+			cost += c
+			remaining -= c
+			p.ShardOf[v] = int32(s)
+		}
+		sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
+		p.Nodes[s] = nodes
+	}
+
+	// Boundary sweep: one flat pass over the CSR half-edges.  Each cut
+	// edge is discovered once from its lower endpoint and recorded in
+	// both endpoint shards' boundary lists.
+	halves := ft.Halves()
+	for v := 0; v < n; v++ {
+		sv := p.ShardOf[v]
+		for j := ft.Off(v); j < ft.Off(v+1); j++ {
+			h := halves[j]
+			if v < h.To && p.ShardOf[h.To] != sv {
+				p.CutEdges++
+				p.Boundary[sv] = append(p.Boundary[sv], int32(h.Edge))
+				p.Boundary[p.ShardOf[h.To]] = append(p.Boundary[p.ShardOf[h.To]], int32(h.Edge))
+			}
+		}
+	}
+	return p
+}
+
+// bfsOrder returns all nodes in BFS discovery order with ports visited
+// in port order, restarting at the lowest-id unvisited node whenever
+// the frontier empties.
+func bfsOrder(ft *graph.FlatTopology) []int32 {
+	n := ft.N()
+	order := make([]int32, 0, n)
+	seen := make([]bool, n)
+	queue := make([]int32, 0, n)
+	head, next := 0, 0
+	for len(order) < n {
+		if head == len(queue) {
+			for seen[next] {
+				next++
+			}
+			seen[next] = true
+			queue = append(queue, int32(next))
+		}
+		v := queue[head]
+		head++
+		order = append(order, v)
+		for _, h := range ft.Ports(int(v)) {
+			if !seen[h.To] {
+				seen[h.To] = true
+				queue = append(queue, int32(h.To))
+			}
+		}
+	}
+	return order
+}
+
+// Validate cross-checks the partition invariants against its source
+// topology: every node lands in exactly one shard (ShardOf and the
+// Nodes lists agree, and the lists cover each node once), and the
+// boundary lists record every cut edge in both endpoints' shards —
+// exactly once each — with CutEdges matching.  It returns nil on
+// success.  FuzzPartition drives this over random graphs.
+func (p *Partition) Validate(ft *graph.FlatTopology) error {
+	n := ft.N()
+	if len(p.ShardOf) != n {
+		return fmt.Errorf("shard: ShardOf covers %d nodes, topology has %d", len(p.ShardOf), n)
+	}
+	k := p.K()
+	if len(p.Boundary) != k {
+		return fmt.Errorf("shard: %d boundary lists for %d shards", len(p.Boundary), k)
+	}
+	times := make([]int, n)
+	for s, nodes := range p.Nodes {
+		for _, v := range nodes {
+			if v < 0 || int(v) >= n {
+				return fmt.Errorf("shard %d owns out-of-range node %d", s, v)
+			}
+			if p.ShardOf[v] != int32(s) {
+				return fmt.Errorf("node %d in shard %d's list but ShardOf says %d", v, s, p.ShardOf[v])
+			}
+			times[v]++
+		}
+	}
+	for v, c := range times {
+		if c != 1 {
+			return fmt.Errorf("node %d owned by %d shards, want exactly 1", v, c)
+		}
+	}
+	// Recompute the cut and compare: for every cut edge e with shards
+	// (s, t), e must appear exactly once in Boundary[s] and once in
+	// Boundary[t], and nothing else may appear anywhere.
+	type pair struct{ edge, shrd int32 }
+	want := make(map[pair]int)
+	cut := 0
+	halves := ft.Halves()
+	for v := 0; v < n; v++ {
+		sv := p.ShardOf[v]
+		for j := ft.Off(v); j < ft.Off(v+1); j++ {
+			h := halves[j]
+			if v < h.To && p.ShardOf[h.To] != sv {
+				cut++
+				want[pair{int32(h.Edge), sv}]++
+				want[pair{int32(h.Edge), p.ShardOf[h.To]}]++
+			}
+		}
+	}
+	if cut != p.CutEdges {
+		return fmt.Errorf("CutEdges = %d, recomputed %d", p.CutEdges, cut)
+	}
+	got := make(map[pair]int)
+	for s, edges := range p.Boundary {
+		for _, e := range edges {
+			got[pair{e, int32(s)}]++
+		}
+	}
+	for pr, c := range want {
+		if got[pr] != c {
+			return fmt.Errorf("cut edge %d appears %d times in shard %d's boundary, want %d",
+				pr.edge, got[pr], pr.shrd, c)
+		}
+	}
+	for pr, c := range got {
+		if want[pr] != c {
+			return fmt.Errorf("shard %d's boundary lists edge %d %d times, expected %d",
+				pr.shrd, pr.edge, c, want[pr])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package shard
+
+import (
+	"testing"
+
+	"anoncover/internal/bipartite"
+	"anoncover/internal/graph"
+)
+
+// shardCosts returns each shard's degree mass (Σ deg+1), the quantity
+// the partitioner balances.
+func shardCosts(ft *graph.FlatTopology, p *Partition) []int {
+	costs := make([]int, p.K())
+	for s, nodes := range p.Nodes {
+		for _, v := range nodes {
+			costs[s] += ft.Deg(int(v)) + 1
+		}
+	}
+	return costs
+}
+
+// TestPartitionGrid2Shards pins down the deterministic 2-shard split of
+// grid-32x32: valid invariants, near-perfect degree balance, and a cut
+// in the band a BFS-frontier split of a grid must produce — at least
+// the 32 edges of a perfect row cut, at most the ~2×side of a diagonal
+// frontier.  A regression above the band means the partitioner stopped
+// producing contiguous clusters.
+func TestPartitionGrid2Shards(t *testing.T) {
+	ft := graph.Grid(32, 32).Flat()
+	p := New(ft, 2)
+	if err := p.Validate(ft); err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 2 {
+		t.Fatalf("K = %d, want 2", p.K())
+	}
+	costs := shardCosts(ft, p)
+	total := ft.HalfEdges() + ft.N()
+	for s, c := range costs {
+		if diff := c - total/2; diff < -5 || diff > 5 {
+			t.Fatalf("shard %d degree mass %d, want %d±5", s, c, total/2)
+		}
+	}
+	if p.CutEdges < 32 || p.CutEdges > 64 {
+		t.Fatalf("grid-32x32 2-shard cut = %d, want in [32, 64]", p.CutEdges)
+	}
+	// Boundary bookkeeping matches the cut count: each cut edge sits in
+	// exactly two lists.
+	if got := len(p.Boundary[0]) + len(p.Boundary[1]); got != 2*p.CutEdges {
+		t.Fatalf("boundary list total %d, want %d", got, 2*p.CutEdges)
+	}
+}
+
+// TestPartitionShapes covers clamping and degenerate shapes: k below 1,
+// k above n, disconnected graphs with isolated nodes, and the empty
+// graph.
+func TestPartitionShapes(t *testing.T) {
+	t.Run("clamp-low", func(t *testing.T) {
+		ft := graph.Grid(3, 3).Flat()
+		if got := New(ft, 0).K(); got != 1 {
+			t.Fatalf("K = %d, want 1", got)
+		}
+	})
+	t.Run("clamp-high", func(t *testing.T) {
+		ft := graph.Grid(2, 2).Flat()
+		p := New(ft, 99)
+		if got := p.K(); got != 4 {
+			t.Fatalf("K = %d, want 4 (clamped to n)", got)
+		}
+		if err := p.Validate(ft); err != nil {
+			t.Fatal(err)
+		}
+		for s, nodes := range p.Nodes {
+			if len(nodes) != 1 {
+				t.Fatalf("shard %d owns %d nodes, want 1", s, len(nodes))
+			}
+		}
+	})
+	t.Run("disconnected", func(t *testing.T) {
+		// Two components plus isolated nodes.
+		b := graph.NewBuilder(10)
+		b.AddEdge(0, 1).AddEdge(1, 2).AddEdge(5, 6).AddEdge(6, 7)
+		ft := b.Build().Flat()
+		for _, k := range []int{1, 2, 3, 7} {
+			p := New(ft, k)
+			if err := p.Validate(ft); err != nil {
+				t.Fatalf("k=%d: %v", k, err)
+			}
+			if err := Build(ft, p).Validate(); err != nil {
+				t.Fatalf("k=%d: %v", k, err)
+			}
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		ft := graph.NewBuilder(0).Build().Flat()
+		p := New(ft, 4)
+		if got := p.K(); got != 1 {
+			t.Fatalf("K = %d on the empty topology, want 1", got)
+		}
+		if err := p.Validate(ft); err != nil {
+			t.Fatal(err)
+		}
+		if err := Build(ft, p).Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestTopologyRouting validates the route tables and halo exchange by
+// token delivery on several families, including a bipartite set-cover
+// instance and a hub-heavy power-law graph, at several shard counts.
+func TestTopologyRouting(t *testing.T) {
+	g := graph.PowerLaw(300, 3, 9)
+	tops := map[string]*graph.FlatTopology{
+		"grid":      graph.Grid(12, 17).Flat(),
+		"powerlaw":  g.Flat(),
+		"regular":   graph.RandomRegular(100, 4, 5).Flat(),
+		"bipartite": bipartite.Random(20, 44, 3, 6, 9, 7).Flat(),
+	}
+	for name, ft := range tops {
+		t.Run(name, func(t *testing.T) {
+			for _, k := range []int{1, 2, 3, 5, 8} {
+				st := BuildK(ft, k)
+				if err := st.Validate(); err != nil {
+					t.Fatalf("k=%d: %v", k, err)
+				}
+				if st.Flat() != ft {
+					t.Fatalf("k=%d: Flat() does not return the source CSR", k)
+				}
+			}
+		})
+	}
+}
+
+// TestTopologyPortSource: the sharded view delegates the port structure
+// unchanged, so it can stand in for the flat topology anywhere.
+func TestTopologyPortSource(t *testing.T) {
+	ft := graph.RandomRegular(60, 4, 2).Flat()
+	st := BuildK(ft, 3)
+	if err := graph.Flatten(st).Validate(ft); err != nil {
+		t.Fatalf("sharded view diverges as a port source: %v", err)
+	}
+}
+
+// TestPartitionDeterminism: same topology and k, same partition.
+func TestPartitionDeterminism(t *testing.T) {
+	g := graph.PowerLaw(200, 2, 3)
+	a, b := New(g.Flat(), 4), New(g.Flat(), 4)
+	if a.CutEdges != b.CutEdges || a.K() != b.K() {
+		t.Fatal("partition not deterministic")
+	}
+	for s := range a.Nodes {
+		if len(a.Nodes[s]) != len(b.Nodes[s]) {
+			t.Fatalf("shard %d sizes differ", s)
+		}
+		for i := range a.Nodes[s] {
+			if a.Nodes[s][i] != b.Nodes[s][i] {
+				t.Fatalf("shard %d node order differs at %d", s, i)
+			}
+		}
+	}
+}

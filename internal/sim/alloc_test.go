@@ -71,6 +71,8 @@ func TestEngineAllocsPerRound(t *testing.T) {
 		{"sequential", Options{Engine: Sequential}, 0.5},
 		{"parallel-2", Options{Engine: Parallel, Workers: 2}, 2},
 		{"parallel-4", Options{Engine: Parallel, Workers: 4}, 2},
+		{"sharded-2", Options{Engine: Sharded, Workers: 2}, 2},
+		{"sharded-4", Options{Engine: Sharded, Workers: 4}, 2},
 	}
 	for _, c := range cases {
 		t.Run("broadcast/"+c.name, func(t *testing.T) {

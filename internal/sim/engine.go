@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"anoncover/internal/graph"
+	"anoncover/internal/shard"
 )
 
 // RunPort executes port-numbering-model programs (one per node) for the
@@ -64,6 +65,12 @@ func (r *runner) run(rounds int) Stats {
 			w = runtime.GOMAXPROCS(0)
 		}
 		return r.runBarrier(rounds, w)
+	case Sharded:
+		k := r.opt.Workers
+		if k <= 0 {
+			k = runtime.GOMAXPROCS(0)
+		}
+		return r.runSharded(rounds, k)
 	case CSP:
 		if r.opt.OnRound != nil {
 			panic("sim: OnRound hook is not supported by the CSP engine")
@@ -88,10 +95,14 @@ func count(m Message, msgs, bytes *int64) {
 }
 
 // flatten returns the CSR view of top, reusing it when top already is
-// one (e.g. the caller pre-flattened a topology shared across runs).
+// one (e.g. the caller pre-flattened a topology shared across runs) or
+// carries one (a pre-built sharded view).
 func flatten(top Topology) *graph.FlatTopology {
-	if ft, ok := top.(*graph.FlatTopology); ok {
-		return ft
+	switch t := top.(type) {
+	case *graph.FlatTopology:
+		return t
+	case *shard.Topology:
+		return t.Flat()
 	}
 	return graph.Flatten(top)
 }
@@ -233,6 +244,15 @@ func (r *runner) runBarrier(rounds, workers int) Stats {
 			r.recvFlat(v)
 		}
 	}
+	return r.runPhases(rounds, workers, body, counts)
+}
+
+// runPhases drives the shared round loop of the barrier-family engines
+// (Sequential, Parallel, Sharded): a send phase and a receive phase per
+// round, dispatched over a persistent worker pool (or run inline when
+// workers == 1), with optional per-round tracing and the OnRound hook.
+// counts holds one per-worker tally that is summed into the Stats.
+func (r *runner) runPhases(rounds, workers int, body func(w, phase int), counts []counters) Stats {
 	var pool *workerPool
 	if workers > 1 {
 		pool = newWorkerPool(workers, body)
@@ -285,6 +305,12 @@ func (r *runner) runBarrier(rounds, workers int) Stats {
 // ports): a node can run at most one round ahead of its neighbours, which
 // a one-slot buffer absorbs, so the system is deadlock-free without any
 // global barrier.
+//
+// The engine allocates its 2M channels afresh on every run and spawns a
+// goroutine per node; it is deliberately kept in this naive shape as a
+// semantic reference — an independently structured implementation the
+// equivalence suite checks the optimized engines against — and is
+// excluded from the bench matrix.
 func (r *runner) runCSP(rounds int) Stats {
 	n := r.n()
 	maxEdge := -1

@@ -12,14 +12,16 @@ import (
 	"anoncover/internal/graph"
 	"anoncover/internal/rational"
 	"anoncover/internal/selfstab"
+	"anoncover/internal/shard"
 	"anoncover/internal/sim"
 )
 
 // This file is the cross-engine equivalence suite: for every algorithm
 // package in the repo it asserts that the Sequential reference engine,
-// the Parallel engine at several pool sizes, and the CSP engine produce
-// bit-identical outputs and identical message/byte statistics, across
-// multiple graph families and broadcast scramble seeds.  It is the
+// the Parallel engine at several pool sizes, the Sharded
+// partitioned-graph engine at several shard counts, and the CSP engine
+// produce bit-identical outputs and identical message/byte statistics,
+// across multiple graph families and broadcast scramble seeds.  It is the
 // contract that lets the engines be rewritten for speed (as PR 1 did)
 // without touching algorithm code.  (The colour package is a pure
 // library with no engine dependence; it is exercised here through
@@ -39,6 +41,8 @@ func engineVariants() []engineVariant {
 		{"sequential", sim.Sequential, 0},
 		{"parallel-2", sim.Parallel, 2},
 		{fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), sim.Parallel, runtime.GOMAXPROCS(0)},
+		{"sharded-2", sim.Sharded, 2},
+		{"sharded-4", sim.Sharded, 4},
 		{"csp", sim.CSP, 0},
 	}
 }
@@ -219,6 +223,41 @@ func TestEquivFlatTopologyAsInput(t *testing.T) {
 					for v := range refOut {
 						if fmt.Sprintf("%v", gotOut[v]) != fmt.Sprintf("%v", refOut[v]) {
 							t.Fatalf("node %d output diverges on flat topology", v)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestEquivShardedTopologyAsInput: passing a pre-built sharded view to
+// the engines must be indistinguishable from passing the original graph
+// — the sharded engine reuses its partition and routing, every other
+// engine sees it as a plain port structure.
+func TestEquivShardedTopologyAsInput(t *testing.T) {
+	for name, g := range vcFamilies() {
+		t.Run(name, func(t *testing.T) {
+			ref := edgepack.Run(g, edgepack.Options{Engine: sim.Sequential})
+			st := shard.BuildK(g.Flat(), 4)
+			params := sim.GraphParams(g)
+			envs := sim.GraphEnvs(g, params)
+			for _, ev := range engineVariants() {
+				t.Run(ev.name, func(t *testing.T) {
+					progs := make([]sim.PortProgram, g.N())
+					nodes := make([]*edgepack.Program, g.N())
+					for v := range progs {
+						nodes[v] = edgepack.New(envs[v])
+						progs[v] = nodes[v]
+					}
+					stats := sim.RunPort(st, progs, edgepack.Rounds(params), sim.Options{
+						Engine: ev.engine, Workers: ev.workers,
+					})
+					mustEqualStats(t, ref.Stats, stats)
+					for v := range nodes {
+						nr := nodes[v].Output().(edgepack.NodeResult)
+						if nr.InCover != ref.Cover[v] {
+							t.Fatalf("node %d cover bit diverges on sharded topology", v)
 						}
 					}
 				})

@@ -91,27 +91,32 @@ func TestEngineFuzzPortModel(t *testing.T) {
 		for v := range seeds {
 			seeds[v] = r.Uint64()
 		}
-		run := func(eng Engine) []uint64 {
+		run := func(opt Options) []uint64 {
 			progs := make([]PortProgram, n)
 			nodes := make([]*chaosProg, n)
 			for v := range progs {
 				nodes[v] = &chaosProg{deg: g.Deg(v), state: seeds[v]}
 				progs[v] = nodes[v]
 			}
-			RunPort(g, progs, rounds, Options{Engine: eng})
+			RunPort(g, progs, rounds, opt)
 			out := make([]uint64, n)
 			for v := range out {
 				out[v] = nodes[v].state
 			}
 			return out
 		}
-		ref := run(Sequential)
-		for _, eng := range []Engine{Parallel, CSP} {
-			got := run(eng)
+		ref := run(Options{Engine: Sequential})
+		for _, opt := range []Options{
+			{Engine: Parallel},
+			{Engine: CSP},
+			{Engine: Sharded, Workers: 2},
+			{Engine: Sharded, Workers: 5},
+		} {
+			got := run(opt)
 			for v := range ref {
 				if got[v] != ref[v] {
-					t.Fatalf("trial %d engine %v: node %d state %x != %x",
-						trial, eng, v, got[v], ref[v])
+					t.Fatalf("trial %d engine %v/%d: node %d state %x != %x",
+						trial, opt.Engine, opt.Workers, v, got[v], ref[v])
 				}
 			}
 		}
@@ -147,7 +152,7 @@ func TestEngineFuzzBroadcast(t *testing.T) {
 			return out
 		}
 		ref := run(Sequential, 0)
-		for _, eng := range []Engine{Sequential, Parallel, CSP} {
+		for _, eng := range []Engine{Sequential, Parallel, Sharded, CSP} {
 			for _, scr := range []int64{0, 1, 999} {
 				got := run(eng, scr)
 				for v := range ref {

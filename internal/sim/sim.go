@@ -16,19 +16,30 @@
 //
 // Programs are deterministic state machines that see only their own
 // degree, weight, node kind and the global parameters — never node
-// identifiers or n.  Three engines execute them: a sequential reference
-// engine, a data-parallel engine that shards nodes across a persistent
+// identifiers or n.  Four engines execute them: a sequential reference
+// engine, a data-parallel engine that splits nodes across a persistent
 // worker pool (goroutines started once per run, re-dispatched each phase
-// over per-worker channels), and a CSP engine that runs one goroutine
-// per node with channel-per-edge lockstep.
+// over per-worker channels), a sharded engine that runs a degree-balanced
+// graph partition (internal/shard) with one pinned worker per shard and
+// halo exchange on the cut edges, and a CSP engine that runs one
+// goroutine per node with channel-per-edge lockstep (kept as a semantic
+// reference and test oracle).
 //
 // The Sequential and Parallel engines deliver messages through a flat
 // inbox: one contiguous []Message indexed by per-node CSR offsets
 // (graph.FlatTopology), so the message arriving at node v through port p
-// lives at slot Off(v)+p.  Both *graph.G and *bipartite.Instance are
-// flattened through the same compact path, and a pre-built
-// *graph.FlatTopology may be passed as the Topology directly to amortize
-// flattening across runs.  The steady state of a run is allocation-free.
+// lives at slot Off(v)+p.  The Sharded engine splits that inbox into one
+// compact inbox per shard plus double-buffered halo buffers for the cut
+// edges, routed through precomputed per-half-edge tables.  Both *graph.G
+// and *bipartite.Instance are flattened through the same compact path,
+// and a pre-built *graph.FlatTopology (or *shard.Topology, which
+// additionally amortizes partitioning) may be passed as the Topology
+// directly to amortize flattening across runs.  The steady state of a
+// run is allocation-free.
+//
+// Sharding is an execution detail only: observable behaviour — outputs
+// and Stats — must stay bit-identical to the synchronous port-numbering
+// semantics of the sequential reference engine, whatever the partition.
 //
 // All engines produce bit-identical outputs and identical
 // Messages/Bytes statistics, which equiv_test.go locks down across every
@@ -126,12 +137,23 @@ const (
 	// Sequential is the reference engine: one thread, nodes stepped in
 	// index order.
 	Sequential Engine = iota
-	// Parallel shards nodes across a worker pool with a barrier per
-	// phase (send, then receive).
+	// Parallel shards nodes into contiguous index ranges across a
+	// worker pool with a barrier per phase (send, then receive), all
+	// workers sharing the one global inbox.
 	Parallel
 	// CSP runs one goroutine per node; rounds emerge from cap-1
-	// channel communication with no global barrier.
+	// channel communication with no global barrier.  It allocates two
+	// channels per edge on every run and is retained as a semantic
+	// reference and equivalence-test oracle, not a throughput engine;
+	// the bench matrix excludes it.
 	CSP
+	// Sharded partitions the topology into degree-balanced shards
+	// (internal/shard), one pinned worker per shard, each stepping its
+	// nodes against a compact local inbox via a precomputed route
+	// table; cut-edge messages cross through double-buffered halo
+	// buffers flushed at the phase barrier.  Options.Workers sets the
+	// shard count.
+	Sharded
 )
 
 func (e Engine) String() string {
@@ -142,14 +164,18 @@ func (e Engine) String() string {
 		return "parallel"
 	case CSP:
 		return "csp"
+	case Sharded:
+		return "sharded"
 	}
 	return fmt.Sprintf("engine(%d)", int(e))
 }
 
 // Options configure a run.
 type Options struct {
-	Engine  Engine
-	Workers int // Parallel engine pool size; 0 means GOMAXPROCS
+	Engine Engine
+	// Workers is the Parallel engine's pool size and the Sharded
+	// engine's shard count; 0 means GOMAXPROCS.
+	Workers int
 	// ScrambleSeed, when non-zero, shuffles broadcast delivery order
 	// deterministically per (node, round).  Correct broadcast programs
 	// must produce identical outputs for every seed.
