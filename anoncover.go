@@ -16,12 +16,38 @@
 //     weaker broadcast model via full-history simulation, in
 //     O(Δ² + Δ·log* W) rounds (Section 5).
 //
-// Quick start:
+// Quick start (one-shot):
 //
 //	g := anoncover.RandomGraph(1000, 2500, 6, 42)
 //	g.WeighRandom(100, 7)
 //	res := anoncover.VertexCover(g)
 //	fmt.Println(res.Weight, res.Rounds)
+//
+// # Solver sessions
+//
+// The algorithms themselves are cheap per round; what a service pays
+// for on every one-shot call is the setup around them — building the
+// flat CSR topology, partitioning for the sharded engine, spinning a
+// worker pool.  Compile separates the two: it performs all of that
+// once and returns a Solver whose runs reuse it, so repeated queries
+// over the same graph pay only for their rounds.
+//
+//	s, err := anoncover.Compile(g, anoncover.WithEngine(anoncover.EngineSharded))
+//	if err != nil { ... }
+//	defer s.Close()
+//	for i := 0; i < 1000; i++ {
+//		res, err := s.VertexCover(ctx)
+//		...
+//	}
+//
+// A Solver is safe for concurrent callers: per-run state (inboxes,
+// halo buffers, worker pools) is checked out of internal pools, while
+// the compiled topology is shared read-only.  Runs accept a context
+// (cancellation and deadlines are honoured at the round barrier),
+// WithRoundBudget to cap the rounds a request may consume, and
+// WithObserver to stream per-round progress.  CompileSetCover is the
+// bipartite analogue for SetCover.  The one-shot functions above
+// remain as thin wrappers over a throwaway Solver.
 //
 // All algorithms run on one of four interchangeable engines — a
 // sequential reference, a worker-pool parallel engine, a sharded
@@ -33,6 +59,8 @@
 package anoncover
 
 import (
+	"context"
+	"fmt"
 	"math/big"
 
 	"anoncover/internal/bipartite"
@@ -82,12 +110,42 @@ func (e Engine) internal() sim.Engine {
 }
 
 type config struct {
-	engine   Engine
-	workers  int
-	scramble int64
-	delta    int
-	f, k     int
-	maxW     int64
+	engine    Engine
+	workers   int
+	scramble  int64
+	delta     int
+	f, k      int
+	maxW      int64
+	budget    int
+	observer  func(RoundInfo)
+	earlyExit bool
+}
+
+// validate rejects option combinations that cannot be served; it is the
+// single gate both Compile and every run pass through, so misuse is an
+// error rather than silent misbehaviour.
+func (c *config) validate() error {
+	switch c.engine {
+	case EngineSequential, EngineParallel, EngineCSP, EngineSharded:
+	default:
+		return fmt.Errorf("anoncover: unknown engine %d", int(c.engine))
+	}
+	if c.workers < 0 {
+		return fmt.Errorf("anoncover: WithWorkers(%d): worker count must be >= 0", c.workers)
+	}
+	if c.delta < 0 {
+		return fmt.Errorf("anoncover: WithDegreeBound(%d): bound must be >= 0", c.delta)
+	}
+	if c.maxW < 0 {
+		return fmt.Errorf("anoncover: WithWeightBound(%d): bound must be >= 0", c.maxW)
+	}
+	if c.f < 0 || c.k < 0 {
+		return fmt.Errorf("anoncover: WithSetCoverBounds(%d, %d): bounds must be >= 0", c.f, c.k)
+	}
+	if c.budget < 0 {
+		return fmt.Errorf("anoncover: WithRoundBudget(%d): budget must be >= 0", c.budget)
+	}
+	return nil
 }
 
 // Option configures an algorithm run.
@@ -99,6 +157,26 @@ func WithEngine(e Engine) Option { return func(c *config) { c.engine = e } }
 // WithWorkers sets the worker-pool size for EngineParallel and the
 // shard count for EngineSharded.
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithRoundBudget caps the number of synchronous rounds a run may
+// execute.  A run whose schedule needs more stops at the budget
+// boundary and returns ErrRoundBudget — the distributed analogue of a
+// request timeout, enforced at the round barrier.
+func WithRoundBudget(n int) Option { return func(c *config) { c.budget = n } }
+
+// WithObserver streams per-round progress: fn is called after every
+// completed round, on the goroutine driving the run, with cumulative
+// message statistics.  Supported by the Sequential, Parallel and
+// Sharded engines; a run on EngineCSP (which has no round barrier)
+// returns an error if an observer is set.
+func WithObserver(fn func(RoundInfo)) Option { return func(c *config) { c.observer = fn } }
+
+// WithEarlyExit lets SetCover stop at an iteration boundary once the
+// packing is already maximal.  This is a simulator-side optimisation:
+// real anonymous nodes cannot detect global saturation, so the
+// result's ScheduledRounds stays the honest deterministic cost while
+// Rounds reports what the simulator actually executed.
+func WithEarlyExit() Option { return func(c *config) { c.earlyExit = true } }
 
 // WithScrambleSeed shuffles broadcast delivery order deterministically;
 // correct broadcast algorithms give identical results for every seed.
@@ -182,12 +260,18 @@ func newVCResult(g *graph.G, y []rational.Rat, cover []bool, rounds int, st sim.
 // VertexCover runs the Section 3 algorithm on g: a deterministic
 // 2-approximation of minimum-weight vertex cover in O(Δ + log* W)
 // synchronous rounds in the anonymous port-numbering model.
+//
+// It is a thin wrapper over a throwaway Solver and panics on invalid
+// options; services issuing many runs should Compile once and use the
+// session API, which also reports errors instead of panicking.
 func VertexCover(g *Graph, opts ...Option) *VertexCoverResult {
-	c := buildConfig(opts)
-	res := edgepack.Run(g.g, edgepack.Options{
-		Engine: c.engine.internal(), Workers: c.workers, Delta: c.delta, W: c.maxW,
-	})
-	return newVCResult(g.g, res.Y, res.Cover, res.Rounds, res.Stats)
+	s := mustCompile(Compile(g, opts...))
+	defer s.Close()
+	res, err := s.VertexCover(context.Background())
+	if err != nil {
+		panic(err.Error())
+	}
+	return res
 }
 
 // MaximalEdgePacking is an alias for VertexCover emphasising the primal
@@ -199,13 +283,21 @@ func MaximalEdgePacking(g *Graph, opts ...Option) *VertexCoverResult {
 // VertexCoverBroadcast runs the Section 5 algorithm: the same guarantee
 // as VertexCover but in the strictly weaker broadcast model, paying
 // O(Δ² + Δ·log* W) rounds and linearly growing messages.
+// WithDegreeBound and WithWeightBound inflate the schedule exactly as
+// they do for VertexCover (the declared Δ sizes the simulated set-cover
+// instance).
+//
+// Like VertexCover, it is a wrapper over a throwaway Solver and panics
+// on invalid options; prefer Compile + Solver.VertexCoverBroadcast for
+// serving.
 func VertexCoverBroadcast(g *Graph, opts ...Option) *VertexCoverResult {
-	c := buildConfig(opts)
-	res := bcastvc.Run(g.g, bcastvc.Options{
-		Engine: c.engine.internal(), Workers: c.workers, ScrambleSeed: c.scramble,
-	})
-	out := newVCResult(g.g, res.Y, res.Cover, res.Rounds, res.Stats)
-	return out
+	s := mustCompile(Compile(g, opts...))
+	defer s.Close()
+	res, err := s.VertexCoverBroadcast(context.Background())
+	if err != nil {
+		panic(err.Error())
+	}
+	return res
 }
 
 // SetCoverResult holds a maximal fractional packing and the induced
@@ -240,27 +332,21 @@ func (r *SetCoverResult) Verify() error {
 // SetCover runs the Section 4 algorithm on ins: a deterministic
 // f-approximation of minimum-weight set cover in O(f²k² + fk·log* W)
 // rounds in the anonymous broadcast model.
+//
+// It is a thin wrapper over a throwaway SetCoverSolver and panics on
+// invalid options or an uncoverable instance; prefer CompileSetCover
+// for serving.
 func SetCover(ins *SetCoverInstance, opts ...Option) *SetCoverResult {
-	c := buildConfig(opts)
-	res := fracpack.Run(ins.ins, fracpack.Options{
-		Engine: c.engine.internal(), Workers: c.workers, ScrambleSeed: c.scramble,
-		F: c.f, K: c.k, W: c.maxW,
-	})
-	out := &SetCoverResult{
-		Cover:           res.Cover,
-		Packing:         make([]*big.Rat, len(res.Y)),
-		Weight:          res.CoverWeight(ins.ins),
-		Rounds:          res.Rounds,
-		ScheduledRounds: res.ScheduledRounds,
-		Messages:        res.Stats.Messages,
-		Bytes:           res.Stats.Bytes,
-		ins:             ins.ins,
-		y:               res.Y,
+	s, err := CompileSetCover(ins, opts...)
+	if err != nil {
+		panic(err.Error())
 	}
-	for u, v := range res.Y {
-		out.Packing[u] = v.Big()
+	defer s.Close()
+	res, err := s.SetCover(context.Background())
+	if err != nil {
+		panic(err.Error())
 	}
-	return out
+	return res
 }
 
 // MaximalFractionalPacking is an alias for SetCover emphasising the

@@ -5,6 +5,7 @@
 package anoncover
 
 import (
+	"context"
 	"math/big"
 	"testing"
 
@@ -32,7 +33,7 @@ func BenchmarkTable1_ThisWork(b *testing.B) {
 	g := table1Graph()
 	var rounds int
 	for i := 0; i < b.N; i++ {
-		rounds = edgepack.Run(g, edgepack.Options{}).Rounds
+		rounds = edgepack.MustRun(g, edgepack.Options{}).Rounds
 	}
 	b.ReportMetric(float64(rounds), "rounds")
 }
@@ -78,7 +79,7 @@ func BenchmarkTheorem1_RoundsVsDelta(b *testing.B) {
 			graph.RandomWeights(g, 8, int64(d))
 			var rounds int
 			for i := 0; i < b.N; i++ {
-				rounds = edgepack.Run(g, edgepack.Options{}).Rounds
+				rounds = edgepack.MustRun(g, edgepack.Options{}).Rounds
 			}
 			b.ReportMetric(float64(rounds), "rounds")
 		})
@@ -94,7 +95,7 @@ func BenchmarkTheorem1_NIndependence(b *testing.B) {
 			graph.UniformWeights(g, 5)
 			var rounds int
 			for i := 0; i < b.N; i++ {
-				rounds = edgepack.Run(g, edgepack.Options{}).Rounds
+				rounds = edgepack.MustRun(g, edgepack.Options{}).Rounds
 			}
 			b.ReportMetric(float64(rounds), "rounds")
 		})
@@ -111,7 +112,7 @@ func BenchmarkTheorem1_RoundsVsW(b *testing.B) {
 			}
 			var rounds int
 			for i := 0; i < b.N; i++ {
-				rounds = edgepack.Run(g, edgepack.Options{}).Rounds
+				rounds = edgepack.MustRun(g, edgepack.Options{}).Rounds
 			}
 			b.ReportMetric(float64(rounds), "rounds")
 		})
@@ -126,7 +127,7 @@ func BenchmarkTheorem2_RoundsVsFK(b *testing.B) {
 			ins := bipartite.Random(20, 20, f, k, 4, int64(f*10+k))
 			var rounds int
 			for i := 0; i < b.N; i++ {
-				rounds = fracpack.Run(ins, fracpack.Options{}).Rounds
+				rounds = fracpack.MustRun(ins, fracpack.Options{}).Rounds
 			}
 			b.ReportMetric(float64(rounds), "rounds")
 		})
@@ -140,7 +141,7 @@ func BenchmarkApproxRatio_VC(b *testing.B) {
 	_, opt := exact.VertexCover(g)
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		res := edgepack.Run(g, edgepack.Options{})
+		res := edgepack.MustRun(g, edgepack.Options{})
 		ratio = float64(res.CoverWeight(g)) / float64(opt)
 	}
 	b.ReportMetric(ratio, "ratio")
@@ -152,7 +153,7 @@ func BenchmarkApproxRatio_SC(b *testing.B) {
 	_, opt := exact.SetCover(ins)
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		res := fracpack.Run(ins, fracpack.Options{})
+		res := fracpack.MustRun(ins, fracpack.Options{})
 		ratio = float64(res.CoverWeight(ins)) / float64(opt)
 	}
 	b.ReportMetric(ratio, "ratio")
@@ -177,7 +178,7 @@ func BenchmarkFigure1_Trace(b *testing.B) {
 	ins := figure1Instance()
 	var w int64
 	for i := 0; i < b.N; i++ {
-		w = fracpack.Run(ins, fracpack.Options{}).CoverWeight(ins)
+		w = fracpack.MustRun(ins, fracpack.Options{}).CoverWeight(ins)
 	}
 	b.ReportMetric(float64(w), "cover-weight")
 }
@@ -220,7 +221,7 @@ func BenchmarkFigure3_SymmetricLowerBound(b *testing.B) {
 	ins := bipartite.SymmetricKpp(4)
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		res := fracpack.Run(ins, fracpack.Options{})
+		res := fracpack.MustRun(ins, fracpack.Options{})
 		ratio = float64(res.CoverWeight(ins)) // OPT = 1
 	}
 	b.ReportMetric(ratio, "ratio")
@@ -251,7 +252,7 @@ func BenchmarkSection5_BroadcastVC(b *testing.B) {
 	graph.RandomWeights(g, 5, 8)
 	var rounds int
 	for i := 0; i < b.N; i++ {
-		rounds = bcastvc.Run(g, bcastvc.Options{}).Rounds
+		rounds = bcastvc.MustRun(g, bcastvc.Options{}).Rounds
 	}
 	b.ReportMetric(float64(rounds), "rounds")
 }
@@ -262,7 +263,7 @@ func BenchmarkSection5_HistoryBytes(b *testing.B) {
 	graph.RandomWeights(g, 6, 2)
 	var maxBytes int
 	for i := 0; i < b.N; i++ {
-		maxBytes = bcastvc.Run(g, bcastvc.Options{}).MaxMsgBytes
+		maxBytes = bcastvc.MustRun(g, bcastvc.Options{}).MaxMsgBytes
 	}
 	b.ReportMetric(float64(maxBytes), "max-msg-bytes")
 }
@@ -272,7 +273,7 @@ func BenchmarkSection7_Frucht(b *testing.B) {
 	g := graph.Frucht()
 	third := rational.FromFrac(1, 3)
 	for i := 0; i < b.N; i++ {
-		res := bcastvc.Run(g, bcastvc.Options{})
+		res := bcastvc.MustRun(g, bcastvc.Options{})
 		for _, y := range res.Y {
 			if !y.Equal(third) {
 				b.Fatal("Section 7 prediction violated")
@@ -288,7 +289,7 @@ func BenchmarkEngines(b *testing.B) {
 	for _, eng := range []sim.Engine{sim.Sequential, sim.Parallel, sim.CSP} {
 		b.Run(eng.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				edgepack.Run(g, edgepack.Options{Engine: eng})
+				edgepack.MustRun(g, edgepack.Options{Engine: eng})
 			}
 		})
 	}
@@ -302,7 +303,7 @@ func BenchmarkAblation_PhaseII(b *testing.B) {
 	b.Run("forests-anonymous", func(b *testing.B) {
 		var rounds int
 		for i := 0; i < b.N; i++ {
-			rounds = edgepack.Run(g, edgepack.Options{}).Rounds
+			rounds = edgepack.MustRun(g, edgepack.Options{}).Rounds
 		}
 		b.ReportMetric(float64(rounds), "rounds")
 	})
@@ -350,14 +351,14 @@ func BenchmarkAblation_EarlyExit(b *testing.B) {
 	b.Run("full-schedule", func(b *testing.B) {
 		var rounds int
 		for i := 0; i < b.N; i++ {
-			rounds = fracpack.Run(ins, fracpack.Options{}).Rounds
+			rounds = fracpack.MustRun(ins, fracpack.Options{}).Rounds
 		}
 		b.ReportMetric(float64(rounds), "rounds")
 	})
 	b.Run("early-exit", func(b *testing.B) {
 		var rounds int
 		for i := 0; i < b.N; i++ {
-			rounds = fracpack.Run(ins, fracpack.Options{EarlyExit: true}).Rounds
+			rounds = fracpack.MustRun(ins, fracpack.Options{EarlyExit: true}).Rounds
 		}
 		b.ReportMetric(float64(rounds), "rounds")
 	})
@@ -368,12 +369,50 @@ func BenchmarkAblation_EarlyExit(b *testing.B) {
 func BenchmarkDualityCheck(b *testing.B) {
 	g := graph.RandomBoundedDegree(2000, 5000, 6, 13)
 	graph.RandomWeights(g, 40, 14)
-	res := edgepack.Run(g, edgepack.Options{})
+	res := edgepack.MustRun(g, edgepack.Options{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := check.VCDualityCertificate(g, res.Y, res.Cover); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSolverReuse: the session API's amortization claim.  The
+// oneshot variant pays the full per-call setup (flatten, shard
+// partition, worker spawn) on every run; the solver variant compiles
+// once and serves repeated runs from the session's pooled resources.
+// BENCH_3.json records the same comparison machine-readably (`go run
+// ./cmd/experiments -exp bench`).
+func BenchmarkSolverReuse(b *testing.B) {
+	families := []struct {
+		name string
+		g    *Graph
+	}{
+		{"grid-100x100", GridGraph(100, 100)},
+		{"powerlaw-2000", PowerLawBoundedGraph(2000, 3, 12, 9)},
+	}
+	for _, fam := range families {
+		fam.g.WeighRandom(9, 10)
+		opts := []Option{WithEngine(EngineSharded), WithWorkers(4)}
+		b.Run(fam.name+"/oneshot", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				VertexCover(fam.g, opts...)
+			}
+		})
+		b.Run(fam.name+"/solver", func(b *testing.B) {
+			s, err := Compile(fam.g, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.VertexCover(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
+	"anoncover"
 	"anoncover/internal/bipartite"
 	"anoncover/internal/graph"
 	"anoncover/internal/shard"
@@ -23,6 +26,17 @@ import (
 type benchRow struct {
 	Engine  string `json:"engine"`
 	Workers int    `json:"workers"`
+	// Mode distinguishes the solver-reuse comparison rows: "oneshot"
+	// pays the full per-call setup on every run, "solver" serves runs
+	// from one compiled session.  Empty for the engine-matrix rows,
+	// which pre-build their topologies either way.
+	Mode string `json:"mode,omitempty"`
+	// Workload names the solver-reuse workload: "vertexcover" is the
+	// real algorithm through the public API (per-run cost dominated by
+	// the rounds themselves), "throughput-20r" the 20-round message
+	// workload of the engine matrix (per-run cost dominated by setup,
+	// the request shape the session API exists for).
+	Workload string `json:"workload,omitempty"`
 	// Gomaxprocs is runtime.GOMAXPROCS(0) during this row's run; for
 	// parallel and sharded rows it is forced to at least Workers.
 	Gomaxprocs     int     `json:"gomaxprocs"`
@@ -161,7 +175,10 @@ func benchMatrix(path string) {
 				runtime.GOMAXPROCS(procs)
 			}
 			start := time.Now()
-			stats := sim.RunBroadcast(top, progs, rounds, opt)
+			stats, err := sim.RunBroadcast(top, progs, rounds, opt)
+			if err != nil {
+				panic(err)
+			}
 			wall := time.Since(start)
 			if procs != base {
 				runtime.GOMAXPROCS(base)
@@ -201,6 +218,7 @@ func benchMatrix(path string) {
 				row.NsPerNodeRound, row.AllocsPerRound)
 		}
 	}
+	solverReuseRows(&file)
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		panic(err)
@@ -209,4 +227,157 @@ func benchMatrix(path string) {
 		panic(err)
 	}
 	fmt.Printf("\nwrote %d rows to %s\n", len(file.Rows), path)
+}
+
+// solverReuseRows measures the session API's compile-once amortization
+// through the public package: anoncover.VertexCover (one-shot, paying
+// flatten + shard partition + worker spawn per call) against repeated
+// runs on one compiled anoncover.Solver.  Real algorithm, real graphs;
+// the per-run delta is the serving cost the session API removes.
+func solverReuseRows(file *benchFile) {
+	fmt.Println("\nsolver reuse: one-shot vs compiled session (VertexCover, sharded-4)")
+	fmt.Println("| family | n | mode | per-run | ns/node/round |")
+	fmt.Println("|---|---|---|---|---|")
+	scens := []struct {
+		family string
+		g      *anoncover.Graph
+	}{
+		{"grid-100x100", anoncover.GridGraph(100, 100)},
+		{"powerlaw-2000", anoncover.PowerLawBoundedGraph(2000, 3, 12, 9)},
+	}
+	const runs = 9
+	const workers = 4
+	base := runtime.GOMAXPROCS(0)
+	procs := base
+	if workers > procs {
+		procs = workers
+		runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(base)
+	}
+	opts := []anoncover.Option{
+		anoncover.WithEngine(anoncover.EngineSharded), anoncover.WithWorkers(workers),
+	}
+	for _, sc := range scens {
+		sc.g.WeighRandom(9, 10)
+		oneshot := func() *anoncover.VertexCoverResult {
+			return anoncover.VertexCover(sc.g, opts...)
+		}
+		s, err := anoncover.Compile(sc.g, opts...)
+		if err != nil {
+			panic(err)
+		}
+		reuse := func() *anoncover.VertexCoverResult {
+			res, err := s.VertexCover(context.Background())
+			if err != nil {
+				panic(err)
+			}
+			return res
+		}
+		// The per-run delta (the amortized setup) is a few percent of a
+		// full algorithm run, so sample the two modes interleaved with
+		// a normalized heap and report the medians — machine drift or a
+		// GC cycle landing inside one sample would otherwise drown it.
+		res := oneshot() // warmup; also records the scenario's stats
+		reuse()
+		sample := func(run func() *anoncover.VertexCoverResult) int64 {
+			runtime.GC()
+			start := time.Now()
+			run()
+			return time.Since(start).Nanoseconds()
+		}
+		oneSamples := make([]int64, 0, runs)
+		reuseSamples := make([]int64, 0, runs)
+		for i := 0; i < runs; i++ {
+			oneSamples = append(oneSamples, sample(oneshot))
+			reuseSamples = append(reuseSamples, sample(reuse))
+		}
+		s.Close()
+		emit := func(mode string, samples []int64) {
+			sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+			per := samples[len(samples)/2]
+			row := benchRow{
+				Engine: "sharded-4", Workers: workers, Mode: mode,
+				Workload:   "vertexcover",
+				Gomaxprocs: procs, Family: sc.family, N: sc.g.N(),
+				HalfEdges: 2 * sc.g.M(), Rounds: res.Rounds,
+				Messages: res.Messages, Bytes: res.Bytes, WallNS: per,
+				NsPerNodeRound: float64(per) / float64(res.Rounds) / float64(sc.g.N()),
+			}
+			file.Rows = append(file.Rows, row)
+			fmt.Printf("| %s | %d | %s | %v | %.1f |\n", sc.family, sc.g.N(), mode,
+				time.Duration(per).Round(time.Microsecond), row.NsPerNodeRound)
+		}
+		emit("oneshot", oneSamples)
+		emit("solver", reuseSamples)
+	}
+	solverReuseThroughputRows(file, procs)
+}
+
+// solverReuseThroughputRows is the same comparison on the engine
+// matrix's 20-round message workload — the many-cheap-requests shape
+// the session API is built for, where per-call setup (flatten,
+// partition, worker spawn, inbox allocation) dominates.  The oneshot
+// mode rebuilds everything per run exactly as a one-shot call does;
+// the solver mode runs against the session's pre-built sharded view
+// and sim.Pool.
+func solverReuseThroughputRows(file *benchFile, procs int) {
+	fmt.Println("\nsolver reuse: 20-round throughput workload (sharded-4)")
+	fmt.Println("| family | n | mode | per-run | ns/node/round |")
+	fmt.Println("|---|---|---|---|---|")
+	const rounds = 20
+	const runs = 20
+	const workers = 4
+	scens := []struct {
+		family string
+		g      *graph.G
+	}{
+		{"grid-100x100", graph.Grid(100, 100)},
+		{"powerlaw-10000", graph.PowerLaw(10000, 3, 10001)},
+	}
+	for _, sc := range scens {
+		n := sc.g.N()
+		runOnce := func(top sim.Topology, pool *sim.Pool) sim.Stats {
+			progs := make([]sim.BroadcastProgram, n)
+			for v := range progs {
+				progs[v] = &throughputProg{msg: uint64(3)}
+			}
+			stats, err := sim.RunBroadcast(top, progs, rounds, sim.Options{
+				Engine: sim.Sharded, Workers: workers, Pool: pool,
+			})
+			if err != nil {
+				panic(err)
+			}
+			return stats
+		}
+		measure := func(mode string, run func() sim.Stats) {
+			st := run() // warmup
+			start := time.Now()
+			for i := 0; i < runs; i++ {
+				run()
+			}
+			per := time.Since(start).Nanoseconds() / runs
+			row := benchRow{
+				Engine: "sharded-4", Workers: workers, Mode: mode,
+				Workload: "throughput-20r", Gomaxprocs: procs,
+				Family: sc.family, N: n, HalfEdges: 2 * sc.g.M(),
+				Rounds: st.Rounds, Messages: st.Messages, Bytes: st.Bytes,
+				WallNS:         per,
+				NsPerNodeRound: float64(per) / float64(rounds) / float64(n),
+			}
+			file.Rows = append(file.Rows, row)
+			fmt.Printf("| %s | %d | %s | %v | %.1f |\n", sc.family, n, mode,
+				time.Duration(per).Round(time.Microsecond), row.NsPerNodeRound)
+		}
+		measure("oneshot", func() sim.Stats {
+			// A one-shot call flattens, partitions and spins workers
+			// per request.
+			return runOnce(sc.g, nil)
+		})
+		st := shard.BuildK(graph.Flatten(sc.g), workers)
+		pool := sim.NewPool()
+		measure("solver", func() sim.Stats {
+			return runOnce(st, pool)
+		})
+		pool.Close()
+	}
 }

@@ -38,8 +38,8 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: e1..e13, a1, a3, bench, or all")
-	benchOut := flag.String("out", "BENCH_2.json", "output path for the -exp bench scenario matrix")
+	exp := flag.String("exp", "all", "experiment id: e1..e13, a1, a3, bench, reuse, or all")
+	benchOut := flag.String("out", "BENCH_3.json", "output path for the -exp bench scenario matrix")
 	flag.Parse()
 	all := map[string]func(){
 		"e1": e1Table1, "e2": e2RoundsVsDelta, "e3": e3RoundsVsW,
@@ -49,6 +49,7 @@ func main() {
 		"e13": e13SelfStab,
 		"a1":  a1PhaseBreakdown, "a3": a3EarlyExit,
 		"bench": func() { benchMatrix(*benchOut) },
+		"reuse": func() { var f benchFile; solverReuseRows(&f) },
 	}
 	if *exp == "all" {
 		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "a1", "a3"} {
@@ -117,7 +118,7 @@ func e1Table1() {
 		return baselines.EdgeColouringPacking(g).Cover
 	})})
 	rows = append(rows, row{"THIS WORK (Section 3)", "yes", "yes", "2", fmt.Sprintf("%d (O(Δ+log*W))", edgepack.Rounds(sim.Params{Delta: delta, W: 1})), worst(func(g *graph.G) []bool {
-		return edgepack.Run(g, edgepack.Options{}).Cover
+		return edgepack.MustRun(g, edgepack.Options{}).Cover
 	})})
 
 	fmt.Println("| algorithm | deterministic | weighted | approx (theory) | rounds (Δ=4, W=1) | worst measured ratio |")
@@ -143,8 +144,8 @@ func e2RoundsVsDelta() {
 		large := graph.RandomBoundedDegree(2000, 2000*d/3, d, int64(d))
 		graph.RandomWeights(large, 8, int64(d))
 		// Force the same Δ so the schedules agree.
-		rs := edgepack.Run(small, edgepack.Options{})
-		rl := edgepack.Run(large, edgepack.Options{})
+		rs := edgepack.MustRun(small, edgepack.Options{})
+		rl := edgepack.MustRun(large, edgepack.Options{})
 		sR, lR := "-", "-"
 		if small.MaxDegree() == d {
 			sR = fmt.Sprint(rs.Rounds)
@@ -190,7 +191,7 @@ func e4SetCoverRounds() {
 		p := sim.Params{F: f, K: k, W: 4}
 		sched := fracpack.Rounds(p)
 		ins := bipartite.Random(24, 24, f, k, 4, int64(f*k))
-		res := fracpack.Run(ins, fracpack.Options{EarlyExit: true})
+		res := fracpack.MustRun(ins, fracpack.Options{EarlyExit: true})
 		fmt.Printf("| %d | %d | %d | %d | %d |\n", f, k, (k-1)*f, sched, res.Rounds)
 	}
 	fmt.Println("\nThe schedule grows as D² = ((k-1)f)²; typical instances finish in far fewer iterations.")
@@ -216,7 +217,7 @@ func e5ApproxQuality() {
 		worst, sum, cnt := 0.0, 0.0, 0
 		for seed := int64(0); seed < 6; seed++ {
 			g := gen(seed)
-			res := edgepack.Run(g, edgepack.Options{})
+			res := edgepack.MustRun(g, edgepack.Options{})
 			_, opt := exact.VertexCover(g)
 			r := float64(res.CoverWeight(g)) / float64(opt)
 			if r > worst {
@@ -242,7 +243,7 @@ func e5ApproxQuality() {
 		for seed := int64(0); seed < 6; seed++ {
 			ins := gen(seed)
 			f = ins.MaxF()
-			res := fracpack.Run(ins, fracpack.Options{})
+			res := fracpack.MustRun(ins, fracpack.Options{})
 			_, opt := exact.SetCover(ins)
 			r := float64(res.CoverWeight(ins)) / float64(opt)
 			if r > worst {
@@ -313,7 +314,7 @@ func e6Figure1() {
 		}
 	}
 	fmt.Printf("newly saturated (black nodes): %s       (paper: u1 u2)\n", satStr)
-	full := fracpack.Run(ins, fracpack.Options{})
+	full := fracpack.MustRun(ins, fracpack.Options{})
 	fmt.Printf("full run: maximal packing after %d rounds; cover weight %d; f·Σy certificate holds: %v\n",
 		full.Rounds, full.CoverWeight(ins), check.SCDualityCertificate(ins, full.Y, full.Cover, ins.MaxF()) == nil)
 }
@@ -382,7 +383,7 @@ func e8Figure3() {
 	fmt.Println("|---|---|---|---|---|---|")
 	for _, p := range []int{2, 3, 4, 5} {
 		ins := lowerbound.SymmetricInstance(p)
-		res := fracpack.Run(ins, fracpack.Options{})
+		res := fracpack.MustRun(ins, fracpack.Options{})
 		if err := lowerbound.CheckSymmetricOutput(p, res.Cover); err != nil {
 			panic(err)
 		}
@@ -423,7 +424,7 @@ func e9Figure4() {
 		fmt.Printf("| %s | %s | %d | %.2f | %d | %.2f |\n",
 			name, local, size, lowerbound.Epsilon(n, p, size), len(is), lowerbound.GuaranteedIS(n, p, size))
 	}
-	res := fracpack.Run(ins, fracpack.Options{})
+	res := fracpack.MustRun(ins, fracpack.Options{})
 	report("this work (f-approx, anonymous)", "yes", res.Cover)
 	report("greedy set cover", "no", baselines.GreedySetCover(ins))
 	optCover, _ := exact.SetCover(ins)
@@ -440,11 +441,11 @@ func e10BroadcastVC() {
 	for _, d := range []int{2, 3, 4} {
 		g := graph.RandomBoundedDegree(12, 12*d/3, d, int64(d))
 		graph.RandomWeights(g, 6, int64(d))
-		res := bcastvc.Run(g, bcastvc.Options{})
+		res := bcastvc.MustRun(g, bcastvc.Options{})
 		if err := check.EdgePackingMaximal(g, res.Y); err != nil {
 			panic(err)
 		}
-		port := edgepack.Run(g, edgepack.Options{})
+		port := edgepack.MustRun(g, edgepack.Options{})
 		fmt.Printf("| %d | %d | %d | %d | %.2f |\n",
 			g.MaxDegree(), res.Rounds, port.Rounds, res.MaxMsgBytes, float64(res.Stats.Bytes)/1e6)
 	}
@@ -456,7 +457,7 @@ func e10BroadcastVC() {
 func e11Frucht() {
 	header("E11", "Section 7: forced symmetry on the Frucht graph")
 	g := graph.Frucht()
-	res := bcastvc.Run(g, bcastvc.Options{})
+	res := bcastvc.MustRun(g, bcastvc.Options{})
 	third := rational.FromFrac(1, 3)
 	allThird := true
 	for _, y := range res.Y {
@@ -477,8 +478,8 @@ func e11Frucht() {
 	base := graph.Frucht()
 	graph.RandomWeights(base, 9, 4)
 	lift := graph.Lift(base, 3, 5)
-	rb := bcastvc.Run(base, bcastvc.Options{})
-	rl := bcastvc.Run(lift, bcastvc.Options{})
+	rb := bcastvc.MustRun(base, bcastvc.Options{})
+	rl := bcastvc.MustRun(lift, bcastvc.Options{})
 	fibre := true
 	for v := 0; v < base.N(); v++ {
 		for i := 0; i < 3; i++ {
@@ -500,7 +501,7 @@ func e12Engines() {
 	var ref int64 = -1
 	for _, eng := range []sim.Engine{sim.Sequential, sim.Parallel, sim.Sharded, sim.CSP} {
 		start := time.Now()
-		res := edgepack.Run(g, edgepack.Options{Engine: eng})
+		res := edgepack.MustRun(g, edgepack.Options{Engine: eng})
 		el := time.Since(start)
 		w := res.CoverWeight(g)
 		if ref < 0 {
@@ -525,7 +526,7 @@ func e13SelfStab() {
 		factories[v] = func() sim.PortProgram { return edgepack.New(env) }
 	}
 	rounds := edgepack.Rounds(params)
-	ref := edgepack.Run(g, edgepack.Options{})
+	ref := edgepack.MustRun(g, edgepack.Options{})
 	sys := selfstab.NewSystem(g, rounds, factories)
 	match := func() bool {
 		for v := 0; v < g.N(); v++ {
@@ -581,8 +582,8 @@ func a3EarlyExit() {
 	for _, fk := range [][2]int{{2, 4}, {3, 4}, {3, 6}} {
 		f, k := fk[0], fk[1]
 		ins := bipartite.Random(15, 40, f, k, 9, int64(f+k))
-		full := fracpack.Run(ins, fracpack.Options{})
-		early := fracpack.Run(ins, fracpack.Options{EarlyExit: true})
+		full := fracpack.MustRun(ins, fracpack.Options{})
+		early := fracpack.MustRun(ins, fracpack.Options{EarlyExit: true})
 		fmt.Printf("| %d | %d | %d | %d | %.0f%% |\n",
 			f, k, full.ScheduledRounds, early.Rounds,
 			100*float64(early.Rounds)/float64(full.ScheduledRounds))

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +31,7 @@ func main() {
 		symmetric = flag.Int("symmetric", 0, "use the symmetric K_{p,p} lower-bound instance")
 		engine    = flag.String("engine", "sequential", "engine: sequential | parallel | sharded | csp")
 		doOpt     = flag.Bool("exact", false, "also compute the exact optimum (small instances)")
+		earlyExit = flag.Bool("earlyexit", false, "stop the simulation once the packing is maximal (ScheduledRounds stays the honest cost)")
 	)
 	flag.Parse()
 
@@ -65,7 +67,21 @@ func main() {
 		log.Fatalf("unknown engine %q", *engine)
 	}
 
-	res := anoncover.SetCover(ins, anoncover.WithEngine(eng))
+	// Compile once, then run through the session API, which surfaces
+	// option and instance errors instead of panicking.
+	opts := []anoncover.Option{anoncover.WithEngine(eng)}
+	if *earlyExit {
+		opts = append(opts, anoncover.WithEarlyExit())
+	}
+	solver, err := anoncover.CompileSetCover(ins, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer solver.Close()
+	res, err := solver.SetCover(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := res.Verify(); err != nil {
 		log.Fatalf("INVARIANT VIOLATION: %v", err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -20,15 +21,17 @@ import (
 
 func main() {
 	var (
-		file   = flag.String("file", "", "graph file (text format); overrides the generator")
-		n      = flag.Int("n", 100, "nodes (generator)")
-		m      = flag.Int("m", 200, "edges (generator)")
-		maxDeg = flag.Int("maxdeg", 6, "maximum degree (generator)")
-		maxW   = flag.Int64("maxw", 1, "maximum node weight; 1 = unweighted")
-		seed   = flag.Int64("seed", 1, "generator seed")
-		model  = flag.String("model", "port", "communication model: port | broadcast")
-		engine = flag.String("engine", "sequential", "engine: sequential | parallel | sharded | csp")
-		doOpt  = flag.Bool("exact", false, "also compute the exact optimum (small graphs)")
+		file     = flag.String("file", "", "graph file (text format); overrides the generator")
+		n        = flag.Int("n", 100, "nodes (generator)")
+		m        = flag.Int("m", 200, "edges (generator)")
+		maxDeg   = flag.Int("maxdeg", 6, "maximum degree (generator)")
+		maxW     = flag.Int64("maxw", 1, "maximum node weight; 1 = unweighted")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		model    = flag.String("model", "port", "communication model: port | broadcast")
+		engine   = flag.String("engine", "sequential", "engine: sequential | parallel | sharded | csp")
+		doOpt    = flag.Bool("exact", false, "also compute the exact optimum (small graphs)")
+		budget   = flag.Int("budget", 0, "round budget; the run fails if the schedule needs more")
+		progress = flag.Bool("progress", false, "stream per-round progress to stderr")
 	)
 	flag.Parse()
 
@@ -64,14 +67,38 @@ func main() {
 		log.Fatalf("unknown engine %q", *engine)
 	}
 
+	// Compile once, then run: the session API is the serving path, and
+	// it surfaces option errors instead of panicking.
+	opts := []anoncover.Option{anoncover.WithEngine(eng)}
+	if *budget > 0 {
+		opts = append(opts, anoncover.WithRoundBudget(*budget))
+	}
+	if *progress {
+		opts = append(opts, anoncover.WithObserver(func(ri anoncover.RoundInfo) {
+			fmt.Fprintf(os.Stderr, "\rround %d/%d (%d messages)", ri.Round, ri.Total, ri.Messages)
+			if ri.Round == ri.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}))
+	}
+	solver, err := anoncover.Compile(g, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer solver.Close()
+
 	var res *anoncover.VertexCoverResult
+	ctx := context.Background()
 	switch *model {
 	case "port":
-		res = anoncover.VertexCover(g, anoncover.WithEngine(eng))
+		res, err = solver.VertexCover(ctx)
 	case "broadcast":
-		res = anoncover.VertexCoverBroadcast(g, anoncover.WithEngine(eng))
+		res, err = solver.VertexCoverBroadcast(ctx)
 	default:
 		log.Fatalf("unknown model %q", *model)
+	}
+	if err != nil {
+		log.Fatal(err)
 	}
 	if err := res.Verify(); err != nil {
 		log.Fatalf("INVARIANT VIOLATION: %v", err)

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,21 @@ func main() {
 	const stations, zones = 40, 120
 	ins := anoncover.RandomSetCover(stations, zones, 3, 8, 50, 2024)
 
-	res := anoncover.SetCover(ins)
+	// Compile the incidence topology once; the session then serves
+	// planning queries with per-request controls.  WithEarlyExit lets
+	// the simulator stop once the packing is maximal — the result's
+	// ScheduledRounds stays the honest worst-case cost a real
+	// deployment would have to budget for.
+	solver, err := anoncover.CompileSetCover(ins, anoncover.WithEarlyExit())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer solver.Close()
+
+	res, err := solver.SetCover(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := res.Verify(); err != nil {
 		log.Fatalf("invariant violated: %v", err)
 	}
@@ -35,7 +50,7 @@ func main() {
 	fmt.Printf("instance: %d stations, %d zones, f=%d k=%d\n",
 		ins.Subsets(), ins.Elements(), f, ins.MaxSubsetSize())
 	fmt.Printf("selected %d stations, cost %d (guaranteed ≤ %d·OPT)\n", chosen, res.Weight, f)
-	fmt.Printf("rounds: %d of the %d-round worst-case schedule\n", res.Rounds, res.ScheduledRounds)
+	fmt.Printf("rounds: %d of the %d-round worst-case schedule (early exit)\n", res.Rounds, res.ScheduledRounds)
 
 	// On an instance this small the exact optimum is computable; report
 	// the true ratio.

@@ -1,9 +1,16 @@
 // Quickstart: compute a 2-approximate minimum-weight vertex cover on a
 // random bounded-degree graph with the anonymous distributed algorithm
 // of Åstrand & Suomela (SPAA 2010), and verify every paper invariant.
+//
+// The example shows both API styles: the one-shot call, and the
+// compile-once session that a service issuing many queries over the
+// same graph should use — Compile builds the topology and execution
+// pools once, every run reuses them, and runs report errors (budget
+// exhausted, context cancelled, invalid options) instead of panicking.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +23,7 @@ func main() {
 	g := anoncover.RandomGraph(1000, 2500, 6, 42)
 	g.WeighRandom(100, 7)
 
+	// One-shot: fine for a single query.
 	res := anoncover.VertexCover(g)
 	if err := res.Verify(); err != nil {
 		log.Fatalf("invariant violated: %v", err)
@@ -31,4 +39,28 @@ func main() {
 	fmt.Printf("cover: %d nodes, weight %d (guaranteed ≤ 2·OPT)\n", covered, res.Weight)
 	fmt.Printf("rounds: %d — independent of n, O(Δ + log* W)\n", res.Rounds)
 	fmt.Printf("messages: %d (%d bytes)\n", res.Messages, res.Bytes)
+
+	// Session: compile once, run many.  The compiled Solver carries the
+	// flat CSR topology, the shard partition and pooled worker state;
+	// repeated runs pay only for their rounds.
+	solver, err := anoncover.Compile(g,
+		anoncover.WithEngine(anoncover.EngineSharded), anoncover.WithWorkers(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer solver.Close()
+
+	again, err := solver.VertexCover(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session run: weight %d — bit-identical to the one-shot result: %v\n",
+		again.Weight, again.Weight == res.Weight)
+
+	// Runs accept per-request controls: a round budget turns an
+	// over-long schedule into an error instead of a stalled request.
+	if _, err := solver.VertexCover(context.Background(),
+		anoncover.WithRoundBudget(res.Rounds/2)); err != nil {
+		fmt.Printf("budgeted run: %v\n", err)
+	}
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,18 @@ import (
 func main() {
 	g := anoncover.FruchtGraph()
 
-	bcast := anoncover.VertexCoverBroadcast(g)
+	// One compiled session serves both models over the same topology.
+	solver, err := anoncover.Compile(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer solver.Close()
+	ctx := context.Background()
+
+	bcast, err := solver.VertexCoverBroadcast(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := bcast.Verify(); err != nil {
 		log.Fatalf("broadcast result invalid: %v", err)
 	}
@@ -41,7 +53,10 @@ func main() {
 	fmt.Printf("  y(e) = 1/3 on every edge: %v  (Section 7's prediction)\n", allThird)
 	fmt.Printf("  cover: all %d nodes, weight %d\n", bcastSize, bcast.Weight)
 
-	port := anoncover.VertexCover(g)
+	port, err := solver.VertexCover(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := port.Verify(); err != nil {
 		log.Fatalf("port-numbering result invalid: %v", err)
 	}

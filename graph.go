@@ -58,15 +58,18 @@ func (g *Graph) MaxWeight() int64 { return g.g.MaxWeight() }
 // VertexCoverResult.Packing).
 func (g *Graph) EdgeEndpoints(e int) (u, v int) { return g.g.Endpoints(e) }
 
-// WeighUniform sets every node weight to w.
+// WeighUniform sets every node weight to w.  Like every mutation, it
+// invalidates Solvers compiled from g (their runs return an error;
+// recompile after mutating).
 func (g *Graph) WeighUniform(w int64) { graph.UniformWeights(g.g, w) }
 
 // WeighRandom assigns uniform random weights in {1..maxW},
-// deterministically in seed.
+// deterministically in seed.  Invalidates compiled Solvers.
 func (g *Graph) WeighRandom(maxW, seed int64) { graph.RandomWeights(g.g, maxW, seed) }
 
 // ShufflePorts renumbers all ports at random (deterministic in seed);
 // the algorithms' guarantees hold under any port numbering.
+// Invalidates compiled Solvers.
 func (g *Graph) ShufflePorts(seed int64) { g.g.RandomPorts(seed) }
 
 // Generators.
@@ -100,6 +103,21 @@ func RandomRegularGraph(n, d int, seed int64) *Graph {
 // RandomTreeGraph returns a random tree on n nodes.
 func RandomTreeGraph(n int, seed int64) *Graph {
 	return &Graph{g: graph.RandomTree(n, seed)}
+}
+
+// PowerLawGraph returns a preferential-attachment power-law graph: n
+// nodes, each new node attaching m edges toward already-popular nodes.
+// Hub degrees grow with n, so the O(Δ)-round schedules grow with them;
+// use PowerLawBoundedGraph when Δ must stay a hardware constant.
+func PowerLawGraph(n, m int, seed int64) *Graph {
+	return &Graph{g: graph.PowerLaw(n, m, seed)}
+}
+
+// PowerLawBoundedGraph is PowerLawGraph with a hard degree cap: the
+// heavy-tailed attachment is kept but no node exceeds maxDeg, the
+// realistic shape for radio or port-limited deployments.
+func PowerLawBoundedGraph(n, attach, maxDeg int, seed int64) *Graph {
+	return &Graph{g: graph.PowerLawBounded(n, attach, maxDeg, seed)}
 }
 
 // FruchtGraph returns the Frucht graph: 3-regular with no non-trivial

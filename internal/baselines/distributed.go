@@ -112,7 +112,10 @@ func PolishchukSuomelaDistributed(g *graph.G, opt sim.Options) (PSResult, sim.St
 		progs[v] = nodes[v]
 	}
 	rounds := 2 * params.Delta
-	stats := sim.RunPort(g, progs, rounds, opt)
+	stats, err := sim.RunPort(g, progs, rounds, opt)
+	if err != nil {
+		panic(err) // baseline runs never set stoppable options
+	}
 	cover := make([]bool, g.N())
 	for v := range cover {
 		cover[v] = nodes[v].Output().(bool)

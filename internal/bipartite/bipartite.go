@@ -22,7 +22,12 @@ type Instance struct {
 	adj     [][]graph.Half // combined indexing, subsets first
 	weights []int64        // per subset
 	ends    [][2]int       // edge -> (subset index, element index), local
+	version uint64         // bumped by every post-Build mutation; see Version
 }
+
+// Version returns a counter incremented by every post-Build mutation
+// (SetWeight).  Compiled solvers snapshot it to detect staleness.
+func (ins *Instance) Version() uint64 { return ins.version }
 
 // Builder accumulates a set-cover instance.
 type Builder struct {
@@ -129,6 +134,7 @@ func (ins *Instance) SetWeight(i int, w int64) {
 		panic("bipartite: non-positive weight")
 	}
 	ins.weights[i] = w
+	ins.version++
 }
 
 // Endpoints returns edge e as (subset index, element index).

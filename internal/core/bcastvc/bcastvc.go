@@ -22,6 +22,7 @@
 package bcastvc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -266,11 +267,42 @@ type Options struct {
 	Engine       sim.Engine
 	Workers      int
 	ScrambleSeed int64
+	// Delta and W, when non-zero, override the globally known upper
+	// bounds on degree and weight (paper Section 1.4), exactly as in
+	// the port-numbering algorithm: the simulated instance H gets
+	// k = Delta and the schedule grows to O(Δ² + Δ·log* W) in the
+	// declared values.  They must not be below the actual maxima.
+	Delta int
+	W     int64
+	// Topology, when non-nil, is a pre-built view of g reused across
+	// runs; see edgepack.Options.Topology.
+	Topology sim.Topology
+	// Context, RoundBudget, Observer and Pool are passed through to the
+	// simulator (see sim.Options).
+	Context     context.Context
+	RoundBudget int
+	Observer    func(sim.RoundInfo)
+	Pool        *sim.Pool
 }
 
-// Run executes the broadcast-model vertex cover algorithm on g.
-func Run(g *graph.G, opt Options) *Result {
+// Run executes the broadcast-model vertex cover algorithm on g.  It
+// returns an error when a declared bound is below the actual graph
+// maximum or when the simulator stops early (cancelled context,
+// exhausted round budget).
+func Run(g *graph.G, opt Options) (*Result, error) {
 	params := sim.GraphParams(g)
+	if opt.Delta != 0 {
+		if opt.Delta < params.Delta {
+			return nil, fmt.Errorf("bcastvc: declared Δ=%d below actual %d", opt.Delta, params.Delta)
+		}
+		params.Delta = opt.Delta
+	}
+	if opt.W != 0 {
+		if opt.W < params.W {
+			return nil, fmt.Errorf("bcastvc: declared W=%d below actual %d", opt.W, params.W)
+		}
+		params.W = opt.W
+	}
 	progs := make([]sim.BroadcastProgram, g.N())
 	nodes := make([]*Program, g.N())
 	envs := sim.GraphEnvs(g, params)
@@ -279,9 +311,18 @@ func Run(g *graph.G, opt Options) *Result {
 		progs[v] = nodes[v]
 	}
 	rounds := Rounds(params)
-	stats := sim.RunBroadcast(g, progs, rounds, sim.Options{
+	top := sim.Topology(g)
+	if opt.Topology != nil {
+		top = opt.Topology
+	}
+	stats, err := sim.RunBroadcast(top, progs, rounds, sim.Options{
 		Engine: opt.Engine, Workers: opt.Workers, ScrambleSeed: opt.ScrambleSeed,
+		Context: opt.Context, RoundBudget: opt.RoundBudget,
+		Observer: opt.Observer, Pool: opt.Pool,
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Result{
 		Y:       make([]rational.Rat, g.M()),
@@ -321,6 +362,16 @@ func Run(g *graph.G, opt Options) *Result {
 					h.Edge, res.Y[h.Edge], yv))
 			}
 		}
+	}
+	return res, nil
+}
+
+// MustRun is Run for callers with statically valid options (experiments,
+// tests, benchmarks); it panics on error.
+func MustRun(g *graph.G, opt Options) *Result {
+	res, err := Run(g, opt)
+	if err != nil {
+		panic(err)
 	}
 	return res
 }

@@ -31,7 +31,7 @@ func TestSingleEdge(t *testing.T) {
 	b.SetWeight(0, 2)
 	b.SetWeight(1, 5)
 	g := b.Build()
-	res := Run(g, Options{})
+	res := MustRun(g, Options{})
 	verify(t, g, res)
 	if !res.Cover[0] || res.Cover[1] {
 		t.Fatal("only the light endpoint should be saturated")
@@ -56,7 +56,7 @@ func TestSmallFamilies(t *testing.T) {
 	for name, gen := range gens {
 		t.Run(name, func(t *testing.T) {
 			g := gen()
-			res := Run(g, Options{})
+			res := MustRun(g, Options{})
 			verify(t, g, res)
 		})
 	}
@@ -69,11 +69,11 @@ func TestSmallFamilies(t *testing.T) {
 func TestMatchesDirectFractionalPacking(t *testing.T) {
 	g := graph.RandomBoundedDegree(10, 14, 3, 5)
 	graph.RandomWeights(g, 7, 6)
-	res := Run(g, Options{})
+	res := MustRun(g, Options{})
 	verify(t, g, res)
 
 	ins := bipartite.FromGraph(g)
-	direct := fracpack.Run(ins, fracpack.Options{})
+	direct := fracpack.MustRun(ins, fracpack.Options{})
 	// Element u of H is edge u of G by construction of FromGraph.
 	for e := range res.Y {
 		if !res.Y[e].Equal(direct.Y[e]) {
@@ -96,9 +96,9 @@ func TestMatchesDirectFractionalPacking(t *testing.T) {
 func TestScrambleSeedsAndEnginesAgree(t *testing.T) {
 	g := graph.RandomBoundedDegree(8, 11, 3, 9)
 	graph.RandomWeights(g, 5, 10)
-	ref := Run(g, Options{})
+	ref := MustRun(g, Options{})
 	for _, eng := range []sim.Engine{sim.Parallel, sim.CSP} {
-		got := Run(g, Options{Engine: eng})
+		got := MustRun(g, Options{Engine: eng})
 		for e := range ref.Y {
 			if !got.Y[e].Equal(ref.Y[e]) {
 				t.Fatalf("engine %v: edge %d differs", eng, e)
@@ -106,7 +106,7 @@ func TestScrambleSeedsAndEnginesAgree(t *testing.T) {
 		}
 	}
 	for _, seed := range []int64{1, 99} {
-		got := Run(g, Options{ScrambleSeed: seed})
+		got := MustRun(g, Options{ScrambleSeed: seed})
 		for e := range ref.Y {
 			if !got.Y[e].Equal(ref.Y[e]) {
 				t.Fatalf("scramble %d: edge %d differs — order dependence in the broadcast program", seed, e)
@@ -122,7 +122,7 @@ func TestIdenticalNeighbours(t *testing.T) {
 	// the centre receives Δ identical histories every round.
 	g := graph.Star(6)
 	graph.UniformWeights(g, 4)
-	res := Run(g, Options{})
+	res := MustRun(g, Options{})
 	verify(t, g, res)
 	if !res.Cover[0] {
 		t.Fatal("centre must be saturated")
@@ -136,7 +136,7 @@ func TestMessageGrowth(t *testing.T) {
 	// constant, i.e. scale with rounds, not stay flat.
 	g := graph.Cycle(8)
 	graph.RandomWeights(g, 9, 3)
-	res := Run(g, Options{})
+	res := MustRun(g, Options{})
 	verify(t, g, res)
 	if res.MaxMsgBytes < res.Rounds {
 		t.Fatalf("max message %d bytes over %d rounds: history growth missing?",
@@ -166,7 +166,7 @@ func TestRoundsFormula(t *testing.T) {
 // Section 7 discussion builds on.
 func TestRegularUniform(t *testing.T) {
 	g := graph.Cycle(7) // odd cycle: no proper 2-colouring to exploit
-	res := Run(g, Options{})
+	res := MustRun(g, Options{})
 	verify(t, g, res)
 	// All nodes locally identical: every edge must carry the same value
 	// and every node must make the same decision.

@@ -16,7 +16,7 @@ func BenchmarkRunScaling(b *testing.B) {
 			graph.RandomWeights(g, 20, int64(n+1))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				Run(g, Options{})
+				MustRun(g, Options{})
 			}
 		})
 	}
@@ -31,7 +31,7 @@ func BenchmarkRunByDelta(b *testing.B) {
 			graph.RandomWeights(g, 20, int64(d))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				Run(g, Options{})
+				MustRun(g, Options{})
 			}
 		})
 	}
@@ -43,7 +43,7 @@ func BenchmarkPhaseIOnly(b *testing.B) {
 	g := graph.RandomRegular(2000, 6, 1)
 	graph.UniformWeights(g, 12)
 	for i := 0; i < b.N; i++ {
-		Run(g, Options{})
+		MustRun(g, Options{})
 	}
 }
 

@@ -23,7 +23,7 @@ func TestDeclaredBoundsOverride(t *testing.T) {
 		{0, 1 << 40}, // loose W
 		{10, 1 << 50},
 	} {
-		res := Run(g, Options{Delta: c.delta, W: c.w})
+		res := MustRun(g, Options{Delta: c.delta, W: c.w})
 		if err := check.EdgePackingMaximal(g, res.Y); err != nil {
 			t.Fatalf("Δ=%d W=%d: %v", c.delta, c.w, err)
 		}
@@ -44,19 +44,14 @@ func TestDeclaredBoundsOverride(t *testing.T) {
 	}
 }
 
-func TestDeclaredBoundsTooSmallPanic(t *testing.T) {
+func TestDeclaredBoundsTooSmallError(t *testing.T) {
 	g := graph.Star(6) // Δ = 5
 	for _, opt := range []Options{{Delta: 3}, {W: 1}} {
 		if opt.W == 1 {
 			graph.UniformWeights(g, 7)
 		}
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("opts %+v: no panic for under-declared bound", opt)
-				}
-			}()
-			Run(g, opt)
-		}()
+		if _, err := Run(g, opt); err == nil {
+			t.Fatalf("opts %+v: no error for under-declared bound", opt)
+		}
 	}
 }

@@ -24,6 +24,7 @@
 package edgepack
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"math/bits"
@@ -142,6 +143,13 @@ type Program struct {
 	// star-phase scratch: pending replies per port for the current batch
 	pendingReply []rational.Rat
 	pendingMask  []bool
+
+	// outBuf is the reusable Send buffer.  The engines consume the
+	// returned slice synchronously within the send phase (scattering
+	// the values into their inboxes) and never retain it, so reusing
+	// it removes the dominant per-round allocation — one slice per
+	// node per round.
+	outBuf []sim.Message
 }
 
 // New returns an initialized node program for the given environment.
@@ -192,7 +200,13 @@ func (p *Program) currentElem() rational.Rat {
 
 // Send implements sim.PortProgram.
 func (p *Program) Send(round int) []sim.Message {
-	out := make([]sim.Message, p.deg)
+	if p.outBuf == nil {
+		p.outBuf = make([]sim.Message, p.deg)
+	}
+	out := p.outBuf
+	for q := range out {
+		out[q] = nil
+	}
 	if p.deg == 0 {
 		return out
 	}
@@ -515,21 +529,37 @@ type Options struct {
 	// maxima).  They must not be smaller than the actual values.
 	Delta int
 	W     int64
+	// Topology, when non-nil, is a pre-built view of g — a CSR
+	// *graph.FlatTopology or a partitioned *shard.Topology — reused
+	// across runs to amortize flattening and partitioning.  It must
+	// describe exactly g's port structure.
+	Topology sim.Topology
+	// Context, RoundBudget, Observer and Pool are passed through to the
+	// simulator (see sim.Options); they are what turn one-shot runs
+	// into serveable requests: cancellation and budget enforcement at
+	// the round barrier, per-round progress streaming, and reusable
+	// execution resources.
+	Context     context.Context
+	RoundBudget int
+	Observer    func(sim.RoundInfo)
+	Pool        *sim.Pool
 }
 
 // Run executes the algorithm on g and assembles the result.  Both copies
-// of every edge value are cross-checked for consistency.
-func Run(g *graph.G, opt Options) *Result {
+// of every edge value are cross-checked for consistency.  It returns an
+// error when a declared bound is below the actual graph maximum or when
+// the simulator stops early (cancelled context, exhausted round budget).
+func Run(g *graph.G, opt Options) (*Result, error) {
 	params := sim.GraphParams(g)
 	if opt.Delta != 0 {
 		if opt.Delta < params.Delta {
-			panic(fmt.Sprintf("edgepack: declared Δ=%d below actual %d", opt.Delta, params.Delta))
+			return nil, fmt.Errorf("edgepack: declared Δ=%d below actual %d", opt.Delta, params.Delta)
 		}
 		params.Delta = opt.Delta
 	}
 	if opt.W != 0 {
 		if opt.W < params.W {
-			panic(fmt.Sprintf("edgepack: declared W=%d below actual %d", opt.W, params.W))
+			return nil, fmt.Errorf("edgepack: declared W=%d below actual %d", opt.W, params.W)
 		}
 		params.W = opt.W
 	}
@@ -541,7 +571,18 @@ func Run(g *graph.G, opt Options) *Result {
 		progs[v] = nodes[v]
 	}
 	rounds := Rounds(params)
-	stats := sim.RunPort(g, progs, rounds, sim.Options{Engine: opt.Engine, Workers: opt.Workers})
+	top := sim.Topology(g)
+	if opt.Topology != nil {
+		top = opt.Topology
+	}
+	stats, err := sim.RunPort(top, progs, rounds, sim.Options{
+		Engine: opt.Engine, Workers: opt.Workers,
+		Context: opt.Context, RoundBudget: opt.RoundBudget,
+		Observer: opt.Observer, Pool: opt.Pool,
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Result{
 		Y:      make([]rational.Rat, g.M()),
@@ -562,6 +603,16 @@ func Run(g *graph.G, opt Options) *Result {
 					h.Edge, res.Y[h.Edge], out.Y[q]))
 			}
 		}
+	}
+	return res, nil
+}
+
+// MustRun is Run for callers with statically valid options (experiments,
+// tests, benchmarks); it panics on error.
+func MustRun(g *graph.G, opt Options) *Result {
+	res, err := Run(g, opt)
+	if err != nil {
+		panic(err)
 	}
 	return res
 }

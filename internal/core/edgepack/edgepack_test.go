@@ -28,7 +28,7 @@ func verify(t *testing.T, g *graph.G, res *Result) {
 
 func TestSingleEdgeEqualWeights(t *testing.T) {
 	g := graph.NewBuilder(2).AddEdge(0, 1).Build()
-	res := Run(g, Options{})
+	res := MustRun(g, Options{})
 	verify(t, g, res)
 	if !res.Y[0].Equal(rational.One) {
 		t.Fatalf("y = %v, want 1", res.Y[0])
@@ -43,7 +43,7 @@ func TestSingleEdgeUnequalWeights(t *testing.T) {
 	b.SetWeight(0, 1)
 	b.SetWeight(1, 5)
 	g := b.Build()
-	res := Run(g, Options{})
+	res := MustRun(g, Options{})
 	verify(t, g, res)
 	if !res.Y[0].Equal(rational.One) {
 		t.Fatalf("y = %v, want 1 (the lighter weight)", res.Y[0])
@@ -58,7 +58,7 @@ func TestSingleEdgeUnequalWeights(t *testing.T) {
 
 func TestStarSaturatesCentreOnly(t *testing.T) {
 	g := graph.Star(6)
-	res := Run(g, Options{})
+	res := MustRun(g, Options{})
 	verify(t, g, res)
 	if !res.Cover[0] {
 		t.Fatal("centre must be saturated")
@@ -76,7 +76,7 @@ func TestRegularEqualWeightsSaturatesInPhaseI(t *testing.T) {
 	// paper notes cannot be multicoloured).
 	g := graph.RandomRegular(20, 4, 7)
 	graph.UniformWeights(g, 8)
-	res := Run(g, Options{})
+	res := MustRun(g, Options{})
 	verify(t, g, res)
 	want := rational.FromFrac(8, 4)
 	for e, ye := range res.Y {
@@ -97,7 +97,7 @@ func TestPathWithIncreasingWeights(t *testing.T) {
 		b.SetWeight(v, int64(1+v*3))
 	}
 	g := b.Build()
-	res := Run(g, Options{})
+	res := MustRun(g, Options{})
 	verify(t, g, res)
 }
 
@@ -123,7 +123,7 @@ func TestGeneratedFamilies(t *testing.T) {
 				g := gn.make(seed)
 				graph.RandomWeights(g, 50, seed+100)
 				g.RandomPorts(seed + 200)
-				res := Run(g, Options{})
+				res := MustRun(g, Options{})
 				verify(t, g, res)
 				if res.Rounds != Rounds(sim.GraphParams(g)) {
 					t.Fatal("round count mismatch")
@@ -136,9 +136,9 @@ func TestGeneratedFamilies(t *testing.T) {
 func TestEnginesProduceIdenticalResults(t *testing.T) {
 	g := graph.RandomBoundedDegree(60, 140, 6, 3)
 	graph.RandomWeights(g, 30, 4)
-	ref := Run(g, Options{Engine: sim.Sequential})
+	ref := MustRun(g, Options{Engine: sim.Sequential})
 	for _, eng := range []sim.Engine{sim.Parallel, sim.CSP} {
-		got := Run(g, Options{Engine: eng})
+		got := MustRun(g, Options{Engine: eng})
 		for e := range ref.Y {
 			if !got.Y[e].Equal(ref.Y[e]) {
 				t.Fatalf("engine %v: y(%d) = %v, want %v", eng, e, got.Y[e], ref.Y[e])
@@ -155,8 +155,8 @@ func TestEnginesProduceIdenticalResults(t *testing.T) {
 func TestDeterministicAcrossRuns(t *testing.T) {
 	g := graph.RandomBoundedDegree(50, 100, 5, 9)
 	graph.RandomWeights(g, 20, 10)
-	a := Run(g, Options{})
-	b := Run(g, Options{})
+	a := MustRun(g, Options{})
+	b := MustRun(g, Options{})
 	for e := range a.Y {
 		if !a.Y[e].Equal(b.Y[e]) {
 			t.Fatal("non-deterministic result")
@@ -175,7 +175,7 @@ func TestLargeWeights(t *testing.T) {
 		b.SetWeight(v, w)
 	}
 	g := b.Build()
-	res := Run(g, Options{})
+	res := MustRun(g, Options{})
 	verify(t, g, res)
 }
 
@@ -211,8 +211,8 @@ func TestNIndependence(t *testing.T) {
 	large := graph.Cycle(10000)
 	graph.UniformWeights(small, 3)
 	graph.UniformWeights(large, 3)
-	rs := Run(small, Options{})
-	rl := Run(large, Options{})
+	rs := MustRun(small, Options{})
+	rl := MustRun(large, Options{})
 	if rs.Rounds != rl.Rounds {
 		t.Fatalf("rounds depend on n: %d vs %d", rs.Rounds, rl.Rounds)
 	}
@@ -233,8 +233,8 @@ func TestLiftInvariance(t *testing.T) {
 	graph.RandomWeights(base, 9, 12)
 	k := 4
 	lifted := graph.Lift(base, k, 13)
-	rb := Run(base, Options{})
-	rl := Run(lifted, Options{})
+	rb := MustRun(base, Options{})
+	rl := MustRun(lifted, Options{})
 	verify(t, base, rb)
 	verify(t, lifted, rl)
 	for v := 0; v < base.N(); v++ {
@@ -307,7 +307,7 @@ func TestPortNumberingAdversarial(t *testing.T) {
 	for seed := int64(0); seed < 12; seed++ {
 		g := base.Clone()
 		g.RandomPorts(seed)
-		res := Run(g, Options{})
+		res := MustRun(g, Options{})
 		verify(t, g, res)
 		w := res.CoverWeight(g)
 		weights = append(weights, w)

@@ -55,7 +55,8 @@ func TestLemma1MaxDegreeDecreases(t *testing.T) {
 		}
 		delta := params.Delta
 		iter := 0
-		hook := func(round int) {
+		hook := func(ri sim.RoundInfo) {
+			round := ri.Round
 			if round > 2*delta || round%2 == 0 {
 				return // only offer rounds complete an iteration's step (i)-(iii)
 			}
@@ -67,7 +68,7 @@ func TestLemma1MaxDegreeDecreases(t *testing.T) {
 			}
 			prev = cur
 		}
-		sim.RunPort(g, progs, Rounds(params), sim.Options{OnRound: hook})
+		sim.RunPort(g, progs, Rounds(params), sim.Options{Observer: hook})
 		if prev != 0 {
 			t.Fatalf("seed %d: G_yc not empty after Δ iterations (max deg %d)", seed, prev)
 		}
@@ -93,7 +94,8 @@ func TestPhaseISaturatedStaySaturated(t *testing.T) {
 	for v := range mcolEver {
 		mcolEver[v] = make([]bool, g.Deg(v))
 	}
-	hook := func(round int) {
+	hook := func(ri sim.RoundInfo) {
+		round := ri.Round
 		for v := 0; v < g.N(); v++ {
 			if satEver[v] && nodes[v].rPos {
 				t.Fatalf("round %d: node %d became unsaturated again", round, v)
@@ -111,5 +113,5 @@ func TestPhaseISaturatedStaySaturated(t *testing.T) {
 			}
 		}
 	}
-	sim.RunPort(g, progs, Rounds(params), sim.Options{OnRound: hook})
+	sim.RunPort(g, progs, Rounds(params), sim.Options{Observer: hook})
 }

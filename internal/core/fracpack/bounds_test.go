@@ -20,7 +20,7 @@ func TestDeclaredBoundsOverride(t *testing.T) {
 		{3, 5, 0},
 		{0, 0, 1 << 30},
 	} {
-		res := Run(ins, Options{F: c.f, K: c.k, W: c.w})
+		res := MustRun(ins, Options{F: c.f, K: c.k, W: c.w})
 		if err := check.FracPackingMaximal(ins, res.Y); err != nil {
 			t.Fatalf("f=%d k=%d W=%d: %v", c.f, c.k, c.w, err)
 		}
@@ -44,16 +44,11 @@ func TestDeclaredBoundsOverride(t *testing.T) {
 	}
 }
 
-func TestDeclaredBoundsTooSmallPanic(t *testing.T) {
+func TestDeclaredBoundsTooSmallError(t *testing.T) {
 	ins := bipartite.Random(8, 16, 3, 5, 6, 4)
 	for _, opt := range []Options{{F: 1}, {K: 1}, {W: 1}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("opts %+v: no panic", opt)
-				}
-			}()
-			Run(ins, opt)
-		}()
+		if _, err := Run(ins, opt); err == nil {
+			t.Fatalf("opts %+v: no error", opt)
+		}
 	}
 }

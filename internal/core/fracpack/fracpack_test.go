@@ -173,7 +173,7 @@ func TestFigure1WeakStructure(t *testing.T) {
 
 func TestFigure1FullRun(t *testing.T) {
 	ins := figure1()
-	res := Run(ins, Options{})
+	res := MustRun(ins, Options{})
 	verify(t, ins, res)
 	if res.Rounds != res.ScheduledRounds {
 		t.Fatalf("rounds %d != scheduled %d", res.Rounds, res.ScheduledRounds)
@@ -183,7 +183,7 @@ func TestFigure1FullRun(t *testing.T) {
 func TestSingleSubsetSingleElement(t *testing.T) {
 	ins := bipartite.NewBuilder(1, 1).AddEdge(0, 0).Build()
 	ins.SetWeight(0, 7)
-	res := Run(ins, Options{})
+	res := MustRun(ins, Options{})
 	verify(t, ins, res)
 	if !res.Y[0].Equal(q(7, 1)) {
 		t.Fatalf("y = %v, want 7", res.Y[0])
@@ -200,7 +200,7 @@ func TestDisjointSubsets(t *testing.T) {
 		Build()
 	ins.SetWeight(0, 6)
 	ins.SetWeight(1, 10)
-	res := Run(ins, Options{})
+	res := MustRun(ins, Options{})
 	verify(t, ins, res)
 	if !res.Cover[0] || !res.Cover[1] {
 		t.Fatal("both subsets needed")
@@ -212,7 +212,7 @@ func TestSymmetricKppAllChosen(t *testing.T) {
 	// algorithm must choose every subset (ratio exactly p).
 	for _, p := range []int{2, 3, 4} {
 		ins := bipartite.SymmetricKpp(p)
-		res := Run(ins, Options{})
+		res := MustRun(ins, Options{})
 		verify(t, ins, res)
 		for s := 0; s < p; s++ {
 			if !res.Cover[s] {
@@ -224,7 +224,7 @@ func TestSymmetricKppAllChosen(t *testing.T) {
 
 func TestCycleReductionVertexTransitive(t *testing.T) {
 	ins := bipartite.CycleReduction(12, 3)
-	res := Run(ins, Options{})
+	res := MustRun(ins, Options{})
 	verify(t, ins, res)
 	// The instance is vertex-transitive, so every element ends with the
 	// same packing value and every subset is chosen.
@@ -253,7 +253,7 @@ func TestRandomInstances(t *testing.T) {
 	for _, c := range cases {
 		for seed := int64(0); seed < 3; seed++ {
 			ins := bipartite.Random(c.s, c.u, c.f, c.k, c.w, seed)
-			res := Run(ins, Options{})
+			res := MustRun(ins, Options{})
 			verify(t, ins, res)
 		}
 	}
@@ -264,16 +264,16 @@ func TestVertexCoverIncidenceInstances(t *testing.T) {
 	g := graph.RandomBoundedDegree(14, 24, 4, 3)
 	graph.RandomWeights(g, 9, 4)
 	ins := bipartite.FromGraph(g)
-	res := Run(ins, Options{})
+	res := MustRun(ins, Options{})
 	verify(t, ins, res)
 }
 
 func TestEnginesAndScrambleSeedsAgree(t *testing.T) {
 	ins := bipartite.Random(8, 18, 3, 5, 12, 42)
-	ref := Run(ins, Options{Engine: sim.Sequential})
+	ref := MustRun(ins, Options{Engine: sim.Sequential})
 	for _, eng := range []sim.Engine{sim.Sequential, sim.Parallel, sim.CSP} {
 		for _, seed := range []int64{0, 7, 1234} {
-			got := Run(ins, Options{Engine: eng, ScrambleSeed: seed})
+			got := MustRun(ins, Options{Engine: eng, ScrambleSeed: seed})
 			for u := range ref.Y {
 				if !got.Y[u].Equal(ref.Y[u]) {
 					t.Fatalf("engine %v seed %d: y(%d) differs: %v vs %v",
@@ -291,8 +291,8 @@ func TestEnginesAndScrambleSeedsAgree(t *testing.T) {
 
 func TestEarlyExitMatchesFullRun(t *testing.T) {
 	ins := bipartite.Random(10, 24, 3, 6, 8, 5)
-	full := Run(ins, Options{})
-	early := Run(ins, Options{EarlyExit: true})
+	full := MustRun(ins, Options{})
+	early := MustRun(ins, Options{EarlyExit: true})
 	if early.Rounds > full.Rounds {
 		t.Fatalf("early exit ran longer: %d > %d", early.Rounds, full.Rounds)
 	}
@@ -335,8 +335,8 @@ func TestRoundsGrowth(t *testing.T) {
 func TestNIndependentRoundsAndLocalOutputs(t *testing.T) {
 	small := bipartite.CycleReduction(9, 3)
 	large := bipartite.CycleReduction(900, 3)
-	rs := Run(small, Options{})
-	rl := Run(large, Options{})
+	rs := MustRun(small, Options{})
+	rl := MustRun(large, Options{})
 	if rs.ScheduledRounds != rl.ScheduledRounds {
 		t.Fatal("schedule depends on n")
 	}
@@ -348,7 +348,7 @@ func TestNIndependentRoundsAndLocalOutputs(t *testing.T) {
 
 func TestWeightedInstanceCertificate(t *testing.T) {
 	ins := bipartite.Random(12, 30, 3, 5, 100, 9)
-	res := Run(ins, Options{})
+	res := MustRun(ins, Options{})
 	verify(t, ins, res)
 	// The certificate is also a ratio bound: w(C) <= f * Σ y <= f * OPT.
 	sum := rational.Sum(res.Y...)

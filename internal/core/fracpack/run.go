@@ -1,6 +1,7 @@
 package fracpack
 
 import (
+	"context"
 	"fmt"
 
 	"anoncover/internal/bipartite"
@@ -38,6 +39,18 @@ type Options struct {
 	// instance values.
 	F, K int
 	W    int64
+	// Topology, when non-nil, is a pre-built view of ins — a CSR
+	// *graph.FlatTopology or a partitioned *shard.Topology — reused
+	// across runs to amortize flattening and partitioning.
+	Topology sim.Topology
+	// Context, RoundBudget, Observer and Pool are passed through to the
+	// simulator (see sim.Options).  With EarlyExit the schedule runs in
+	// iteration-sized chunks; the budget counts and the observer sees
+	// rounds cumulatively across the chunks.
+	Context     context.Context
+	RoundBudget int
+	Observer    func(sim.RoundInfo)
+	Pool        *sim.Pool
 }
 
 // offsetProg shifts a program's round numbering so a schedule can be run
@@ -52,30 +65,34 @@ func (o *offsetProg) Send(r int) sim.Message         { return o.inner.Send(r + o
 func (o *offsetProg) Recv(r int, msgs []sim.Message) { o.inner.Recv(r+o.off, msgs) }
 func (o *offsetProg) Output() any                    { return o.inner.Output() }
 
-// Run executes the algorithm on ins and assembles the result.
-func Run(ins *bipartite.Instance, opt Options) *Result {
+// Run executes the algorithm on ins and assembles the result.  Both
+// sides of the distributed state are cross-checked for consistency.  It
+// returns an error for an uncoverable instance, a declared bound below
+// the actual instance value, or an early simulator stop (cancelled
+// context, exhausted round budget).
+func Run(ins *bipartite.Instance, opt Options) (*Result, error) {
 	for v := ins.S(); v < ins.N(); v++ {
 		if ins.Deg(v) == 0 {
-			panic(fmt.Sprintf("fracpack: element %d belongs to no subset; the instance has no cover",
-				ins.ElementIndex(v)))
+			return nil, fmt.Errorf("fracpack: element %d belongs to no subset; the instance has no cover",
+				ins.ElementIndex(v))
 		}
 	}
 	params := sim.BipartiteParams(ins)
 	if opt.F != 0 {
 		if opt.F < params.F {
-			panic(fmt.Sprintf("fracpack: declared f=%d below actual %d", opt.F, params.F))
+			return nil, fmt.Errorf("fracpack: declared f=%d below actual %d", opt.F, params.F)
 		}
 		params.F = opt.F
 	}
 	if opt.K != 0 {
 		if opt.K < params.K {
-			panic(fmt.Sprintf("fracpack: declared k=%d below actual %d", opt.K, params.K))
+			return nil, fmt.Errorf("fracpack: declared k=%d below actual %d", opt.K, params.K)
 		}
 		params.K = opt.K
 	}
 	if opt.W != 0 {
 		if opt.W < params.W {
-			panic(fmt.Sprintf("fracpack: declared W=%d below actual %d", opt.W, params.W))
+			return nil, fmt.Errorf("fracpack: declared W=%d below actual %d", opt.W, params.W)
 		}
 		params.W = opt.W
 	}
@@ -93,11 +110,24 @@ func Run(ins *bipartite.Instance, opt Options) *Result {
 		}
 	}
 	scheduled := Rounds(params)
-	simOpt := sim.Options{Engine: opt.Engine, Workers: opt.Workers, ScrambleSeed: opt.ScrambleSeed}
+	top := sim.Topology(ins)
+	if opt.Topology != nil {
+		top = opt.Topology
+	}
+	simOpt := sim.Options{
+		Engine: opt.Engine, Workers: opt.Workers, ScrambleSeed: opt.ScrambleSeed,
+		Context: opt.Context, Pool: opt.Pool,
+	}
 
 	res := &Result{ScheduledRounds: scheduled}
 	if !opt.EarlyExit {
-		res.Stats = sim.RunBroadcast(ins, progs, scheduled, simOpt)
+		simOpt.RoundBudget = opt.RoundBudget
+		simOpt.Observer = opt.Observer
+		st, err := sim.RunBroadcast(top, progs, scheduled, simOpt)
+		if err != nil {
+			return nil, err
+		}
+		res.Stats = st
 		res.Rounds = scheduled
 	} else {
 		lay := newLayout(params)
@@ -109,7 +139,30 @@ func Run(ins *bipartite.Instance, opt Options) *Result {
 			for i := range wrapped {
 				wrapped[i].(*offsetProg).off = done
 			}
-			st := sim.RunBroadcast(ins, wrapped, lay.perIter, simOpt)
+			chunkOpt := simOpt
+			if opt.RoundBudget > 0 {
+				rem := opt.RoundBudget - done
+				if rem <= 0 {
+					return nil, sim.ErrRoundBudget
+				}
+				chunkOpt.RoundBudget = rem
+			}
+			if obs := opt.Observer; obs != nil {
+				// Re-base the chunk-local observations onto the global
+				// schedule so callers see one monotone round stream.
+				off, prev := done, res.Stats
+				chunkOpt.Observer = func(ri sim.RoundInfo) {
+					ri.Round += off
+					ri.Total = scheduled
+					ri.Messages += prev.Messages
+					ri.Bytes += prev.Bytes
+					obs(ri)
+				}
+			}
+			st, err := sim.RunBroadcast(top, wrapped, lay.perIter, chunkOpt)
+			if err != nil {
+				return nil, err
+			}
 			done += lay.perIter
 			res.Rounds = done
 			res.Stats.Rounds += st.Rounds
@@ -138,6 +191,16 @@ func Run(ins *bipartite.Instance, opt Options) *Result {
 			panic(fmt.Sprintf("fracpack: subset %d residual drift: tracked %v, actual %v",
 				s, out.Residual, want))
 		}
+	}
+	return res, nil
+}
+
+// MustRun is Run for callers with statically valid options (experiments,
+// tests, benchmarks); it panics on error.
+func MustRun(ins *bipartite.Instance, opt Options) *Result {
+	res, err := Run(ins, opt)
+	if err != nil {
+		panic(err)
 	}
 	return res
 }

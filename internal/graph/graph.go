@@ -32,7 +32,15 @@ type G struct {
 	adj     [][]Half
 	weights []int64
 	ends    [][2]int // edge index -> endpoints, ends[e][0] < ends[e][1]
+	version uint64   // bumped by every post-Build mutation; see Version
 }
+
+// Version returns a counter that every post-Build mutation (SetWeight,
+// PermutePorts and the helpers built on them) increments.  Consumers
+// that precompute derived structure — flat CSR views, shard partitions,
+// compiled solvers — snapshot it to detect that their view has gone
+// stale.
+func (g *G) Version() uint64 { return g.version }
 
 // Builder accumulates edges before the graph is finalized.
 type Builder struct {
@@ -182,6 +190,7 @@ func (g *G) PermutePorts(perms [][]int) {
 		}
 	}
 	g.fixRevPorts()
+	g.version++
 }
 
 // RandomPorts renumbers all ports uniformly at random (deterministically
@@ -230,6 +239,7 @@ func (g *G) SetWeight(v int, w int64) {
 		panic("graph: non-positive weight")
 	}
 	g.weights[v] = w
+	g.version++
 }
 
 // Validate checks internal consistency (ports, reverse ports, edge

@@ -26,7 +26,7 @@ func TestSymmetricOutputOfLocalAlgorithm(t *testing.T) {
 	// p = min{f, k}.
 	for _, p := range []int{2, 3, 4} {
 		ins := SymmetricInstance(p)
-		res := fracpack.Run(ins, fracpack.Options{})
+		res := fracpack.MustRun(ins, fracpack.Options{})
 		if err := CheckSymmetricOutput(p, res.Cover); err != nil {
 			t.Fatalf("p=%d: %v", p, err)
 		}
@@ -101,7 +101,7 @@ func TestLocalAlgorithmYieldsNothing(t *testing.T) {
 	// the lower bound.
 	n, p := 24, 3
 	ins := ReductionInstance(n, p)
-	res := fracpack.Run(ins, fracpack.Options{})
+	res := fracpack.MustRun(ins, fracpack.Options{})
 	size := 0
 	for _, in := range res.Cover {
 		if in {

@@ -26,7 +26,7 @@ func edgepackFactories(g *graph.G) ([]Factory, int) {
 
 // referenceRun computes the non-stabilising reference result.
 func referenceRun(g *graph.G) *edgepack.Result {
-	return edgepack.Run(g, edgepack.Options{})
+	return edgepack.MustRun(g, edgepack.Options{})
 }
 
 // outputsMatch compares the self-stabilised outputs with the reference.

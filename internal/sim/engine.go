@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,15 +12,20 @@ import (
 )
 
 // RunPort executes port-numbering-model programs (one per node) for the
-// given number of rounds and returns run statistics.
-func RunPort(top Topology, progs []PortProgram, rounds int, opt Options) Stats {
+// given number of rounds and returns run statistics.  The error is
+// non-nil only when the run stopped early — Options.Context cancelled,
+// Options.RoundBudget exhausted (ErrRoundBudget) — or when an option
+// the selected engine cannot honour was set; node outputs are unusable
+// in that case.
+func RunPort(top Topology, progs []PortProgram, rounds int, opt Options) (Stats, error) {
 	r := &runner{top: top, port: progs, opt: opt}
 	return r.run(rounds)
 }
 
 // RunBroadcast executes broadcast-model programs (one per node) for the
-// given number of rounds and returns run statistics.
-func RunBroadcast(top Topology, progs []BroadcastProgram, rounds int, opt Options) Stats {
+// given number of rounds and returns run statistics, with the same
+// error contract as RunPort.
+func RunBroadcast(top Topology, progs []BroadcastProgram, rounds int, opt Options) (Stats, error) {
 	r := &runner{top: top, bcast: progs, opt: opt}
 	return r.run(rounds)
 }
@@ -51,7 +57,7 @@ func (r *runner) checkSizes() {
 	}
 }
 
-func (r *runner) run(rounds int) Stats {
+func (r *runner) run(rounds int) (Stats, error) {
 	r.checkSizes()
 	if rounds < 0 {
 		panic("sim: negative round count")
@@ -72,15 +78,24 @@ func (r *runner) run(rounds int) Stats {
 		}
 		return r.runSharded(rounds, k)
 	case CSP:
-		if r.opt.OnRound != nil {
-			panic("sim: OnRound hook is not supported by the CSP engine")
+		// The CSP engine has no global barrier, so every per-round
+		// facility is structurally unavailable; reject rather than
+		// silently ignore.  A context that can never be cancelled
+		// (Done() == nil, e.g. context.Background) needs no barrier to
+		// honour and is allowed through.
+		switch {
+		case r.opt.Observer != nil:
+			return Stats{}, errors.New("sim: the CSP engine has no round barrier to call an Observer from")
+		case r.opt.Trace:
+			return Stats{}, errors.New("sim: Trace is not supported by the CSP engine (no global barrier)")
+		case r.opt.Context != nil && r.opt.Context.Done() != nil:
+			return Stats{}, errors.New("sim: Context cancellation is not supported by the CSP engine")
+		case r.opt.RoundBudget > 0:
+			return Stats{}, errors.New("sim: RoundBudget is not supported by the CSP engine")
 		}
-		if r.opt.Trace {
-			panic("sim: Trace is not supported by the CSP engine (no global barrier)")
-		}
-		return r.runCSP(rounds)
+		return r.runCSP(rounds), nil
 	}
-	panic(fmt.Sprintf("sim: unknown engine %v", r.opt.Engine))
+	return Stats{}, fmt.Errorf("sim: unknown engine %v", r.opt.Engine)
 }
 
 // count tallies one delivered message into (msgs, bytes).
@@ -165,21 +180,24 @@ const (
 	phaseRecv
 )
 
-// workerPool is a persistent pool: goroutines are started once per run
-// and re-dispatched every phase over per-worker channels, replacing the
+// workerPool is a persistent pool: goroutines are started once and
+// re-dispatched every phase over per-worker channels, replacing the
 // seed engine's 2×rounds×workers goroutine spawns.  A channel send of a
 // phase id plus a WaitGroup completion is the entire per-phase barrier,
 // and neither allocates, so the steady state of a run is allocation-free
-// (asserted by TestEngineAllocsPerRound).
+// (asserted by TestEngineAllocsPerRound).  body is set per run (a
+// checked-out pool outlives the run through sim.Pool); the channel send
+// in dispatch publishes it to the workers.
 type workerPool struct {
 	body  func(w, phase int)
 	start []chan int
 	wg    sync.WaitGroup
 }
 
-// newWorkerPool starts `workers` goroutines running body on dispatch.
-func newWorkerPool(workers int, body func(w, phase int)) *workerPool {
-	p := &workerPool{body: body, start: make([]chan int, workers)}
+// newWorkerPool starts `workers` goroutines that run the current body
+// on dispatch.
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{start: make([]chan int, workers)}
 	for w := range p.start {
 		p.start[w] = make(chan int, 1)
 		go func(w int) {
@@ -214,7 +232,7 @@ func (p *workerPool) stop() {
 // runBarrier is the shared implementation of the Sequential
 // (workers == 1) and Parallel engines: a send phase and a receive phase
 // per round over the flat CSR inbox, separated by pool barriers.
-func (r *runner) runBarrier(rounds, workers int) Stats {
+func (r *runner) runBarrier(rounds, workers int) (Stats, error) {
 	n := r.n()
 	if workers > n && n > 0 {
 		workers = n
@@ -223,7 +241,13 @@ func (r *runner) runBarrier(rounds, workers int) Stats {
 		workers = 1
 	}
 	r.ft = flatten(r.top)
-	r.inbox = make([]Message, r.ft.HalfEdges())
+	if p := r.opt.Pool; p != nil {
+		a := p.getArena()
+		defer p.putArena(a)
+		r.inbox = a.grabInbox(r.ft.HalfEdges())
+	} else {
+		r.inbox = make([]Message, r.ft.HalfEdges())
+	}
 	counts := make([]counters, workers)
 	bounds := make([]int, workers+1)
 	for w := 0; w <= workers; w++ {
@@ -250,23 +274,46 @@ func (r *runner) runBarrier(rounds, workers int) Stats {
 // runPhases drives the shared round loop of the barrier-family engines
 // (Sequential, Parallel, Sharded): a send phase and a receive phase per
 // round, dispatched over a persistent worker pool (or run inline when
-// workers == 1), with optional per-round tracing and the OnRound hook.
-// counts holds one per-worker tally that is summed into the Stats.
-func (r *runner) runPhases(rounds, workers int, body func(w, phase int), counts []counters) Stats {
+// workers == 1), with optional per-round tracing, context cancellation,
+// a round budget, and an observer — all evaluated at the round barrier.
+// counts holds one per-worker tally that is summed into the Stats and,
+// when an observer is set, fanned back in after every round.
+func (r *runner) runPhases(rounds, workers int, body func(w, phase int), counts []counters) (Stats, error) {
 	var pool *workerPool
 	if workers > 1 {
-		pool = newWorkerPool(workers, body)
-		defer pool.stop()
+		if p := r.opt.Pool; p != nil {
+			pool = p.getWorkers(workers)
+			pool.body = body
+			defer r.opt.Pool.putWorkers(pool)
+		} else {
+			pool = newWorkerPool(workers)
+			pool.body = body
+			defer pool.stop()
+		}
 	}
 
 	var stats Stats
+	var err error
 	trace := r.opt.Trace
+	ctx := r.opt.Context
+	budget := r.opt.RoundBudget
+	observer := r.opt.Observer
 	var ms runtime.MemStats
 	if trace {
 		stats.RoundNanos = make([]int64, 0, rounds)
 		stats.RoundAllocs = make([]uint64, 0, rounds)
 	}
 	for round := 1; round <= rounds; round++ {
+		if ctx != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				err = cerr
+				break
+			}
+		}
+		if budget > 0 && round > budget {
+			err = ErrRoundBudget
+			break
+		}
 		r.round = round
 		var t0 time.Time
 		var m0 uint64
@@ -282,21 +329,26 @@ func (r *runner) runPhases(rounds, workers int, body func(w, phase int), counts 
 			pool.dispatch(phaseSend)
 			pool.dispatch(phaseRecv)
 		}
+		stats.Rounds = round
 		if trace {
 			stats.RoundNanos = append(stats.RoundNanos, time.Since(t0).Nanoseconds())
 			runtime.ReadMemStats(&ms)
 			stats.RoundAllocs = append(stats.RoundAllocs, ms.Mallocs-m0)
 		}
-		if r.opt.OnRound != nil {
-			r.opt.OnRound(round)
+		if observer != nil {
+			info := RoundInfo{Round: round, Total: rounds}
+			for w := range counts {
+				info.Messages += counts[w].msgs
+				info.Bytes += counts[w].bytes
+			}
+			observer(info)
 		}
 	}
-	stats.Rounds = rounds
 	for w := range counts {
 		stats.Messages += counts[w].msgs
 		stats.Bytes += counts[w].bytes
 	}
-	return stats
+	return stats, err
 }
 
 // runCSP runs one goroutine per node.  Each undirected edge carries two

@@ -30,7 +30,7 @@ import (
 // route entry replaces the barrier engines' per-half-edge Half load
 // plus offset lookup — so the engine pays for itself even before real
 // parallelism.
-func (r *runner) runSharded(rounds, k int) Stats {
+func (r *runner) runSharded(rounds, k int) (Stats, error) {
 	var st *shard.Topology
 	if pre, ok := r.top.(*shard.Topology); ok && pre.K() == k {
 		// A pre-built sharded view with a matching shard count is
@@ -50,24 +50,18 @@ func (r *runner) runSharded(rounds, k int) Stats {
 	// different message); the broadcast model publishes one value per
 	// node and lets receivers pull it ghost-cell style, so it needs no
 	// per-edge buffers at all.  Both are double-buffered by round
-	// parity.
+	// parity.  With a Pool, the whole bundle is recycled from the
+	// previous run over the same topology.
 	bcast := r.isBroadcast()
-	inboxes := make([][]Message, k)
+	var inboxes [][]Message
 	var halo, bvals [2][][]Message
-	for gen := 0; gen < 2; gen++ {
-		halo[gen] = make([][]Message, k)
-		bvals[gen] = make([][]Message, k)
-	}
-	for s := 0; s < k; s++ {
-		sh := &st.Shards[s]
-		inboxes[s] = make([]Message, sh.InboxLen())
-		for gen := 0; gen < 2; gen++ {
-			if bcast {
-				bvals[gen][s] = make([]Message, len(sh.Nodes))
-			} else {
-				halo[gen][s] = make([]Message, sh.HaloOut)
-			}
-		}
+	if p := r.opt.Pool; p != nil {
+		a := p.getArena()
+		defer p.putArena(a)
+		inboxes, halo, bvals = a.grabSharded(st, bcast)
+	} else {
+		a := &arena{}
+		inboxes, halo, bvals = a.grabSharded(st, bcast)
 	}
 	counts := make([]counters, k)
 

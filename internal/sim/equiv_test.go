@@ -111,10 +111,10 @@ func mustEqualRats(t *testing.T, what string, ref, got []rational.Rat) {
 func TestEquivEdgepack(t *testing.T) {
 	for name, g := range vcFamilies() {
 		t.Run(name, func(t *testing.T) {
-			ref := edgepack.Run(g, edgepack.Options{Engine: sim.Sequential})
+			ref := edgepack.MustRun(g, edgepack.Options{Engine: sim.Sequential})
 			for _, ev := range engineVariants() {
 				t.Run(ev.name, func(t *testing.T) {
-					got := edgepack.Run(g, edgepack.Options{Engine: ev.engine, Workers: ev.workers})
+					got := edgepack.MustRun(g, edgepack.Options{Engine: ev.engine, Workers: ev.workers})
 					mustEqualCover(t, ref.Cover, got.Cover)
 					mustEqualRats(t, "edge packing y", ref.Y, got.Y)
 					mustEqualStats(t, ref.Stats, got.Stats)
@@ -148,11 +148,11 @@ func bcastFamilies() map[string]*graph.G {
 func TestEquivBcastvc(t *testing.T) {
 	for name, g := range bcastFamilies() {
 		t.Run(name, func(t *testing.T) {
-			ref := bcastvc.Run(g, bcastvc.Options{Engine: sim.Sequential})
+			ref := bcastvc.MustRun(g, bcastvc.Options{Engine: sim.Sequential})
 			for _, ev := range engineVariants() {
 				for _, seed := range scrambleSeeds {
 					t.Run(fmt.Sprintf("%s/seed%d", ev.name, seed), func(t *testing.T) {
-						got := bcastvc.Run(g, bcastvc.Options{
+						got := bcastvc.MustRun(g, bcastvc.Options{
 							Engine: ev.engine, Workers: ev.workers, ScrambleSeed: seed,
 						})
 						mustEqualCover(t, ref.Cover, got.Cover)
@@ -173,11 +173,11 @@ func TestEquivBcastvc(t *testing.T) {
 func TestEquivFracpack(t *testing.T) {
 	for name, ins := range scFamilies() {
 		t.Run(name, func(t *testing.T) {
-			ref := fracpack.Run(ins, fracpack.Options{Engine: sim.Sequential})
+			ref := fracpack.MustRun(ins, fracpack.Options{Engine: sim.Sequential})
 			for _, ev := range engineVariants() {
 				for _, seed := range scrambleSeeds {
 					t.Run(fmt.Sprintf("%s/seed%d", ev.name, seed), func(t *testing.T) {
-						got := fracpack.Run(ins, fracpack.Options{
+						got := fracpack.MustRun(ins, fracpack.Options{
 							Engine: ev.engine, Workers: ev.workers, ScrambleSeed: seed,
 						})
 						mustEqualCover(t, ref.Cover, got.Cover)
@@ -205,9 +205,12 @@ func TestEquivFlatTopologyAsInput(t *testing.T) {
 					nodes[v] = edgepack.New(envs[v])
 					progs[v] = nodes[v]
 				}
-				stats := sim.RunPort(top, progs, edgepack.Rounds(params), sim.Options{
+				stats, err := sim.RunPort(top, progs, edgepack.Rounds(params), sim.Options{
 					Engine: ev.engine, Workers: ev.workers,
 				})
+				if err != nil {
+					t.Fatal(err)
+				}
 				outs := make([]any, g.N())
 				for v := range outs {
 					outs[v] = nodes[v].Output()
@@ -238,7 +241,7 @@ func TestEquivFlatTopologyAsInput(t *testing.T) {
 func TestEquivShardedTopologyAsInput(t *testing.T) {
 	for name, g := range vcFamilies() {
 		t.Run(name, func(t *testing.T) {
-			ref := edgepack.Run(g, edgepack.Options{Engine: sim.Sequential})
+			ref := edgepack.MustRun(g, edgepack.Options{Engine: sim.Sequential})
 			st := shard.BuildK(g.Flat(), 4)
 			params := sim.GraphParams(g)
 			envs := sim.GraphEnvs(g, params)
@@ -250,9 +253,12 @@ func TestEquivShardedTopologyAsInput(t *testing.T) {
 						nodes[v] = edgepack.New(envs[v])
 						progs[v] = nodes[v]
 					}
-					stats := sim.RunPort(st, progs, edgepack.Rounds(params), sim.Options{
+					stats, err := sim.RunPort(st, progs, edgepack.Rounds(params), sim.Options{
 						Engine: ev.engine, Workers: ev.workers,
 					})
+					if err != nil {
+						t.Fatal(err)
+					}
 					mustEqualStats(t, ref.Stats, stats)
 					for v := range nodes {
 						nr := nodes[v].Output().(edgepack.NodeResult)
@@ -281,7 +287,7 @@ func TestEquivSelfstab(t *testing.T) {
 				env := envs[v]
 				factories[v] = func() sim.PortProgram { return edgepack.New(env) }
 			}
-			ref := edgepack.Run(g, edgepack.Options{})
+			ref := edgepack.MustRun(g, edgepack.Options{})
 			outs := selfstab.Run(g, edgepack.Rounds(params), factories)
 			for v, out := range outs {
 				nr, ok := out.(edgepack.NodeResult)

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"sync"
+
+	"anoncover/internal/shard"
+)
+
+// maxIdleWorkerPools bounds how many idle persistent worker pools a Pool
+// parks between runs.  Concurrent runs each check one out, so the bound
+// only matters after a burst of concurrency subsides; surplus pools are
+// simply stopped.
+const maxIdleWorkerPools = 16
+
+// Pool is a reusable execution context shared by many runs: persistent
+// worker pools (goroutines spawned once and re-dispatched run after run)
+// and recycled per-run arenas (the O(E) inbox and halo buffers).  A
+// compiled solver session holds one Pool so that serving a run costs
+// only the rounds themselves, not the per-call setup.
+//
+// A Pool is safe for concurrent use: every run checks resources out
+// under a lock (worker pools) or through a sync.Pool (arenas) and
+// returns them when done, so concurrent runs never share mutable state.
+// Close stops the idle worker goroutines; it is safe to call
+// concurrently with in-flight runs, whose pools are stopped on release
+// instead of being parked.
+type Pool struct {
+	mu     sync.Mutex
+	idle   []*workerPool
+	closed bool
+	arenas sync.Pool // *arena
+}
+
+// NewPool returns an empty Pool.
+func NewPool() *Pool { return &Pool{} }
+
+// getWorkers checks out an idle persistent pool of exactly n workers,
+// or starts a fresh one.
+func (p *Pool) getWorkers(n int) *workerPool {
+	p.mu.Lock()
+	for i, wp := range p.idle {
+		if len(wp.start) == n {
+			last := len(p.idle) - 1
+			p.idle[i] = p.idle[last]
+			p.idle = p.idle[:last]
+			p.mu.Unlock()
+			return wp
+		}
+	}
+	p.mu.Unlock()
+	return newWorkerPool(n)
+}
+
+// putWorkers parks a pool for reuse, or stops it when the Pool is
+// closed or already holds enough idle pools.
+func (p *Pool) putWorkers(wp *workerPool) {
+	wp.body = nil
+	p.mu.Lock()
+	if p.closed || len(p.idle) >= maxIdleWorkerPools {
+		p.mu.Unlock()
+		wp.stop()
+		return
+	}
+	p.idle = append(p.idle, wp)
+	p.mu.Unlock()
+}
+
+// getArena checks out a per-run arena (possibly one recycled from an
+// earlier run over the same topology, in which case its buffers are
+// reused without reallocation).
+func (p *Pool) getArena() *arena {
+	if a, ok := p.arenas.Get().(*arena); ok {
+		return a
+	}
+	return &arena{}
+}
+
+// putArena scrubs the arena's message references — a parked arena must
+// not pin a finished run's payloads — and returns it for reuse.
+func (p *Pool) putArena(a *arena) {
+	a.scrub()
+	p.arenas.Put(a)
+}
+
+// Close stops all idle worker pools and marks the Pool closed, so pools
+// released by in-flight runs are stopped rather than parked.  Close is
+// idempotent; runs started after Close still work, paying the per-run
+// spawn cost again.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, wp := range idle {
+		wp.stop()
+	}
+}
+
+// arena holds one run's worth of engine-owned buffers.  Every slot of
+// every buffer is written before it is read within each round (the send
+// phase fills the inboxes and halo buffers the receive phase drains),
+// so recycled contents are never observed and the buffers need no
+// clearing on reuse — only on release, to unpin the old run's messages.
+type arena struct {
+	// Barrier engines: the flat CSR inbox.
+	inbox []Message
+
+	// Sharded engine, valid only for the (topology, model) pair it was
+	// last shaped for.
+	st      *shard.Topology
+	bcast   bool
+	inboxes [][]Message
+	halo    [2][][]Message
+	bvals   [2][][]Message
+}
+
+// grabInbox returns a flat inbox of exactly n slots, reusing the
+// arena's buffer when it is large enough.
+func (a *arena) grabInbox(n int) []Message {
+	if cap(a.inbox) >= n {
+		a.inbox = a.inbox[:n]
+	} else {
+		a.inbox = make([]Message, n)
+	}
+	return a.inbox
+}
+
+// grabSharded returns the per-shard inboxes and double-buffered halo
+// buffers for st, reusing the previous run's buffers when the arena was
+// last shaped for the same topology and model.
+func (a *arena) grabSharded(st *shard.Topology, bcast bool) (inboxes [][]Message, halo, bvals [2][][]Message) {
+	if a.st == st && a.bcast == bcast {
+		return a.inboxes, a.halo, a.bvals
+	}
+	k := st.K()
+	a.st, a.bcast = st, bcast
+	a.inboxes = make([][]Message, k)
+	for gen := 0; gen < 2; gen++ {
+		a.halo[gen] = make([][]Message, k)
+		a.bvals[gen] = make([][]Message, k)
+	}
+	for s := 0; s < k; s++ {
+		sh := &st.Shards[s]
+		a.inboxes[s] = make([]Message, sh.InboxLen())
+		for gen := 0; gen < 2; gen++ {
+			if bcast {
+				a.bvals[gen][s] = make([]Message, len(sh.Nodes))
+			} else {
+				a.halo[gen][s] = make([]Message, sh.HaloOut)
+			}
+		}
+	}
+	return a.inboxes, a.halo, a.bvals
+}
+
+// scrub drops every message reference so a parked arena does not keep a
+// finished run's payloads (broadcast histories can be large) alive.
+func (a *arena) scrub() {
+	clearMsgs(a.inbox)
+	for _, in := range a.inboxes {
+		clearMsgs(in)
+	}
+	for gen := 0; gen < 2; gen++ {
+		for _, b := range a.halo[gen] {
+			clearMsgs(b)
+		}
+		for _, b := range a.bvals[gen] {
+			clearMsgs(b)
+		}
+	}
+}
+
+func clearMsgs(s []Message) {
+	for i := range s {
+		s[i] = nil
+	}
+}

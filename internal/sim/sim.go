@@ -50,6 +50,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"anoncover/internal/bipartite"
@@ -170,6 +172,23 @@ func (e Engine) String() string {
 	return fmt.Sprintf("engine(%d)", int(e))
 }
 
+// RoundInfo is the per-round progress snapshot handed to an
+// Options.Observer after each completed round.  Messages and Bytes are
+// cumulative through the reported round: the barrier engines fan the
+// per-worker tallies back in at the round barrier, so the snapshot is
+// exact whatever the worker or shard count.
+type RoundInfo struct {
+	Round    int   // 1-based round just completed
+	Total    int   // rounds in this run's schedule
+	Messages int64 // messages delivered through this round
+	Bytes    int64 // payload bytes delivered through this round
+}
+
+// ErrRoundBudget is returned by a run that needed more rounds than its
+// Options.RoundBudget allowed.  The run stops at the budget boundary;
+// node outputs are unusable (the schedule did not complete).
+var ErrRoundBudget = errors.New("sim: round budget exhausted before the schedule completed")
+
 // Options configure a run.
 type Options struct {
 	Engine Engine
@@ -180,15 +199,32 @@ type Options struct {
 	// deterministically per (node, round).  Correct broadcast programs
 	// must produce identical outputs for every seed.
 	ScrambleSeed int64
-	// OnRound is called after each completed round (Sequential and
-	// Parallel engines only; the CSP engine has no global barrier and
-	// panics if a hook is set).
-	OnRound func(round int)
+	// Context, when non-nil, is polled at every round barrier; a
+	// cancelled or expired context stops the run, which returns
+	// Context.Err().  Barrier engines only.
+	Context context.Context
+	// RoundBudget, when positive, caps the number of rounds executed:
+	// a run whose schedule needs more returns ErrRoundBudget at the
+	// budget boundary.  Barrier engines only.
+	RoundBudget int
+	// Observer, when non-nil, is called after each completed round with
+	// a cumulative progress snapshot, on the goroutine driving the run.
+	// Barrier engines only (the CSP engine has no global barrier and
+	// the run returns an error if an observer is set).
+	Observer func(RoundInfo)
+	// Pool, when non-nil, supplies reusable execution resources —
+	// persistent worker pools and recycled inbox/message arenas — so
+	// back-to-back runs skip the per-run goroutine spawn and O(E)
+	// buffer allocations.  Safe for concurrent runs: each run checks
+	// resources out and returns them.  Barrier engines only; the CSP
+	// engine ignores it.
+	Pool *Pool
 	// Trace records per-round wall time and allocation counts into
 	// Stats.RoundNanos/RoundAllocs.  Barrier engines only (the CSP
-	// engine has no global barrier and panics if Trace is set).
-	// Tracing reads runtime.MemStats twice per round, so it perturbs
-	// absolute timings; use it for profiles, not for ns-level claims.
+	// engine has no global barrier and the run returns an error if
+	// Trace is set).  Tracing reads runtime.MemStats twice per round,
+	// so it perturbs absolute timings; use it for profiles, not for
+	// ns-level claims.
 	Trace bool
 }
 

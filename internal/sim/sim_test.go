@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -52,7 +53,10 @@ func TestPortWiringAllEngines(t *testing.T) {
 				progs[v] = echoes[v]
 				progs[v].Init(GraphEnvs(g, GraphParams(g))[v])
 			}
-			stats := RunPort(g, progs, 3, Options{Engine: eng})
+			stats, err := RunPort(g, progs, 3, Options{Engine: eng})
+			if err != nil {
+				t.Fatal(err)
+			}
 			if stats.Rounds != 3 {
 				t.Fatalf("rounds = %d", stats.Rounds)
 			}
@@ -189,7 +193,10 @@ func TestStatsCounting(t *testing.T) {
 			progs[v] = &sizedProg{}
 			progs[v].Init(Env{Degree: g.Deg(v)})
 		}
-		stats := RunBroadcast(g, progs, 3, Options{Engine: eng})
+		stats, err := RunBroadcast(g, progs, 3, Options{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
 		// Rounds 1 and 3 deliver 12 messages of 10 bytes each; round 2
 		// delivers nils.
 		if stats.Messages != 24 {
@@ -224,61 +231,114 @@ func TestZeroRounds(t *testing.T) {
 		progs[v] = p
 		p.Init(Env{Degree: g.Deg(v)})
 	}
-	stats := RunPort(g, progs, 0, Options{})
+	stats, err := RunPort(g, progs, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stats.Rounds != 0 || stats.Messages != 0 {
 		t.Fatal("zero-round run should do nothing")
 	}
 }
 
-func TestOnRoundHook(t *testing.T) {
-	g := graph.Cycle(4)
-	for _, eng := range []Engine{Sequential, Parallel} {
-		var rounds []int
-		progs := make([]PortProgram, g.N())
-		for v := range progs {
-			p := &echoProg{token: v}
-			progs[v] = p
-			p.Init(Env{Degree: g.Deg(v)})
-		}
-		RunPort(g, progs, 3, Options{Engine: eng, OnRound: func(r int) {
-			rounds = append(rounds, r)
-		}})
-		if len(rounds) != 3 || rounds[0] != 1 || rounds[2] != 3 {
-			t.Fatalf("engine %v: hook rounds %v", eng, rounds)
-		}
-	}
-}
-
-func TestOnRoundPanicsOnCSP(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
-	g := graph.Cycle(3)
+// mkEchoProgs builds one initialized echoProg per node.
+func mkEchoProgs(g *graph.G) []PortProgram {
 	progs := make([]PortProgram, g.N())
 	for v := range progs {
 		p := &echoProg{token: v}
 		progs[v] = p
 		p.Init(Env{Degree: g.Deg(v)})
 	}
-	RunPort(g, progs, 1, Options{Engine: CSP, OnRound: func(int) {}})
+	return progs
 }
 
-func TestTracePanicsOnCSP(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
+func TestObserverHook(t *testing.T) {
+	g := graph.Cycle(4) // 8 deliveries per round
+	for _, eng := range []Engine{Sequential, Parallel, Sharded} {
+		var seen []RoundInfo
+		stats, err := RunPort(g, mkEchoProgs(g), 3, Options{Engine: eng, Workers: 2,
+			Observer: func(ri RoundInfo) { seen = append(seen, ri) }})
+		if err != nil {
+			t.Fatal(err)
 		}
-	}()
-	g := graph.Cycle(3)
-	progs := make([]PortProgram, g.N())
-	for v := range progs {
-		p := &echoProg{token: v}
-		progs[v] = p
-		p.Init(Env{Degree: g.Deg(v)})
+		if len(seen) != 3 {
+			t.Fatalf("engine %v: observer fired %d times, want 3", eng, len(seen))
+		}
+		for i, ri := range seen {
+			if ri.Round != i+1 || ri.Total != 3 {
+				t.Fatalf("engine %v: observation %d = %+v", eng, i, ri)
+			}
+			if ri.Messages != int64(8*(i+1)) {
+				t.Fatalf("engine %v: cumulative messages %d after round %d, want %d",
+					eng, ri.Messages, i+1, 8*(i+1))
+			}
+		}
+		if seen[2].Messages != stats.Messages {
+			t.Fatalf("engine %v: final observation %d != stats %d",
+				eng, seen[2].Messages, stats.Messages)
+		}
 	}
-	RunPort(g, progs, 1, Options{Engine: CSP, Trace: true})
+}
+
+func TestBarrierOnlyOptionsErrorOnCSP(t *testing.T) {
+	g := graph.Cycle(3)
+	cancellable, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := map[string]Options{
+		"observer": {Engine: CSP, Observer: func(RoundInfo) {}},
+		"trace":    {Engine: CSP, Trace: true},
+		"context":  {Engine: CSP, Context: cancellable},
+		"budget":   {Engine: CSP, RoundBudget: 1},
+	}
+	for name, opt := range opts {
+		if _, err := RunPort(g, mkEchoProgs(g), 1, opt); err == nil {
+			t.Errorf("%s: CSP engine accepted a barrier-only option", name)
+		}
+	}
+	// A context that can never be cancelled needs no barrier to honour.
+	if _, err := RunPort(g, mkEchoProgs(g), 1, Options{Engine: CSP, Context: context.Background()}); err != nil {
+		t.Errorf("CSP engine rejected a never-cancellable context: %v", err)
+	}
+}
+
+func TestContextCancelStopsRun(t *testing.T) {
+	g := graph.Cycle(6)
+	for _, eng := range []Engine{Sequential, Parallel, Sharded} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var fired int
+		stats, err := RunPort(g, mkEchoProgs(g), 10, Options{Engine: eng, Context: ctx,
+			Observer: func(ri RoundInfo) {
+				fired++
+				if ri.Round == 2 {
+					cancel()
+				}
+			}})
+		if err != context.Canceled {
+			t.Fatalf("engine %v: err = %v, want context.Canceled", eng, err)
+		}
+		if stats.Rounds != 2 || fired != 2 {
+			t.Fatalf("engine %v: stopped after %d rounds (%d observations), want 2",
+				eng, stats.Rounds, fired)
+		}
+		cancel()
+	}
+}
+
+func TestRoundBudget(t *testing.T) {
+	g := graph.Cycle(5)
+	for _, eng := range []Engine{Sequential, Parallel, Sharded} {
+		stats, err := RunPort(g, mkEchoProgs(g), 10, Options{Engine: eng, RoundBudget: 4})
+		if err != ErrRoundBudget {
+			t.Fatalf("engine %v: err = %v, want ErrRoundBudget", eng, err)
+		}
+		if stats.Rounds != 4 {
+			t.Fatalf("engine %v: executed %d rounds, want 4", eng, stats.Rounds)
+		}
+		// A budget at least as large as the schedule changes nothing.
+		stats, err = RunPort(g, mkEchoProgs(g), 3, Options{Engine: eng, RoundBudget: 3})
+		if err != nil || stats.Rounds != 3 {
+			t.Fatalf("engine %v: sufficient budget gave rounds=%d err=%v", eng, stats.Rounds, err)
+		}
+	}
 }
 
 func TestTraceRecordsPerRound(t *testing.T) {
@@ -289,7 +349,10 @@ func TestTraceRecordsPerRound(t *testing.T) {
 			progs[v] = &sumProg{}
 			progs[v].Init(Env{})
 		}
-		stats := RunBroadcast(g, progs, 5, Options{Engine: eng, Trace: true})
+		stats, err := RunBroadcast(g, progs, 5, Options{Engine: eng, Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(stats.RoundNanos) != 5 || len(stats.RoundAllocs) != 5 {
 			t.Fatalf("engine %v: trace lengths %d/%d, want 5/5",
 				eng, len(stats.RoundNanos), len(stats.RoundAllocs))

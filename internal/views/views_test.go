@@ -87,7 +87,7 @@ func TestEqualViewsImplyEqualOutputs_PortModel(t *testing.T) {
 	}
 	for gi, gen := range gens {
 		g := gen()
-		res := edgepack.Run(g, edgepack.Options{})
+		res := edgepack.MustRun(g, edgepack.Options{})
 		rounds := edgepack.Rounds(sim.GraphParams(g))
 		hs := PortHashes(g, WeightAttr(g), rounds)
 		for _, class := range Classes(hs) {
@@ -110,7 +110,7 @@ func TestEqualViewsImplyEqualOutputs_Broadcast(t *testing.T) {
 		bipartite.Random(8, 16, 3, 5, 4, 7),
 	}
 	for ii, ins := range instances {
-		res := fracpack.Run(ins, fracpack.Options{})
+		res := fracpack.MustRun(ins, fracpack.Options{})
 		params := sim.BipartiteParams(ins)
 		attr := func(v int) uint64 {
 			if ins.IsSubset(v) {
@@ -149,7 +149,7 @@ func TestEqualViewsImplyEqualOutputs_Broadcast(t *testing.T) {
 func TestEqualViewsImplyEqualOutputs_BroadcastVC(t *testing.T) {
 	g := graph.CompleteBipartite(2, 3)
 	graph.UniformWeights(g, 2)
-	res := bcastvc.Run(g, bcastvc.Options{})
+	res := bcastvc.MustRun(g, bcastvc.Options{})
 	hs := BroadcastHashes(g, WeightAttr(g), 200)
 	for _, class := range Classes(hs) {
 		for _, v := range class[1:] {

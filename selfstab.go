@@ -24,7 +24,30 @@ type SelfStabVertexCover struct {
 // initial state is arbitrary (all-zero tables); call Step at least
 // Rounds()+1 times to reach a correct output.
 func NewSelfStabVertexCover(g *Graph) *SelfStabVertexCover {
-	params := sim.GraphParams(g.g)
+	return newSelfStabVC(g, sim.GraphParams(g.g))
+}
+
+// SelfStabVertexCover returns the self-stabilising transformation over
+// the solver's graph, honouring the session's declared Δ/W bounds: the
+// replayed schedule — and with it the stabilisation time T+1 — follows
+// the compiled parameters, exactly like the solver's engine runs.  Like
+// every run on the Solver, it errors if the graph was mutated after
+// Compile (the compiled bounds could silently undercut the new maxima).
+func (s *Solver) SelfStabVertexCover() (*SelfStabVertexCover, error) {
+	if _, err := s.runConfig(nil); err != nil {
+		return nil, err
+	}
+	params := sim.GraphParams(s.g.g)
+	if s.cfg.delta != 0 {
+		params.Delta = s.cfg.delta
+	}
+	if s.cfg.maxW != 0 {
+		params.W = s.cfg.maxW
+	}
+	return newSelfStabVC(s.g, params), nil
+}
+
+func newSelfStabVC(g *Graph, params sim.Params) *SelfStabVertexCover {
 	envs := sim.GraphEnvs(g.g, params)
 	factories := make([]selfstab.Factory, g.N())
 	for v := range factories {

@@ -1,9 +1,16 @@
 package anoncover
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"math/big"
+	"runtime"
 
 	"anoncover/internal/bipartite"
+	"anoncover/internal/core/fracpack"
+	"anoncover/internal/shard"
+	"anoncover/internal/sim"
 )
 
 // SetCoverInstance is a weighted set-cover instance represented as the
@@ -68,6 +75,119 @@ func (i *SetCoverInstance) IsCover(cover []bool) bool { return i.ins.IsCover(cov
 
 // CoverWeight returns the total weight of the marked subsets.
 func (i *SetCoverInstance) CoverWeight(cover []bool) int64 { return i.ins.CoverWeight(cover) }
+
+// SetCoverSolver is the compiled set-cover session, the bipartite
+// analogue of Solver: CompileSetCover builds the flat topology of the
+// incidence graph H (and the shard partition for EngineSharded) once,
+// and every SetCover run reuses it.  Safe for concurrent callers; see
+// Solver for the sharing contract.
+type SetCoverSolver struct {
+	ins     *SetCoverInstance
+	cfg     config
+	top     sim.Topology
+	pool    *sim.Pool
+	version uint64
+}
+
+// CompileSetCover validates opts against ins and builds a reusable
+// SetCoverSolver.  It returns an error for invalid options, declared
+// f/k/W bounds below the actual instance values, or an instance with an
+// uncoverable element.
+func CompileSetCover(ins *SetCoverInstance, opts ...Option) (*SetCoverSolver, error) {
+	c := buildConfig(opts)
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if c.f != 0 && c.f < ins.MaxFrequency() {
+		return nil, fmt.Errorf("anoncover: WithSetCoverBounds: f=%d below the actual maximum frequency %d",
+			c.f, ins.MaxFrequency())
+	}
+	if c.k != 0 && c.k < ins.MaxSubsetSize() {
+		return nil, fmt.Errorf("anoncover: WithSetCoverBounds: k=%d below the actual maximum subset size %d",
+			c.k, ins.MaxSubsetSize())
+	}
+	if c.maxW != 0 && c.maxW < ins.MaxWeight() {
+		return nil, fmt.Errorf("anoncover: WithWeightBound(%d) below the actual maximum weight %d",
+			c.maxW, ins.MaxWeight())
+	}
+	for u := 0; u < ins.Elements(); u++ {
+		if ins.ins.Deg(ins.ins.ElementNode(u)) == 0 {
+			return nil, fmt.Errorf("anoncover: element %d belongs to no subset; the instance has no cover", u)
+		}
+	}
+	flat := ins.ins.Flat()
+	var top sim.Topology = flat
+	if c.engine == EngineSharded {
+		k := c.workers
+		if k <= 0 {
+			k = runtime.GOMAXPROCS(0)
+		}
+		st := shard.BuildK(flat, k)
+		// Pin the session default to the clamped shard count so runs
+		// reuse the pre-built partition (see Compile).
+		c.workers = st.K()
+		top = st
+	}
+	return &SetCoverSolver{ins: ins, cfg: c, top: top, pool: sim.NewPool(), version: ins.ins.Version()}, nil
+}
+
+// Instance returns the instance the solver was compiled for.
+func (s *SetCoverSolver) Instance() *SetCoverInstance { return s.ins }
+
+// Close releases the session's pooled worker goroutines; see
+// Solver.Close.
+func (s *SetCoverSolver) Close() error {
+	s.pool.Close()
+	return nil
+}
+
+// SetCover runs the Section 4 algorithm on the compiled topology: a
+// deterministic f-approximation of minimum-weight set cover in
+// O(f²k² + fk·log* W) rounds in the anonymous broadcast model.  The
+// context is polled at every round barrier; per-run options extend the
+// session defaults.
+func (s *SetCoverSolver) SetCover(ctx context.Context, opts ...Option) (*SetCoverResult, error) {
+	if v := s.ins.ins.Version(); v != s.version {
+		return nil, fmt.Errorf("anoncover: instance mutated after CompileSetCover (version %d, compiled at %d); recompile the solver", v, s.version)
+	}
+	c := s.cfg
+	for _, o := range opts {
+		o(&c)
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	res, err := fracpack.Run(s.ins.ins, fracpack.Options{
+		Engine: c.engine.internal(), Workers: c.workers, ScrambleSeed: c.scramble,
+		F: c.f, K: c.k, W: c.maxW, EarlyExit: c.earlyExit,
+		Topology: s.top, Context: ctx, RoundBudget: c.budget,
+		Observer: simObserver(c.observer), Pool: s.pool,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &SetCoverResult{
+		Cover:           res.Cover,
+		Packing:         make([]*big.Rat, len(res.Y)),
+		Weight:          res.CoverWeight(s.ins.ins),
+		Rounds:          res.Rounds,
+		ScheduledRounds: res.ScheduledRounds,
+		Messages:        res.Stats.Messages,
+		Bytes:           res.Stats.Bytes,
+		ins:             s.ins.ins,
+		y:               res.Y,
+	}
+	for u, v := range res.Y {
+		out.Packing[u] = v.Big()
+	}
+	return out, nil
+}
+
+// MaximalFractionalPacking is an alias for SetCover emphasising the
+// primal object.
+func (s *SetCoverSolver) MaximalFractionalPacking(ctx context.Context, opts ...Option) (*SetCoverResult, error) {
+	return s.SetCover(ctx, opts...)
+}
 
 // Generators.
 

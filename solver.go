@@ -1,0 +1,175 @@
+package anoncover
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"anoncover/internal/core/bcastvc"
+	"anoncover/internal/core/edgepack"
+	"anoncover/internal/shard"
+	"anoncover/internal/sim"
+)
+
+// RoundInfo is the per-round progress snapshot streamed to a
+// WithObserver callback after each completed round.  Messages and Bytes
+// are cumulative through the reported round, whatever the engine or
+// worker count.
+type RoundInfo struct {
+	Round    int   // 1-based round just completed
+	Total    int   // rounds in this run's schedule
+	Messages int64 // messages delivered through this round
+	Bytes    int64 // payload bytes delivered through this round
+}
+
+// ErrRoundBudget is returned by a run whose schedule needed more rounds
+// than its WithRoundBudget allowed.  The run stopped at the budget
+// boundary; no result is produced.
+var ErrRoundBudget = sim.ErrRoundBudget
+
+// Solver is a compiled vertex-cover session: Compile builds the flat
+// CSR topology, the shard partition (for EngineSharded) and a pool of
+// reusable execution resources once, and every run on the Solver reuses
+// them.  A Solver is safe for concurrent callers — runs check mutable
+// state (inboxes, halo buffers, worker pools) out of internal pools and
+// share only the immutable compiled topology.
+//
+// The graph must not be mutated (SetWeight, ShufflePorts, Weigh*) after
+// Compile; runs on a stale Solver return an error rather than silently
+// using the old topology or weights.
+type Solver struct {
+	g       *Graph
+	cfg     config
+	top     sim.Topology // *graph.FlatTopology, or *shard.Topology for EngineSharded
+	pool    *sim.Pool
+	version uint64
+}
+
+// mustCompile unwraps Compile for the panicking one-shot wrappers.
+// Errors already carry their package prefix.
+func mustCompile(s *Solver, err error) *Solver {
+	if err != nil {
+		panic(err.Error())
+	}
+	return s
+}
+
+// Compile validates opts against g and builds a reusable Solver: the
+// flat CSR topology, the degree-balanced shard partition when the
+// engine is EngineSharded, and the session's execution pools.  Options
+// given here become the session defaults; each run may extend or
+// override them.
+func Compile(g *Graph, opts ...Option) (*Solver, error) {
+	c := buildConfig(opts)
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if c.delta != 0 && c.delta < g.MaxDegree() {
+		return nil, fmt.Errorf("anoncover: WithDegreeBound(%d) below the actual maximum degree %d",
+			c.delta, g.MaxDegree())
+	}
+	if c.maxW != 0 && c.maxW < g.MaxWeight() {
+		return nil, fmt.Errorf("anoncover: WithWeightBound(%d) below the actual maximum weight %d",
+			c.maxW, g.MaxWeight())
+	}
+	flat := g.g.Flat()
+	var top sim.Topology = flat
+	if c.engine == EngineSharded {
+		k := c.workers
+		if k <= 0 {
+			k = runtime.GOMAXPROCS(0)
+		}
+		st := shard.BuildK(flat, k)
+		// Snapshot the clamped shard count as the session default so
+		// runs match the pre-built partition exactly — a mismatched
+		// count would silently re-partition on every run.  (Sharding
+		// is an execution detail, so an explicit per-run WithWorkers
+		// override stays legal; it just pays for its own partition.)
+		c.workers = st.K()
+		top = st
+	}
+	return &Solver{g: g, cfg: c, top: top, pool: sim.NewPool(), version: g.g.Version()}, nil
+}
+
+// runConfig layers per-run options over the session defaults and
+// re-validates, and rejects runs on a Solver whose graph has been
+// mutated since Compile.
+func (s *Solver) runConfig(opts []Option) (config, error) {
+	if v := s.g.g.Version(); v != s.version {
+		return config{}, fmt.Errorf("anoncover: graph mutated after Compile (version %d, compiled at %d); recompile the solver", v, s.version)
+	}
+	c := s.cfg
+	for _, o := range opts {
+		o(&c)
+	}
+	if err := c.validate(); err != nil {
+		return config{}, err
+	}
+	return c, nil
+}
+
+// Graph returns the graph the Solver was compiled for.
+func (s *Solver) Graph() *Graph { return s.g }
+
+// Close releases the session's pooled worker goroutines.  It is
+// optional but recommended for long-lived processes that compile many
+// solvers; runs issued after Close still work, paying the per-run
+// setup cost again.
+func (s *Solver) Close() error {
+	s.pool.Close()
+	return nil
+}
+
+// simObserver adapts a public observer to the simulator's callback.
+func simObserver(fn func(RoundInfo)) func(sim.RoundInfo) {
+	if fn == nil {
+		return nil
+	}
+	return func(ri sim.RoundInfo) { fn(RoundInfo(ri)) }
+}
+
+// VertexCover runs the Section 3 algorithm (port-numbering model) on
+// the compiled topology.  The context is polled at every round barrier;
+// per-run options extend the session defaults.
+func (s *Solver) VertexCover(ctx context.Context, opts ...Option) (*VertexCoverResult, error) {
+	c, err := s.runConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := edgepack.Run(s.g.g, edgepack.Options{
+		Engine: c.engine.internal(), Workers: c.workers, Delta: c.delta, W: c.maxW,
+		Topology: s.top, Context: ctx, RoundBudget: c.budget,
+		Observer: simObserver(c.observer), Pool: s.pool,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newVCResult(s.g.g, res.Y, res.Cover, res.Rounds, res.Stats), nil
+}
+
+// MaximalEdgePacking is an alias for VertexCover emphasising the primal
+// object.
+func (s *Solver) MaximalEdgePacking(ctx context.Context, opts ...Option) (*VertexCoverResult, error) {
+	return s.VertexCover(ctx, opts...)
+}
+
+// VertexCoverBroadcast runs the Section 5 algorithm (broadcast model)
+// on the compiled topology, with the same guarantee as VertexCover at
+// O(Δ² + Δ·log* W) rounds.  WithDegreeBound and WithWeightBound inflate
+// the schedule exactly as in the port-numbering model.
+func (s *Solver) VertexCoverBroadcast(ctx context.Context, opts ...Option) (*VertexCoverResult, error) {
+	c, err := s.runConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := bcastvc.Run(s.g.g, bcastvc.Options{
+		Engine: c.engine.internal(), Workers: c.workers, ScrambleSeed: c.scramble,
+		Delta: c.delta, W: c.maxW,
+		Topology: s.top, Context: ctx, RoundBudget: c.budget,
+		Observer: simObserver(c.observer), Pool: s.pool,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newVCResult(s.g.g, res.Y, res.Cover, res.Rounds, res.Stats), nil
+}
