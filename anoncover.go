@@ -119,6 +119,7 @@ type config struct {
 	budget    int
 	observer  func(RoundInfo)
 	earlyExit bool
+	noWire    bool
 }
 
 // validate rejects option combinations that cannot be served; it is the
@@ -198,6 +199,14 @@ func WithWeightBound(w int64) Option { return func(c *config) { c.maxW = w } }
 func WithSetCoverBounds(f, k int) Option {
 	return func(c *config) { c.f, c.k = f, k }
 }
+
+// WithoutWirePath forces the simulator's boxed message-delivery path
+// instead of the default unboxed wire path (fixed-width word lanes for
+// the port model, interned value tables for the broadcast model).
+// Results are bit-identical on both paths; the option exists for
+// equivalence testing and for ablation benchmarks that want to measure
+// the wire path's effect.
+func WithoutWirePath() Option { return func(c *config) { c.noWire = true } }
 
 func buildConfig(opts []Option) config {
 	var c config

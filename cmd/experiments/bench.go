@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/bits"
 	"os"
 	"runtime"
 	"sort"
@@ -26,16 +27,17 @@ import (
 type benchRow struct {
 	Engine  string `json:"engine"`
 	Workers int    `json:"workers"`
-	// Mode distinguishes the solver-reuse comparison rows: "oneshot"
-	// pays the full per-call setup on every run, "solver" serves runs
-	// from one compiled session.  Empty for the engine-matrix rows,
-	// which pre-build their topologies either way.
+	// Mode distinguishes delivery paths and serving modes: the engine
+	// matrix emits "wire" (the default unboxed path: word lanes for the
+	// port workload, interned value tables for broadcast) and "boxed"
+	// rows; the solver-reuse comparison emits "oneshot", "solver" and
+	// "solver-boxed" rows.
 	Mode string `json:"mode,omitempty"`
-	// Workload names the solver-reuse workload: "vertexcover" is the
-	// real algorithm through the public API (per-run cost dominated by
-	// the rounds themselves), "throughput-20r" the 20-round message
-	// workload of the engine matrix (per-run cost dominated by setup,
-	// the request shape the session API exists for).
+	// Workload names the measured workload: "throughput-20r" is the
+	// broadcast message workload, "wireport-20r" the port-model
+	// workload shaped like edgepack's Phase I offer rounds (two-word
+	// rational lanes), "vertexcover" the real algorithm through the
+	// public API.
 	Workload string `json:"workload,omitempty"`
 	// Gomaxprocs is runtime.GOMAXPROCS(0) during this row's run; for
 	// parallel and sharded rows it is forced to at least Workers.
@@ -83,11 +85,71 @@ func (p *throughputProg) Recv(r int, msgs []sim.Message) {
 }
 func (p *throughputProg) Output() any { return p.acc }
 
+// offerLike is the wireport workload's message: the shape of an
+// edgepack Phase I offer — a fast-path rational whose wire size
+// depends on its value, exactly like rational.Rat.WireBytes.
+type offerLike struct{ n, d int64 }
+
+func (m offerLike) WireSize() int {
+	return (bits.Len64(uint64(m.n))+bits.Len64(uint64(m.d)))/8 + 2
+}
+
+// wirePortProg is the port-model throughput workload, faithful to
+// edgepack's dominant rounds on both paths: the boxed path boxes one
+// fresh offer per node per round and answers a WireSize query per
+// delivered message (exactly what edgepack's boxed offer rounds cost),
+// while the wire path encodes the same value into edgepack's 3-word
+// [header, n, d] lane and tallies bytes once per node.
+type wirePortProg struct {
+	deg int
+	out []sim.Message
+	acc uint64
+}
+
+func newWirePortProg(deg int) *wirePortProg {
+	return &wirePortProg{deg: deg, out: make([]sim.Message, deg)}
+}
+
+func (p *wirePortProg) offer(r int) offerLike {
+	return offerLike{n: int64(r)<<8 | 0x55, d: int64(r)&7 + 1}
+}
+
+func (p *wirePortProg) Init(env sim.Env) {}
+func (p *wirePortProg) Send(r int) []sim.Message {
+	m := sim.Message(p.offer(r))
+	for i := range p.out {
+		p.out[i] = m
+	}
+	return p.out
+}
+func (p *wirePortProg) Recv(r int, msgs []sim.Message) {
+	for _, m := range msgs {
+		p.acc += uint64(m.(offerLike).n)
+	}
+}
+func (p *wirePortProg) Output() any         { return p.acc }
+func (p *wirePortProg) WireWords(r int) int { return 3 }
+func (p *wirePortProg) SendWire(r int, out []uint64) (int64, int64, bool) {
+	m := p.offer(r)
+	hdr := uint64(r)<<3 | 1
+	for q := 0; q < p.deg; q++ {
+		out[3*q] = hdr
+		out[3*q+1] = uint64(m.n)
+		out[3*q+2] = uint64(m.d)
+	}
+	return int64(p.deg), int64(p.deg) * int64(m.WireSize()), true
+}
+func (p *wirePortProg) RecvWire(r int, in []uint64) {
+	for q := 0; q < p.deg; q++ {
+		p.acc += in[3*q+1]
+	}
+}
+
 // benchTopologies builds the family × size matrix: grid, random-regular,
 // power-law and bipartite set-cover instances, each at two sizes.  The
 // CSR views are pre-built so flattening cost is not measured; sharded
 // rows likewise pre-build their partitioned views (benchMatrix).
-func benchTopologies() []struct {
+func benchTopologies(quick bool) []struct {
 	family string
 	flat   *graph.FlatTopology
 	n      int
@@ -98,36 +160,60 @@ func benchTopologies() []struct {
 		n      int
 	}
 	var out []entry
-	for _, side := range []int{32, 100} {
+	sides := []int{32, 100}
+	regs := []int{1000, 10000}
+	pows := []int{1000, 10000}
+	bips := []int{500, 5000}
+	if quick {
+		// The -quick smoke keeps one small instance per family so CI
+		// can exercise the whole harness in seconds.
+		sides, regs, pows, bips = sides[:1], regs[:1], pows[:1], bips[:1]
+	}
+	for _, side := range sides {
 		g := graph.Grid(side, side)
 		out = append(out, entry{fmt.Sprintf("grid-%dx%d", side, side), g.Flat(), g.N()})
 	}
-	for _, n := range []int{1000, 10000} {
+	for _, n := range regs {
 		g := graph.RandomRegular(n, 6, int64(n))
 		out = append(out, entry{fmt.Sprintf("regular-%d-6", n), g.Flat(), g.N()})
 	}
-	for _, n := range []int{1000, 10000} {
+	for _, n := range pows {
 		g := graph.PowerLaw(n, 3, int64(n)+1)
 		out = append(out, entry{fmt.Sprintf("powerlaw-%d", n), g.Flat(), g.N()})
 	}
-	for _, s := range []int{500, 5000} {
+	for _, s := range bips {
 		ins := bipartite.Random(s, 2*s, 3, 8, 9, int64(s))
 		out = append(out, entry{fmt.Sprintf("bipartite-%d", s), ins.Flat(), ins.N()})
 	}
 	return out
 }
 
-// benchMatrix runs the engine × family × size scenario matrix and writes
-// the results to path as JSON (regenerate with
-// `go run ./cmd/experiments -exp bench [-out BENCH_<pr>.json]`).
+// benchMatrix runs the engine × family × size × delivery-path scenario
+// matrix and writes the results to path as JSON (regenerate with
+// `go run ./cmd/experiments -exp bench [-out BENCH_<pr>.json]`;
+// `-quick` shrinks it to a CI smoke).
+//
+// Every (engine, family, workload) cell is measured on both delivery
+// paths — mode "wire" (the default unboxed path) and mode "boxed" —
+// with interleaved sampling and a median-of-9 per mode, so machine
+// drift cannot masquerade as a wire-path win.  Wall time is sampled
+// untraced; a separate traced run records allocs/round (Options.Trace
+// reads MemStats twice a round, which would dominate the fast cells).
+// Earlier BENCH files sampled wall with tracing on, so absolute
+// ns/node/round comparisons across PRs carry that caveat; the
+// wire-vs-boxed ratios within one file do not.
 //
 // The CSP engine is excluded: it is a semantic reference for the
 // equivalence suite (internal/sim/equiv_test.go), not a throughput
 // engine, and benching its per-run channel allocation tells us nothing
 // the suite does not.
-func benchMatrix(path string) {
-	header("BENCH", "scenario matrix: engine × graph family × size")
+func benchMatrix(path string, quick bool) {
+	header("BENCH", "scenario matrix: engine × graph family × size × delivery path")
 	const rounds = 20
+	runs := 9
+	if quick {
+		runs = 3
+	}
 	engines := []struct {
 		name    string
 		engine  sim.Engine
@@ -148,9 +234,9 @@ func benchMatrix(path string) {
 		NumCPU:     runtime.NumCPU(),
 		RoundsPer:  rounds,
 	}
-	fmt.Println("| family | n | engine | procs | wall | ns/node/round | allocs/round |")
-	fmt.Println("|---|---|---|---|---|---|---|")
-	for _, tp := range benchTopologies() {
+	fmt.Println("| family | n | engine | procs | workload | boxed ns/n/r | wire ns/n/r | speedup | wire allocs/r |")
+	fmt.Println("|---|---|---|---|---|---|---|---|---|")
+	for _, tp := range benchTopologies(quick) {
 		for _, eng := range engines {
 			top := sim.Topology(tp.flat)
 			cut := 0
@@ -161,11 +247,6 @@ func benchMatrix(path string) {
 				cut = st.Part().CutEdges
 				top = st
 			}
-			progs := make([]sim.BroadcastProgram, tp.n)
-			for v := range progs {
-				progs[v] = &throughputProg{msg: uint64(3)}
-			}
-			opt := sim.Options{Engine: eng.engine, Workers: eng.workers, Trace: true}
 			// Parallel and sharded rows are meaningless below
 			// GOMAXPROCS = workers; force it up for the row and restore
 			// after, recording the value actually used.
@@ -174,51 +255,89 @@ func benchMatrix(path string) {
 				procs = eng.workers
 				runtime.GOMAXPROCS(procs)
 			}
-			start := time.Now()
-			stats, err := sim.RunBroadcast(top, progs, rounds, opt)
-			if err != nil {
-				panic(err)
+			for _, wl := range []string{"throughput-20r", "wireport-20r"} {
+				runOnce := func(noWire, trace bool) sim.Stats {
+					opt := sim.Options{
+						Engine: eng.engine, Workers: eng.workers,
+						NoWire: noWire, Trace: trace,
+					}
+					var stats sim.Stats
+					var err error
+					if wl == "throughput-20r" {
+						progs := make([]sim.BroadcastProgram, tp.n)
+						for v := range progs {
+							progs[v] = &throughputProg{msg: uint64(3)}
+						}
+						stats, err = sim.RunBroadcast(top, progs, rounds, opt)
+					} else {
+						progs := make([]sim.PortProgram, tp.n)
+						for v := range progs {
+							progs[v] = newWirePortProg(tp.flat.Deg(v))
+						}
+						stats, err = sim.RunPort(top, progs, rounds, opt)
+					}
+					if err != nil {
+						panic(err)
+					}
+					return stats
+				}
+				sample := func(noWire bool) int64 {
+					start := time.Now()
+					runOnce(noWire, false)
+					return time.Since(start).Nanoseconds()
+				}
+				// Warm both paths, then sample them interleaved.
+				runOnce(false, false)
+				runOnce(true, false)
+				wireSamples := make([]int64, 0, runs)
+				boxedSamples := make([]int64, 0, runs)
+				for i := 0; i < runs; i++ {
+					wireSamples = append(wireSamples, sample(false))
+					boxedSamples = append(boxedSamples, sample(true))
+				}
+				emit := func(mode string, samples []int64, noWire bool) float64 {
+					sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+					wall := samples[len(samples)/2]
+					stats := runOnce(noWire, true)
+					row := benchRow{
+						Engine: eng.name, Workers: eng.workers, Mode: mode,
+						Workload: wl, Gomaxprocs: procs,
+						Family: tp.family, N: tp.n,
+						HalfEdges: tp.flat.HalfEdges(), CutEdges: cut,
+						Rounds: stats.Rounds, Messages: stats.Messages,
+						Bytes: stats.Bytes, WallNS: wall,
+						NsPerNodeRound: float64(wall) / float64(rounds) / float64(tp.n),
+					}
+					var sum, max int64
+					for _, ns := range stats.RoundNanos {
+						sum += ns
+						if ns > max {
+							max = ns
+						}
+					}
+					var allocs uint64
+					for _, a := range stats.RoundAllocs {
+						allocs += a
+					}
+					row.MeanRoundNS = sum / int64(len(stats.RoundNanos))
+					row.MaxRoundNS = max
+					row.AllocsPerRound = float64(allocs) / float64(rounds)
+					file.Rows = append(file.Rows, row)
+					return row.NsPerNodeRound
+				}
+				wireNs := emit("wire", wireSamples, false)
+				boxedNs := emit("boxed", boxedSamples, true)
+				wireAllocs := file.Rows[len(file.Rows)-2].AllocsPerRound
+				fmt.Printf("| %s | %d | %s | %d | %s | %.1f | %.1f | %.2fx | %.1f |\n",
+					tp.family, tp.n, eng.name, procs, wl,
+					boxedNs, wireNs, boxedNs/wireNs, wireAllocs)
 			}
-			wall := time.Since(start)
 			if procs != base {
 				runtime.GOMAXPROCS(base)
 			}
-			row := benchRow{
-				Engine:     eng.name,
-				Workers:    eng.workers,
-				Gomaxprocs: procs,
-				Family:     tp.family,
-				N:          tp.n,
-				HalfEdges:  int(stats.Messages / int64(rounds)),
-				CutEdges:   cut,
-				Rounds:     stats.Rounds,
-				Messages:   stats.Messages,
-				Bytes:      stats.Bytes,
-				WallNS:     wall.Nanoseconds(),
-				NsPerNodeRound: float64(wall.Nanoseconds()) /
-					float64(rounds) / float64(tp.n),
-			}
-			var sum, max int64
-			for _, ns := range stats.RoundNanos {
-				sum += ns
-				if ns > max {
-					max = ns
-				}
-			}
-			var allocs uint64
-			for _, a := range stats.RoundAllocs {
-				allocs += a
-			}
-			row.MeanRoundNS = sum / int64(len(stats.RoundNanos))
-			row.MaxRoundNS = max
-			row.AllocsPerRound = float64(allocs) / float64(rounds)
-			file.Rows = append(file.Rows, row)
-			fmt.Printf("| %s | %d | %s | %d | %v | %.1f | %.1f |\n",
-				tp.family, tp.n, eng.name, procs, wall.Round(time.Millisecond),
-				row.NsPerNodeRound, row.AllocsPerRound)
 		}
 	}
-	solverReuseRows(&file)
+	solverReuseRows(&file, quick)
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		panic(err)
@@ -232,10 +351,12 @@ func benchMatrix(path string) {
 // solverReuseRows measures the session API's compile-once amortization
 // through the public package: anoncover.VertexCover (one-shot, paying
 // flatten + shard partition + worker spawn per call) against repeated
-// runs on one compiled anoncover.Solver.  Real algorithm, real graphs;
-// the per-run delta is the serving cost the session API removes.
-func solverReuseRows(file *benchFile) {
-	fmt.Println("\nsolver reuse: one-shot vs compiled session (VertexCover, sharded-4)")
+// runs on one compiled anoncover.Solver, plus the same session forced
+// onto the boxed delivery path ("solver-boxed") so the wire path's
+// effect on the real algorithm is its own row.  Real algorithm, real
+// graphs; all modes are sampled interleaved with per-mode medians.
+func solverReuseRows(file *benchFile, quick bool) {
+	fmt.Println("\nsolver reuse: one-shot vs compiled session vs boxed session (VertexCover, sharded-4)")
 	fmt.Println("| family | n | mode | per-run | ns/node/round |")
 	fmt.Println("|---|---|---|---|---|")
 	scens := []struct {
@@ -245,7 +366,11 @@ func solverReuseRows(file *benchFile) {
 		{"grid-100x100", anoncover.GridGraph(100, 100)},
 		{"powerlaw-2000", anoncover.PowerLawBoundedGraph(2000, 3, 12, 9)},
 	}
-	const runs = 9
+	runs := 9
+	if quick {
+		scens = scens[1:]
+		runs = 3
+	}
 	const workers = 4
 	base := runtime.GOMAXPROCS(0)
 	procs := base
@@ -273,12 +398,20 @@ func solverReuseRows(file *benchFile) {
 			}
 			return res
 		}
+		reuseBoxed := func() *anoncover.VertexCoverResult {
+			res, err := s.VertexCover(context.Background(), anoncover.WithoutWirePath())
+			if err != nil {
+				panic(err)
+			}
+			return res
+		}
 		// The per-run delta (the amortized setup) is a few percent of a
 		// full algorithm run, so sample the two modes interleaved with
 		// a normalized heap and report the medians — machine drift or a
 		// GC cycle landing inside one sample would otherwise drown it.
 		res := oneshot() // warmup; also records the scenario's stats
 		reuse()
+		reuseBoxed()
 		sample := func(run func() *anoncover.VertexCoverResult) int64 {
 			runtime.GC()
 			start := time.Now()
@@ -287,9 +420,11 @@ func solverReuseRows(file *benchFile) {
 		}
 		oneSamples := make([]int64, 0, runs)
 		reuseSamples := make([]int64, 0, runs)
+		boxedSamples := make([]int64, 0, runs)
 		for i := 0; i < runs; i++ {
 			oneSamples = append(oneSamples, sample(oneshot))
 			reuseSamples = append(reuseSamples, sample(reuse))
+			boxedSamples = append(boxedSamples, sample(reuseBoxed))
 		}
 		s.Close()
 		emit := func(mode string, samples []int64) {
@@ -309,8 +444,11 @@ func solverReuseRows(file *benchFile) {
 		}
 		emit("oneshot", oneSamples)
 		emit("solver", reuseSamples)
+		emit("solver-boxed", boxedSamples)
 	}
-	solverReuseThroughputRows(file, procs)
+	if !quick {
+		solverReuseThroughputRows(file, procs)
+	}
 }
 
 // solverReuseThroughputRows is the same comparison on the engine

@@ -101,26 +101,63 @@ type Program struct {
 // New returns an initialized node program; env carries G's degree,
 // weight, and graph parameters (Delta, W).
 func New(env sim.Env) *Program {
+	p := &Program{}
+	p.Reset(env)
+	return p
+}
+
+// Reset re-initializes the program for a fresh run in the given
+// environment, reusing the simulated subset and element programs (and
+// their message arenas) through their own Reset protocols.  It is the
+// pooling protocol ProgramPool drives; the previous run's messages and
+// histories must be unreachable by the time Reset is called.
+func (p *Program) Reset(env sim.Env) {
 	hp := HParams(env.Params)
-	p := &Program{
-		env:     env,
-		hParams: hp,
-		hRounds: fracpack.Rounds(hp),
-	}
-	p.sub = fracpack.NewSubset(sim.Env{
+	p.env = env
+	p.hParams = hp
+	p.hRounds = fracpack.Rounds(hp)
+	subEnv := sim.Env{
 		Degree: env.Degree,
 		Weight: env.Weight,
 		Kind:   sim.KindSubset,
 		Params: hp,
-	})
-	p.sims = make([]*elemSim, env.Degree)
+	}
+	if p.sub == nil {
+		p.sub = fracpack.NewSubset(subEnv)
+	} else {
+		p.sub.Reset(subEnv)
+	}
+	elemEnv := sim.Env{Degree: 2, Kind: sim.KindElement, Params: hp}
+	if cap(p.sims) >= env.Degree {
+		p.sims = p.sims[:env.Degree]
+	} else {
+		p.sims = make([]*elemSim, env.Degree)
+	}
 	for i := range p.sims {
-		p.sims[i] = &elemSim{
-			prog: fracpack.NewElement(sim.Env{Degree: 2, Kind: sim.KindElement, Params: hp}),
+		if s := p.sims[i]; s != nil {
+			s.prog.Reset(elemEnv)
+			s.nbrFP = s.nbrFP[:0]
+			s.nbrJoin = ""
+		} else {
+			p.sims[i] = &elemSim{prog: fracpack.NewElement(elemEnv)}
 		}
 	}
-	return p
+	p.ownHist = p.ownHist[:0]
+	p.ownFP = p.ownFP[:0]
+	p.MaxMsgBytes = 0
 }
+
+// ProgramPool recycles []*Program slabs across runs through the Reset
+// protocol (sim.ProgPool).
+type ProgramPool struct {
+	pool sim.ProgPool[*Program]
+}
+
+// Get returns one Reset program per environment.
+func (pl *ProgramPool) Get(envs []sim.Env) []*Program { return pl.pool.Get(envs, New) }
+
+// Put parks a slab for reuse; Get resets it before the next run.
+func (pl *ProgramPool) Put(ps []*Program) { pl.pool.Put(ps) }
 
 // Init implements sim.BroadcastProgram; New performs the work.
 func (p *Program) Init(env sim.Env) {}
@@ -283,6 +320,12 @@ type Options struct {
 	RoundBudget int
 	Observer    func(sim.RoundInfo)
 	Pool        *sim.Pool
+	// NoWire forces the boxed simulator delivery path; results are
+	// identical either way (equivalence tests and ablations).
+	NoWire bool
+	// Programs, when non-nil, recycles the per-node Program state
+	// across runs through the Reset protocol.
+	Programs *ProgramPool
 }
 
 // Run executes the broadcast-model vertex cover algorithm on g.  It
@@ -303,11 +346,19 @@ func Run(g *graph.G, opt Options) (*Result, error) {
 		}
 		params.W = opt.W
 	}
-	progs := make([]sim.BroadcastProgram, g.N())
-	nodes := make([]*Program, g.N())
 	envs := sim.GraphEnvs(g, params)
+	var nodes []*Program
+	if opt.Programs != nil {
+		nodes = opt.Programs.Get(envs)
+		defer opt.Programs.Put(nodes)
+	} else {
+		nodes = make([]*Program, g.N())
+		for v := range nodes {
+			nodes[v] = New(envs[v])
+		}
+	}
+	progs := make([]sim.BroadcastProgram, g.N())
 	for v := range progs {
-		nodes[v] = New(envs[v])
 		progs[v] = nodes[v]
 	}
 	rounds := Rounds(params)
@@ -318,7 +369,7 @@ func Run(g *graph.G, opt Options) (*Result, error) {
 	stats, err := sim.RunBroadcast(top, progs, rounds, sim.Options{
 		Engine: opt.Engine, Workers: opt.Workers, ScrambleSeed: opt.ScrambleSeed,
 		Context: opt.Context, RoundBudget: opt.RoundBudget,
-		Observer: opt.Observer, Pool: opt.Pool,
+		Observer: opt.Observer, Pool: opt.Pool, NoWire: opt.NoWire,
 	})
 	if err != nil {
 		return nil, err

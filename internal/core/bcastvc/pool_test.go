@@ -1,0 +1,36 @@
+package bcastvc
+
+import (
+	"testing"
+
+	"anoncover/internal/graph"
+)
+
+// TestProgramPoolReuse: runs served from recycled (Reset) programs —
+// including their simulated subset/element programs and message arenas
+// — must be bit-identical to fresh-program runs, run after run.
+func TestProgramPoolReuse(t *testing.T) {
+	g := graph.Grid(3, 4)
+	graph.RandomWeights(g, 6, 9)
+	ref := MustRun(g, Options{})
+	pool := &ProgramPool{}
+	for i := 0; i < 3; i++ {
+		got := MustRun(g, Options{Programs: pool, ScrambleSeed: int64(i)})
+		if got.Stats.Messages != ref.Stats.Messages || got.Stats.Bytes != ref.Stats.Bytes {
+			t.Fatalf("run %d: stats diverge: %+v != %+v", i, got.Stats, ref.Stats)
+		}
+		if got.MaxMsgBytes != ref.MaxMsgBytes {
+			t.Fatalf("run %d: max message bytes %d != %d", i, got.MaxMsgBytes, ref.MaxMsgBytes)
+		}
+		for v := range ref.Cover {
+			if got.Cover[v] != ref.Cover[v] {
+				t.Fatalf("run %d: cover diverges at node %d", i, v)
+			}
+		}
+		for e := range ref.Y {
+			if !got.Y[e].Equal(ref.Y[e]) {
+				t.Fatalf("run %d: edge %d packing diverges", i, e)
+			}
+		}
+	}
+}

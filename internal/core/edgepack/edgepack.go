@@ -113,7 +113,12 @@ type starReply struct {
 
 func (m starReply) WireSize() int { return m.Inc.WireBytes() }
 
-// Program is the per-node state machine.  It implements sim.PortProgram.
+// Program is the per-node state machine.  It implements sim.PortProgram
+// and, for the rounds whose messages fit fixed word lanes, the
+// simulator's wire path (see wire.go).  All per-round state lives in
+// buffers allocated once (by New or the first round that needs them)
+// and recycled by Reset, so a pooled program serves a fresh run without
+// re-paying the setup allocations.
 type Program struct {
 	env   sim.Env
 	sched sim.Schedule
@@ -129,20 +134,34 @@ type Program struct {
 	r    rational.Rat
 	rPos bool
 
-	// colour sequences
+	// colour sequences; both are sliced out of seqBuf so the Phase I
+	// appends never allocate (each port and the node itself append at
+	// most Δ elements).
+	seqBuf []rational.Rat
 	ownSeq []rational.Rat
 	nbrSeq [][]rational.Rat // per port
 
-	// Phase II state, built at the Phase I -> CV transition
+	// Phase II state, built at the Phase I -> CV transition.  The
+	// colour slices (forestCols, smallCols) are shared with sent boxed
+	// messages, which consumers like the selfstab tables may retain for
+	// arbitrarily long — so each colour step allocates its successor
+	// slice fresh instead of recycling; only the never-shared preShift
+	// scratch is reused.  These segments are O(log* W + 1) rounds, so
+	// the allocations do not show up in the steady state.
 	oriented   bool
 	parentOf   []int // forest -> port of parent edge, -1 if root
 	forestCols []*big.Int
+	shrunk     bool
 	smallCols  []int8 // colours once reduced to {0..5}
 	preShift   []int8 // own colour before the last shift-down, per forest
 
-	// star-phase scratch: pending replies per port for the current batch
-	pendingReply []rational.Rat
-	pendingMask  []bool
+	// star-phase scratch: pending replies per port for the current
+	// batch; pendingActive gates them so the buffers persist across
+	// batches (and runs) without reallocation.
+	pendingActive bool
+	pendingReply  []rational.Rat
+	pendingMask   []bool
+	reqPorts      []int
 
 	// outBuf is the reusable Send buffer.  The engines consume the
 	// returned slice synchronously within the send phase (scattering
@@ -154,22 +173,86 @@ type Program struct {
 
 // New returns an initialized node program for the given environment.
 func New(env sim.Env) *Program {
-	p := &Program{
-		env:   env,
-		sched: ScheduleFor(env.Params),
-		deg:   env.Degree,
-		w:     rational.FromInt(env.Weight),
+	p := &Program{}
+	p.Reset(env)
+	return p
+}
+
+// Reset re-initializes the program for a fresh run in the given
+// environment, reusing every buffer the previous run allocated when
+// the shape (degree, Δ) still fits.  It is the pooling protocol that
+// lets a compiled Solver serve run after run without the ~6 per-node
+// setup allocations New pays; ProgramPool drives it.
+func (p *Program) Reset(env sim.Env) {
+	if env != p.env || p.sched.Total() == 0 {
+		p.sched = ScheduleFor(env.Params)
 	}
+	p.env = env
+	p.deg = env.Degree
+	p.w = rational.FromInt(env.Weight)
 	p.r = p.w
 	p.rPos = true
-	p.y = make([]rational.Rat, p.deg)
-	p.mcol = make([]bool, p.deg)
-	p.nPos = make([]bool, p.deg)
-	for i := range p.nPos {
-		p.nPos[i] = true // every node starts unsaturated (weights > 0)
+	if cap(p.y) >= p.deg {
+		p.y = p.y[:p.deg]
+		for i := range p.y {
+			p.y[i] = rational.Zero
+		}
+	} else {
+		p.y = make([]rational.Rat, p.deg)
 	}
-	p.nbrSeq = make([][]rational.Rat, p.deg)
-	return p
+	p.mcol = resetBools(p.mcol, p.deg, false)
+	p.nPos = resetBools(p.nPos, p.deg, true) // all nodes start unsaturated
+	// One flat buffer backs ownSeq and the per-port nbrSeq: segment q
+	// holds nbrSeq[q], the last segment ownSeq, each with capacity Δ.
+	delta := env.Params.Delta
+	need := (p.deg + 1) * delta
+	if cap(p.seqBuf) < need || cap(p.nbrSeq) < p.deg {
+		p.seqBuf = make([]rational.Rat, need)
+		p.nbrSeq = make([][]rational.Rat, p.deg)
+	} else {
+		p.seqBuf = p.seqBuf[:cap(p.seqBuf)]
+		clear(p.seqBuf) // unpin the previous run's promoted rationals
+	}
+	p.nbrSeq = p.nbrSeq[:p.deg]
+	for q := 0; q < p.deg; q++ {
+		p.nbrSeq[q] = p.seqBuf[q*delta : q*delta : (q+1)*delta]
+	}
+	p.ownSeq = p.seqBuf[p.deg*delta : p.deg*delta : need]
+	p.oriented = false
+	p.shrunk = false
+	p.pendingActive = false
+	if cap(p.pendingReply) >= p.deg {
+		p.pendingReply = p.pendingReply[:p.deg]
+		clear(p.pendingReply)
+		p.pendingMask = p.pendingMask[:p.deg]
+	} else {
+		p.pendingReply = make([]rational.Rat, p.deg)
+		p.pendingMask = make([]bool, p.deg)
+	}
+	p.reqPorts = p.reqPorts[:0]
+	// outBuf is lazily sized by Send, but a pooled program may be
+	// reused on a graph with the same node count and a different degree
+	// sequence — reshape (and unpin the old run's boxed messages) or
+	// drop it so Send cannot return a stale-length slice.
+	if cap(p.outBuf) >= p.deg {
+		p.outBuf = p.outBuf[:p.deg]
+		clear(p.outBuf)
+	} else {
+		p.outBuf = nil
+	}
+}
+
+// resetBools returns a length-n slice filled with v, reusing s's
+// backing array when it is large enough.
+func resetBools(s []bool, n int, v bool) []bool {
+	if cap(s) < n {
+		s = make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = v
+	}
+	return s
 }
 
 // Init implements sim.PortProgram; New performs the work.
@@ -231,7 +314,7 @@ func (p *Program) Send(round int) []sim.Message {
 			out[q] = m
 		}
 	case segShift:
-		if p.smallCols == nil {
+		if !p.shrunk {
 			p.shrinkCols()
 		}
 		m := smallColsMsg{Cols: p.smallCols}
@@ -249,9 +332,11 @@ func (p *Program) Send(round int) []sim.Message {
 			}
 		} else {
 			// Round B: roots reply with per-leaf increments.
-			for q := 0; q < p.deg; q++ {
-				if p.pendingMask != nil && p.pendingMask[q] {
-					out[q] = starReply{Inc: p.pendingReply[q]}
+			if p.pendingActive {
+				for q := 0; q < p.deg; q++ {
+					if p.pendingMask[q] {
+						out[q] = starReply{Inc: p.pendingReply[q]}
+					}
 				}
 			}
 		}
@@ -281,9 +366,9 @@ func (p *Program) Recv(round int, msgs []sim.Message) {
 		// local 2,4,6 eliminate colours 5,4,3.
 		iter := (local + 1) / 2 // 1..3
 		if local%2 == 1 {
-			p.recvShift(msgs, 7-iter) // palette size 6, 5, 4
+			p.applyShift(7-iter, boxedColAt(msgs)) // palette size 6, 5, 4
 		} else {
-			p.recvEliminate(msgs, int8(6-iter)) // eliminate 5, 4, 3
+			p.applyEliminate(int8(6-iter), boxedColAt(msgs)) // eliminate 5, 4, 3
 		}
 	case segStars:
 		batch := (local - 1) / 2
@@ -297,24 +382,33 @@ func (p *Program) Recv(round int, msgs []sim.Message) {
 	}
 }
 
-// recvOffers performs the accept half of one Phase I iteration (paper
+// applyOffers performs the accept half of one Phase I iteration (paper
 // steps (ii)–(iii)): each active edge accepts the minimum of the two
 // offers, every node extends its colour sequence, and edges whose
-// endpoints appended different elements become multicoloured.
-func (p *Program) recvOffers(msgs []sim.Message) {
-	ownElem := p.currentElem()
-	for q, raw := range msgs {
-		m := raw.(offerMsg)
+// endpoints appended different elements become multicoloured.  elemAt
+// abstracts the decoding — the boxed path reads offerMsg values, the
+// wire path rebuilds rationals from their raw lane words — so both
+// paths drive one state machine.
+func (p *Program) applyOffers(ownElem rational.Rat, elemAt func(q int) rational.Rat) {
+	for q := 0; q < p.deg; q++ {
+		elem := elemAt(q)
 		if p.edgeActive(q) {
-			p.y[q] = p.y[q].Add(rational.Min(ownElem, m.Elem))
+			p.y[q] = p.y[q].Add(rational.Min(ownElem, elem))
 		}
-		if !m.Elem.Equal(ownElem) {
+		if !elem.Equal(ownElem) {
 			p.mcol[q] = true
 		}
-		p.nbrSeq[q] = append(p.nbrSeq[q], m.Elem)
+		p.nbrSeq[q] = append(p.nbrSeq[q], elem)
 	}
 	p.ownSeq = append(p.ownSeq, ownElem)
 	p.recomputeResidual()
+}
+
+// recvOffers is the boxed decoder over applyOffers.
+func (p *Program) recvOffers(msgs []sim.Message) {
+	p.applyOffers(p.currentElem(), func(q int) rational.Rat {
+		return msgs[q].(offerMsg).Elem
+	})
 }
 
 // recomputeResidual refreshes r(v) and the saturation flag.
@@ -338,7 +432,11 @@ func (p *Program) orient() {
 	p.oriented = true
 	ownEnc := colour.EncodeRatSeq(p.ownSeq)
 	delta := p.env.Params.Delta
-	p.parentOf = make([]int, delta)
+	if cap(p.parentOf) >= delta {
+		p.parentOf = p.parentOf[:delta]
+	} else {
+		p.parentOf = make([]int, delta)
+	}
 	for i := range p.parentOf {
 		p.parentOf[i] = -1
 	}
@@ -364,7 +462,9 @@ func (p *Program) orient() {
 	}
 }
 
-// recvCV performs one Cole–Vishkin step in every forest.
+// recvCV performs one Cole–Vishkin step in every forest.  A fresh
+// slice is allocated because the previous one was shared with sent
+// messages, which consumers may retain.
 func (p *Program) recvCV(msgs []sim.Message) {
 	next := make([]*big.Int, len(p.forestCols))
 	for i := range p.forestCols {
@@ -381,8 +481,14 @@ func (p *Program) recvCV(msgs []sim.Message) {
 // shrinkCols converts the per-forest colours to the small-int palette
 // after the CV segment has brought them into {0..5}.
 func (p *Program) shrinkCols() {
-	p.smallCols = make([]int8, len(p.forestCols))
-	p.preShift = make([]int8, len(p.forestCols))
+	p.shrunk = true
+	n := len(p.forestCols)
+	p.smallCols = make([]int8, n)
+	if cap(p.preShift) >= n {
+		p.preShift = p.preShift[:n]
+	} else {
+		p.preShift = make([]int8, n)
+	}
 	for i, c := range p.forestCols {
 		if c.BitLen() > 3 || c.Int64() > 5 {
 			panic(fmt.Sprintf("edgepack: colour %v escaped the CV plateau", c))
@@ -391,17 +497,19 @@ func (p *Program) shrinkCols() {
 	}
 }
 
-// recvShift performs a shift-down: every non-root adopts its parent's
+// applyShift performs a shift-down: every non-root adopts its parent's
 // colour; roots rotate within the current palette.  Afterwards the
 // children of any node are monochromatic (they all adopted that node's
-// previous colour), which the eliminate step exploits.  A fresh slice is
-// allocated because the previous one was shared with sent messages.
-func (p *Program) recvShift(msgs []sim.Message, palette int) {
+// previous colour), which the eliminate step exploits.  colAt(q, i)
+// reads forest i's colour from the port-q message on either path.  A
+// fresh slice is allocated because the previous one was shared with
+// sent messages, which consumers (the selfstab tables) may retain.
+func (p *Program) applyShift(palette int, colAt func(q, i int) int8) {
 	next := make([]int8, len(p.smallCols))
 	for i := range p.smallCols {
 		p.preShift[i] = p.smallCols[i]
 		if q := p.parentOf[i]; q >= 0 {
-			next[i] = msgs[q].(smallColsMsg).Cols[i]
+			next[i] = colAt(q, i)
 		} else {
 			next[i] = (p.smallCols[i] + 1) % int8(palette)
 		}
@@ -409,11 +517,11 @@ func (p *Program) recvShift(msgs []sim.Message, palette int) {
 	p.smallCols = next
 }
 
-// recvEliminate recolours every node of colour t into {0,1,2}, avoiding
+// applyEliminate recolours every node of colour t into {0,1,2}, avoiding
 // its parent's current colour and its children's common colour (the
 // node's own pre-shift colour).  Colour class t is independent in every
 // forest, so simultaneous moves keep the colouring proper.
-func (p *Program) recvEliminate(msgs []sim.Message, t int8) {
+func (p *Program) applyEliminate(t int8, colAt func(q, i int) int8) {
 	next := append([]int8(nil), p.smallCols...)
 	for i := range p.smallCols {
 		if p.smallCols[i] != t {
@@ -421,7 +529,7 @@ func (p *Program) recvEliminate(msgs []sim.Message, t int8) {
 		}
 		var parentCol int8 = -1
 		if q := p.parentOf[i]; q >= 0 {
-			parentCol = msgs[q].(smallColsMsg).Cols[i]
+			parentCol = colAt(q, i)
 		}
 		childCol := p.preShift[i]
 		for c := int8(0); c < 3; c++ {
@@ -434,21 +542,29 @@ func (p *Program) recvEliminate(msgs []sim.Message, t int8) {
 	p.smallCols = next
 }
 
-// recvStarRequests runs the root side of a star batch: collect leaf
+// boxedColAt adapts a boxed message slice to the colAt accessor.
+func boxedColAt(msgs []sim.Message) func(q, i int) int8 {
+	return func(q, i int) int8 { return msgs[q].(smallColsMsg).Cols[i] }
+}
+
+// applyStarRequests runs the root side of a star batch: collect leaf
 // residuals, split the root residual proportionally (or fully pay the
-// leaves when they fit), apply the increments locally, and queue replies.
-func (p *Program) recvStarRequests(msgs []sim.Message) {
-	p.pendingReply = make([]rational.Rat, p.deg)
-	p.pendingMask = make([]bool, p.deg)
+// leaves when they fit), apply the increments locally, and queue
+// replies.  reqAt(q) decodes the port-q request, reporting false for
+// idle ports.
+func (p *Program) applyStarRequests(reqAt func(q int) (rational.Rat, bool)) {
+	p.pendingActive = true
 	total := rational.Zero
-	var reqPorts []int
-	for q, raw := range msgs {
-		if req, ok := raw.(starReq); ok {
+	reqPorts := p.reqPorts[:0]
+	for q := 0; q < p.deg; q++ {
+		p.pendingMask[q] = false
+		if req, ok := reqAt(q); ok {
 			reqPorts = append(reqPorts, q)
-			p.pendingReply[q] = req.R
-			total = total.Add(req.R)
+			p.pendingReply[q] = req
+			total = total.Add(req)
 		}
 	}
+	p.reqPorts = reqPorts
 	if len(reqPorts) == 0 {
 		return
 	}
@@ -476,16 +592,37 @@ func (p *Program) recvStarRequests(msgs []sim.Message) {
 	p.recomputeResidual()
 }
 
-// recvStarReplies runs the leaf side: apply the root's increment.
-func (p *Program) recvStarReplies(msgs []sim.Message, forest int, col int8) {
+// recvStarRequests is the boxed decoder over applyStarRequests.
+func (p *Program) recvStarRequests(msgs []sim.Message) {
+	p.applyStarRequests(func(q int) (rational.Rat, bool) {
+		if req, ok := msgs[q].(starReq); ok {
+			return req.R, true
+		}
+		return rational.Zero, false
+	})
+}
+
+// applyStarReplies runs the leaf side: apply the root's increment.
+// incAt(q) decodes the port-q reply, reporting false when there is none.
+func (p *Program) applyStarReplies(forest int, col int8, incAt func(q int) (rational.Rat, bool)) {
 	if p.parentOf[forest] >= 0 && p.smallCols[forest] == col {
 		q := p.parentOf[forest]
-		if rep, ok := msgs[q].(starReply); ok {
-			p.y[q] = p.y[q].Add(rep.Inc)
+		if inc, ok := incAt(q); ok {
+			p.y[q] = p.y[q].Add(inc)
 			p.recomputeResidual()
 		}
 	}
-	p.pendingReply, p.pendingMask = nil, nil
+	p.pendingActive = false
+}
+
+// recvStarReplies is the boxed decoder over applyStarReplies.
+func (p *Program) recvStarReplies(msgs []sim.Message, forest int, col int8) {
+	p.applyStarReplies(forest, col, func(q int) (rational.Rat, bool) {
+		if rep, ok := msgs[q].(starReply); ok {
+			return rep.Inc, true
+		}
+		return rational.Zero, false
+	})
 }
 
 // NodeResult is a node's final output.
@@ -543,12 +680,39 @@ type Options struct {
 	RoundBudget int
 	Observer    func(sim.RoundInfo)
 	Pool        *sim.Pool
+	// NoWire forces the boxed simulator path (sim.Options.NoWire); the
+	// equivalence tests and ablation benchmarks use it.  Results are
+	// identical either way.
+	NoWire bool
+	// Programs, when non-nil, recycles the per-node Program state
+	// across runs through the Reset protocol, removing the per-node
+	// setup allocations a compiled Solver would otherwise pay on every
+	// request.  Safe for concurrent runs.
+	Programs *ProgramPool
 }
+
+// ProgramPool recycles []*Program slabs across runs through the Reset
+// protocol (sim.ProgPool).  A Solver session holds one per algorithm.
+type ProgramPool struct {
+	pool sim.ProgPool[*Program]
+}
+
+// Get returns one Reset program per environment.
+func (pl *ProgramPool) Get(envs []sim.Env) []*Program { return pl.pool.Get(envs, New) }
+
+// Put parks a slab for reuse; Get resets it before the next run.
+func (pl *ProgramPool) Put(ps []*Program) { pl.pool.Put(ps) }
 
 // Run executes the algorithm on g and assembles the result.  Both copies
 // of every edge value are cross-checked for consistency.  It returns an
 // error when a declared bound is below the actual graph maximum or when
 // the simulator stops early (cancelled context, exhausted round budget).
+//
+// The run takes the simulator's wire path by default; should a value
+// outgrow its declared lane (sim.ErrWireOverflow — possible only for
+// parameter ranges far past Lemma 2's practical envelope), the programs
+// are rebuilt and the run repeats on the boxed path, so callers always
+// get the boxed-path answer bit for bit.
 func Run(g *graph.G, opt Options) (*Result, error) {
 	params := sim.GraphParams(g)
 	if opt.Delta != 0 {
@@ -564,21 +728,38 @@ func Run(g *graph.G, opt Options) (*Result, error) {
 		params.W = opt.W
 	}
 	envs := sim.GraphEnvs(g, params)
-	progs := make([]sim.PortProgram, g.N())
-	nodes := make([]*Program, g.N())
-	for v := range progs {
-		nodes[v] = New(envs[v])
-		progs[v] = nodes[v]
-	}
 	rounds := Rounds(params)
 	top := sim.Topology(g)
 	if opt.Topology != nil {
 		top = opt.Topology
 	}
+	res, err := runOnce(g, envs, rounds, top, opt, opt.NoWire)
+	if err == sim.ErrWireOverflow {
+		res, err = runOnce(g, envs, rounds, top, opt, true)
+	}
+	return res, err
+}
+
+// runOnce executes one simulator run plus result assembly.
+func runOnce(g *graph.G, envs []sim.Env, rounds int, top sim.Topology, opt Options, noWire bool) (*Result, error) {
+	var nodes []*Program
+	if opt.Programs != nil {
+		nodes = opt.Programs.Get(envs)
+		defer opt.Programs.Put(nodes)
+	} else {
+		nodes = make([]*Program, g.N())
+		for v := range nodes {
+			nodes[v] = New(envs[v])
+		}
+	}
+	progs := make([]sim.PortProgram, g.N())
+	for v := range progs {
+		progs[v] = nodes[v]
+	}
 	stats, err := sim.RunPort(top, progs, rounds, sim.Options{
 		Engine: opt.Engine, Workers: opt.Workers,
 		Context: opt.Context, RoundBudget: opt.RoundBudget,
-		Observer: opt.Observer, Pool: opt.Pool,
+		Observer: opt.Observer, Pool: opt.Pool, NoWire: noWire,
 	})
 	if err != nil {
 		return nil, err

@@ -14,6 +14,7 @@ import (
 type ElemProgram struct {
 	env sim.Env
 	lay layout
+	ar  msgArena
 
 	y         rational.Rat
 	c         int // improper colouring of K, in 1..D+1
@@ -32,13 +33,30 @@ type ElemProgram struct {
 
 // NewElement returns an initialized element-node program.
 func NewElement(env sim.Env) *ElemProgram {
-	p := &ElemProgram{
-		env: env,
-		lay: newLayout(env.Params),
-		c:   1,
-	}
-	p.lastIter = 1
+	p := &ElemProgram{}
+	p.Reset(env)
 	return p
+}
+
+// Reset re-initializes the program for a fresh run in the given
+// environment, reusing the message arena's slabs.  It is the pooling
+// protocol ProgramPool drives; the previous run's messages must be
+// unreachable by the time Reset is called.
+func (p *ElemProgram) Reset(env sim.Env) {
+	if env.Params != p.env.Params || p.lay.perIter == 0 {
+		p.lay = newLayout(env.Params)
+	}
+	p.env = env
+	p.ar.reset()
+	p.y = rational.Zero
+	p.c = 1
+	p.saturated = false
+	p.lastIter = 1
+	p.inUyi = false
+	p.p = rational.Zero
+	p.pValid = false
+	p.cPrime = nil
+	p.c2, p.c3, p.cNew = 0, 0, 0
 }
 
 // Init implements sim.BroadcastProgram; NewElement performs the work.
@@ -67,14 +85,14 @@ func (p *ElemProgram) at(round int) pos {
 func (p *ElemProgram) Send(round int) sim.Message {
 	switch loc := p.at(round); loc.kind {
 	case stepSatYBroadcast, stepStatusY:
-		return mY{Y: p.y}
+		return p.ar.mY(p.y)
 	case stepSatMembership:
 		if p.inUyi {
 			return mMember{}
 		}
 	case stepSatPick:
 		if p.inUyi {
-			return mP{P: p.p}
+			return p.ar.mP(p.p)
 		}
 	case stepWeakUp:
 		if p.saturated {
@@ -87,10 +105,10 @@ func (p *ElemProgram) Send(round int) sim.Message {
 			// c1: the χ-colouring injectively encoding p(u) (§4.4).
 			p.cPrime = colour.EncodeRat(p.p)
 		}
-		return weakTriplet{CPrime: p.cPrime, C: p.c, P: p.p}
+		return p.ar.triplet(weakTriplet{CPrime: p.cPrime, C: p.c, P: p.p})
 	case stepReduceUp:
 		if !p.saturated {
-			return classState{C3: p.c3, CNew: p.cNew}
+			return p.ar.class(classState{C3: p.c3, CNew: p.cNew})
 		}
 	}
 	return nil
@@ -112,7 +130,7 @@ func (p *ElemProgram) Recv(round int, msgs []sim.Message) {
 		// because u itself witnesses U_yi(s) != ∅.
 		seen := 0
 		for _, raw := range msgs {
-			m, ok := raw.(mX)
+			m, ok := raw.(*mX)
 			if !ok {
 				continue
 			}
@@ -173,7 +191,7 @@ func (p *ElemProgram) Recv(round int, msgs []sim.Message) {
 // has zero residual.  Saturation is monotone: residuals never grow.
 func (p *ElemProgram) updateSaturation(msgs []sim.Message) {
 	for _, raw := range msgs {
-		if m, ok := raw.(mR); ok && m.R.IsZero() {
+		if m, ok := raw.(*mR); ok && m.R.IsZero() {
 			p.saturated = true
 			return
 		}
@@ -187,7 +205,7 @@ func (p *ElemProgram) updateSaturation(msgs []sim.Message) {
 func (p *ElemProgram) weakEll(msgs []sim.Message) *big.Int {
 	var ell *big.Int
 	for _, raw := range msgs {
-		set, ok := raw.(mWeakSet)
+		set, ok := raw.(*mWeakSet)
 		if !ok {
 			continue
 		}
@@ -220,7 +238,7 @@ func (p *ElemProgram) smallCPrime(c *big.Int) int {
 func (p *ElemProgram) pickReduced(msgs []sim.Message) {
 	used := make(map[int]bool)
 	for _, raw := range msgs {
-		set, ok := raw.(mClassSet)
+		set, ok := raw.(*mClassSet)
 		if !ok {
 			continue
 		}

@@ -16,27 +16,27 @@ func Fingerprint(m sim.Message) string {
 	switch m := m.(type) {
 	case nil:
 		return "-"
-	case mY:
+	case *mY:
 		return "y:" + m.Y.String()
-	case mR:
+	case *mR:
 		return "r:" + m.R.String()
 	case mMember:
 		return "m"
-	case mX:
+	case *mX:
 		return "x:" + m.X.String()
-	case mP:
+	case *mP:
 		return "p:" + m.P.String()
-	case weakTriplet:
-		return "t:" + tripletBody(m)
-	case mWeakSet:
+	case *weakTriplet:
+		return "t:" + tripletBody(*m)
+	case *mWeakSet:
 		parts := make([]string, len(m.Items))
 		for i, it := range m.Items {
 			parts[i] = tripletBody(it)
 		}
 		return "W:" + strings.Join(parts, ";")
-	case classState:
+	case *classState:
 		return "c:" + strconv.Itoa(m.C3) + "," + strconv.Itoa(m.CNew)
-	case mClassSet:
+	case *mClassSet:
 		parts := make([]string, len(m.Items))
 		for i, it := range m.Items {
 			parts[i] = strconv.Itoa(it.C3) + "," + strconv.Itoa(it.CNew)

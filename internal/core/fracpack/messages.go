@@ -8,6 +8,17 @@ import (
 
 // Message types.  nil messages mean "not participating this round".
 // All payloads are immutable once sent.
+//
+// The non-empty messages travel as pointers into per-program slab
+// arenas (msgArena): boxing a multi-word struct into an interface
+// allocates, and these programs send one message per node per round for
+// thousands of rounds, so the per-message heap allocation was the
+// dominant steady-state cost of a run.  The arena batches it into one
+// allocation per slab of messages.  Slabs are append-only for the
+// lifetime of a run — a handed-out pointer is never rewritten — which
+// keeps the messages immutable even when a consumer (the Section 5
+// history simulation) retains them for the entire run.  mMember is the
+// exception: it is zero-size, and Go boxes zero-size values for free.
 
 // mY carries an element's current y(u) (steps (i) and the status round).
 type mY struct{ Y rational.Rat }
@@ -68,3 +79,63 @@ func (m classState) WireSize() int { return 4 }
 type mClassSet struct{ Items []classState }
 
 func (m mClassSet) WireSize() int { return 1 + 4*len(m.Items) }
+
+// msgArena batches a program's outgoing-message allocations: slabPut
+// appends the value to a typed slab (replacing a full slab with a
+// bigger one, never growing in place, so previously returned pointers
+// stay valid and immutable) and returns its address.  One arena serves
+// one node program; nodes never share arenas, so no synchronization is
+// needed on any engine.
+type msgArena struct {
+	ys  []mY
+	rs  []mR
+	xs  []mX
+	ps  []mP
+	ts  []weakTriplet
+	cs  []classState
+	ws  []mWeakSet
+	cls []mClassSet
+}
+
+// slabPut appends v to the slab, moving to a fresh (larger) slab when
+// full.  The old slab is abandoned, not freed: outstanding pointers
+// into it remain valid.
+func slabPut[T any](slab *[]T, v T) *T {
+	s := *slab
+	if len(s) == cap(s) {
+		n := 2 * cap(s)
+		if n < 16 {
+			n = 16
+		}
+		if n > 512 {
+			n = 512
+		}
+		s = make([]T, 0, n)
+	}
+	s = append(s, v)
+	*slab = s
+	return &s[len(s)-1]
+}
+
+// reset re-arms the arena for a new run over the same program.  The
+// current slabs are truncated and rewritten from the start; callers
+// must only reset once every pointer handed out in the previous run is
+// unreachable (ProgramPool guarantees it: the pooled program is reused
+// only after its run's Result has been assembled).
+func (a *msgArena) reset() {
+	a.ys, a.rs, a.xs, a.ps = a.ys[:0], a.rs[:0], a.xs[:0], a.ps[:0]
+	a.ts, a.cs, a.ws, a.cls = a.ts[:0], a.cs[:0], a.ws[:0], a.cls[:0]
+}
+
+func (a *msgArena) mY(y rational.Rat) *mY              { return slabPut(&a.ys, mY{Y: y}) }
+func (a *msgArena) mR(r rational.Rat) *mR              { return slabPut(&a.rs, mR{R: r}) }
+func (a *msgArena) mX(x rational.Rat) *mX              { return slabPut(&a.xs, mX{X: x}) }
+func (a *msgArena) mP(p rational.Rat) *mP              { return slabPut(&a.ps, mP{P: p}) }
+func (a *msgArena) triplet(t weakTriplet) *weakTriplet { return slabPut(&a.ts, t) }
+func (a *msgArena) class(c classState) *classState     { return slabPut(&a.cs, c) }
+func (a *msgArena) weakSet(items []weakTriplet) *mWeakSet {
+	return slabPut(&a.ws, mWeakSet{Items: items})
+}
+func (a *msgArena) classSet(items []classState) *mClassSet {
+	return slabPut(&a.cls, mClassSet{Items: items})
+}

@@ -1,0 +1,59 @@
+package fracpack
+
+import (
+	"testing"
+
+	"anoncover/internal/bipartite"
+	"anoncover/internal/sim"
+)
+
+func bipartiteEnvsForTest(ins *bipartite.Instance) []sim.Env {
+	return sim.BipartiteEnvs(ins, sim.BipartiteParams(ins))
+}
+
+// TestProgramPoolReuse: runs served from recycled (Reset) subset and
+// element programs must be bit-identical to fresh-program runs, run
+// after run, on the interned and boxed delivery paths alike.
+func TestProgramPoolReuse(t *testing.T) {
+	ins := bipartite.Random(12, 30, 3, 6, 9, 17)
+	ref := MustRun(ins, Options{})
+	pool := &ProgramPool{}
+	for _, noWire := range []bool{false, true} {
+		for i := 0; i < 3; i++ {
+			got := MustRun(ins, Options{Programs: pool, NoWire: noWire})
+			if got.Stats.Messages != ref.Stats.Messages || got.Stats.Bytes != ref.Stats.Bytes {
+				t.Fatalf("stats diverge: %+v != %+v", got.Stats, ref.Stats)
+			}
+			for s := range ref.Cover {
+				if got.Cover[s] != ref.Cover[s] {
+					t.Fatalf("cover diverges at subset %d", s)
+				}
+			}
+			for u := range ref.Y {
+				if !got.Y[u].Equal(ref.Y[u]) {
+					t.Fatalf("element %d packing diverges", u)
+				}
+			}
+		}
+	}
+}
+
+// TestProgramPoolSetupAllocs: checking a warm slab out of the pool must
+// be (amortised) allocation-free; Reset reuses the per-iteration
+// buffers and the message arenas.
+func TestProgramPoolSetupAllocs(t *testing.T) {
+	ins := bipartite.Random(40, 100, 3, 6, 9, 5)
+	envs := bipartiteEnvsForTest(ins)
+	pool := &ProgramPool{}
+	subs, elems := pool.Get(ins, envs)
+	pool.Put(subs, elems)
+	n := float64(ins.N())
+	pooled := testing.AllocsPerRun(5, func() {
+		s, e := pool.Get(ins, envs)
+		pool.Put(s, e)
+	})
+	t.Logf("pooled setup: %.4f allocs/node", pooled/n)
+	if pooled/n > 0.05 {
+		t.Errorf("warm pool checkout costs %.4f allocs/node, budget 0.05", pooled/n)
+	}
+}

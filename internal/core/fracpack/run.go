@@ -51,6 +51,36 @@ type Options struct {
 	RoundBudget int
 	Observer    func(sim.RoundInfo)
 	Pool        *sim.Pool
+	// NoWire forces the boxed simulator delivery path (the broadcast
+	// model's interned value tables are part of the wire path); results
+	// are identical either way.  Used by equivalence tests and
+	// ablations.
+	NoWire bool
+	// Programs, when non-nil, recycles the per-node program state
+	// across runs through the Reset protocol; a compiled SetCoverSolver
+	// holds one so repeated runs skip the per-node setup allocations.
+	Programs *ProgramPool
+}
+
+// ProgramPool recycles program slabs across runs through the Reset
+// protocol (sim.ProgPool): one pool for the subset side, one for the
+// element side, each matched by its own node count.
+type ProgramPool struct {
+	subs  sim.ProgPool[*SubsetProgram]
+	elems sim.ProgPool[*ElemProgram]
+}
+
+// Get returns Reset subset and element programs for ins.  Subset nodes
+// are 0..S-1 and element nodes S..N-1 (the bipartite node layout), so
+// envs splits cleanly between the two pools.
+func (pl *ProgramPool) Get(ins *bipartite.Instance, envs []sim.Env) ([]*SubsetProgram, []*ElemProgram) {
+	return pl.subs.Get(envs[:ins.S()], NewSubset), pl.elems.Get(envs[ins.S():], NewElement)
+}
+
+// Put parks the slabs for reuse; Get resets them before the next run.
+func (pl *ProgramPool) Put(subs []*SubsetProgram, elems []*ElemProgram) {
+	pl.subs.Put(subs)
+	pl.elems.Put(elems)
 }
 
 // offsetProg shifts a program's round numbering so a schedule can be run
@@ -97,15 +127,27 @@ func Run(ins *bipartite.Instance, opt Options) (*Result, error) {
 		params.W = opt.W
 	}
 	envs := sim.BipartiteEnvs(ins, params)
+	var subs []*SubsetProgram
+	var elems []*ElemProgram
+	if opt.Programs != nil {
+		subs, elems = opt.Programs.Get(ins, envs)
+		defer opt.Programs.Put(subs, elems)
+	} else {
+		subs = make([]*SubsetProgram, ins.S())
+		elems = make([]*ElemProgram, ins.U())
+		for v := 0; v < ins.N(); v++ {
+			if ins.IsSubset(v) {
+				subs[v] = NewSubset(envs[v])
+			} else {
+				elems[ins.ElementIndex(v)] = NewElement(envs[v])
+			}
+		}
+	}
 	progs := make([]sim.BroadcastProgram, ins.N())
-	subs := make([]*SubsetProgram, ins.S())
-	elems := make([]*ElemProgram, ins.U())
 	for v := range progs {
 		if ins.IsSubset(v) {
-			subs[v] = NewSubset(envs[v])
 			progs[v] = subs[v]
 		} else {
-			elems[ins.ElementIndex(v)] = NewElement(envs[v])
 			progs[v] = elems[ins.ElementIndex(v)]
 		}
 	}
@@ -116,7 +158,7 @@ func Run(ins *bipartite.Instance, opt Options) (*Result, error) {
 	}
 	simOpt := sim.Options{
 		Engine: opt.Engine, Workers: opt.Workers, ScrambleSeed: opt.ScrambleSeed,
-		Context: opt.Context, Pool: opt.Pool,
+		Context: opt.Context, Pool: opt.Pool, NoWire: opt.NoWire,
 	}
 
 	res := &Result{ScheduledRounds: scheduled}

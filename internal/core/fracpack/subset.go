@@ -12,6 +12,7 @@ import (
 type SubsetProgram struct {
 	env sim.Env
 	lay layout
+	ar  msgArena
 
 	w, r rational.Rat
 
@@ -29,14 +30,25 @@ type SubsetProgram struct {
 
 // NewSubset returns an initialized subset-node program.
 func NewSubset(env sim.Env) *SubsetProgram {
-	p := &SubsetProgram{
-		env: env,
-		lay: newLayout(env.Params),
-		w:   rational.FromInt(env.Weight),
-	}
-	p.r = p.w
-	p.resetIter(1)
+	p := &SubsetProgram{}
+	p.Reset(env)
 	return p
+}
+
+// Reset re-initializes the program for a fresh run in the given
+// environment, reusing the message arena's slabs and the per-iteration
+// buffers.  It is the pooling protocol ProgramPool drives; the previous
+// run's messages must be unreachable by the time Reset is called.
+func (p *SubsetProgram) Reset(env sim.Env) {
+	if env.Params != p.env.Params || p.lay.perIter == 0 {
+		p.lay = newLayout(env.Params)
+	}
+	p.env = env
+	p.ar.reset()
+	p.w = rational.FromInt(env.Weight)
+	p.r = p.w
+	p.lastIter = 0 // force resetIter to rebuild the per-iteration state
+	p.resetIter(1)
 }
 
 // Init implements sim.BroadcastProgram; NewSubset performs the work.
@@ -45,10 +57,19 @@ func (p *SubsetProgram) Init(env sim.Env) {}
 func (p *SubsetProgram) resetIter(it int) {
 	p.lastIter = it
 	n := p.lay.colours + 1
-	p.x = make([]rational.Rat, n)
-	p.xSet = make([]bool, n)
-	p.q = make([]rational.Rat, n)
-	p.qSet = make([]bool, n)
+	if cap(p.x) >= n {
+		p.x, p.q = p.x[:n], p.q[:n]
+		p.xSet, p.qSet = p.xSet[:n], p.qSet[:n]
+		for i := 0; i < n; i++ {
+			p.x[i], p.q[i] = rational.Zero, rational.Zero
+			p.xSet[i], p.qSet[i] = false, false
+		}
+	} else {
+		p.x = make([]rational.Rat, n)
+		p.xSet = make([]bool, n)
+		p.q = make([]rational.Rat, n)
+		p.qSet = make([]bool, n)
+	}
 	p.weakM = nil
 	p.classM = nil
 }
@@ -65,10 +86,10 @@ func (p *SubsetProgram) at(round int) pos {
 func (p *SubsetProgram) Send(round int) sim.Message {
 	switch loc := p.at(round); loc.kind {
 	case stepSatResidual, stepStatusR:
-		return mR{R: p.r}
+		return p.ar.mR(p.r)
 	case stepSatOffer:
 		if p.xSet[loc.colour] {
-			return mX{X: p.x[loc.colour]}
+			return p.ar.mX(p.x[loc.colour])
 		}
 	case stepWeakDown:
 		// §4.5 step (ii): relay (c'(v), i, x_i(s)) for every stored
@@ -81,11 +102,11 @@ func (p *SubsetProgram) Send(round int) sim.Message {
 			}
 		}
 		if items != nil {
-			return mWeakSet{Items: items}
+			return p.ar.weakSet(items)
 		}
 	case stepReduceDown:
 		if p.classM != nil {
-			return mClassSet{Items: p.classM}
+			return p.ar.classSet(p.classM)
 		}
 	}
 	return nil
@@ -99,7 +120,7 @@ func (p *SubsetProgram) Recv(round int, msgs []sim.Message) {
 		load := rational.Zero
 		seen := 0
 		for _, raw := range msgs {
-			if m, ok := raw.(mY); ok {
+			if m, ok := raw.(*mY); ok {
 				load = load.Add(m.Y)
 				seen++
 			}
@@ -126,7 +147,7 @@ func (p *SubsetProgram) Recv(round int, msgs []sim.Message) {
 	case stepSatPick:
 		first := true
 		for _, raw := range msgs {
-			m, ok := raw.(mP)
+			m, ok := raw.(*mP)
 			if !ok {
 				continue
 			}
@@ -147,15 +168,15 @@ func (p *SubsetProgram) Recv(round int, msgs []sim.Message) {
 		// that ever left this node must not be overwritten.
 		p.weakM = nil
 		for _, raw := range msgs {
-			if t, ok := raw.(weakTriplet); ok {
-				p.weakM = append(p.weakM, t)
+			if t, ok := raw.(*weakTriplet); ok {
+				p.weakM = append(p.weakM, *t)
 			}
 		}
 	case stepReduceUp:
 		p.classM = nil
 		for _, raw := range msgs {
-			if c, ok := raw.(classState); ok {
-				p.classM = append(p.classM, c)
+			if c, ok := raw.(*classState); ok {
+				p.classM = append(p.classM, *c)
 			}
 		}
 	}

@@ -16,6 +16,7 @@ package rational
 import (
 	"math"
 	"math/big"
+	"math/bits"
 )
 
 // Rat is an immutable exact rational number.
@@ -336,11 +337,33 @@ func (x Rat) Float64() float64 {
 
 // WireBytes estimates the serialized size of x in bytes (numerator and
 // denominator bit lengths, byte-rounded, plus framing).  Used by the
-// message-complexity experiments.
+// message-complexity experiments.  The fast-path branch avoids
+// materializing a big.Rat: it is called once per delivered message on
+// the simulator's accounting path.
 func (x Rat) WireBytes() int {
-	b := x.asBig()
-	return (b.Num().BitLen()+b.Denom().BitLen())/8 + 2
+	if x.b == nil {
+		return (bits.Len64(absU(x.n))+bits.Len64(uint64(x.den())))/8 + 2
+	}
+	return (x.b.Num().BitLen()+x.b.Denom().BitLen())/8 + 2
 }
+
+// Raw exposes the fast-path representation (n, d) of x, with d == 0
+// encoding the denominator 1 exactly as the struct does.  ok is false
+// when the value is held in the promoted big representation and has no
+// raw form.  Raw/FromRaw exist for the simulator's fixed-width wire
+// encoding: a (n, d) pair moved over the wire and rebuilt with FromRaw
+// is bit-identical to the original value, including its representation.
+func (x Rat) Raw() (n, d int64, ok bool) {
+	if x.b != nil {
+		return 0, 0, false
+	}
+	return x.n, x.d, true
+}
+
+// FromRaw rebuilds a Rat from a representation produced by Raw.  The
+// pair must come from Raw (normalized, d >= 0, d == 0 meaning 1):
+// FromRaw performs no normalization of its own.
+func FromRaw(n, d int64) Rat { return Rat{n: n, d: d} }
 
 // String formats x as "n" or "n/d".
 func (x Rat) String() string {

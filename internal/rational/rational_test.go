@@ -292,3 +292,41 @@ func TestCmpFastPathNearOverflow(t *testing.T) {
 		t.Fatalf("Cmp near overflow: got %d, want 1", a.Cmp(b))
 	}
 }
+
+// TestWireBytesFastPath: the allocation-free fast-path branch of
+// WireBytes must agree with the big.Rat formula on every representation
+// — the simulator's Stats.Bytes parity across delivery paths depends on
+// it — and Raw/FromRaw must round-trip the representation bit for bit.
+func TestWireBytesFastPath(t *testing.T) {
+	vals := []Rat{
+		Zero, One, FromInt(-1), FromInt(127), FromInt(1 << 40),
+		FromFrac(3, 7), FromFrac(-355, 113), FromFrac(1, 1<<62),
+		FromInt(math.MaxInt64), FromInt(math.MinInt64),
+	}
+	for _, x := range vals {
+		b := x.Big()
+		want := (b.Num().BitLen()+b.Denom().BitLen())/8 + 2
+		if got := x.WireBytes(); got != want {
+			t.Errorf("WireBytes(%v) = %d, want %d", x, got, want)
+		}
+		n, d, ok := x.Raw()
+		if !ok {
+			t.Fatalf("fast-path value %v has no raw form", x)
+		}
+		if y := FromRaw(n, d); y != x {
+			t.Errorf("FromRaw(Raw(%v)) = %v, representation not preserved", x, y)
+		}
+	}
+	// Promoted values refuse Raw and take the big branch of WireBytes.
+	big := FromFrac(math.MaxInt64, 3).Mul(FromFrac(math.MaxInt64, 5))
+	if !big.IsBig() {
+		t.Fatal("test value failed to promote")
+	}
+	if _, _, ok := big.Raw(); ok {
+		t.Error("promoted value reported a raw form")
+	}
+	bb := big.Big()
+	if got, want := big.WireBytes(), (bb.Num().BitLen()+bb.Denom().BitLen())/8+2; got != want {
+		t.Errorf("promoted WireBytes = %d, want %d", got, want)
+	}
+}

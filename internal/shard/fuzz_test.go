@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -26,6 +27,24 @@ func FuzzPartition(f *testing.F) {
 		if len(input) > 1<<16 {
 			return
 		}
+		// Reject absurd declared node counts before Parse allocates for
+		// them (a 10-byte header can demand gigabytes).  The scan
+		// mirrors Parse's line handling — skip blanks and comments, find
+		// the first "graph <n>" header — so it never rejects an input
+		// Parse would accept with a sane n; the post-parse bound below
+		// still governs what actually runs.
+		for _, line := range strings.Split(input, "\n") {
+			f := strings.Fields(strings.TrimSpace(line))
+			if len(f) == 0 || strings.HasPrefix(f[0], "#") {
+				continue
+			}
+			if f[0] == "graph" && len(f) == 2 {
+				if n, err := strconv.Atoi(f[1]); err == nil && n > 1<<12 {
+					return
+				}
+			}
+			break // first directive line decides; Parse handles the rest
+		}
 		g, err := graph.Parse(strings.NewReader(input))
 		if err != nil {
 			return // clean rejection is fine
@@ -44,6 +63,16 @@ func FuzzPartition(f *testing.F) {
 		}
 		if got := p.K(); k >= 1 && g.N() >= 1 && got > g.N() {
 			t.Fatalf("K = %d exceeds n = %d", got, g.N())
+		}
+		// The label-propagation refinement must never cost cut edges
+		// relative to the raw BFS chop it starts from.
+		raw := chop(ft, k)
+		finish(ft, raw)
+		if err := raw.Validate(ft); err != nil {
+			t.Fatalf("unrefined chop invariants broken (k=%d): %v", k, err)
+		}
+		if p.CutEdges > raw.CutEdges {
+			t.Fatalf("refinement increased the cut: %d > %d (k=%d)", p.CutEdges, raw.CutEdges, k)
 		}
 		st := Build(ft, p)
 		if err := st.Validate(); err != nil {

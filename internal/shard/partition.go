@@ -15,7 +15,6 @@ package shard
 
 import (
 	"fmt"
-	"sort"
 
 	"anoncover/internal/graph"
 )
@@ -45,17 +44,28 @@ type Partition struct {
 // K returns the number of shards.
 func (p *Partition) K() int { return len(p.Nodes) }
 
-// New partitions ft into k degree-balanced shards by greedy BFS
-// growth: nodes are laid out in a global BFS order (restarting at the
-// lowest-id unvisited node, so disconnected graphs work) and the order
-// is chopped into k contiguous segments of roughly equal degree mass.
-// Consecutive BFS nodes are topologically close, so each segment is a
-// union of connected clusters and the edge cut stays near the BFS
-// frontier size rather than growing with shard volume.
+// New partitions ft into k degree-balanced shards: a greedy BFS chop
+// (chop) followed by a bounded cut-reducing label-propagation sweep
+// (refine) that keeps the chop's balance envelope, and a final sweep
+// (finish) that rebuilds the node lists and boundary bookkeeping.
 //
 // k is clamped to [1, max(1, n)].  The construction is deterministic
 // in (ft, k).
 func New(ft *graph.FlatTopology, k int) *Partition {
+	p := chop(ft, k)
+	refine(ft, p)
+	finish(ft, p)
+	return p
+}
+
+// chop lays the nodes out in a global BFS order (restarting at the
+// lowest-id unvisited node, so disconnected graphs work) and chops the
+// order into k contiguous segments of roughly equal degree mass.
+// Consecutive BFS nodes are topologically close, so each segment is a
+// union of connected clusters and the edge cut stays near the BFS
+// frontier size rather than growing with shard volume.  Only ShardOf
+// and the shard count are meaningful until finish runs.
+func chop(ft *graph.FlatTopology, k int) *Partition {
 	n := ft.N()
 	if k < 1 || n == 0 {
 		k = 1
@@ -81,25 +91,134 @@ func New(ft *graph.FlatTopology, k int) *Partition {
 	for s := 0; s < k; s++ {
 		budget := remaining / (k - s)
 		cost := 0
-		var nodes []int32
+		first := true
 		for pos < n {
-			if s < k-1 && len(nodes) > 0 {
+			if s < k-1 && !first {
 				if cost >= budget || n-pos <= k-s-1 {
 					break
 				}
 			}
 			v := order[pos]
 			pos++
-			nodes = append(nodes, v)
+			first = false
 			c := ft.Deg(int(v)) + 1
 			cost += c
 			remaining -= c
 			p.ShardOf[v] = int32(s)
 		}
-		sort.Slice(nodes, func(a, b int) bool { return nodes[a] < nodes[b] })
-		p.Nodes[s] = nodes
 	}
+	return p
+}
 
+// refinePasses bounds the label-propagation sweeps; the cut converges
+// within a few passes on every family we partition, and a hard bound
+// keeps the partition cost linear.
+const refinePasses = 4
+
+// refine runs a cut-reducing label-propagation sweep over the chop: in
+// node order, a node whose neighbourhood leans into another shard moves
+// there when the move strictly reduces its local cut and respects the
+// balance envelope — neither endpoint shard's degree-mass deviation
+// from the mean may grow past the cost of the heaviest node (or past
+// its own pre-move deviation, so an overweight shard can always shed),
+// and no shard is ever emptied.  The BFS chop is near-random across
+// power-law hubs; this sweep is what pulls a hub's satellites into the
+// hub's shard.  Deterministic in its input.
+func refine(ft *graph.FlatTopology, p *Partition) {
+	k := p.K()
+	n := ft.N()
+	if k < 2 || n == 0 {
+		return
+	}
+	mass := make([]int, k)
+	count := make([]int, k)
+	tol := 0
+	for v := 0; v < n; v++ {
+		c := ft.Deg(v) + 1
+		mass[p.ShardOf[v]] += c
+		count[p.ShardOf[v]]++
+		if c > tol {
+			tol = c
+		}
+	}
+	avg := (ft.HalfEdges() + n) / k
+	dev := func(m int) int {
+		if m < avg {
+			return avg - m
+		}
+		return m - avg
+	}
+	halves := ft.Halves()
+	cnt := make([]int, k) // per-shard neighbour tallies for one node
+	touched := make([]int32, 0, 8)
+	for pass := 0; pass < refinePasses; pass++ {
+		moved := false
+		for v := 0; v < n; v++ {
+			s := p.ShardOf[v]
+			if ft.Deg(v) == 0 || count[s] <= 1 {
+				continue
+			}
+			for _, h := range halves[ft.Off(v):ft.Off(v+1)] {
+				t := p.ShardOf[h.To]
+				if cnt[t] == 0 {
+					touched = append(touched, t)
+				}
+				cnt[t]++
+			}
+			// The winning label: strictly more neighbours than the
+			// current shard, smallest shard id on ties.
+			best, bestCnt := s, cnt[s]
+			for _, t := range touched {
+				if cnt[t] > bestCnt || (cnt[t] == bestCnt && t < best) {
+					best, bestCnt = t, cnt[t]
+				}
+			}
+			gain := bestCnt - cnt[s]
+			for _, t := range touched {
+				cnt[t] = 0
+			}
+			touched = touched[:0]
+			if best == s || gain <= 0 {
+				continue
+			}
+			c := ft.Deg(v) + 1
+			bound := tol
+			if d := dev(mass[s]); d > bound {
+				bound = d
+			}
+			if d := dev(mass[best]); d > bound {
+				bound = d
+			}
+			if dev(mass[s]-c) > bound || dev(mass[best]+c) > bound {
+				continue
+			}
+			p.ShardOf[v] = best
+			mass[s] -= c
+			mass[best] += c
+			count[s]--
+			count[best]++
+			moved = true
+		}
+		if !moved {
+			break
+		}
+	}
+}
+
+// finish rebuilds the per-shard node lists (ascending global order, as
+// the Partition contract requires) and the boundary bookkeeping from
+// ShardOf.
+func finish(ft *graph.FlatTopology, p *Partition) {
+	n := ft.N()
+	for s := range p.Nodes {
+		p.Nodes[s] = p.Nodes[s][:0]
+		p.Boundary[s] = p.Boundary[s][:0]
+	}
+	p.CutEdges = 0
+	for v := 0; v < n; v++ {
+		s := p.ShardOf[v]
+		p.Nodes[s] = append(p.Nodes[s], int32(v))
+	}
 	// Boundary sweep: one flat pass over the CSR half-edges.  Each cut
 	// edge is discovered once from its lower endpoint and recorded in
 	// both endpoint shards' boundary lists.
@@ -115,7 +234,6 @@ func New(ft *graph.FlatTopology, k int) *Partition {
 			}
 		}
 	}
-	return p
 }
 
 // bfsOrder returns all nodes in BFS discovery order with ports visited

@@ -142,6 +142,51 @@ func TestTopologyPortSource(t *testing.T) {
 	}
 }
 
+// TestPartitionRefinement pins the label-propagation sweep's contract
+// on the family it exists for: on a hub-heavy power-law graph the
+// refined cut must be strictly below the raw BFS chop's (the chop
+// scatters hub satellites nearly at random), and the balance envelope
+// must survive — no shard's degree mass may deviate from the mean by
+// more than the chop's own tolerance plus the heaviest node.
+func TestPartitionRefinement(t *testing.T) {
+	for _, k := range []int{2, 4, 8} {
+		g := graph.PowerLaw(2000, 3, 11)
+		ft := g.Flat()
+		raw := chop(ft, k)
+		finish(ft, raw)
+		p := New(ft, k)
+		if err := p.Validate(ft); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if p.CutEdges >= raw.CutEdges {
+			t.Fatalf("k=%d: refinement did not reduce the power-law cut (%d >= %d)",
+				k, p.CutEdges, raw.CutEdges)
+		}
+		t.Logf("k=%d: cut %d -> %d (%.0f%%)", k, raw.CutEdges, p.CutEdges,
+			100*float64(p.CutEdges)/float64(raw.CutEdges))
+		maxCost := 0
+		for v := 0; v < ft.N(); v++ {
+			if c := ft.Deg(v) + 1; c > maxCost {
+				maxCost = c
+			}
+		}
+		avg := (ft.HalfEdges() + ft.N()) / k
+		rawCosts, costs := shardCosts(ft, raw), shardCosts(ft, p)
+		for s, c := range costs {
+			bound := maxCost
+			if d := rawCosts[s] - avg; d > bound {
+				bound = d
+			}
+			if d := avg - rawCosts[s]; d > bound {
+				bound = d
+			}
+			if c-avg > bound || avg-c > bound {
+				t.Fatalf("k=%d: shard %d mass %d strays past %d from mean %d", k, s, c, bound, avg)
+			}
+		}
+	}
+}
+
 // TestPartitionDeterminism: same topology and k, same partition.
 func TestPartitionDeterminism(t *testing.T) {
 	g := graph.PowerLaw(200, 2, 3)

@@ -60,6 +60,16 @@ type Shard struct {
 	// entries they will never store through.
 	BRoute []int32
 	BOff   []int32
+	// BSrc is the broadcast-model sender table: for every local inbox
+	// slot (same indexing as Route), the shard and local node index of
+	// the node whose published value feeds the slot, packed as
+	// shard<<32 | localIndex.  In the broadcast model the sender of a
+	// slot is a static property of the topology, so engines that
+	// intern each node's per-round value (the wire path) deliver by
+	// gathering BSrc[slot] from the publishing shard's value table —
+	// replacing both the dense BRoute scatter and the ghost-cell halo
+	// drain with one indexed read per slot.
+	BSrc []uint64
 	// HaloOut is the size of the shard's halo-out buffer.
 	HaloOut int
 	// In describes the shard's incoming halo segments, ordered by
@@ -124,7 +134,12 @@ func Build(ft *graph.FlatTopology, p *Partition) *Topology {
 			localIdx[v] = int32(i)
 			off[i+1] = off[i] + int32(ft.Deg(int(v)))
 		}
-		st.Shards[s] = Shard{Nodes: nodes, Off: off, Route: make([]int32, off[len(nodes)])}
+		st.Shards[s] = Shard{
+			Nodes: nodes,
+			Off:   off,
+			Route: make([]int32, off[len(nodes)]),
+			BSrc:  make([]uint64, off[len(nodes)]),
+		}
 	}
 
 	// Halo segment layout: shard s's halo-out buffer is its cut
@@ -168,6 +183,10 @@ func Build(ft *graph.FlatTopology, p *Partition) *Topology {
 				h := halves[g]
 				t := p.ShardOf[h.To]
 				dst := st.Shards[t].Off[localIdx[h.To]] + int32(h.RevPort)
+				// Whatever the delivery path, slot dst of shard t is fed
+				// by this node; record the static sender for the
+				// interned broadcast gather.
+				st.Shards[t].BSrc[dst] = uint64(s)<<32 | uint64(uint32(i))
 				if t == int32(s) {
 					sh.Route[j] = dst
 					sh.BRoute = append(sh.BRoute, dst)
@@ -338,6 +357,30 @@ func (st *Topology) Validate() error {
 				got := inboxes[t][int(sh.Off[i])+p]
 				if got != int64(h.To) {
 					return fmt.Errorf("shard %d: node %d port %d hears broadcast from %d, want %d",
+						t, v, p, got, h.To)
+				}
+			}
+		}
+	}
+	// The interned-gather path: BSrc must attribute every inbox slot —
+	// local and cut alike — to the global node on the far side of its
+	// half-edge.
+	for t := range st.Shards {
+		sh := &st.Shards[t]
+		if len(sh.BSrc) != sh.InboxLen() {
+			return fmt.Errorf("shard %d: BSrc covers %d slots, want %d", t, len(sh.BSrc), sh.InboxLen())
+		}
+		for i, v := range sh.Nodes {
+			for p := 0; p < int(sh.Off[i+1]-sh.Off[i]); p++ {
+				h := halves[ft.Off(int(v))+p]
+				e := sh.BSrc[int(sh.Off[i])+p]
+				src, idx := int(e>>32), int(uint32(e))
+				if src < 0 || src >= k || idx >= len(st.Shards[src].Nodes) {
+					return fmt.Errorf("shard %d: BSrc slot %d points at invalid (%d, %d)",
+						t, int(sh.Off[i])+p, src, idx)
+				}
+				if got := st.Shards[src].Nodes[idx]; int(got) != h.To {
+					return fmt.Errorf("shard %d: node %d port %d gathers from node %d, want %d",
 						t, v, p, got, h.To)
 				}
 			}

@@ -23,6 +23,28 @@ func (p *quietBcast) Recv(r int, msgs []Message) {
 }
 func (p *quietBcast) Output() any { return p.acc }
 
+// quietWire rides the wire path: one-word lanes, no per-round work
+// beyond the fold, so any steady-state allocation belongs to the
+// engine's lane plumbing.
+type quietWire struct {
+	quietPort
+}
+
+func (p *quietWire) WireWords(r int) int { return 1 }
+
+func (p *quietWire) SendWire(r int, out []uint64) (int64, int64, bool) {
+	for i := range out {
+		out[i] = 1 << 40
+	}
+	return int64(len(out)), 0, true
+}
+
+func (p *quietWire) RecvWire(r int, in []uint64) {
+	for _, v := range in {
+		p.acc += v
+	}
+}
+
 // quietPort is the port-model sibling; it reuses its outgoing slice, as
 // the PortProgram contract allows.
 type quietPort struct {
@@ -74,34 +96,63 @@ func TestEngineAllocsPerRound(t *testing.T) {
 		{"sharded-2", Options{Engine: Sharded, Workers: 2}, 2},
 		{"sharded-4", Options{Engine: Sharded, Workers: 4}, 2},
 	}
+	// Each engine runs on its default delivery path (interned broadcast
+	// values, wire lanes for quietWire) and forced boxed; the 0-allocs
+	// steady state must hold on every one of them.
 	for _, c := range cases {
-		t.Run("broadcast/"+c.name, func(t *testing.T) {
-			progs := make([]BroadcastProgram, g.N())
-			for v := range progs {
-				progs[v] = &quietBcast{msg: uint64(3)}
+		for _, boxed := range []bool{false, true} {
+			opt := c.opt
+			name := c.name
+			if boxed {
+				opt.NoWire = true
+				name += "-boxed"
 			}
-			got := allocsPerRound(t, func(rounds int) {
-				RunBroadcast(g, progs, rounds, c.opt)
+			t.Run("broadcast/"+name, func(t *testing.T) {
+				progs := make([]BroadcastProgram, g.N())
+				for v := range progs {
+					progs[v] = &quietBcast{msg: uint64(3)}
+				}
+				got := allocsPerRound(t, func(rounds int) {
+					RunBroadcast(g, progs, rounds, opt)
+				})
+				t.Logf("allocs/round = %.2f", got)
+				if got > c.budget {
+					t.Errorf("broadcast %s: %.2f allocs/round, budget %.2f", name, got, c.budget)
+				}
 			})
-			t.Logf("allocs/round = %.2f", got)
-			if got > c.budget {
-				t.Errorf("broadcast %s: %.2f allocs/round, budget %.2f", c.name, got, c.budget)
-			}
-		})
-		t.Run("port/"+c.name, func(t *testing.T) {
-			progs := make([]PortProgram, g.N())
-			for v := range progs {
-				q := &quietPort{}
-				q.Init(Env{Degree: g.Deg(v)})
-				progs[v] = q
-			}
-			got := allocsPerRound(t, func(rounds int) {
-				RunPort(g, progs, rounds, c.opt)
+			t.Run("port/"+name, func(t *testing.T) {
+				progs := make([]PortProgram, g.N())
+				for v := range progs {
+					q := &quietPort{}
+					q.Init(Env{Degree: g.Deg(v)})
+					progs[v] = q
+				}
+				got := allocsPerRound(t, func(rounds int) {
+					RunPort(g, progs, rounds, opt)
+				})
+				t.Logf("allocs/round = %.2f", got)
+				if got > c.budget {
+					t.Errorf("port %s: %.2f allocs/round, budget %.2f", name, got, c.budget)
+				}
 			})
-			t.Logf("allocs/round = %.2f", got)
-			if got > c.budget {
-				t.Errorf("port %s: %.2f allocs/round, budget %.2f", c.name, got, c.budget)
+			if boxed {
+				continue // quietWire's wire path has no boxed variant of interest
 			}
-		})
+			t.Run("wireport/"+name, func(t *testing.T) {
+				progs := make([]PortProgram, g.N())
+				for v := range progs {
+					q := &quietWire{}
+					q.Init(Env{Degree: g.Deg(v)})
+					progs[v] = q
+				}
+				got := allocsPerRound(t, func(rounds int) {
+					RunPort(g, progs, rounds, opt)
+				})
+				t.Logf("allocs/round = %.2f", got)
+				if got > c.budget {
+					t.Errorf("wireport %s: %.2f allocs/round, budget %.2f", name, got, c.budget)
+				}
+			})
+		}
 	}
 }

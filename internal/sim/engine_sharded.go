@@ -23,13 +23,25 @@ import (
 // nodes' receive handlers.  Halo buffers are double-buffered by round
 // parity (see shard.Topology).
 //
+// Delivery runs on the same three paths as the flat engines (wire.go):
+//
+//   - Wire port rounds scatter []uint64 word lanes through the same
+//     route tables, and the halo exchange becomes plain word copies
+//     into lane-striped halo buffers.
+//   - Interned broadcast rounds publish one value per node (the bvals
+//     tables that the ghost-cell pulls already used) and the receive
+//     phase gathers every slot's message through the static BSrc
+//     sender table — no per-slot scatter and no drain loop at all.
+//   - Boxed rounds keep the original Message inbox, BRoute scatter and
+//     halo/ghost-cell drains.
+//
 // Sharding is an execution detail only: outputs and Stats are
-// bit-identical to the Sequential reference engine on every program
-// and every worker count (equiv_test.go pins this down).  The route
-// table is also a single-thread win — scattering through a 4-byte
-// route entry replaces the barrier engines' per-half-edge Half load
-// plus offset lookup — so the engine pays for itself even before real
-// parallelism.
+// bit-identical to the Sequential reference engine on every program,
+// every worker count and every delivery path (equiv_test.go pins this
+// down).  The route table is also a single-thread win — scattering
+// through a 4-byte route entry replaces the barrier engines'
+// per-half-edge Half load plus offset lookup — so the engine pays for
+// itself even before real parallelism.
 func (r *runner) runSharded(rounds, k int) (Stats, error) {
 	var st *shard.Topology
 	if pre, ok := r.top.(*shard.Topology); ok && pre.K() == k {
@@ -44,34 +56,76 @@ func (r *runner) runSharded(rounds, k int) (Stats, error) {
 	}
 	k = st.K() // the partitioner clamps k for tiny topologies
 
+	// Pool size: one worker per shard, but never more than the user's
+	// GOMAXPROCS and never more than the physical cores.  Exceeding
+	// either just multiplexes OS threads over the same hardware, and
+	// measured ~1.5x slower on a 1-core box than letting one worker
+	// step several shards; the shard structure (and its locality and
+	// routing wins) is identical either way.
+	workers := k
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	if ncpu := runtime.NumCPU(); workers > ncpu {
+		workers = ncpu
+	}
+
 	// Per-run mutable state: the shard.Topology itself is immutable
 	// routing, so concurrent runs may share it.  The port model
 	// exchanges per-edge halo-out buffers (each port may carry a
 	// different message); the broadcast model publishes one value per
-	// node and lets receivers pull it ghost-cell style, so it needs no
-	// per-edge buffers at all.  Both are double-buffered by round
-	// parity.  With a Pool, the whole bundle is recycled from the
-	// previous run over the same topology.
+	// node and lets receivers pull it — through the ghost-cell drain on
+	// the boxed path, through the static BSrc gather on the interned
+	// path.  Halo-crossing state is double-buffered by round parity.
+	// With a Pool, the whole bundle is recycled from the previous run
+	// over the same topology.
 	bcast := r.isBroadcast()
+	r.interned = bcast && !r.opt.NoWire
+	r.wireSetup(rounds)
+	a, done := r.arenaFor()
+	defer done()
 	var inboxes [][]Message
 	var halo, bvals [2][][]Message
-	if p := r.opt.Pool; p != nil {
-		a := p.getArena()
-		defer p.putArena(a)
-		inboxes, halo, bvals = a.grabSharded(st, bcast)
+	var inboxesW [][]uint64
+	var haloW [2][][]uint64
+	if bcast {
+		inboxes, _, bvals = a.grabSharded(st, true, !r.interned)
+		if r.interned {
+			r.bscratch = a.grabScratch(workers, r.ft.MaxDeg())
+		}
 	} else {
-		a := &arena{}
-		inboxes, halo, bvals = a.grabSharded(st, bcast)
+		if r.codec == nil || r.boxedRounds {
+			inboxes, halo, _ = a.grabSharded(st, false, true)
+		}
+		if r.codec != nil {
+			inboxesW, haloW = a.grabShardedWords(st, r.maxW)
+			r.outW = a.grabOut(workers, r.maxW*r.ft.MaxDeg())
+		}
 	}
 	counts := make([]counters, k)
 
-	stepShard := func(s, phase int) {
+	stepShard := func(s, w, phase int) {
 		sh := &st.Shards[s]
-		inbox := inboxes[s]
 		if phase == phaseSend {
-			route := sh.Route
 			var msgs, bytes int64
-			if bcast {
+			switch {
+			case r.interned:
+				// Publish each node's value once; receivers gather it
+				// through the static sender table after the barrier.
+				bval := bvals[r.round&1][s]
+				for i, v := range sh.Nodes {
+					m := r.bcast[v].Send(r.round)
+					bval[i] = m
+					if m != nil {
+						deg := int64(sh.Off[i+1] - sh.Off[i])
+						msgs += deg
+						if sz, ok := m.(Sizer); ok {
+							bytes += deg * int64(sz.WireSize())
+						}
+					}
+				}
+			case bcast:
+				inbox := inboxes[s]
 				bval := bvals[r.round&1][s]
 				broute := sh.BRoute
 				for i, v := range sh.Nodes {
@@ -96,7 +150,84 @@ func (r *runner) runSharded(rounds, k int) (Stats, error) {
 						}
 					}
 				}
-			} else {
+			case r.curW > 0:
+				// Wire round: encode lanes per node, then scatter each
+				// lane as a word copy through the same route table.
+				wid := r.curW
+				inboxW := inboxesW[s]
+				hw := haloW[r.round&1][s]
+				out := r.outW[w]
+				for i, v := range sh.Nodes {
+					base := sh.Off[i]
+					deg := int(sh.Off[i+1] - base)
+					lanes := out[:deg*wid]
+					m, b, ok := r.wprogs[v].SendWire(r.round, lanes)
+					if !ok {
+						r.wireFail.Store(true)
+						return
+					}
+					msgs += m
+					bytes += b
+					// Idle lanes (first word zero) are not scattered;
+					// see WirePortProgram.
+					routes := sh.Route[base:sh.Off[i+1]]
+					switch wid {
+					case 1:
+						for p, rt := range routes {
+							if lanes[p] == 0 {
+								continue
+							}
+							if rt >= 0 {
+								inboxW[rt] = lanes[p]
+							} else {
+								hw[^rt] = lanes[p]
+							}
+						}
+					case 2:
+						for p, rt := range routes {
+							if lanes[2*p] == 0 {
+								continue
+							}
+							if rt >= 0 {
+								inboxW[2*rt] = lanes[2*p]
+								inboxW[2*rt+1] = lanes[2*p+1]
+							} else {
+								hw[2*^rt] = lanes[2*p]
+								hw[2*^rt+1] = lanes[2*p+1]
+							}
+						}
+					case 3:
+						for p, rt := range routes {
+							if lanes[3*p] == 0 {
+								continue
+							}
+							d := 3 * int(rt)
+							buf := inboxW
+							if rt < 0 {
+								d = 3 * int(^rt)
+								buf = hw
+							}
+							buf[d] = lanes[3*p]
+							buf[d+1] = lanes[3*p+1]
+							buf[d+2] = lanes[3*p+2]
+						}
+					default:
+						for p, rt := range routes {
+							if lanes[wid*p] == 0 {
+								continue
+							}
+							lane := lanes[wid*p : wid*p+wid]
+							if rt >= 0 {
+								copy(inboxW[wid*int(rt):], lane)
+							} else {
+								copy(hw[wid*int(^rt):], lane)
+							}
+						}
+					}
+				}
+			default:
+				inbox := inboxes[s]
+				route := sh.Route
 				out := halo[r.round&1][s]
 				for i, v := range sh.Nodes {
 					outMsgs := r.port[v].Send(r.round)
@@ -120,9 +251,26 @@ func (r *runner) runSharded(rounds, k int) (Stats, error) {
 			counts[s].bytes += bytes
 			return
 		}
-		// Receive phase: drain the incoming halo segments published at
-		// the barrier, then step the owned nodes.
-		if bcast {
+		// Receive phase.
+		switch {
+		case r.interned:
+			// Gather every slot's message straight from the publishing
+			// shard's value table; BSrc already routes cut edges, so
+			// there is no halo drain.
+			gen := bvals[r.round&1]
+			scratch := r.bscratch[w]
+			for i, v := range sh.Nodes {
+				base := int(sh.Off[i])
+				deg := int(sh.Off[i+1]) - base
+				in := scratch[:deg]
+				for p := 0; p < deg; p++ {
+					e := sh.BSrc[base+p]
+					in[p] = gen[e>>32][uint32(e)]
+				}
+				r.recv(int(v), r.round, in)
+			}
+		case bcast:
+			inbox := inboxes[s]
 			gen := bvals[r.round&1]
 			for hi := range sh.In {
 				in := &sh.In[hi]
@@ -132,7 +280,42 @@ func (r *runner) runSharded(rounds, k int) (Stats, error) {
 					inbox[slot] = src[srcNode[i]]
 				}
 			}
-		} else {
+			for i, v := range sh.Nodes {
+				r.recv(int(v), r.round, inbox[sh.Off[i]:sh.Off[i+1]])
+			}
+		case r.curW > 0:
+			// Wire round: drain the incoming halo segments as word
+			// copies, then hand each node its contiguous lane slice.
+			wid := r.curW
+			inboxW := inboxesW[s]
+			gen := haloW[r.round&1]
+			for hi := range sh.In {
+				in := &sh.In[hi]
+				src := gen[in.Src]
+				lo := int(in.Lo)
+				switch wid {
+				case 1:
+					for i, slot := range in.Slots {
+						inboxW[slot] = src[lo+i]
+					}
+				case 2:
+					for i, slot := range in.Slots {
+						d, o := 2*int(slot), 2*(lo+i)
+						inboxW[d] = src[o]
+						inboxW[d+1] = src[o+1]
+					}
+				default:
+					for i, slot := range in.Slots {
+						o := wid * (lo + i)
+						copy(inboxW[wid*int(slot):wid*int(slot)+wid], src[o:o+wid])
+					}
+				}
+			}
+			for i, v := range sh.Nodes {
+				r.wprogs[v].RecvWire(r.round, inboxW[wid*int(sh.Off[i]):wid*int(sh.Off[i+1])])
+			}
+		default:
+			inbox := inboxes[s]
 			gen := halo[r.round&1]
 			for hi := range sh.In {
 				in := &sh.In[hi]
@@ -142,27 +325,14 @@ func (r *runner) runSharded(rounds, k int) (Stats, error) {
 					inbox[slot] = src[lo+i]
 				}
 			}
+			for i, v := range sh.Nodes {
+				r.recv(int(v), r.round, inbox[sh.Off[i]:sh.Off[i+1]])
+			}
 		}
-		for i, v := range sh.Nodes {
-			r.recv(int(v), r.round, inbox[sh.Off[i]:sh.Off[i+1]])
-		}
-	}
-	// Pool size: one worker per shard, but never more than the user's
-	// GOMAXPROCS and never more than the physical cores.  Exceeding
-	// either just multiplexes OS threads over the same hardware, and
-	// measured ~1.5x slower on a 1-core box than letting one worker
-	// step several shards; the shard structure (and its locality and
-	// routing wins) is identical either way.
-	workers := k
-	if p := runtime.GOMAXPROCS(0); workers > p {
-		workers = p
-	}
-	if ncpu := runtime.NumCPU(); workers > ncpu {
-		workers = ncpu
 	}
 	body := func(w, phase int) {
 		for s := w; s < k; s += workers {
-			stepShard(s, phase)
+			stepShard(s, w, phase)
 		}
 	}
 	return r.runPhases(rounds, workers, body, counts)

@@ -29,21 +29,30 @@ import (
 // internally.)  CI runs `go test -run Equiv ./internal/sim/` as a fast
 // gate plus the full `go test -race ./...` on every push.
 
-// engineVariant is one engine configuration under test.
+// engineVariant is one engine configuration under test.  The barrier
+// engines appear twice: once on their default delivery path (the wire
+// path — word lanes for qualifying port programs, interned value
+// tables for broadcast) and once forced onto the boxed path, so the
+// matrices pin wire and boxed rows against each other and against the
+// CSP oracle, which is always boxed.
 type engineVariant struct {
 	name    string
 	engine  sim.Engine
 	workers int
+	noWire  bool
 }
 
 func engineVariants() []engineVariant {
 	return []engineVariant{
-		{"sequential", sim.Sequential, 0},
-		{"parallel-2", sim.Parallel, 2},
-		{fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), sim.Parallel, runtime.GOMAXPROCS(0)},
-		{"sharded-2", sim.Sharded, 2},
-		{"sharded-4", sim.Sharded, 4},
-		{"csp", sim.CSP, 0},
+		{"sequential", sim.Sequential, 0, false},
+		{"sequential-boxed", sim.Sequential, 0, true},
+		{"parallel-2", sim.Parallel, 2, false},
+		{"parallel-2-boxed", sim.Parallel, 2, true},
+		{fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), sim.Parallel, runtime.GOMAXPROCS(0), false},
+		{"sharded-2", sim.Sharded, 2, false},
+		{"sharded-4", sim.Sharded, 4, false},
+		{"sharded-4-boxed", sim.Sharded, 4, true},
+		{"csp", sim.CSP, 0, false},
 	}
 }
 
@@ -114,7 +123,7 @@ func TestEquivEdgepack(t *testing.T) {
 			ref := edgepack.MustRun(g, edgepack.Options{Engine: sim.Sequential})
 			for _, ev := range engineVariants() {
 				t.Run(ev.name, func(t *testing.T) {
-					got := edgepack.MustRun(g, edgepack.Options{Engine: ev.engine, Workers: ev.workers})
+					got := edgepack.MustRun(g, edgepack.Options{Engine: ev.engine, Workers: ev.workers, NoWire: ev.noWire})
 					mustEqualCover(t, ref.Cover, got.Cover)
 					mustEqualRats(t, "edge packing y", ref.Y, got.Y)
 					mustEqualStats(t, ref.Stats, got.Stats)
@@ -153,7 +162,7 @@ func TestEquivBcastvc(t *testing.T) {
 				for _, seed := range scrambleSeeds {
 					t.Run(fmt.Sprintf("%s/seed%d", ev.name, seed), func(t *testing.T) {
 						got := bcastvc.MustRun(g, bcastvc.Options{
-							Engine: ev.engine, Workers: ev.workers, ScrambleSeed: seed,
+							Engine: ev.engine, Workers: ev.workers, ScrambleSeed: seed, NoWire: ev.noWire,
 						})
 						mustEqualCover(t, ref.Cover, got.Cover)
 						mustEqualRats(t, "edge y", ref.Y, got.Y)
@@ -178,7 +187,7 @@ func TestEquivFracpack(t *testing.T) {
 				for _, seed := range scrambleSeeds {
 					t.Run(fmt.Sprintf("%s/seed%d", ev.name, seed), func(t *testing.T) {
 						got := fracpack.MustRun(ins, fracpack.Options{
-							Engine: ev.engine, Workers: ev.workers, ScrambleSeed: seed,
+							Engine: ev.engine, Workers: ev.workers, ScrambleSeed: seed, NoWire: ev.noWire,
 						})
 						mustEqualCover(t, ref.Cover, got.Cover)
 						mustEqualRats(t, "element y", ref.Y, got.Y)
@@ -206,7 +215,7 @@ func TestEquivFlatTopologyAsInput(t *testing.T) {
 					progs[v] = nodes[v]
 				}
 				stats, err := sim.RunPort(top, progs, edgepack.Rounds(params), sim.Options{
-					Engine: ev.engine, Workers: ev.workers,
+					Engine: ev.engine, Workers: ev.workers, NoWire: ev.noWire,
 				})
 				if err != nil {
 					t.Fatal(err)
@@ -254,7 +263,7 @@ func TestEquivShardedTopologyAsInput(t *testing.T) {
 						progs[v] = nodes[v]
 					}
 					stats, err := sim.RunPort(st, progs, edgepack.Rounds(params), sim.Options{
-						Engine: ev.engine, Workers: ev.workers,
+						Engine: ev.engine, Workers: ev.workers, NoWire: ev.noWire,
 					})
 					if err != nil {
 						t.Fatal(err)

@@ -102,17 +102,29 @@ func (p *Pool) Close() {
 // phase fills the inboxes and halo buffers the receive phase drains),
 // so recycled contents are never observed and the buffers need no
 // clearing on reuse — only on release, to unpin the old run's messages.
+// The word buffers of the wire path hold no pointers and are skipped by
+// the release scrub entirely.
 type arena struct {
-	// Barrier engines: the flat CSR inbox.
-	inbox []Message
+	// Barrier engines: the flat CSR inbox (boxed path), the word-lane
+	// inbox (wire path) and the interned broadcast value table.
+	inbox  []Message
+	words  []uint64
+	vals   []Message
+	out    [][]uint64  // per-worker wire lane scratch
+	gather [][]Message // per-worker interned gather scratch
 
-	// Sharded engine, valid only for the (topology, model) pair it was
-	// last shaped for.
-	st      *shard.Topology
-	bcast   bool
-	inboxes [][]Message
-	halo    [2][][]Message
-	bvals   [2][][]Message
+	// Sharded engine, valid only for the (topology, model, shape)
+	// triple it was last shaped for.
+	st       *shard.Topology
+	bcast    bool
+	hasInbox bool
+	inboxes  [][]Message
+	halo     [2][][]Message
+	bvals    [2][][]Message
+	stW      *shard.Topology // wire-path buffers' topology
+	stWords  int             // ... and their per-slot word capacity
+	inboxesW [][]uint64
+	haloW    [2][][]uint64
 }
 
 // grabInbox returns a flat inbox of exactly n slots, reusing the
@@ -126,15 +138,72 @@ func (a *arena) grabInbox(n int) []Message {
 	return a.inbox
 }
 
+// grabWords returns a word-lane buffer of exactly n words, zeroed: the
+// idle-lane convention (WirePortProgram) distinguishes live lanes from
+// stale slots by round stamps, and a recycled buffer could otherwise
+// replay a previous run's stamps at the same round numbers.
+func (a *arena) grabWords(n int) []uint64 {
+	if cap(a.words) >= n {
+		a.words = a.words[:n]
+		clear(a.words)
+	} else {
+		a.words = make([]uint64, n)
+	}
+	return a.words
+}
+
+// grabVals returns the interned broadcast value table (one slot per
+// node).
+func (a *arena) grabVals(n int) []Message {
+	if cap(a.vals) >= n {
+		a.vals = a.vals[:n]
+	} else {
+		a.vals = make([]Message, n)
+	}
+	return a.vals
+}
+
+// grabOut returns per-worker lane scratch, each of size words.
+func (a *arena) grabOut(workers, size int) [][]uint64 {
+	if len(a.out) != workers {
+		a.out = make([][]uint64, workers)
+	}
+	for w := range a.out {
+		if cap(a.out[w]) < size {
+			a.out[w] = make([]uint64, size)
+		} else {
+			a.out[w] = a.out[w][:size]
+		}
+	}
+	return a.out
+}
+
+// grabScratch returns per-worker gather scratch of deg message slots.
+func (a *arena) grabScratch(workers, deg int) [][]Message {
+	if len(a.gather) != workers {
+		a.gather = make([][]Message, workers)
+	}
+	for w := range a.gather {
+		if cap(a.gather[w]) < deg {
+			a.gather[w] = make([]Message, deg)
+		} else {
+			a.gather[w] = a.gather[w][:deg]
+		}
+	}
+	return a.gather
+}
+
 // grabSharded returns the per-shard inboxes and double-buffered halo
 // buffers for st, reusing the previous run's buffers when the arena was
-// last shaped for the same topology and model.
-func (a *arena) grabSharded(st *shard.Topology, bcast bool) (inboxes [][]Message, halo, bvals [2][][]Message) {
-	if a.st == st && a.bcast == bcast {
+// last shaped for the same topology and model.  withInbox is false for
+// the interned broadcast path, which delivers straight out of the
+// published value tables and needs no per-shard inboxes at all.
+func (a *arena) grabSharded(st *shard.Topology, bcast, withInbox bool) (inboxes [][]Message, halo, bvals [2][][]Message) {
+	if a.st == st && a.bcast == bcast && (a.hasInbox || !withInbox) {
 		return a.inboxes, a.halo, a.bvals
 	}
 	k := st.K()
-	a.st, a.bcast = st, bcast
+	a.st, a.bcast, a.hasInbox = st, bcast, withInbox
 	a.inboxes = make([][]Message, k)
 	for gen := 0; gen < 2; gen++ {
 		a.halo[gen] = make([][]Message, k)
@@ -142,7 +211,9 @@ func (a *arena) grabSharded(st *shard.Topology, bcast bool) (inboxes [][]Message
 	}
 	for s := 0; s < k; s++ {
 		sh := &st.Shards[s]
-		a.inboxes[s] = make([]Message, sh.InboxLen())
+		if withInbox {
+			a.inboxes[s] = make([]Message, sh.InboxLen())
+		}
 		for gen := 0; gen < 2; gen++ {
 			if bcast {
 				a.bvals[gen][s] = make([]Message, len(sh.Nodes))
@@ -154,10 +225,46 @@ func (a *arena) grabSharded(st *shard.Topology, bcast bool) (inboxes [][]Message
 	return a.inboxes, a.halo, a.bvals
 }
 
+// grabShardedWords returns the per-shard word-lane inboxes and
+// double-buffered halo-out word buffers, sized for lanes of maxW words
+// per slot and zeroed for the same reason grabWords zeroes.
+func (a *arena) grabShardedWords(st *shard.Topology, maxW int) (inboxesW [][]uint64, haloW [2][][]uint64) {
+	if a.stW == st && a.stWords >= maxW {
+		for _, b := range a.inboxesW {
+			clear(b)
+		}
+		for gen := 0; gen < 2; gen++ {
+			for _, b := range a.haloW[gen] {
+				clear(b)
+			}
+		}
+		return a.inboxesW, a.haloW
+	}
+	k := st.K()
+	a.stW, a.stWords = st, maxW
+	a.inboxesW = make([][]uint64, k)
+	for gen := 0; gen < 2; gen++ {
+		a.haloW[gen] = make([][]uint64, k)
+	}
+	for s := 0; s < k; s++ {
+		sh := &st.Shards[s]
+		a.inboxesW[s] = make([]uint64, maxW*sh.InboxLen())
+		for gen := 0; gen < 2; gen++ {
+			a.haloW[gen][s] = make([]uint64, maxW*sh.HaloOut)
+		}
+	}
+	return a.inboxesW, a.haloW
+}
+
 // scrub drops every message reference so a parked arena does not keep a
 // finished run's payloads (broadcast histories can be large) alive.
+// Word buffers carry no references and are left as they are.
 func (a *arena) scrub() {
 	clearMsgs(a.inbox)
+	clearMsgs(a.vals)
+	for _, in := range a.gather {
+		clearMsgs(in)
+	}
 	for _, in := range a.inboxes {
 		clearMsgs(in)
 	}

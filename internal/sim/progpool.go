@@ -1,0 +1,74 @@
+package sim
+
+import "sync"
+
+// Resettable is the pooling protocol of the per-node algorithm
+// programs: Reset re-initializes a program for a fresh run in the
+// given environment, reusing every buffer the previous run allocated
+// when the shape still fits.
+type Resettable interface {
+	Reset(Env)
+}
+
+// maxIdleProgSlabs bounds how many idle slabs a ProgPool parks between
+// runs; concurrent runs each check one out, so the bound only matters
+// after a concurrency burst subsides.
+const maxIdleProgSlabs = 8
+
+// ProgPool recycles per-run program slabs through the Reset protocol.
+// Get hands out one program per environment — recycling a parked slab
+// of matching size, Reset for its new environment, or building fresh
+// programs through the constructor — and Put parks a slab for the next
+// run.  Slabs are matched by length only: Reset must therefore cope
+// with any shape change the same node count can carry (degrees,
+// parameters), which the program packages' Reset implementations and
+// their TestProgramPoolReuse tests guarantee.  Safe for concurrent
+// use; the caller must not touch a slab after Put.
+//
+// The algorithm packages (edgepack, fracpack, bcastvc) wrap one under
+// their ProgramPool names; a compiled Solver holds one per algorithm
+// so serving a run skips the per-node setup allocations.
+type ProgPool[T Resettable] struct {
+	mu   sync.Mutex
+	free [][]T
+}
+
+// Get returns one program per environment, Reset and ready to run.
+func (pl *ProgPool[T]) Get(envs []Env, fresh func(Env) T) []T {
+	var ps []T
+	pl.mu.Lock()
+	for i, s := range pl.free {
+		if len(s) == len(envs) {
+			last := len(pl.free) - 1
+			pl.free[i] = pl.free[last]
+			pl.free = pl.free[:last]
+			ps = s
+			break
+		}
+	}
+	pl.mu.Unlock()
+	if ps == nil {
+		ps = make([]T, len(envs))
+		for i := range ps {
+			ps[i] = fresh(envs[i])
+		}
+		return ps
+	}
+	for i := range ps {
+		ps[i].Reset(envs[i])
+	}
+	return ps
+}
+
+// Put parks a slab for reuse.  The programs may be in any state — Get
+// resets them before the next run.
+func (pl *ProgPool[T]) Put(ps []T) {
+	if ps == nil {
+		return
+	}
+	pl.mu.Lock()
+	if len(pl.free) < maxIdleProgSlabs {
+		pl.free = append(pl.free, ps)
+	}
+	pl.mu.Unlock()
+}

@@ -26,7 +26,7 @@
 // reference and test oracle).
 //
 // The Sequential and Parallel engines deliver messages through a flat
-// inbox: one contiguous []Message indexed by per-node CSR offsets
+// inbox: one contiguous buffer indexed by per-node CSR offsets
 // (graph.FlatTopology), so the message arriving at node v through port p
 // lives at slot Off(v)+p.  The Sharded engine splits that inbox into one
 // compact inbox per shard plus double-buffered halo buffers for the cut
@@ -36,6 +36,24 @@
 // additionally amortizes partitioning) may be passed as the Topology
 // directly to amortize flattening across runs.  The steady state of a
 // run is allocation-free.
+//
+// What moves through those slots depends on the delivery path.  By
+// default the barrier engines take the unboxed wire path (wire.go): a
+// port program that implements WirePortProgram declares a fixed
+// per-round lane width in 8-byte words and the inbox becomes a flat
+// []uint64 — sends encode into word lanes, scatters and halo exchange
+// are plain word copies, and receives decode the node's contiguous
+// lane slice, with no interface values on the hot path.  Rounds whose
+// payloads do not fit a fixed width (a program returns lane width 0
+// for them) travel through the boxed []Message inbox instead, so a
+// program can keep tight lanes for its dominant rounds and box only
+// the fat ones.  Broadcast programs need no opt-in: each node's one
+// value per round is interned in a per-node table and receivers gather
+// it through the topology's static sender structure, eliminating the
+// per-half-edge scatter entirely.  Options.NoWire forces the fully
+// boxed path; a wire value that outgrows its lane aborts with
+// ErrWireOverflow and the algorithm packages rerun boxed, so results
+// never depend on the path taken.
 //
 // Sharding is an execution detail only: observable behaviour — outputs
 // and Stats — must stay bit-identical to the synchronous port-numbering
@@ -212,6 +230,14 @@ type Options struct {
 	// Barrier engines only (the CSP engine has no global barrier and
 	// the run returns an error if an observer is set).
 	Observer func(RoundInfo)
+	// NoWire forces the boxed delivery path: port-model programs run
+	// through Send/Recv even when they implement WirePortProgram, and
+	// broadcast delivery scatters boxed values instead of gathering
+	// from the interned per-node table.  Outputs and Stats are
+	// identical either way (the equivalence suite asserts it); the
+	// switch exists for those tests and for ablation benchmarks.
+	// Barrier engines only; the CSP engine is always boxed.
+	NoWire bool
 	// Pool, when non-nil, supplies reusable execution resources —
 	// persistent worker pools and recycled inbox/message arenas — so
 	// back-to-back runs skip the per-run goroutine spawn and O(E)

@@ -86,6 +86,7 @@ type SetCoverSolver struct {
 	cfg     config
 	top     sim.Topology
 	pool    *sim.Pool
+	progs   *fracpack.ProgramPool // recycled node programs
 	version uint64
 }
 
@@ -128,7 +129,10 @@ func CompileSetCover(ins *SetCoverInstance, opts ...Option) (*SetCoverSolver, er
 		c.workers = st.K()
 		top = st
 	}
-	return &SetCoverSolver{ins: ins, cfg: c, top: top, pool: sim.NewPool(), version: ins.ins.Version()}, nil
+	return &SetCoverSolver{
+		ins: ins, cfg: c, top: top, pool: sim.NewPool(),
+		progs: &fracpack.ProgramPool{}, version: ins.ins.Version(),
+	}, nil
 }
 
 // Instance returns the instance the solver was compiled for.
@@ -162,6 +166,7 @@ func (s *SetCoverSolver) SetCover(ctx context.Context, opts ...Option) (*SetCove
 		F: c.f, K: c.k, W: c.maxW, EarlyExit: c.earlyExit,
 		Topology: s.top, Context: ctx, RoundBudget: c.budget,
 		Observer: simObserver(c.observer), Pool: s.pool,
+		NoWire: c.noWire, Programs: s.progs,
 	})
 	if err != nil {
 		return nil, err

@@ -42,6 +42,8 @@ type Solver struct {
 	cfg     config
 	top     sim.Topology // *graph.FlatTopology, or *shard.Topology for EngineSharded
 	pool    *sim.Pool
+	progs   *edgepack.ProgramPool // recycled VertexCover node programs
+	bprogs  *bcastvc.ProgramPool  // recycled VertexCoverBroadcast node programs
 	version uint64
 }
 
@@ -88,7 +90,11 @@ func Compile(g *Graph, opts ...Option) (*Solver, error) {
 		c.workers = st.K()
 		top = st
 	}
-	return &Solver{g: g, cfg: c, top: top, pool: sim.NewPool(), version: g.g.Version()}, nil
+	return &Solver{
+		g: g, cfg: c, top: top, pool: sim.NewPool(),
+		progs: &edgepack.ProgramPool{}, bprogs: &bcastvc.ProgramPool{},
+		version: g.g.Version(),
+	}, nil
 }
 
 // runConfig layers per-run options over the session defaults and
@@ -140,6 +146,7 @@ func (s *Solver) VertexCover(ctx context.Context, opts ...Option) (*VertexCoverR
 		Engine: c.engine.internal(), Workers: c.workers, Delta: c.delta, W: c.maxW,
 		Topology: s.top, Context: ctx, RoundBudget: c.budget,
 		Observer: simObserver(c.observer), Pool: s.pool,
+		NoWire: c.noWire, Programs: s.progs,
 	})
 	if err != nil {
 		return nil, err
@@ -167,6 +174,7 @@ func (s *Solver) VertexCoverBroadcast(ctx context.Context, opts ...Option) (*Ver
 		Delta: c.delta, W: c.maxW,
 		Topology: s.top, Context: ctx, RoundBudget: c.budget,
 		Observer: simObserver(c.observer), Pool: s.pool,
+		NoWire: c.noWire, Programs: s.bprogs,
 	})
 	if err != nil {
 		return nil, err

@@ -60,9 +60,11 @@ func solverEngineVariants() []struct {
 		opts []Option
 	}{
 		{"sequential", []Option{WithEngine(EngineSequential)}},
+		{"sequential-boxed", []Option{WithEngine(EngineSequential), WithoutWirePath()}},
 		{"parallel-2", []Option{WithEngine(EngineParallel), WithWorkers(2)}},
 		{"sharded-2", []Option{WithEngine(EngineSharded), WithWorkers(2)}},
 		{"sharded-4", []Option{WithEngine(EngineSharded), WithWorkers(4)}},
+		{"sharded-4-boxed", []Option{WithEngine(EngineSharded), WithWorkers(4), WithoutWirePath()}},
 		{"csp", []Option{WithEngine(EngineCSP)}},
 	}
 }
