@@ -120,6 +120,7 @@ type config struct {
 	observer  func(RoundInfo)
 	earlyExit bool
 	noWire    bool
+	weights   []int64
 }
 
 // validate rejects option combinations that cannot be served; it is the
@@ -199,6 +200,17 @@ func WithWeightBound(w int64) Option { return func(c *config) { c.maxW = w } }
 func WithSetCoverBounds(f, k int) Option {
 	return func(c *config) { c.f, c.k = f, k }
 }
+
+// WithWeights pins a run to exactly this weight vector — one positive
+// weight per node (per subset for SetCover) — regardless of the
+// solver's current snapshot or any concurrent UpdateWeights.  When the
+// vector matches the current snapshot the run reuses it; otherwise the
+// run gets a private snapshot over the same compiled topology, with no
+// recompile.  The slice is read during run setup only and must not be
+// mutated until the run call returns.  It is the serving layer's
+// request-weights primitive; Solver.UpdateWeights is the session-level
+// way to install a snapshot for all subsequent runs.
+func WithWeights(w []int64) Option { return func(c *config) { c.weights = w } }
 
 // WithoutWirePath forces the simulator's boxed message-delivery path
 // instead of the default unboxed wire path (fixed-width word lanes for

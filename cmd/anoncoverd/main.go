@@ -1,0 +1,118 @@
+// Command anoncoverd serves the distributed vertex-cover and set-cover
+// solvers over HTTP: the serving layer over the compile-once/run-many
+// session API.
+//
+// Topologies are compiled once into cached solver sessions keyed by a
+// structure-only fingerprint; weight changes install immutable
+// snapshots against the compiled topology instead of recompiling, and
+// clients holding a fingerprint can POST weights alone.  See the
+// README's "Serving" section for the endpoint reference.
+//
+// Usage:
+//
+//	anoncoverd -addr :8080
+//	anoncoverd -addr :8080 -engine sharded -workers 4 -cache 32 -maxbudget 100000
+//
+// Smoke it with curl:
+//
+//	curl -s -X POST --data-binary @graph.txt 'localhost:8080/v1/vertexcover?verify=true'
+//	curl -s -X POST -d '{"weights":[2,1,3]}' 'localhost:8080/v1/vertexcover/<fingerprint>'
+//	curl -s localhost:8080/v1/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"anoncover"
+	"anoncover/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		engine      = flag.String("engine", "sharded", "session engine solvers compile with: sequential | parallel | sharded")
+		workers     = flag.Int("workers", 0, "worker/shard count for the session engine; 0 = GOMAXPROCS")
+		cacheSize   = flag.Int("cache", 16, "compiled solvers cached per kind (LRU)")
+		memoSize    = flag.Int("memo", 8, "memoized results per cached solver; 0 disables")
+		concurrency = flag.Int("concurrency", 0, "simultaneously executing runs; 0 = GOMAXPROCS")
+		queue       = flag.Int("queue", 0, "requests waiting beyond -concurrency before 503; 0 = 4x concurrency")
+		defBudget   = flag.Int("budget", 0, "default round budget per request; 0 = unlimited")
+		maxBudget   = flag.Int("maxbudget", 0, "cap on per-request round budgets; 0 = uncapped")
+		timeout     = flag.Duration("timeout", 0, "per-request wall deadline (e.g. 30s); 0 = none")
+		maxBody     = flag.Int64("maxbody", 64<<20, "request body byte cap")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		CacheSize:     *cacheSize,
+		MaxConcurrent: *concurrency,
+		QueueDepth:    *queue,
+		DefaultBudget: *defBudget,
+		MaxBudget:     *maxBudget,
+		Timeout:       *timeout,
+		MaxBody:       *maxBody,
+		Workers:       *workers,
+	}
+	if *memoSize <= 0 {
+		cfg.MemoSize = -1
+	} else {
+		cfg.MemoSize = *memoSize
+	}
+	switch *engine {
+	case "sequential":
+		cfg = cfg.WithEngineDefault(anoncover.EngineSequential)
+	case "parallel":
+		cfg = cfg.WithEngineDefault(anoncover.EngineParallel)
+	case "sharded":
+		cfg = cfg.WithEngineDefault(anoncover.EngineSharded)
+	default:
+		log.Fatalf("unknown engine %q (the csp test oracle cannot serve)", *engine)
+	}
+
+	svc := serve.New(cfg)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests,
+	// then close every cached solver session.  ListenAndServe returns
+	// as soon as Shutdown is called — it does not wait for handlers —
+	// so main must block on the drain completing before tearing the
+	// solver cache down.
+	drained := make(chan struct{})
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		defer close(drained)
+		sig := <-stop
+		log.Printf("anoncoverd: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}()
+
+	conc := cfg.MaxConcurrent
+	if conc <= 0 {
+		conc = runtime.GOMAXPROCS(0)
+	}
+	log.Printf("anoncoverd: serving on %s (engine=%s cache=%d concurrency=%d)",
+		*addr, *engine, cfg.CacheSize, conc)
+	err := httpSrv.ListenAndServe()
+	if !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-drained
+	svc.Close()
+	log.Print("anoncoverd: bye")
+}

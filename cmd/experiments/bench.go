@@ -338,6 +338,7 @@ func benchMatrix(path string, quick bool) {
 		}
 	}
 	solverReuseRows(&file, quick)
+	serverRows(&file, quick)
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		panic(err)

@@ -39,7 +39,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: e1..e13, a1, a3, bench, reuse, or all")
-	benchOut := flag.String("out", "BENCH_4.json", "output path for the -exp bench scenario matrix")
+	benchOut := flag.String("out", "BENCH_5.json", "output path for the -exp bench scenario matrix")
 	quick := flag.Bool("quick", false, "shrink -exp bench to a seconds-long smoke (small instances, fewer samples)")
 	flag.Parse()
 	all := map[string]func(){

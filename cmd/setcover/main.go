@@ -14,7 +14,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
+	"time"
 
 	"anoncover"
 )
@@ -32,6 +34,7 @@ func main() {
 		engine    = flag.String("engine", "sequential", "engine: sequential | parallel | sharded | csp")
 		doOpt     = flag.Bool("exact", false, "also compute the exact optimum (small instances)")
 		earlyExit = flag.Bool("earlyexit", false, "stop the simulation once the packing is maximal (ScheduledRounds stays the honest cost)")
+		reweigh   = flag.Int("reweigh", 0, "after the main run, rerun N times with fresh random -maxw subset weights, reusing the compiled solver via snapshot weight updates (no recompile)")
 	)
 	flag.Parse()
 
@@ -101,5 +104,34 @@ func main() {
 	if *doOpt {
 		_, opt := anoncover.OptimalSetCover(ins)
 		fmt.Printf("exact optimum: %d   measured ratio: %.4f\n", opt, float64(res.Weight)/float64(opt))
+	}
+
+	// Weight-snapshot reruns on the compiled solver; see cmd/vcover.
+	if *reweigh > 0 {
+		maxW := *maxW
+		if maxW < 2 {
+			maxW = 50
+		}
+		r := rand.New(rand.NewSource(*seed + 7))
+		fmt.Printf("reweigh: %d reruns on the compiled solver (snapshot updates, no recompile)\n", *reweigh)
+		for i := 1; i <= *reweigh; i++ {
+			w := make([]int64, ins.Subsets())
+			for j := range w {
+				w[j] = 1 + r.Int63n(maxW)
+			}
+			if err := solver.UpdateWeights(w); err != nil {
+				log.Fatal(err)
+			}
+			start := time.Now()
+			rr, err := solver.SetCover(context.Background())
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := rr.Verify(); err != nil {
+				log.Fatalf("INVARIANT VIOLATION on rerun %d: %v", i, err)
+			}
+			fmt.Printf("  rerun %d: cover weight %d rounds %d (%v, verified)\n",
+				i, rr.Weight, rr.Rounds, time.Since(start).Round(time.Microsecond))
+		}
 	}
 }

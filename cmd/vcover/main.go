@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"anoncover"
 )
@@ -32,6 +33,7 @@ func main() {
 		doOpt    = flag.Bool("exact", false, "also compute the exact optimum (small graphs)")
 		budget   = flag.Int("budget", 0, "round budget; the run fails if the schedule needs more")
 		progress = flag.Bool("progress", false, "stream per-round progress to stderr")
+		reweigh  = flag.Int("reweigh", 0, "after the main run, rerun N times with fresh random -maxw weights, reusing the compiled solver via snapshot weight updates (no recompile)")
 	)
 	flag.Parse()
 
@@ -117,5 +119,35 @@ func main() {
 	if *doOpt {
 		_, opt := anoncover.OptimalVertexCover(g)
 		fmt.Printf("exact optimum: %d   measured ratio: %.4f\n", opt, float64(res.Weight)/float64(opt))
+	}
+
+	// Weight-snapshot reruns: same compiled topology, fresh weights.
+	// Before UpdateWeights landed, each of these paid a full Compile;
+	// now they pay only the snapshot install plus the rounds.
+	if *reweigh > 0 {
+		maxW := *maxW
+		if maxW < 2 {
+			maxW = 100
+		}
+		fmt.Printf("reweigh: %d reruns on the compiled solver (snapshot updates, no recompile)\n", *reweigh)
+		for i := 1; i <= *reweigh; i++ {
+			g.WeighRandom(maxW, *seed+int64(i)+1)
+			start := time.Now()
+			var rr *anoncover.VertexCoverResult
+			switch *model {
+			case "port":
+				rr, err = solver.VertexCover(ctx)
+			case "broadcast":
+				rr, err = solver.VertexCoverBroadcast(ctx)
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := rr.Verify(); err != nil {
+				log.Fatalf("INVARIANT VIOLATION on rerun %d: %v", i, err)
+			}
+			fmt.Printf("  rerun %d: W=%d cover weight %d rounds %d (%v, verified)\n",
+				i, g.MaxWeight(), rr.Weight, rr.Rounds, time.Since(start).Round(time.Microsecond))
+		}
 	}
 }

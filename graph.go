@@ -58,18 +58,35 @@ func (g *Graph) MaxWeight() int64 { return g.g.MaxWeight() }
 // VertexCoverResult.Packing).
 func (g *Graph) EdgeEndpoints(e int) (u, v int) { return g.g.Endpoints(e) }
 
-// WeighUniform sets every node weight to w.  Like every mutation, it
-// invalidates Solvers compiled from g (their runs return an error;
-// recompile after mutating).
+// Fingerprint returns a canonical identifier of the graph's structure —
+// node count, edge table and port numbering — excluding weights, so
+// re-weighted copies of one topology share a fingerprint.  It is the
+// cache key of the serving layer's solver cache: one compiled solver
+// serves every weight assignment over the structure.
+func (g *Graph) Fingerprint() string { return g.g.Fingerprint() }
+
+// Weights returns a copy of the node weight vector.
+func (g *Graph) Weights() []int64 { return g.g.Weights() }
+
+// SetWeight replaces node v's positive weight on a built graph.  Weight
+// mutations do not invalidate compiled Solvers: the next run absorbs
+// them into a fresh weight snapshot over the same compiled topology.
+func (g *Graph) SetWeight(v int, w int64) { g.g.SetWeight(v, w) }
+
+// WeighUniform sets every node weight to w.  Like every weight-only
+// mutation, it leaves compiled Solvers valid — their next run picks up
+// the new weights as a snapshot, with no recompile.
 func (g *Graph) WeighUniform(w int64) { graph.UniformWeights(g.g, w) }
 
 // WeighRandom assigns uniform random weights in {1..maxW},
-// deterministically in seed.  Invalidates compiled Solvers.
+// deterministically in seed.  Compiled Solvers stay valid; see
+// WeighUniform.
 func (g *Graph) WeighRandom(maxW, seed int64) { graph.RandomWeights(g.g, maxW, seed) }
 
 // ShufflePorts renumbers all ports at random (deterministic in seed);
-// the algorithms' guarantees hold under any port numbering.
-// Invalidates compiled Solvers.
+// the algorithms' guarantees hold under any port numbering.  Port
+// numbering is structure: this invalidates compiled Solvers (their
+// runs return an error; recompile after mutating).
 func (g *Graph) ShufflePorts(seed int64) { g.g.RandomPorts(seed) }
 
 // Generators.

@@ -18,16 +18,56 @@ import (
 
 // Instance is a finalized set-cover instance.
 type Instance struct {
-	s, u    int
-	adj     [][]graph.Half // combined indexing, subsets first
-	weights []int64        // per subset
-	ends    [][2]int       // edge -> (subset index, element index), local
-	version uint64         // bumped by every post-Build mutation; see Version
+	s, u     int
+	adj      [][]graph.Half // combined indexing, subsets first
+	weights  []int64        // per subset
+	ends     [][2]int       // edge -> (subset index, element index), local
+	version  uint64         // bumped by post-Build structural mutations; see Version
+	wversion uint64         // bumped by every post-Build weight mutation; see WeightVersion
 }
 
-// Version returns a counter incremented by every post-Build mutation
-// (SetWeight).  Compiled solvers snapshot it to detect staleness.
+// Version returns a counter incremented by every post-Build structural
+// mutation.  Compiled solvers snapshot it to detect staleness.  Weight
+// mutations (SetWeight) bump WeightVersion instead: topology derived
+// from the instance stays valid across them.
 func (ins *Instance) Version() uint64 { return ins.version }
+
+// WeightVersion returns a counter incremented by every post-Build
+// weight mutation (SetWeight).  Compiled solvers watch it to refresh
+// their weight snapshot without recompiling the topology.
+func (ins *Instance) WeightVersion() uint64 { return ins.wversion }
+
+// Weights returns a copy of the subset weight vector.
+func (ins *Instance) Weights() []int64 { return append([]int64(nil), ins.weights...) }
+
+// WeightView returns an instance sharing ins's structure with w as its
+// subset weights (the slice is retained; the caller must not modify it
+// afterwards).  It is the weight-snapshot primitive of the serving
+// layer, mirroring graph.G.WeightView: O(s) per snapshot, no topology
+// rebuild.
+func (ins *Instance) WeightView(w []int64) *Instance {
+	if len(w) != ins.s {
+		panic(fmt.Sprintf("bipartite: WeightView with %d weights for %d subsets", len(w), ins.s))
+	}
+	for i, x := range w {
+		if x <= 0 {
+			panic(fmt.Sprintf("bipartite: non-positive weight %d for subset %d", x, i))
+		}
+	}
+	return &Instance{
+		s: ins.s, u: ins.u, adj: ins.adj, weights: w, ends: ins.ends,
+		version: ins.version, wversion: ins.wversion,
+	}
+}
+
+// Fingerprint returns a canonical identifier of the instance's
+// structure — side sizes, membership table and port numbering on both
+// sides — excluding weights, so re-weighted copies of one topology
+// share a fingerprint (the solver-cache contract; see
+// graph.G.Fingerprint).
+func (ins *Instance) Fingerprint() string {
+	return graph.FingerprintSource("anoncover/setcover", ins, uint64(ins.s), uint64(ins.u))
+}
 
 // Builder accumulates a set-cover instance.
 type Builder struct {
@@ -134,7 +174,7 @@ func (ins *Instance) SetWeight(i int, w int64) {
 		panic("bipartite: non-positive weight")
 	}
 	ins.weights[i] = w
-	ins.version++
+	ins.wversion++
 }
 
 // Endpoints returns edge e as (subset index, element index).

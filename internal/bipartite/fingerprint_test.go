@@ -1,0 +1,61 @@
+package bipartite
+
+import "testing"
+
+// TestFingerprintStructureOnly mirrors the graph-side test: weights are
+// excluded, structure (including side sizes and port order) is not.
+func TestFingerprintStructureOnly(t *testing.T) {
+	ins := Random(10, 30, 3, 8, 9, 42)
+	fp := ins.Fingerprint()
+	if len(fp) != 64 {
+		t.Fatalf("fingerprint length %d, want 64 hex chars", len(fp))
+	}
+	for i := 0; i < ins.S(); i++ {
+		ins.SetWeight(i, int64(i)+11)
+	}
+	if ins.Fingerprint() != fp {
+		t.Error("weight mutation changed the fingerprint")
+	}
+	if ins.WeightView(ins.Weights()).Fingerprint() != fp {
+		t.Error("weight view changed the fingerprint")
+	}
+	if Random(10, 30, 3, 8, 9, 42).Fingerprint() != fp {
+		t.Error("identical structure, different fingerprint")
+	}
+	if Random(10, 30, 3, 8, 9, 43).Fingerprint() == fp {
+		t.Error("different membership table collided")
+	}
+	// A graph and an instance must never collide, whatever the shape:
+	// the domain tags separate them.
+	if SymmetricKpp(2).Fingerprint() == CycleReduction(4, 2).Fingerprint() {
+		t.Error("distinct instances collided")
+	}
+}
+
+// TestWeightVersionAndView: SetWeight bumps WeightVersion (not
+// Version); views carry their own weights and share structure.
+func TestWeightVersionAndView(t *testing.T) {
+	ins := Random(6, 12, 2, 5, 4, 7)
+	v0, w0 := ins.Version(), ins.WeightVersion()
+	ins.SetWeight(2, 99)
+	if ins.Version() != v0 {
+		t.Error("SetWeight bumped Version")
+	}
+	if ins.WeightVersion() == w0 {
+		t.Error("SetWeight did not bump WeightVersion")
+	}
+	w := make([]int64, ins.S())
+	for i := range w {
+		w[i] = int64(2*i + 1)
+	}
+	view := ins.WeightView(w)
+	if err := view.Validate(); err != nil {
+		t.Fatalf("view invalid: %v", err)
+	}
+	if view.Weight(2) != 5 || ins.Weight(2) != 99 {
+		t.Errorf("view/parent weights tangled: %d / %d", view.Weight(2), ins.Weight(2))
+	}
+	if view.M() != ins.M() || view.MaxF() != ins.MaxF() {
+		t.Error("view shape differs from parent")
+	}
+}

@@ -113,9 +113,13 @@ func New(env sim.Env) *Program {
 // histories must be unreachable by the time Reset is called.
 func (p *Program) Reset(env sim.Env) {
 	hp := HParams(env.Params)
+	// The simulated schedule depends only on the parameters: a
+	// weight-snapshot rerun keeps the cached round count.
+	if env.Params != p.env.Params || p.hRounds == 0 {
+		p.hRounds = fracpack.Rounds(hp)
+	}
 	p.env = env
 	p.hParams = hp
-	p.hRounds = fracpack.Rounds(hp)
 	subEnv := sim.Env{
 		Degree: env.Degree,
 		Weight: env.Weight,

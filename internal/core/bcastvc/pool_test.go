@@ -34,3 +34,36 @@ func TestProgramPoolReuse(t *testing.T) {
 		}
 	}
 }
+
+// TestProgramPoolWeightRebind: pooled broadcast programs serve
+// weight-snapshot reruns (same structure and declared bounds, fresh
+// weights via graph.WeightView) bit-identically to fresh programs.
+func TestProgramPoolWeightRebind(t *testing.T) {
+	g := graph.Grid(3, 4)
+	pool := &ProgramPool{}
+	opts := Options{Delta: g.MaxDegree(), W: 8}
+	for seed := int64(0); seed < 2; seed++ {
+		w := make([]int64, g.N())
+		for v := range w {
+			w[v] = 1 + (int64(v)*5+seed*3)%8
+		}
+		view := g.WeightView(w)
+		ref := MustRun(view, opts)
+		pooled := opts
+		pooled.Programs = pool
+		got := MustRun(view, pooled)
+		if got.Stats.Messages != ref.Stats.Messages || got.Stats.Bytes != ref.Stats.Bytes {
+			t.Fatalf("seed %d: stats diverge: %+v != %+v", seed, got.Stats, ref.Stats)
+		}
+		for v := range ref.Cover {
+			if got.Cover[v] != ref.Cover[v] {
+				t.Fatalf("seed %d: cover diverges at node %d", seed, v)
+			}
+		}
+		for e := range ref.Y {
+			if !got.Y[e].Equal(ref.Y[e]) {
+				t.Fatalf("seed %d: edge %d packing diverges", seed, e)
+			}
+		}
+	}
+}

@@ -184,7 +184,11 @@ func New(env sim.Env) *Program {
 // lets a compiled Solver serve run after run without the ~6 per-node
 // setup allocations New pays; ProgramPool drives it.
 func (p *Program) Reset(env sim.Env) {
-	if env != p.env || p.sched.Total() == 0 {
+	// The schedule depends only on the global parameters, not on this
+	// node's degree or weight: a weight-snapshot rerun (same Params,
+	// fresh weights) keeps the cached schedule instead of re-deriving
+	// it at every node.
+	if env.Params != p.env.Params || p.sched.Total() == 0 {
 		p.sched = ScheduleFor(env.Params)
 	}
 	p.env = env

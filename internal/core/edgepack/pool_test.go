@@ -160,3 +160,27 @@ func TestWireGateDeclinesLargeDelta(t *testing.T) {
 		t.Fatal("gate declined the bread-and-butter Δ=4 range")
 	}
 }
+
+// TestProgramPoolWeightRebind: a pooled program serves weight-snapshot
+// reruns — same structure and declared bounds, fresh weights via
+// graph.WeightView — bit-identically to fresh programs.  Declared
+// Δ/W bounds keep Params constant across the reruns, so this also
+// exercises Reset's cached-schedule fast path.
+func TestProgramPoolWeightRebind(t *testing.T) {
+	g := graph.PowerLaw(100, 3, 19)
+	pool := &ProgramPool{}
+	opts := Options{Delta: g.MaxDegree(), W: 64}
+	for seed := int64(0); seed < 3; seed++ {
+		w := make([]int64, g.N())
+		for v := range w {
+			w[v] = 1 + (int64(v)*7+seed*13)%64
+		}
+		view := g.WeightView(w)
+		ref := MustRun(view, opts)
+		pooled := opts
+		pooled.Programs = pool
+		for i := 0; i < 2; i++ {
+			mustEqualResults(t, ref, MustRun(view, pooled))
+		}
+	}
+}

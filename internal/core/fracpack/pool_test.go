@@ -57,3 +57,37 @@ func TestProgramPoolSetupAllocs(t *testing.T) {
 		t.Errorf("warm pool checkout costs %.4f allocs/node, budget 0.05", pooled/n)
 	}
 }
+
+// TestProgramPoolWeightRebind: pooled subset/element programs serve
+// weight-snapshot reruns (same membership structure and declared
+// bounds, fresh subset weights via bipartite.WeightView)
+// bit-identically to fresh programs.
+func TestProgramPoolWeightRebind(t *testing.T) {
+	ins := bipartite.Random(12, 30, 3, 6, 9, 17)
+	pool := &ProgramPool{}
+	opts := Options{F: ins.MaxF(), K: ins.MaxK(), W: 16}
+	for seed := int64(0); seed < 3; seed++ {
+		w := make([]int64, ins.S())
+		for i := range w {
+			w[i] = 1 + (int64(i)*11+seed*7)%16
+		}
+		view := ins.WeightView(w)
+		ref := MustRun(view, opts)
+		pooled := opts
+		pooled.Programs = pool
+		got := MustRun(view, pooled)
+		if got.Stats.Messages != ref.Stats.Messages || got.Stats.Bytes != ref.Stats.Bytes {
+			t.Fatalf("seed %d: stats diverge", seed)
+		}
+		for s := range ref.Cover {
+			if got.Cover[s] != ref.Cover[s] {
+				t.Fatalf("seed %d: cover diverges at subset %d", seed, s)
+			}
+		}
+		for u := range ref.Y {
+			if !got.Y[u].Equal(ref.Y[u]) {
+				t.Fatalf("seed %d: element %d packing diverges", seed, u)
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Fingerprint returns a canonical identifier of the graph's structure:
+// node count, edge table and the full port numbering — everything a
+// compiled solver's topology depends on — and nothing else.  Weights
+// are deliberately excluded, so two graphs that differ only in weights
+// share a fingerprint: that is the key contract of the serving layer's
+// solver cache, which re-serves one compiled topology under updated
+// weight snapshots.
+//
+// The fingerprint is a hex-encoded SHA-256 over a fixed binary
+// encoding; equal fingerprints mean identical N, identical edge
+// endpoints in edge-index order, and identical per-node port order
+// (which fixes RevPort too).  It is recomputed on every call — one
+// O(n + m) pass — so callers that need it repeatedly should keep it.
+func (g *G) Fingerprint() string {
+	return FingerprintSource("anoncover/graph", g, uint64(g.M()))
+}
+
+// FingerprintSource hashes the port structure of any PortSource under a
+// domain-separation tag, plus any extra shape words the caller's domain
+// needs (edge counts, bipartite side sizes).  Per node it hashes the
+// degree and each half-edge's (To, Edge) in port order; RevPort is
+// implied by the two endpoints' port orders and is left out.  Weights
+// never enter the hash.
+func FingerprintSource(domain string, src PortSource, extra ...uint64) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeU64 := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	h.Write([]byte(domain))
+	h.Write([]byte{0})
+	for _, x := range extra {
+		writeU64(x)
+	}
+	n := src.N()
+	writeU64(uint64(n))
+	for v := 0; v < n; v++ {
+		ports := src.Ports(v)
+		writeU64(uint64(len(ports)))
+		for _, half := range ports {
+			writeU64(uint64(half.To))
+			writeU64(uint64(half.Edge))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

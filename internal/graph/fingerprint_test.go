@@ -1,0 +1,104 @@
+package graph
+
+import "testing"
+
+// TestFingerprintStructureOnly: weights never enter the fingerprint;
+// any structural difference — edge set, edge order, port numbering —
+// changes it.
+func TestFingerprintStructureOnly(t *testing.T) {
+	g := Grid(4, 5)
+	fp := g.Fingerprint()
+	if len(fp) != 64 {
+		t.Fatalf("fingerprint length %d, want 64 hex chars", len(fp))
+	}
+
+	// Weight mutations: same fingerprint.
+	RandomWeights(g, 99, 7)
+	if g.Fingerprint() != fp {
+		t.Error("weight mutation changed the fingerprint")
+	}
+	if g.WeightView(g.Weights()).Fingerprint() != fp {
+		t.Error("weight view changed the fingerprint")
+	}
+
+	// An independently built copy of the same structure: same fingerprint.
+	if Grid(4, 5).Fingerprint() != fp {
+		t.Error("identical structure, different fingerprint")
+	}
+
+	// Different shape: different fingerprint.
+	if Grid(5, 4).Fingerprint() == fp {
+		t.Error("grid 5x4 collided with 4x5")
+	}
+
+	// Port renumbering is structural: different fingerprint.
+	shuffled := Grid(4, 5)
+	shuffled.RandomPorts(3)
+	if shuffled.Fingerprint() == fp {
+		t.Error("port renumbering kept the fingerprint")
+	}
+
+	// Edge insertion order is structural (it fixes edge indices and
+	// port numbering).
+	a := NewBuilder(3).AddEdge(0, 1).AddEdge(1, 2).Build()
+	b := NewBuilder(3).AddEdge(1, 2).AddEdge(0, 1).Build()
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("edge order ignored by fingerprint")
+	}
+}
+
+// TestWeightVersionSplit: weight mutations bump only WeightVersion,
+// structural mutations only Version.
+func TestWeightVersionSplit(t *testing.T) {
+	g := Grid(3, 3)
+	v0, w0 := g.Version(), g.WeightVersion()
+	g.SetWeight(0, 5)
+	UniformWeights(g, 2)
+	if g.Version() != v0 {
+		t.Errorf("weight mutation bumped Version %d -> %d", v0, g.Version())
+	}
+	if g.WeightVersion() == w0 {
+		t.Error("weight mutation did not bump WeightVersion")
+	}
+	w1 := g.WeightVersion()
+	g.RandomPorts(1)
+	if g.Version() == v0 {
+		t.Error("port renumbering did not bump Version")
+	}
+	if g.WeightVersion() != w1 {
+		t.Error("port renumbering bumped WeightVersion")
+	}
+}
+
+// TestWeightView: the view shares structure, carries its own weights,
+// and leaves the parent untouched.
+func TestWeightView(t *testing.T) {
+	g := Grid(3, 4)
+	RandomWeights(g, 9, 1)
+	orig := g.Weights()
+	w := make([]int64, g.N())
+	for i := range w {
+		w[i] = int64(i + 1)
+	}
+	view := g.WeightView(w)
+	if err := view.Validate(); err != nil {
+		t.Fatalf("view invalid: %v", err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if view.Weight(v) != int64(v+1) {
+			t.Fatalf("view weight[%d] = %d", v, view.Weight(v))
+		}
+		if g.Weight(v) != orig[v] {
+			t.Fatalf("parent weight[%d] mutated", v)
+		}
+	}
+	if view.M() != g.M() || view.N() != g.N() {
+		t.Error("view shape differs from parent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive view weight not rejected")
+		}
+	}()
+	g.WeightView(make([]int64, g.N()))
+}

@@ -29,18 +29,51 @@ type Half struct {
 // G is a finite simple undirected graph with positive integer node weights
 // and a port numbering.
 type G struct {
-	adj     [][]Half
-	weights []int64
-	ends    [][2]int // edge index -> endpoints, ends[e][0] < ends[e][1]
-	version uint64   // bumped by every post-Build mutation; see Version
+	adj      [][]Half
+	weights  []int64
+	ends     [][2]int // edge index -> endpoints, ends[e][0] < ends[e][1]
+	version  uint64   // bumped by every post-Build structural mutation; see Version
+	wversion uint64   // bumped by every post-Build weight mutation; see WeightVersion
 }
 
-// Version returns a counter that every post-Build mutation (SetWeight,
-// PermutePorts and the helpers built on them) increments.  Consumers
+// Version returns a counter that every post-Build structural mutation
+// (PermutePorts and the helpers built on it) increments.  Consumers
 // that precompute derived structure — flat CSR views, shard partitions,
 // compiled solvers — snapshot it to detect that their view has gone
-// stale.
+// stale.  Weight mutations do not bump it: weights are payload, not
+// structure, and derived topology stays valid across them (see
+// WeightVersion).
 func (g *G) Version() uint64 { return g.version }
+
+// WeightVersion returns a counter that every post-Build weight mutation
+// (SetWeight, UniformWeights, RandomWeights) increments.  Compiled
+// solvers watch it to refresh their weight snapshot without recompiling
+// the topology.
+func (g *G) WeightVersion() uint64 { return g.wversion }
+
+// Weights returns a copy of the node weight vector, indexed by node.
+func (g *G) Weights() []int64 { return append([]int64(nil), g.weights...) }
+
+// WeightView returns a graph that shares g's structure — adjacency,
+// ports, edge table — but carries w as its weights (the slice is
+// retained; the caller must not modify it afterwards).  It is the
+// weight-snapshot primitive: a compiled solver serves runs against an
+// immutable view while the underlying graph's weights churn, paying
+// O(n) per snapshot instead of a topology recompile.  Structural
+// mutations must not be applied to either graph while views are live
+// (the structure is shared); the view inherits g's current Version so
+// staleness checks against derived structure keep working.
+func (g *G) WeightView(w []int64) *G {
+	if len(w) != g.N() {
+		panic(fmt.Sprintf("graph: WeightView with %d weights for %d nodes", len(w), g.N()))
+	}
+	for v, x := range w {
+		if x <= 0 {
+			panic(fmt.Sprintf("graph: non-positive weight %d for node %d", x, v))
+		}
+	}
+	return &G{adj: g.adj, weights: w, ends: g.ends, version: g.version, wversion: g.wversion}
+}
 
 // Builder accumulates edges before the graph is finalized.
 type Builder struct {
@@ -233,13 +266,14 @@ func (g *G) Clone() *G {
 	return c
 }
 
-// SetWeight replaces the weight of node v on a built graph.
+// SetWeight replaces the weight of node v on a built graph.  It bumps
+// the weight version only: topology derived from the graph stays valid.
 func (g *G) SetWeight(v int, w int64) {
 	if w <= 0 {
 		panic("graph: non-positive weight")
 	}
 	g.weights[v] = w
-	g.version++
+	g.wversion++
 }
 
 // Validate checks internal consistency (ports, reverse ports, edge

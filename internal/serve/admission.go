@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"context"
+	"errors"
+)
+
+// errBusy is returned by acquire when the bounded run queue is full;
+// the handlers map it to 503 Service Unavailable.
+var errBusy = errors.New("serve: run queue full")
+
+// admission is the service's bounded run queue: at most `slots`
+// requests execute concurrently and at most cap(queue)-cap(slots) more
+// wait for a slot.  Anything beyond that is rejected immediately — the
+// distributed analogue of load shedding — instead of piling latency on
+// every queued request.  Waiting respects the request context, so a
+// client deadline expiring in the queue frees its place.
+type admission struct {
+	slots chan struct{} // holds one token per executing request
+	queue chan struct{} // holds one token per admitted request (running or waiting)
+}
+
+func newAdmission(maxConcurrent, queueDepth int) *admission {
+	return &admission{
+		slots: make(chan struct{}, maxConcurrent),
+		queue: make(chan struct{}, maxConcurrent+queueDepth),
+	}
+}
+
+// acquire admits the request and waits for a run slot.  It returns
+// errBusy when the queue is full and the context error when the caller
+// gives up while waiting.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return errBusy
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		<-a.queue
+		return ctx.Err()
+	}
+}
+
+// release frees the slot and the queue place acquire took.
+func (a *admission) release() {
+	<-a.slots
+	<-a.queue
+}
+
+// inFlight reports how many requests currently hold a run slot.
+func (a *admission) inFlight() int { return len(a.slots) }
+
+// queued reports how many requests are admitted (running or waiting).
+func (a *admission) queued() int { return len(a.queue) }

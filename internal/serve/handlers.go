@@ -1,0 +1,585 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"anoncover"
+)
+
+// runParams are the per-request knobs, parsed from the query string.
+type runParams struct {
+	model     string // "port" (default) or "broadcast"; vertex cover only
+	engine    []anoncover.Option
+	budget    int
+	verify    bool
+	earlyExit bool
+	scramble  int64
+	progress  string // "", "ndjson" or "sse"
+	every     int    // stream every N rounds
+	timeout   time.Duration
+}
+
+func (s *Server) parseRunParams(r *http.Request) (runParams, error) {
+	q := r.URL.Query()
+	p := runParams{model: "port", every: 1}
+	if m := q.Get("model"); m != "" {
+		if m != "port" && m != "broadcast" {
+			return p, fmt.Errorf("unknown model %q (want port or broadcast)", m)
+		}
+		p.model = m
+	}
+	if e := q.Get("engine"); e != "" {
+		var eng anoncover.Engine
+		switch e {
+		case "sequential":
+			eng = anoncover.EngineSequential
+		case "parallel":
+			eng = anoncover.EngineParallel
+		case "sharded":
+			eng = anoncover.EngineSharded
+		case "csp":
+			return p, fmt.Errorf("the csp engine is a test oracle and cannot serve requests (no round barrier for deadlines or progress)")
+		default:
+			return p, fmt.Errorf("unknown engine %q", e)
+		}
+		p.engine = append(p.engine, anoncover.WithEngine(eng))
+	}
+	if w := q.Get("workers"); w != "" {
+		n, err := strconv.Atoi(w)
+		if err != nil || n < 0 {
+			return p, fmt.Errorf("bad workers %q", w)
+		}
+		p.engine = append(p.engine, anoncover.WithWorkers(n))
+	}
+	p.budget = s.cfg.DefaultBudget
+	if b := q.Get("budget"); b != "" {
+		n, err := strconv.Atoi(b)
+		if err != nil || n < 0 {
+			return p, fmt.Errorf("bad budget %q", b)
+		}
+		p.budget = n
+	}
+	if s.cfg.MaxBudget > 0 && (p.budget == 0 || p.budget > s.cfg.MaxBudget) {
+		p.budget = s.cfg.MaxBudget
+	}
+	p.verify = q.Get("verify") == "true" || q.Get("verify") == "1"
+	p.earlyExit = q.Get("earlyexit") == "true" || q.Get("earlyexit") == "1"
+	if sc := q.Get("scramble"); sc != "" {
+		n, err := strconv.ParseInt(sc, 10, 64)
+		if err != nil {
+			return p, fmt.Errorf("bad scramble %q", sc)
+		}
+		p.scramble = n
+	}
+	if pr := q.Get("progress"); pr != "" {
+		if pr != "ndjson" && pr != "sse" {
+			return p, fmt.Errorf("unknown progress format %q (want ndjson or sse)", pr)
+		}
+		p.progress = pr
+	}
+	if ev := q.Get("progress_every"); ev != "" {
+		n, err := strconv.Atoi(ev)
+		if err != nil || n < 1 {
+			return p, fmt.Errorf("bad progress_every %q", ev)
+		}
+		p.every = n
+	}
+	if tm := q.Get("timeout_ms"); tm != "" {
+		n, err := strconv.Atoi(tm)
+		if err != nil || n < 0 {
+			return p, fmt.Errorf("bad timeout_ms %q", tm)
+		}
+		p.timeout = time.Duration(n) * time.Millisecond
+	}
+	if s.cfg.Timeout > 0 && (p.timeout == 0 || p.timeout > s.cfg.Timeout) {
+		p.timeout = s.cfg.Timeout
+	}
+	return p, nil
+}
+
+// runContext derives the run context: the client disconnect (request
+// context) plus the effective deadline, both enforced at the round
+// barrier.
+func (p *runParams) runContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if p.timeout > 0 {
+		return context.WithTimeout(r.Context(), p.timeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// options assembles the per-run option list for pinned weights w.
+func (p *runParams) options(w []int64, obs func(anoncover.RoundInfo)) []anoncover.Option {
+	opts := append([]anoncover.Option(nil), p.engine...)
+	opts = append(opts, anoncover.WithWeights(w))
+	if p.budget > 0 {
+		opts = append(opts, anoncover.WithRoundBudget(p.budget))
+	}
+	if p.scramble != 0 {
+		opts = append(opts, anoncover.WithScrambleSeed(p.scramble))
+	}
+	if p.earlyExit {
+		opts = append(opts, anoncover.WithEarlyExit())
+	}
+	if obs != nil {
+		opts = append(opts, anoncover.WithObserver(obs))
+	}
+	return opts
+}
+
+// weightedSolver is the solver surface the snapshot-install prologue
+// needs; anoncover.Solver and anoncover.SetCoverSolver both satisfy it.
+type weightedSolver interface {
+	closer
+	UpdateWeights([]int64) error
+}
+
+// installSnapshot is the shared weight-snapshot bookkeeping of every
+// run request: under the entry's weight lock, install the request's
+// vector as the solver's snapshot when it differs from the current one
+// (counting it as a weight update on cache hits), and short-circuit
+// the no-op install on a fresh compile, whose snapshot already carries
+// exactly the uploaded weights.  Returns the cache label for the
+// response and the weight hash for the memo key.
+func installSnapshot[S weightedSolver](s *Server, e *entry[S], weights []int64, hit bool) (label, whash string, err error) {
+	label = "compile"
+	if hit {
+		label = "hit"
+	}
+	whash = hashWeights(weights)
+	e.wmu.Lock()
+	defer e.wmu.Unlock()
+	if e.weightsKey == "" && !hit {
+		e.weightsKey = whash
+	}
+	if e.weightsKey != whash {
+		if err := e.solver.UpdateWeights(weights); err != nil {
+			return "", "", err
+		}
+		if hit {
+			s.ctrs.WeightUpdates.Add(1)
+			label = "update"
+		}
+		e.weightsKey = whash
+	}
+	return label, whash, nil
+}
+
+// hashWeights returns the canonical hash of a weight vector, the
+// memo/update key companion of the topology fingerprint.
+func hashWeights(w []int64) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, x := range w {
+		binary.LittleEndian.PutUint64(buf[:], uint64(x))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// memoKey is the full result-determining request signature.
+func (p *runParams) memoKey(algo, whash string) string {
+	return strings.Join([]string{
+		algo, p.model, whash,
+		strconv.Itoa(p.budget), strconv.FormatBool(p.verify),
+		strconv.FormatBool(p.earlyExit),
+	}, "|")
+}
+
+// admit runs admission control and reports whether the request may
+// proceed; on refusal the response has already been written.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	if err := s.adm.acquire(r.Context()); err != nil {
+		s.ctrs.Rejected.Add(1)
+		if errors.Is(err, errBusy) {
+			writeError(w, http.StatusServiceUnavailable, "run queue full; retry later")
+		} else {
+			writeError(w, http.StatusServiceUnavailable, "gave up waiting for a run slot: %v", err)
+		}
+		return false
+	}
+	return true
+}
+
+// runStatus maps a run error to an HTTP status.
+func runStatus(err error) int {
+	switch {
+	case errors.Is(err, anoncover.ErrRoundBudget):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// compileStatus maps a cache acquire/lookup error: a request that gave
+// up waiting on another request's compile timed out; anything else is
+// the compile rejecting the instance.
+func compileStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusBadRequest
+}
+
+// coverIndices converts a membership mask to index form for the wire.
+func coverIndices(mask []bool) []int {
+	out := make([]int, 0, len(mask))
+	for i, in := range mask {
+		if in {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// weightsBody is the JSON body of the weight-only endpoints.
+type weightsBody struct {
+	Weights []int64 `json:"weights"`
+}
+
+// readWeightsBody decodes an optional weights-only body; an empty body
+// means "reuse the solver's current snapshot".
+func readWeightsBody(r *http.Request, maxBody int64) ([]int64, error) {
+	data, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBody))
+	if err != nil {
+		return nil, fmt.Errorf("reading body: %w", err)
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return nil, nil
+	}
+	var wb weightsBody
+	if err := json.Unmarshal(data, &wb); err != nil {
+		return nil, fmt.Errorf("bad weights body (want {\"weights\":[...]}): %w", err)
+	}
+	if wb.Weights == nil {
+		return nil, fmt.Errorf("bad weights body: missing \"weights\"")
+	}
+	return wb.Weights, nil
+}
+
+// --- vertex cover ---
+
+// vcResponse is the JSON result of a vertex-cover request.  Cache and
+// ElapsedMS are per-request; everything else is memoizable.
+type vcResponse struct {
+	Fingerprint string  `json:"fingerprint"`
+	Algorithm   string  `json:"algorithm"`
+	N           int     `json:"n"`
+	M           int     `json:"m"`
+	Cover       []int   `json:"cover"`
+	CoverSize   int     `json:"cover_size"`
+	Weight      int64   `json:"weight"`
+	Rounds      int     `json:"rounds"`
+	Messages    int64   `json:"messages"`
+	Bytes       int64   `json:"bytes"`
+	Verified    bool    `json:"verified,omitempty"`
+	Cache       string  `json:"cache"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+}
+
+// handleVertexCover serves a full-instance request: parse, fingerprint,
+// compile or hit the cache, snapshot the weights, run.
+func (s *Server) handleVertexCover(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.adm.release()
+	p, err := s.parseRunParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	g, err := anoncover.ReadGraph(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parsing graph: %v", err)
+		return
+	}
+	ctx, cancel := p.runContext(r)
+	defer cancel()
+	fp := g.Fingerprint()
+	e, hit, err := s.vc.acquire(ctx, fp, func() (*anoncover.Solver, error) {
+		s.ctrs.Compiles.Add(1)
+		return anoncover.Compile(g, s.sessionOpts()...)
+	})
+	if err != nil {
+		writeError(w, compileStatus(err), "compiling solver: %v", err)
+		return
+	}
+	defer s.vc.release(e)
+	if hit {
+		s.ctrs.CacheHits.Add(1)
+	}
+	s.serveVC(w, ctx, p, e, fp, g.Weights(), hit, start)
+}
+
+// handleVertexCoverCached serves a weights-only request against an
+// already cached topology: the snapshot weight-update path, with no
+// instance upload and no recompile.
+func (s *Server) handleVertexCoverCached(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.adm.release()
+	p, err := s.parseRunParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := p.runContext(r)
+	defer cancel()
+	fp := r.PathValue("fp")
+	e, err := s.vc.lookup(ctx, fp)
+	if err != nil {
+		writeError(w, compileStatus(err), "cached solver: %v", err)
+		return
+	}
+	if e == nil {
+		writeError(w, http.StatusNotFound, "no cached solver for fingerprint %s; POST the full instance to /v1/vertexcover", fp)
+		return
+	}
+	defer s.vc.release(e)
+	s.ctrs.CacheHits.Add(1)
+	weights, err := readWeightsBody(r, s.cfg.MaxBody)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if weights == nil {
+		weights = e.solver.Weights()
+	}
+	s.serveVC(w, ctx, p, e, fp, weights, true, start)
+}
+
+// serveVC is the shared run path: weight snapshot bookkeeping, memo,
+// run, verify, respond.
+func (s *Server) serveVC(w http.ResponseWriter, ctx context.Context, p runParams,
+	e *entry[*anoncover.Solver], fp string, weights []int64, hit bool, start time.Time) {
+
+	cacheLabel, whash, err := installSnapshot(s, e, weights, hit)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "updating weights: %v", err)
+		return
+	}
+
+	algo := "vertexcover"
+	if p.model == "broadcast" {
+		algo = "vertexcover-broadcast"
+	}
+	mkey := p.memoKey(algo, whash)
+	if p.progress == "" {
+		if v, ok := e.memo.get(mkey); ok {
+			s.ctrs.MemoHits.Add(1)
+			resp := v.(vcResponse)
+			resp.Cache = "memo"
+			resp.ElapsedMS = msSince(start)
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+
+	stream, obs := newStream(w, p)
+	s.ctrs.Runs.Add(1)
+	var res *anoncover.VertexCoverResult
+	if p.model == "broadcast" {
+		res, err = e.solver.VertexCoverBroadcast(ctx, p.options(weights, obs)...)
+	} else {
+		res, err = e.solver.VertexCover(ctx, p.options(weights, obs)...)
+	}
+	if err != nil {
+		s.ctrs.RunErrors.Add(1)
+		stream.fail(runStatus(err), "run failed: %v", err)
+		return
+	}
+	resp := vcResponse{
+		Fingerprint: fp, Algorithm: algo,
+		N: len(res.Cover), M: len(res.Packing),
+		Cover: coverIndices(res.Cover), Weight: res.Weight,
+		Rounds: res.Rounds, Messages: res.Messages, Bytes: res.Bytes,
+		Cache: cacheLabel,
+	}
+	resp.CoverSize = len(resp.Cover)
+	if p.verify {
+		if verr := res.Verify(); verr != nil {
+			s.ctrs.RunErrors.Add(1)
+			stream.fail(http.StatusInternalServerError, "INVARIANT VIOLATION: %v", verr)
+			return
+		}
+		resp.Verified = true
+	}
+	if p.progress == "" {
+		e.memo.put(mkey, resp)
+	}
+	resp.ElapsedMS = msSince(start)
+	stream.finish(resp)
+}
+
+// --- set cover ---
+
+// scResponse is the JSON result of a set-cover request.
+type scResponse struct {
+	Fingerprint     string  `json:"fingerprint"`
+	Algorithm       string  `json:"algorithm"`
+	Subsets         int     `json:"subsets"`
+	Elements        int     `json:"elements"`
+	Cover           []int   `json:"cover"`
+	CoverSize       int     `json:"cover_size"`
+	Weight          int64   `json:"weight"`
+	Rounds          int     `json:"rounds"`
+	ScheduledRounds int     `json:"scheduled_rounds"`
+	Messages        int64   `json:"messages"`
+	Bytes           int64   `json:"bytes"`
+	Verified        bool    `json:"verified,omitempty"`
+	Cache           string  `json:"cache"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleSetCover(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.adm.release()
+	p, err := s.parseRunParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ins, err := anoncover.ReadSetCover(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parsing instance: %v", err)
+		return
+	}
+	ctx, cancel := p.runContext(r)
+	defer cancel()
+	fp := ins.Fingerprint()
+	e, hit, err := s.sc.acquire(ctx, fp, func() (*anoncover.SetCoverSolver, error) {
+		s.ctrs.Compiles.Add(1)
+		return anoncover.CompileSetCover(ins, s.sessionOpts()...)
+	})
+	if err != nil {
+		writeError(w, compileStatus(err), "compiling solver: %v", err)
+		return
+	}
+	defer s.sc.release(e)
+	if hit {
+		s.ctrs.CacheHits.Add(1)
+	}
+	s.serveSC(w, ctx, p, e, fp, ins.Weights(), hit, start)
+}
+
+func (s *Server) handleSetCoverCached(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.adm.release()
+	p, err := s.parseRunParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := p.runContext(r)
+	defer cancel()
+	fp := r.PathValue("fp")
+	e, err := s.sc.lookup(ctx, fp)
+	if err != nil {
+		writeError(w, compileStatus(err), "cached solver: %v", err)
+		return
+	}
+	if e == nil {
+		writeError(w, http.StatusNotFound, "no cached solver for fingerprint %s; POST the full instance to /v1/setcover", fp)
+		return
+	}
+	defer s.sc.release(e)
+	s.ctrs.CacheHits.Add(1)
+	weights, err := readWeightsBody(r, s.cfg.MaxBody)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if weights == nil {
+		weights = e.solver.Weights()
+	}
+	s.serveSC(w, ctx, p, e, fp, weights, true, start)
+}
+
+func (s *Server) serveSC(w http.ResponseWriter, ctx context.Context, p runParams,
+	e *entry[*anoncover.SetCoverSolver], fp string, weights []int64, hit bool, start time.Time) {
+
+	cacheLabel, whash, err := installSnapshot(s, e, weights, hit)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "updating weights: %v", err)
+		return
+	}
+
+	mkey := p.memoKey("setcover", whash)
+	if p.progress == "" {
+		if v, ok := e.memo.get(mkey); ok {
+			s.ctrs.MemoHits.Add(1)
+			resp := v.(scResponse)
+			resp.Cache = "memo"
+			resp.ElapsedMS = msSince(start)
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+
+	stream, obs := newStream(w, p)
+	s.ctrs.Runs.Add(1)
+	res, err := e.solver.SetCover(ctx, p.options(weights, obs)...)
+	if err != nil {
+		s.ctrs.RunErrors.Add(1)
+		stream.fail(runStatus(err), "run failed: %v", err)
+		return
+	}
+	resp := scResponse{
+		Fingerprint: fp, Algorithm: "setcover",
+		Subsets: len(res.Cover), Elements: len(res.Packing),
+		Cover: coverIndices(res.Cover), Weight: res.Weight,
+		Rounds: res.Rounds, ScheduledRounds: res.ScheduledRounds,
+		Messages: res.Messages, Bytes: res.Bytes,
+		Cache: cacheLabel,
+	}
+	resp.CoverSize = len(resp.Cover)
+	if p.verify {
+		if verr := res.Verify(); verr != nil {
+			s.ctrs.RunErrors.Add(1)
+			stream.fail(http.StatusInternalServerError, "INVARIANT VIOLATION: %v", verr)
+			return
+		}
+		resp.Verified = true
+	}
+	if p.progress == "" {
+		e.memo.put(mkey, resp)
+	}
+	resp.ElapsedMS = msSince(start)
+	stream.finish(resp)
+}
+
+// sessionOpts are the compile-time session defaults.
+func (s *Server) sessionOpts() []anoncover.Option {
+	opts := []anoncover.Option{anoncover.WithEngine(s.cfg.Engine)}
+	if s.cfg.Workers > 0 {
+		opts = append(opts, anoncover.WithWorkers(s.cfg.Workers))
+	}
+	return opts
+}
+
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start).Microseconds()) / 1000
+}

@@ -1,0 +1,194 @@
+// Package serve turns the anoncover solver sessions into an HTTP
+// service: the serving subsystem the library's compile-once/run-many
+// API was built for.
+//
+// The service accepts vertex-cover graphs and set-cover instances in
+// the repo's text formats, compiles them into solver sessions, and
+// serves algorithm runs against them.  Three layers make it a service
+// rather than an RPC wrapper:
+//
+//   - A solver cache keyed by the canonical topology fingerprint
+//     (structure only — weights excluded), with LRU eviction,
+//     single-flight compilation, and refcounted Solver.Close on
+//     eviction.  Every weight assignment over one topology shares one
+//     compiled solver.
+//   - A snapshot weight-update path: a request whose topology is
+//     cached but whose weights differ installs a new immutable weight
+//     snapshot (Solver.UpdateWeights) — no recompile of the CSR
+//     topology, shard partition, wire tables or pools — and clients
+//     holding the fingerprint can POST weights alone, skipping the
+//     topology upload entirely.  Identical (topology, weights,
+//     options) requests are served from a small per-solver result
+//     memo: the algorithms are deterministic, so the memoized answer
+//     is bit-identical to a re-run.
+//   - Admission control: a bounded run queue (reject-beyond-depth),
+//     per-request round budgets clamped to a server maximum, request
+//     deadlines mapped to the round barrier through the run context,
+//     and per-round progress streaming (ndjson or SSE) built on the
+//     session observer.
+//
+// See the README's "Serving" section for the endpoint reference.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"anoncover"
+)
+
+// Config tunes the service; the zero value serves with sane defaults.
+type Config struct {
+	// CacheSize bounds the compiled solvers kept per kind
+	// (vertex-cover and set-cover each get their own cache).
+	// Default 16.
+	CacheSize int
+	// MemoSize bounds the memoized results kept per cached solver.
+	// 0 uses the default (8); negative disables result memoization.
+	MemoSize int
+	// MaxConcurrent bounds simultaneously executing runs; default
+	// GOMAXPROCS.
+	MaxConcurrent int
+	// QueueDepth bounds requests waiting for a run slot beyond
+	// MaxConcurrent; further requests get 503.  Default
+	// 4*MaxConcurrent.
+	QueueDepth int
+	// DefaultBudget is the round budget applied to requests that do
+	// not pass one; 0 means unlimited.
+	DefaultBudget int
+	// MaxBudget caps the budget a request may ask for (and the
+	// unlimited default); 0 means uncapped.
+	MaxBudget int
+	// MaxBody caps request body bytes; default 64 MiB.
+	MaxBody int64
+	// Timeout is the per-request wall clock deadline, enforced at the
+	// round barrier through the run context; 0 means none.
+	Timeout time.Duration
+	// Engine and Workers are the session defaults solvers are compiled
+	// with.  Per-request engine overrides are run options and do not
+	// recompile.  Default EngineSharded with GOMAXPROCS workers.
+	Engine  anoncover.Engine
+	Workers int
+	// engineSet distinguishes an explicit EngineSequential (0) from an
+	// unset field; WithEngineDefault sets it.
+	engineSet bool
+}
+
+// WithEngineDefault returns a copy of cfg with an explicit default
+// engine (needed to select EngineSequential, whose value is the zero
+// Engine).
+func (c Config) WithEngineDefault(e anoncover.Engine) Config {
+	c.Engine = e
+	c.engineSet = true
+	return c
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize <= 0 {
+		c.CacheSize = 16
+	}
+	switch {
+	case c.MemoSize == 0:
+		c.MemoSize = 8
+	case c.MemoSize < 0:
+		c.MemoSize = 0
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxConcurrent
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 64 << 20
+	}
+	if !c.engineSet && c.Engine == anoncover.EngineSequential {
+		c.Engine = anoncover.EngineSharded
+	}
+	return c
+}
+
+// Server is the HTTP solver service.  Create with New, mount Handler,
+// Close when done (closes every cached solver).
+type Server struct {
+	cfg  Config
+	vc   *cache[*anoncover.Solver]
+	sc   *cache[*anoncover.SetCoverSolver]
+	adm  *admission
+	ctrs counters
+	mux  *http.ServeMux
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		adm: newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
+	}
+	s.vc = newCache[*anoncover.Solver](cfg.CacheSize, cfg.MemoSize, &s.ctrs)
+	s.sc = newCache[*anoncover.SetCoverSolver](cfg.CacheSize, cfg.MemoSize, &s.ctrs)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/vertexcover", s.handleVertexCover)
+	mux.HandleFunc("POST /v1/vertexcover/{fp}", s.handleVertexCoverCached)
+	mux.HandleFunc("POST /v1/setcover", s.handleSetCover)
+	mux.HandleFunc("POST /v1/setcover/{fp}", s.handleSetCoverCached)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close evicts and closes every cached solver.  In-flight requests
+// finish on the solvers they hold; their solvers close on release.
+func (s *Server) Close() error {
+	s.vc.closeAll()
+	s.sc.closeAll()
+	return nil
+}
+
+// Stats snapshots the service counters and gauges.
+func (s *Server) Stats() Stats {
+	st := s.ctrs.snapshot()
+	st.VertexCoverSolvers = s.vc.len()
+	st.SetCoverSolvers = s.sc.len()
+	st.InFlight = s.adm.inFlight()
+	st.Queued = s.adm.queued()
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// httpError is the JSON error envelope.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, httpError{Error: fmt.Sprintf(format, args...)})
+}

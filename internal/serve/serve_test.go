@@ -1,0 +1,481 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"anoncover"
+)
+
+// gridText renders a grid graph with the given weights in the wire
+// format.
+func gridText(t *testing.T, r, c int, weights []int64) (string, *anoncover.Graph) {
+	t.Helper()
+	g := anoncover.GridGraph(r, c)
+	if weights != nil {
+		for v, w := range weights {
+			g.SetWeight(v, w)
+		}
+	}
+	var buf bytes.Buffer
+	if err := anoncover.WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), g
+}
+
+func testWeights(n int, seed int64) []int64 {
+	r := rand.New(rand.NewSource(seed))
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = 1 + r.Int63n(9)
+	}
+	return w
+}
+
+// post issues one request.  Transport failures are reported with
+// t.Error (not Fatal) and surface as code 0: several tests call this
+// from worker goroutines, where FailNow is not allowed.
+func post(t *testing.T, client *http.Client, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := client.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Error(err)
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Error(err)
+		return 0, nil
+	}
+	return resp.StatusCode, data
+}
+
+func decodeVC(t *testing.T, data []byte) vcResponse {
+	t.Helper()
+	var r vcResponse
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("decoding %s: %v", data, err)
+	}
+	return r
+}
+
+func serverStats(t *testing.T, client *http.Client, base string) Stats {
+	t.Helper()
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestServeVertexCoverFlow walks the whole serving story on one
+// topology: cold compile, memo hit, weight update via full repost,
+// weight-only requests by fingerprint, snapshot reuse with an empty
+// body — asserting the /v1/stats counters prove no recompile happened.
+func TestServeVertexCoverFlow(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := ts.Client()
+
+	w1 := testWeights(30, 1)
+	body1, g := gridText(t, 5, 6, w1)
+	ref1 := anoncover.VertexCover(cloneWeighted(g, w1))
+
+	// Cold: compile + run + verify.
+	code, data := post(t, cl, ts.URL+"/v1/vertexcover?verify=true", body1)
+	if code != http.StatusOK {
+		t.Fatalf("cold request: %d %s", code, data)
+	}
+	r1 := decodeVC(t, data)
+	if r1.Cache != "compile" || !r1.Verified || r1.Weight != ref1.Weight {
+		t.Fatalf("cold response: %+v (want compile, verified, weight %d)", r1, ref1.Weight)
+	}
+	if r1.Fingerprint != g.Fingerprint() {
+		t.Fatalf("fingerprint mismatch: %s", r1.Fingerprint)
+	}
+
+	// Identical request: served from the memo.
+	code, data = post(t, cl, ts.URL+"/v1/vertexcover?verify=true", body1)
+	r2 := decodeVC(t, data)
+	if code != http.StatusOK || r2.Cache != "memo" || r2.Weight != ref1.Weight {
+		t.Fatalf("repeat response: %d %+v", code, r2)
+	}
+
+	// Same topology, new weights: snapshot update, no recompile.
+	w2 := testWeights(30, 2)
+	body2, _ := gridText(t, 5, 6, w2)
+	ref2 := anoncover.VertexCover(cloneWeighted(g, w2))
+	code, data = post(t, cl, ts.URL+"/v1/vertexcover?verify=true", body2)
+	r3 := decodeVC(t, data)
+	if code != http.StatusOK || r3.Cache != "update" || r3.Weight != ref2.Weight {
+		t.Fatalf("weight-update response: %d %+v (want update, weight %d)", code, r3, ref2.Weight)
+	}
+
+	// Weight-only request by fingerprint: no topology upload at all.
+	w3 := testWeights(30, 3)
+	ref3 := anoncover.VertexCover(cloneWeighted(g, w3))
+	wbody, _ := json.Marshal(weightsBody{Weights: w3})
+	code, data = post(t, cl, ts.URL+"/v1/vertexcover/"+r1.Fingerprint+"?verify=true", string(wbody))
+	r4 := decodeVC(t, data)
+	if code != http.StatusOK || r4.Cache != "update" || r4.Weight != ref3.Weight {
+		t.Fatalf("weights-only response: %d %+v (want update, weight %d)", code, r4, ref3.Weight)
+	}
+
+	// Empty body: rerun on the current snapshot (memo hit).
+	code, data = post(t, cl, ts.URL+"/v1/vertexcover/"+r1.Fingerprint+"?verify=true", "")
+	r5 := decodeVC(t, data)
+	if code != http.StatusOK || r5.Cache != "memo" || r5.Weight != ref3.Weight {
+		t.Fatalf("snapshot-reuse response: %d %+v", code, r5)
+	}
+
+	st := serverStats(t, cl, ts.URL)
+	if st.Compiles != 1 {
+		t.Errorf("compiles = %d, want exactly 1 (weight updates must not recompile)", st.Compiles)
+	}
+	if st.WeightUpdates < 2 {
+		t.Errorf("weight_updates = %d, want >= 2", st.WeightUpdates)
+	}
+	if st.MemoHits < 2 {
+		t.Errorf("memo_hits = %d, want >= 2", st.MemoHits)
+	}
+	if st.VertexCoverSolvers != 1 {
+		t.Errorf("vertexcover_solvers = %d, want 1", st.VertexCoverSolvers)
+	}
+}
+
+// cloneWeighted rebuilds an independent grid graph carrying w.
+func cloneWeighted(g *anoncover.Graph, w []int64) *anoncover.Graph {
+	var buf bytes.Buffer
+	anoncover.WriteGraph(&buf, g)
+	fresh, err := anoncover.ReadGraph(&buf)
+	if err != nil {
+		panic(err)
+	}
+	for v, x := range w {
+		fresh.SetWeight(v, x)
+	}
+	return fresh
+}
+
+// TestServeSetCover: the bipartite path with verification and a
+// weight-only rerun.
+func TestServeSetCover(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := ts.Client()
+
+	ins := anoncover.RandomSetCover(10, 30, 3, 6, 9, 5)
+	var buf bytes.Buffer
+	if err := anoncover.WriteSetCover(&buf, ins); err != nil {
+		t.Fatal(err)
+	}
+	code, data := post(t, cl, ts.URL+"/v1/setcover?verify=true", buf.String())
+	if code != http.StatusOK {
+		t.Fatalf("setcover: %d %s", code, data)
+	}
+	var r scResponse
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatal(err)
+	}
+	ref := anoncover.SetCover(ins)
+	if r.Cache != "compile" || !r.Verified || r.Weight != ref.Weight || r.ScheduledRounds != ref.ScheduledRounds {
+		t.Fatalf("setcover response: %+v (want weight %d)", r, ref.Weight)
+	}
+
+	// Weight-only rerun.
+	w := testWeights(10, 9)
+	for i, x := range w {
+		ins.SetWeight(i, x)
+	}
+	ref2 := anoncover.SetCover(ins)
+	wbody, _ := json.Marshal(weightsBody{Weights: w})
+	code, data = post(t, cl, ts.URL+"/v1/setcover/"+r.Fingerprint+"?verify=true", string(wbody))
+	var r2 scResponse
+	if err := json.Unmarshal(data, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusOK || r2.Cache != "update" || r2.Weight != ref2.Weight {
+		t.Fatalf("setcover weights-only: %d %+v (want weight %d)", code, r2, ref2.Weight)
+	}
+	if st := serverStats(t, cl, ts.URL); st.Compiles != 1 || st.SetCoverSolvers != 1 {
+		t.Errorf("stats after setcover flow: %+v", st)
+	}
+}
+
+// TestServeBroadcastModel: model=broadcast runs the Section 5
+// algorithm and reports it as such.
+func TestServeBroadcastModel(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body, g := gridText(t, 3, 4, testWeights(12, 4))
+	ref := anoncover.VertexCoverBroadcast(cloneWeighted(g, testWeights(12, 4)))
+	code, data := post(t, ts.Client(), ts.URL+"/v1/vertexcover?model=broadcast&verify=true", body)
+	r := decodeVC(t, data)
+	if code != http.StatusOK || r.Algorithm != "vertexcover-broadcast" || r.Weight != ref.Weight || r.Rounds != ref.Rounds {
+		t.Fatalf("broadcast response: %d %+v (want weight %d rounds %d)", code, r, ref.Weight, ref.Rounds)
+	}
+}
+
+// TestServeValidation: malformed requests, uncached fingerprints,
+// rejected engines and exhausted budgets map to the right statuses.
+func TestServeValidation(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := ts.Client()
+	body, _ := gridText(t, 4, 4, nil)
+
+	cases := []struct {
+		name, url, body string
+		want            int
+	}{
+		{"bad graph", "/v1/vertexcover", "graph nope", http.StatusBadRequest},
+		{"unknown engine", "/v1/vertexcover?engine=warp", body, http.StatusBadRequest},
+		{"csp rejected", "/v1/vertexcover?engine=csp", body, http.StatusBadRequest},
+		{"bad model", "/v1/vertexcover?model=quantum", body, http.StatusBadRequest},
+		{"uncached fingerprint", "/v1/vertexcover/deadbeef", `{"weights":[1]}`, http.StatusNotFound},
+		{"budget too small", "/v1/vertexcover?budget=2", body, http.StatusUnprocessableEntity},
+		{"bad weights body", "/v1/setcover/deadbeef", `{"weights":[1]}`, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		code, data := post(t, cl, ts.URL+tc.url, tc.body)
+		if code != tc.want {
+			t.Errorf("%s: status %d (want %d): %s", tc.name, code, tc.want, data)
+		}
+	}
+
+	// Weight vector of the wrong shape against a cached topology.
+	code, data := post(t, cl, ts.URL+"/v1/vertexcover", body)
+	r := decodeVC(t, data)
+	if code != http.StatusOK {
+		t.Fatalf("seed request: %d %s", code, data)
+	}
+	code, data = post(t, cl, ts.URL+"/v1/vertexcover/"+r.Fingerprint, `{"weights":[1,2]}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("short weight vector: status %d: %s", code, data)
+	}
+}
+
+// TestServeProgress: ndjson and SSE streams carry monotone round
+// records and end with the result.
+func TestServeProgress(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	body, _ := gridText(t, 4, 4, testWeights(16, 8))
+
+	t.Run("ndjson", func(t *testing.T) {
+		resp, err := ts.Client().Post(ts.URL+"/v1/vertexcover?progress=ndjson", "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Fatalf("content type %q", ct)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		rounds, sawResult := 0, false
+		last := 0
+		for sc.Scan() {
+			line := sc.Bytes()
+			var rec roundRecord
+			if err := json.Unmarshal(line, &rec); err == nil && rec.Total > 0 {
+				if rec.Round <= last {
+					t.Fatalf("rounds not monotone: %d after %d", rec.Round, last)
+				}
+				last = rec.Round
+				rounds++
+				continue
+			}
+			var fin struct {
+				Result *vcResponse `json:"result"`
+			}
+			if err := json.Unmarshal(line, &fin); err == nil && fin.Result != nil {
+				sawResult = true
+				if fin.Result.Rounds != last {
+					t.Fatalf("final rounds %d != last streamed %d", fin.Result.Rounds, last)
+				}
+			}
+		}
+		if rounds == 0 || !sawResult {
+			t.Fatalf("streamed %d rounds, result=%v", rounds, sawResult)
+		}
+	})
+
+	t.Run("sse", func(t *testing.T) {
+		resp, err := ts.Client().Post(ts.URL+"/v1/vertexcover?progress=sse&progress_every=5", "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+			t.Fatalf("content type %q", ct)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		text := string(data)
+		if !strings.Contains(text, "event: round") || !strings.Contains(text, "event: result") {
+			t.Fatalf("sse stream missing events:\n%s", text)
+		}
+	})
+}
+
+// TestServeSingleFlight: concurrent cold requests for one topology
+// compile exactly once.
+func TestServeSingleFlight(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	body, _ := gridText(t, 5, 5, testWeights(25, 11))
+
+	const clients = 8
+	var wg sync.WaitGroup
+	codes := make([]int, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, _ := post(t, ts.Client(), ts.URL+"/v1/vertexcover", body)
+			codes[i] = code
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("client %d: status %d", i, code)
+		}
+	}
+	if st := serverStats(t, ts.Client(), ts.URL); st.Compiles != 1 {
+		t.Errorf("compiles = %d, want 1 (single-flight)", st.Compiles)
+	}
+}
+
+// TestServeEviction: the LRU keeps CacheSize solvers, closing evicted
+// ones, and an evicted topology recompiles on return.
+func TestServeEviction(t *testing.T) {
+	srv := New(Config{CacheSize: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := ts.Client()
+
+	bodyA, _ := gridText(t, 4, 5, nil)
+	bodyB, _ := gridText(t, 5, 4, nil)
+	for _, b := range []string{bodyA, bodyB, bodyA} {
+		if code, data := post(t, cl, ts.URL+"/v1/vertexcover", b); code != http.StatusOK {
+			t.Fatalf("request: %d %s", code, data)
+		}
+	}
+	st := serverStats(t, cl, ts.URL)
+	if st.Compiles != 3 || st.Evictions != 2 || st.VertexCoverSolvers != 1 {
+		t.Errorf("stats after eviction churn: %+v (want 3 compiles, 2 evictions, 1 solver)", st)
+	}
+}
+
+// TestServeAdmission: with one slot and no queue, a burst gets load
+// shedding (503) while at least one request is served; the counters
+// account for every rejection.
+func TestServeAdmission(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 1, QueueDepth: 0, MemoSize: -1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body, _ := gridText(t, 20, 20, testWeights(400, 13))
+	const clients = 6
+	var wg sync.WaitGroup
+	var ok, busy int
+	var mu sync.Mutex
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, _ := post(t, ts.Client(), ts.URL+"/v1/vertexcover", body)
+			mu.Lock()
+			defer mu.Unlock()
+			switch code {
+			case http.StatusOK:
+				ok++
+			case http.StatusServiceUnavailable:
+				busy++
+			default:
+				t.Errorf("unexpected status %d", code)
+			}
+		}()
+	}
+	wg.Wait()
+	if ok == 0 {
+		t.Error("no request served")
+	}
+	if st := serverStats(t, ts.Client(), ts.URL); int(st.Rejected) != busy {
+		t.Errorf("rejected counter %d != observed 503s %d", st.Rejected, busy)
+	}
+}
+
+// TestAdmissionUnit pins the queue arithmetic without HTTP.
+func TestAdmissionUnit(t *testing.T) {
+	a := newAdmission(1, 1)
+	ctx := t.Context()
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- a.acquire(ctx) }() // waits in the queue
+	for a.queued() != 2 {
+		runtime.Gosched()
+	}
+	if err := a.acquire(ctx); err != errBusy {
+		t.Fatalf("third acquire: %v, want errBusy", err)
+	}
+	a.release()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	a.release()
+	if a.inFlight() != 0 || a.queued() != 0 {
+		t.Fatalf("leaked slots: inflight %d queued %d", a.inFlight(), a.queued())
+	}
+}
+
+// TestServeTimeout: a request deadline is enforced at the round
+// barrier and reported as a gateway timeout.
+func TestServeTimeout(t *testing.T) {
+	srv := New(Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	body, _ := gridText(t, 30, 30, testWeights(900, 17))
+	code, data := post(t, ts.Client(), ts.URL+"/v1/vertexcover?timeout_ms=1", body)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("timeout request: %d %s", code, data)
+	}
+	var e httpError
+	if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+		t.Fatalf("error envelope: %s", data)
+	}
+}

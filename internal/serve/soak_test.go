@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"anoncover"
+)
+
+// TestServeCacheSoak is the serving half of the concurrency soak (the
+// solver half lives in the root package): with a cache smaller than
+// the topology working set, concurrent clients hammer rotating
+// topologies × rotating weight vectors — forcing compiles, cache hits,
+// weight-snapshot updates, memo hits, LRU evictions and refcounted
+// Solver.Close to interleave — while every 200 response is checked
+// against the bit-exact fresh one-shot for its (topology, weights)
+// pair.  Run under -race by CI's race step.
+func TestServeCacheSoak(t *testing.T) {
+	srv := New(Config{CacheSize: 2, MaxConcurrent: 4, QueueDepth: 64})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	cl := ts.Client()
+
+	// 3 topologies × 3 weight vectors, all references precomputed.
+	type scenario struct {
+		body   string // full instance body
+		fp     string
+		wbody  []string // weights-only bodies per vector
+		bodies []string // full bodies per vector
+		weight []int64  // expected cover weight per vector
+	}
+	dims := [][2]int{{4, 5}, {5, 5}, {3, 7}}
+	scens := make([]scenario, len(dims))
+	for i, d := range dims {
+		g := anoncover.GridGraph(d[0], d[1])
+		var sc scenario
+		sc.fp = g.Fingerprint()
+		for vec := 0; vec < 3; vec++ {
+			w := testWeights(g.N(), int64(10*i+vec))
+			for v, x := range w {
+				g.SetWeight(v, x)
+			}
+			var buf bytes.Buffer
+			if err := anoncover.WriteGraph(&buf, g); err != nil {
+				t.Fatal(err)
+			}
+			sc.bodies = append(sc.bodies, buf.String())
+			wb, _ := json.Marshal(weightsBody{Weights: w})
+			sc.wbody = append(sc.wbody, string(wb))
+			sc.weight = append(sc.weight, anoncover.VertexCover(g).Weight)
+		}
+		scens[i] = sc
+	}
+
+	iters := 8
+	if testing.Short() {
+		iters = 3
+	}
+	var wg sync.WaitGroup
+	for worker := 0; worker < 6; worker++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				si := (worker + it) % len(scens)
+				vec := (worker * it) % 3
+				sc := scens[si]
+				var code int
+				var data []byte
+				if worker%2 == 0 {
+					// Full instance upload (compile or hit+update).
+					code, data = post(t, cl, ts.URL+"/v1/vertexcover?verify=true", sc.bodies[vec])
+				} else {
+					// Weights-only; 404 (evicted) falls back to the full body.
+					code, data = post(t, cl, ts.URL+"/v1/vertexcover/"+sc.fp+"?verify=true", sc.wbody[vec])
+					if code == http.StatusNotFound {
+						code, data = post(t, cl, ts.URL+"/v1/vertexcover?verify=true", sc.bodies[vec])
+					}
+				}
+				if code != http.StatusOK {
+					t.Errorf("worker %d it %d: status %d: %s", worker, it, code, data)
+					return
+				}
+				var r vcResponse
+				if err := json.Unmarshal(data, &r); err != nil {
+					t.Errorf("worker %d: %v", worker, err)
+					return
+				}
+				if r.Weight != sc.weight[vec] {
+					t.Errorf("worker %d it %d: weight %d != fresh one-shot %d (topology %d vector %d, cache=%s)",
+						worker, it, r.Weight, sc.weight[vec], si, vec, r.Cache)
+					return
+				}
+				if !r.Verified {
+					t.Errorf("worker %d it %d: response not verified", worker, it)
+					return
+				}
+			}
+		}(worker)
+	}
+	wg.Wait()
+
+	st := serverStats(t, cl, ts.URL)
+	if st.Evictions == 0 {
+		t.Error("soak never evicted: cache churn not exercised")
+	}
+	if st.VertexCoverSolvers > 2 {
+		t.Errorf("cache overflow persisted: %d solvers cached (capacity 2)", st.VertexCoverSolvers)
+	}
+	if st.RunErrors != 0 {
+		t.Errorf("run errors during soak: %d", st.RunErrors)
+	}
+}

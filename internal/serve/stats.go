@@ -1,0 +1,50 @@
+package serve
+
+import "sync/atomic"
+
+// counters are the service's monotone event counts.  Every field is
+// updated lock-free on the request path; Stats snapshots them for the
+// /v1/stats endpoint, whose consumers (the CI smoke, the bench
+// harness, operators) use them to observe cache behaviour from the
+// outside — most importantly that a weight-update rerun did NOT
+// recompile (Compiles stays flat while WeightUpdates moves).
+type counters struct {
+	Compiles      atomic.Int64 // solver compilations (cache misses served by a fresh Compile)
+	CacheHits     atomic.Int64 // requests served by an already compiled solver
+	WeightUpdates atomic.Int64 // snapshot installs on a cached solver (no recompile)
+	MemoHits      atomic.Int64 // requests served from a solver's result memo
+	Evictions     atomic.Int64 // solvers evicted from the LRU cache
+	Runs          atomic.Int64 // algorithm runs executed
+	RunErrors     atomic.Int64 // runs that returned an error (budget, cancellation, bounds)
+	Rejected      atomic.Int64 // requests refused by admission control (queue full)
+}
+
+// Stats is the JSON shape of /v1/stats.
+type Stats struct {
+	Compiles      int64 `json:"compiles"`
+	CacheHits     int64 `json:"cache_hits"`
+	WeightUpdates int64 `json:"weight_updates"`
+	MemoHits      int64 `json:"memo_hits"`
+	Evictions     int64 `json:"evictions"`
+	Runs          int64 `json:"runs"`
+	RunErrors     int64 `json:"run_errors"`
+	Rejected      int64 `json:"rejected"`
+
+	VertexCoverSolvers int `json:"vertexcover_solvers"` // cached vertex-cover solvers
+	SetCoverSolvers    int `json:"setcover_solvers"`    // cached set-cover solvers
+	InFlight           int `json:"in_flight"`           // requests holding a run slot
+	Queued             int `json:"queued"`              // requests admitted (running or waiting)
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Compiles:      c.Compiles.Load(),
+		CacheHits:     c.CacheHits.Load(),
+		WeightUpdates: c.WeightUpdates.Load(),
+		MemoHits:      c.MemoHits.Load(),
+		Evictions:     c.Evictions.Load(),
+		Runs:          c.Runs.Load(),
+		RunErrors:     c.RunErrors.Load(),
+		Rejected:      c.Rejected.Load(),
+	}
+}

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"anoncover"
+)
+
+// stream abstracts the three response modes of a run request: plain
+// JSON, ndjson progress lines, or SSE events.  The progress modes are
+// built on the session observer (anoncover.WithObserver): the observer
+// runs on the goroutine driving the run, so it writes and flushes
+// round records directly — per-request RoundInfo streaming with no
+// extra goroutine or channel.
+type stream struct {
+	w       http.ResponseWriter
+	mode    string // "", "ndjson", "sse"
+	every   int
+	started bool // response status has been written
+}
+
+// roundRecord is the wire shape of one streamed round.
+type roundRecord struct {
+	Round    int   `json:"round"`
+	Total    int   `json:"total"`
+	Messages int64 `json:"messages"`
+	Bytes    int64 `json:"bytes"`
+}
+
+// newStream builds the response stream and, for the progress modes,
+// the observer to run under.
+func newStream(w http.ResponseWriter, p runParams) (*stream, func(anoncover.RoundInfo)) {
+	st := &stream{w: w, mode: p.progress, every: p.every}
+	if st.mode == "" {
+		return st, nil
+	}
+	return st, func(ri anoncover.RoundInfo) {
+		if ri.Round%st.every != 0 && ri.Round != ri.Total {
+			return
+		}
+		st.emit("round", roundRecord{
+			Round: ri.Round, Total: ri.Total,
+			Messages: ri.Messages, Bytes: ri.Bytes,
+		})
+	}
+}
+
+// begin writes the streaming headers once, before the first record.
+func (st *stream) begin() {
+	if st.started {
+		return
+	}
+	st.started = true
+	switch st.mode {
+	case "ndjson":
+		st.w.Header().Set("Content-Type", "application/x-ndjson")
+	case "sse":
+		st.w.Header().Set("Content-Type", "text/event-stream")
+		st.w.Header().Set("Cache-Control", "no-cache")
+	}
+	st.w.Header().Set("X-Accel-Buffering", "no") // proxies must not buffer progress
+	st.w.WriteHeader(http.StatusOK)
+}
+
+// emit writes one record in the stream's framing and flushes it out.
+func (st *stream) emit(event string, v any) {
+	st.begin()
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	switch st.mode {
+	case "sse":
+		fmt.Fprintf(st.w, "event: %s\ndata: %s\n\n", event, data)
+	default: // ndjson wraps non-round records under their event name
+		if event == "round" {
+			st.w.Write(append(data, '\n'))
+		} else {
+			fmt.Fprintf(st.w, "{%q:%s}\n", event, data)
+		}
+	}
+	if f, ok := st.w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// finish delivers the final result: the whole response in plain mode,
+// a terminal "result" record in the progress modes.
+func (st *stream) finish(resp any) {
+	if st.mode == "" {
+		writeJSON(st.w, http.StatusOK, resp)
+		return
+	}
+	st.emit("result", resp)
+}
+
+// fail reports an error: a regular HTTP error before any streaming
+// output, a terminal "error" record once the stream has started (the
+// status line is already on the wire).
+func (st *stream) fail(status int, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if st.mode == "" || !st.started {
+		writeError(st.w, status, "%s", msg)
+		return
+	}
+	st.emit("error", httpError{Error: msg})
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -455,6 +456,16 @@ func (r *runner) runPhases(rounds, workers int, body func(w, phase int), counts 
 	ctx := r.opt.Context
 	budget := r.opt.RoundBudget
 	observer := r.opt.Observer
+	// A context deadline is checked against the wall clock directly:
+	// ctx.Err() flips only when the runtime's timer goroutine fires the
+	// cancellation, which a busy single-CPU process can starve for
+	// milliseconds past the deadline — the barrier is the contract
+	// point, so it must not serve rounds the deadline no longer covers.
+	var deadline time.Time
+	var hasDeadline bool
+	if ctx != nil {
+		deadline, hasDeadline = ctx.Deadline()
+	}
 	var ms runtime.MemStats
 	if trace {
 		stats.RoundNanos = make([]int64, 0, rounds)
@@ -464,6 +475,10 @@ func (r *runner) runPhases(rounds, workers int, body func(w, phase int), counts 
 		if ctx != nil {
 			if cerr := ctx.Err(); cerr != nil {
 				err = cerr
+				break
+			}
+			if hasDeadline && !time.Now().Before(deadline) {
+				err = context.DeadlineExceeded
 				break
 			}
 		}

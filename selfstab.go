@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"anoncover/internal/core/edgepack"
+	"anoncover/internal/graph"
 	"anoncover/internal/rational"
 	"anoncover/internal/selfstab"
 	"anoncover/internal/sim"
@@ -16,7 +17,7 @@ import (
 // from the neighbours' tables, and any transient state corruption heals
 // within T+1 steps, where T is the algorithm's round count.
 type SelfStabVertexCover struct {
-	g   *Graph
+	g   *graph.G
 	sys *selfstab.System
 }
 
@@ -24,31 +25,38 @@ type SelfStabVertexCover struct {
 // initial state is arbitrary (all-zero tables); call Step at least
 // Rounds()+1 times to reach a correct output.
 func NewSelfStabVertexCover(g *Graph) *SelfStabVertexCover {
-	return newSelfStabVC(g, sim.GraphParams(g.g))
+	return newSelfStabVC(g.g, sim.GraphParams(g.g))
 }
 
 // SelfStabVertexCover returns the self-stabilising transformation over
 // the solver's graph, honouring the session's declared Δ/W bounds: the
 // replayed schedule — and with it the stabilisation time T+1 — follows
 // the compiled parameters, exactly like the solver's engine runs.  Like
-// every run on the Solver, it errors if the graph was mutated after
-// Compile (the compiled bounds could silently undercut the new maxima).
+// every run on the Solver, it errors if the graph structure was mutated
+// after Compile (the compiled bounds could silently undercut the new
+// maxima); weight mutations are absorbed through the solver's current
+// weight snapshot, which the replayed system is built on.
 func (s *Solver) SelfStabVertexCover() (*SelfStabVertexCover, error) {
-	if _, err := s.runConfig(nil); err != nil {
+	c, err := s.runConfig(nil)
+	if err != nil {
 		return nil, err
 	}
-	params := sim.GraphParams(s.g.g)
+	snap, err := s.snapshot(&c)
+	if err != nil {
+		return nil, err
+	}
+	params := sim.GraphParams(snap.g)
 	if s.cfg.delta != 0 {
 		params.Delta = s.cfg.delta
 	}
 	if s.cfg.maxW != 0 {
 		params.W = s.cfg.maxW
 	}
-	return newSelfStabVC(s.g, params), nil
+	return newSelfStabVC(snap.g, params), nil
 }
 
-func newSelfStabVC(g *Graph, params sim.Params) *SelfStabVertexCover {
-	envs := sim.GraphEnvs(g.g, params)
+func newSelfStabVC(g *graph.G, params sim.Params) *SelfStabVertexCover {
+	envs := sim.GraphEnvs(g, params)
 	factories := make([]selfstab.Factory, g.N())
 	for v := range factories {
 		env := envs[v]
@@ -56,7 +64,7 @@ func newSelfStabVC(g *Graph, params sim.Params) *SelfStabVertexCover {
 	}
 	return &SelfStabVertexCover{
 		g:   g,
-		sys: selfstab.NewSystem(g.g, edgepack.Rounds(params), factories),
+		sys: selfstab.NewSystem(g, edgepack.Rounds(params), factories),
 	}
 }
 
@@ -79,7 +87,7 @@ func (s *SelfStabVertexCover) Corrupt(seed int64, frac float64) {
 // on an edge value or a node output is unusable) — i.e. before the
 // system has stabilised.
 func (s *SelfStabVertexCover) Result() (res *VertexCoverResult, ok bool) {
-	g := s.g.g
+	g := s.g
 	y := make([]rational.Rat, g.M())
 	seen := make([]bool, g.M())
 	cover := make([]bool, g.N())

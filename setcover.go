@@ -6,6 +6,8 @@ import (
 	"io"
 	"math/big"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"anoncover/internal/bipartite"
 	"anoncover/internal/core/fracpack"
@@ -60,6 +62,19 @@ func (i *SetCoverInstance) Memberships() int { return i.ins.M() }
 // Weight returns the weight of subset s.
 func (i *SetCoverInstance) Weight(s int) int64 { return i.ins.Weight(s) }
 
+// SetWeight replaces subset s's positive weight on a built instance.
+// Weight mutations do not invalidate compiled SetCoverSolvers: the next
+// run absorbs them into a fresh snapshot over the compiled topology.
+func (i *SetCoverInstance) SetWeight(s int, w int64) { i.ins.SetWeight(s, w) }
+
+// Weights returns a copy of the subset weight vector.
+func (i *SetCoverInstance) Weights() []int64 { return i.ins.Weights() }
+
+// Fingerprint returns a canonical identifier of the instance's
+// structure — side sizes, membership table, port numbering — excluding
+// weights; see Graph.Fingerprint for the solver-cache contract.
+func (i *SetCoverInstance) Fingerprint() string { return i.ins.Fingerprint() }
+
 // MaxFrequency returns f, the maximum number of subsets an element
 // belongs to.
 func (i *SetCoverInstance) MaxFrequency() int { return i.ins.MaxF() }
@@ -80,7 +95,8 @@ func (i *SetCoverInstance) CoverWeight(cover []bool) int64 { return i.ins.CoverW
 // analogue of Solver: CompileSetCover builds the flat topology of the
 // incidence graph H (and the shard partition for EngineSharded) once,
 // and every SetCover run reuses it.  Safe for concurrent callers; see
-// Solver for the sharing contract.
+// Solver for the sharing contract and the weight-snapshot model
+// (UpdateWeights / WithWeights work identically, over subset weights).
 type SetCoverSolver struct {
 	ins     *SetCoverInstance
 	cfg     config
@@ -88,6 +104,22 @@ type SetCoverSolver struct {
 	pool    *sim.Pool
 	progs   *fracpack.ProgramPool // recycled node programs
 	version uint64
+
+	mu   sync.Mutex // serializes snapshot installs; loads are lock-free
+	snap atomic.Pointer[scSnapshot]
+}
+
+// scSnapshot is the set-cover analogue of weightSnapshot: one immutable
+// subset-weight assignment over the compiled incidence topology.
+type scSnapshot struct {
+	ins  *bipartite.Instance // weight view sharing the compiled structure
+	w    []int64
+	srcW uint64 // source instance's WeightVersion absorbed by this snapshot
+}
+
+func scSnapshotFromInstance(ins *bipartite.Instance) *scSnapshot {
+	w := ins.Weights()
+	return &scSnapshot{ins: ins.WeightView(w), w: w, srcW: ins.WeightVersion()}
 }
 
 // CompileSetCover validates opts against ins and builds a reusable
@@ -129,10 +161,65 @@ func CompileSetCover(ins *SetCoverInstance, opts ...Option) (*SetCoverSolver, er
 		c.workers = st.K()
 		top = st
 	}
-	return &SetCoverSolver{
+	s := &SetCoverSolver{
 		ins: ins, cfg: c, top: top, pool: sim.NewPool(),
 		progs: &fracpack.ProgramPool{}, version: ins.ins.Version(),
-	}, nil
+	}
+	s.snap.Store(scSnapshotFromInstance(ins.ins))
+	return s, nil
+}
+
+// UpdateWeights installs a new immutable subset-weight snapshot against
+// the compiled incidence topology; see Solver.UpdateWeights for the
+// snapshot contract (in-flight runs finish on their snapshot, no
+// topology recompile, vector copied and validated).
+func (s *SetCoverSolver) UpdateWeights(w []int64) error {
+	if err := checkWeights(w, s.ins.Subsets(), s.cfg.maxW, "subset"); err != nil {
+		return err
+	}
+	cp := append([]int64(nil), w...)
+	s.mu.Lock()
+	s.snap.Store(&scSnapshot{ins: s.ins.ins.WeightView(cp), w: cp, srcW: s.ins.ins.WeightVersion()})
+	s.mu.Unlock()
+	return nil
+}
+
+// Weights returns a copy of the subset weights of the solver's current
+// snapshot.
+func (s *SetCoverSolver) Weights() []int64 {
+	return append([]int64(nil), s.snap.Load().w...)
+}
+
+// snapshot resolves the weight snapshot for one run; the logic mirrors
+// Solver.snapshot (pinned WithWeights vector, else the current
+// snapshot, refreshed when the instance's weights were mutated).
+func (s *SetCoverSolver) snapshot(c *config) (*scSnapshot, error) {
+	if c.weights != nil {
+		if err := checkWeights(c.weights, s.ins.Subsets(), c.maxW, "subset"); err != nil {
+			return nil, err
+		}
+		if snap := s.snap.Load(); weightsEqual(snap.w, c.weights) {
+			return snap, nil
+		}
+		cp := append([]int64(nil), c.weights...)
+		return &scSnapshot{ins: s.ins.ins.WeightView(cp), w: cp, srcW: s.ins.ins.WeightVersion()}, nil
+	}
+	snap := s.snap.Load()
+	if snap.srcW == s.ins.ins.WeightVersion() {
+		return snap, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap = s.snap.Load()
+	if snap.srcW == s.ins.ins.WeightVersion() {
+		return snap, nil
+	}
+	fresh := scSnapshotFromInstance(s.ins.ins)
+	if err := checkWeights(fresh.w, s.ins.Subsets(), c.maxW, "subset"); err != nil {
+		return nil, err
+	}
+	s.snap.Store(fresh)
+	return fresh, nil
 }
 
 // Instance returns the instance the solver was compiled for.
@@ -152,7 +239,7 @@ func (s *SetCoverSolver) Close() error {
 // session defaults.
 func (s *SetCoverSolver) SetCover(ctx context.Context, opts ...Option) (*SetCoverResult, error) {
 	if v := s.ins.ins.Version(); v != s.version {
-		return nil, fmt.Errorf("anoncover: instance mutated after CompileSetCover (version %d, compiled at %d); recompile the solver", v, s.version)
+		return nil, fmt.Errorf("anoncover: instance structure mutated after CompileSetCover (version %d, compiled at %d); recompile the solver", v, s.version)
 	}
 	c := s.cfg
 	for _, o := range opts {
@@ -161,7 +248,11 @@ func (s *SetCoverSolver) SetCover(ctx context.Context, opts ...Option) (*SetCove
 	if err := c.validate(); err != nil {
 		return nil, err
 	}
-	res, err := fracpack.Run(s.ins.ins, fracpack.Options{
+	snap, err := s.snapshot(&c)
+	if err != nil {
+		return nil, err
+	}
+	res, err := fracpack.Run(snap.ins, fracpack.Options{
 		Engine: c.engine.internal(), Workers: c.workers, ScrambleSeed: c.scramble,
 		F: c.f, K: c.k, W: c.maxW, EarlyExit: c.earlyExit,
 		Topology: s.top, Context: ctx, RoundBudget: c.budget,
@@ -174,12 +265,12 @@ func (s *SetCoverSolver) SetCover(ctx context.Context, opts ...Option) (*SetCove
 	out := &SetCoverResult{
 		Cover:           res.Cover,
 		Packing:         make([]*big.Rat, len(res.Y)),
-		Weight:          res.CoverWeight(s.ins.ins),
+		Weight:          res.CoverWeight(snap.ins),
 		Rounds:          res.Rounds,
 		ScheduledRounds: res.ScheduledRounds,
 		Messages:        res.Stats.Messages,
 		Bytes:           res.Stats.Bytes,
-		ins:             s.ins.ins,
+		ins:             snap.ins,
 		y:               res.Y,
 	}
 	for u, v := range res.Y {

@@ -4,9 +4,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"anoncover/internal/core/bcastvc"
 	"anoncover/internal/core/edgepack"
+	"anoncover/internal/graph"
 	"anoncover/internal/shard"
 	"anoncover/internal/sim"
 )
@@ -34,9 +37,15 @@ var ErrRoundBudget = sim.ErrRoundBudget
 // state (inboxes, halo buffers, worker pools) out of internal pools and
 // share only the immutable compiled topology.
 //
-// The graph must not be mutated (SetWeight, ShufflePorts, Weigh*) after
-// Compile; runs on a stale Solver return an error rather than silently
-// using the old topology or weights.
+// The graph's structure must not be mutated (ShufflePorts) after
+// Compile; runs on a structurally stale Solver return an error rather
+// than silently using the old topology.  Weights are snapshot state,
+// not structure: UpdateWeights installs a new immutable weight snapshot
+// against the same compiled topology, weight mutations of the graph
+// itself (SetWeight, Weigh*) are absorbed into a fresh snapshot on the
+// next run, and WithWeights pins a single run to an explicit weight
+// vector.  In-flight runs always finish on the snapshot they started
+// with.
 type Solver struct {
 	g       *Graph
 	cfg     config
@@ -45,6 +54,45 @@ type Solver struct {
 	progs   *edgepack.ProgramPool // recycled VertexCover node programs
 	bprogs  *bcastvc.ProgramPool  // recycled VertexCoverBroadcast node programs
 	version uint64
+
+	mu   sync.Mutex // serializes snapshot installs; loads are lock-free
+	snap atomic.Pointer[weightSnapshot]
+}
+
+// weightSnapshot is one immutable weight assignment over a compiled
+// topology.  Runs resolve a snapshot once at their start and use its
+// view graph throughout — environment construction, result assembly,
+// Verify — so a concurrent UpdateWeights never tears a run.
+type weightSnapshot struct {
+	g *graph.G // weight view sharing the compiled structure
+	w []int64  // the weights the view carries (never mutated)
+	// srcW is the source graph's WeightVersion this snapshot absorbed;
+	// a run whose graph has moved past it refreshes the snapshot from
+	// the graph's current weights instead of erroring.
+	srcW uint64
+}
+
+// snapshotFromGraph copies g's current weights into a fresh snapshot.
+func snapshotFromGraph(g *graph.G) *weightSnapshot {
+	w := g.Weights()
+	return &weightSnapshot{g: g.WeightView(w), w: w, srcW: g.WeightVersion()}
+}
+
+// checkWeights validates an explicit weight vector against the solver's
+// shape and declared bound.
+func checkWeights(w []int64, n int, maxW int64, what string) error {
+	if len(w) != n {
+		return fmt.Errorf("anoncover: %d weights for %d %ss", len(w), n, what)
+	}
+	for i, x := range w {
+		if x <= 0 {
+			return fmt.Errorf("anoncover: non-positive weight %d at %s %d", x, what, i)
+		}
+		if maxW != 0 && x > maxW {
+			return fmt.Errorf("anoncover: weight %d at %s %d above the declared WithWeightBound(%d)", x, what, i, maxW)
+		}
+	}
+	return nil
 }
 
 // mustCompile unwraps Compile for the panicking one-shot wrappers.
@@ -90,19 +138,95 @@ func Compile(g *Graph, opts ...Option) (*Solver, error) {
 		c.workers = st.K()
 		top = st
 	}
-	return &Solver{
+	s := &Solver{
 		g: g, cfg: c, top: top, pool: sim.NewPool(),
 		progs: &edgepack.ProgramPool{}, bprogs: &bcastvc.ProgramPool{},
 		version: g.g.Version(),
-	}, nil
+	}
+	s.snap.Store(snapshotFromGraph(g.g))
+	return s, nil
+}
+
+// UpdateWeights installs a new immutable weight snapshot: subsequent
+// runs use exactly these weights against the compiled topology — no
+// recompile of the CSR view, shard partition, wire tables or pools —
+// while in-flight runs finish on the snapshot they started with.  The
+// vector is copied; it must have one positive weight per node and
+// respect a declared WithWeightBound.  Any pending weight mutations of
+// the underlying graph are superseded by the explicit snapshot.
+func (s *Solver) UpdateWeights(w []int64) error {
+	if err := checkWeights(w, s.g.N(), s.cfg.maxW, "node"); err != nil {
+		return err
+	}
+	cp := append([]int64(nil), w...)
+	s.mu.Lock()
+	s.snap.Store(&weightSnapshot{g: s.g.g.WeightView(cp), w: cp, srcW: s.g.g.WeightVersion()})
+	s.mu.Unlock()
+	return nil
+}
+
+// Weights returns a copy of the weight vector of the solver's current
+// snapshot — what a run started now would use.
+func (s *Solver) Weights() []int64 {
+	return append([]int64(nil), s.snap.Load().w...)
+}
+
+// snapshot resolves the weight snapshot for one run.  With pinned
+// per-run weights (WithWeights) it reuses the current snapshot when the
+// vectors match and otherwise builds a run-local view without
+// installing it; with no pin it returns the current snapshot, first
+// refreshing it when the graph's weights have been mutated since it was
+// taken (weight mutation is served, not rejected — only structural
+// mutation invalidates a Solver).
+func (s *Solver) snapshot(c *config) (*weightSnapshot, error) {
+	if c.weights != nil {
+		if err := checkWeights(c.weights, s.g.N(), c.maxW, "node"); err != nil {
+			return nil, err
+		}
+		if snap := s.snap.Load(); weightsEqual(snap.w, c.weights) {
+			return snap, nil
+		}
+		cp := append([]int64(nil), c.weights...)
+		return &weightSnapshot{g: s.g.g.WeightView(cp), w: cp, srcW: s.g.g.WeightVersion()}, nil
+	}
+	snap := s.snap.Load()
+	if snap.srcW == s.g.g.WeightVersion() {
+		return snap, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap = s.snap.Load()
+	if snap.srcW == s.g.g.WeightVersion() {
+		return snap, nil
+	}
+	fresh := snapshotFromGraph(s.g.g)
+	if err := checkWeights(fresh.w, s.g.N(), c.maxW, "node"); err != nil {
+		return nil, err
+	}
+	s.snap.Store(fresh)
+	return fresh, nil
+}
+
+// weightsEqual reports whether two weight vectors are identical.
+func weightsEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, x := range a {
+		if x != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // runConfig layers per-run options over the session defaults and
 // re-validates, and rejects runs on a Solver whose graph has been
-// mutated since Compile.
+// structurally mutated since Compile (weight mutations do not
+// invalidate a Solver; they refresh its snapshot — see snapshot).
 func (s *Solver) runConfig(opts []Option) (config, error) {
 	if v := s.g.g.Version(); v != s.version {
-		return config{}, fmt.Errorf("anoncover: graph mutated after Compile (version %d, compiled at %d); recompile the solver", v, s.version)
+		return config{}, fmt.Errorf("anoncover: graph structure mutated after Compile (version %d, compiled at %d); recompile the solver", v, s.version)
 	}
 	c := s.cfg
 	for _, o := range opts {
@@ -142,7 +266,11 @@ func (s *Solver) VertexCover(ctx context.Context, opts ...Option) (*VertexCoverR
 	if err != nil {
 		return nil, err
 	}
-	res, err := edgepack.Run(s.g.g, edgepack.Options{
+	snap, err := s.snapshot(&c)
+	if err != nil {
+		return nil, err
+	}
+	res, err := edgepack.Run(snap.g, edgepack.Options{
 		Engine: c.engine.internal(), Workers: c.workers, Delta: c.delta, W: c.maxW,
 		Topology: s.top, Context: ctx, RoundBudget: c.budget,
 		Observer: simObserver(c.observer), Pool: s.pool,
@@ -151,7 +279,7 @@ func (s *Solver) VertexCover(ctx context.Context, opts ...Option) (*VertexCoverR
 	if err != nil {
 		return nil, err
 	}
-	return newVCResult(s.g.g, res.Y, res.Cover, res.Rounds, res.Stats), nil
+	return newVCResult(snap.g, res.Y, res.Cover, res.Rounds, res.Stats), nil
 }
 
 // MaximalEdgePacking is an alias for VertexCover emphasising the primal
@@ -169,7 +297,11 @@ func (s *Solver) VertexCoverBroadcast(ctx context.Context, opts ...Option) (*Ver
 	if err != nil {
 		return nil, err
 	}
-	res, err := bcastvc.Run(s.g.g, bcastvc.Options{
+	snap, err := s.snapshot(&c)
+	if err != nil {
+		return nil, err
+	}
+	res, err := bcastvc.Run(snap.g, bcastvc.Options{
 		Engine: c.engine.internal(), Workers: c.workers, ScrambleSeed: c.scramble,
 		Delta: c.delta, W: c.maxW,
 		Topology: s.top, Context: ctx, RoundBudget: c.budget,
@@ -179,5 +311,5 @@ func (s *Solver) VertexCoverBroadcast(ctx context.Context, opts ...Option) (*Ver
 	if err != nil {
 		return nil, err
 	}
-	return newVCResult(s.g.g, res.Y, res.Cover, res.Rounds, res.Stats), nil
+	return newVCResult(snap.g, res.Y, res.Cover, res.Rounds, res.Stats), nil
 }

@@ -238,13 +238,47 @@ func TestSolverStaleAfterMutation(t *testing.T) {
 	if _, err := s.VertexCover(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	g.WeighRandom(9, 42) // mutates the compiled graph
+	// Weight-only mutation no longer invalidates the solver: the next
+	// run absorbs the new weights into a fresh snapshot and matches a
+	// from-scratch run bit for bit.
+	g.WeighRandom(9, 42)
+	got, err := s.VertexCover(context.Background())
+	if err != nil {
+		t.Fatalf("run after weight mutation: %v", err)
+	}
+	fresh := VertexCover(RandomGraphWeighed(t))
+	if got.Weight != fresh.Weight || !sameBools(got.Cover, fresh.Cover) {
+		t.Fatal("post-mutation run differs from a fresh compile on the same weights")
+	}
+	// Structural mutation still errors.
+	g.ShufflePorts(7)
 	if _, err := s.VertexCover(context.Background()); err == nil {
-		t.Fatal("run on a mutated graph: no error")
+		t.Fatal("run on a structurally mutated graph: no error")
 	}
 	if _, err := s.SelfStabVertexCover(); err == nil {
 		t.Fatal("self-stab system from a stale solver: no error")
 	}
+}
+
+// RandomGraphWeighed rebuilds the exact graph TestSolverStaleAfterMutation
+// mutated, for the from-scratch comparison.
+func RandomGraphWeighed(t *testing.T) *Graph {
+	t.Helper()
+	g := RandomGraph(20, 40, 5, 41)
+	g.WeighRandom(9, 42)
+	return g
+}
+
+func sameBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // TestSolverSelfStab: the session's self-stabilising transformation
