@@ -49,6 +49,9 @@ func main() {
 		maxBudget   = flag.Int("maxbudget", 0, "cap on per-request round budgets; 0 = uncapped")
 		timeout     = flag.Duration("timeout", 0, "per-request wall deadline (e.g. 30s); 0 = none")
 		maxBody     = flag.Int64("maxbody", 64<<20, "request body byte cap")
+		batchWindow = flag.Int("batch_window_ms", 0, "batch admission window in ms for small uncached instances; 0 disables batching")
+		batchNodes  = flag.Int("batch_max_nodes", 0, "max instance size eligible for the batch window; 0 = default 512")
+		batchLimit  = flag.Int("batch_limit", 0, "flush a batch window early at this many requests; 0 = default 64")
 	)
 	flag.Parse()
 
@@ -61,6 +64,9 @@ func main() {
 		Timeout:       *timeout,
 		MaxBody:       *maxBody,
 		Workers:       *workers,
+		BatchWindow:   time.Duration(*batchWindow) * time.Millisecond,
+		BatchMaxNodes: *batchNodes,
+		BatchLimit:    *batchLimit,
 	}
 	if *memoSize <= 0 {
 		cfg.MemoSize = -1

@@ -55,6 +55,13 @@ type benchRow struct {
 	MeanRoundNS    int64   `json:"mean_round_ns,omitempty"`
 	MaxRoundNS     int64   `json:"max_round_ns,omitempty"`
 	AllocsPerRound float64 `json:"allocs_per_round,omitempty"`
+	// Per-request latency percentiles (serving workloads, where each
+	// sample is one HTTP request under concurrent load).
+	P50NS int64 `json:"p50_ns,omitempty"`
+	P99NS int64 `json:"p99_ns,omitempty"`
+	// BatchOccupancy is the mean requests per pooled run for batched
+	// serving rows (from /v1/stats).
+	BatchOccupancy float64 `json:"batch_occupancy,omitempty"`
 }
 
 type benchFile struct {
@@ -339,6 +346,7 @@ func benchMatrix(path string, quick bool) {
 	}
 	solverReuseRows(&file, quick)
 	serverRows(&file, quick)
+	fleetRows(&file, quick)
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		panic(err)

@@ -294,7 +294,9 @@ func (p *Program) Send(round int) []sim.Message {
 	for q := range out {
 		out[q] = nil
 	}
-	if p.deg == 0 {
+	// A batched run (Options.NodeParams) may drive the union past this
+	// node's own schedule; the tail rounds are idle for it.
+	if p.deg == 0 || round > p.sched.Total() {
 		return out
 	}
 	seg, local := p.sched.Locate(round)
@@ -350,7 +352,7 @@ func (p *Program) Send(round int) []sim.Message {
 
 // Recv implements sim.PortProgram.
 func (p *Program) Recv(round int, msgs []sim.Message) {
-	if p.deg == 0 {
+	if p.deg == 0 || round > p.sched.Total() {
 		return
 	}
 	seg, local := p.sched.Locate(round)
@@ -688,6 +690,20 @@ type Options struct {
 	// equivalence tests and ablation benchmarks use it.  Results are
 	// identical either way.
 	NoWire bool
+	// NodeParams, when non-nil, assigns every node its own (Δ, W)
+	// parameters instead of the global graph-derived pair.  It exists
+	// for batched execution over a disjoint union of instances: every
+	// node of a connected component must carry that component's own
+	// solo parameters (the caller's obligation — parameters are global
+	// knowledge *within* an instance), so each component follows
+	// exactly the schedule its solo run would, and nodes whose
+	// schedule is shorter than the union's longest simply idle through
+	// the tail rounds.  Mutually exclusive with Delta/W overrides.
+	// When the parameters are not uniform across nodes the run takes
+	// the boxed path: wire lane geometry is derived from one node's
+	// codec and trusted for all, which only uniform parameters satisfy
+	// (results are bit-identical either way).
+	NodeParams []sim.Params
 	// Programs, when non-nil, recycles the per-node Program state
 	// across runs through the Reset protocol, removing the per-node
 	// setup allocations a compiled Solver would otherwise pay on every
@@ -733,11 +749,43 @@ func Run(g *graph.G, opt Options) (*Result, error) {
 	}
 	envs := sim.GraphEnvs(g, params)
 	rounds := Rounds(params)
+	noWire := opt.NoWire
+	if opt.NodeParams != nil {
+		if opt.Delta != 0 || opt.W != 0 {
+			return nil, fmt.Errorf("edgepack: NodeParams excludes the global Delta/W overrides")
+		}
+		if len(opt.NodeParams) != g.N() {
+			return nil, fmt.Errorf("edgepack: %d NodeParams for %d nodes", len(opt.NodeParams), g.N())
+		}
+		rounds = 0
+		roundsOf := make(map[sim.Params]int)
+		for v := range envs {
+			p := opt.NodeParams[v]
+			if p.Delta < g.Deg(v) {
+				return nil, fmt.Errorf("edgepack: node %d declares Δ=%d below its degree %d", v, p.Delta, g.Deg(v))
+			}
+			if p.W < g.Weight(v) {
+				return nil, fmt.Errorf("edgepack: node %d declares W=%d below its weight %d", v, p.W, g.Weight(v))
+			}
+			envs[v].Params = p
+			r, ok := roundsOf[p]
+			if !ok {
+				r = Rounds(p)
+				roundsOf[p] = r
+			}
+			if r > rounds {
+				rounds = r
+			}
+			if p != opt.NodeParams[0] {
+				noWire = true // heterogeneous lanes cannot share one codec
+			}
+		}
+	}
 	top := sim.Topology(g)
 	if opt.Topology != nil {
 		top = opt.Topology
 	}
-	res, err := runOnce(g, envs, rounds, top, opt, opt.NoWire)
+	res, err := runOnce(g, envs, rounds, top, opt, noWire)
 	if err == sim.ErrWireOverflow {
 		res, err = runOnce(g, envs, rounds, top, opt, true)
 	}

@@ -1,0 +1,78 @@
+package graph
+
+// Disjoint union: the batched-serving primitive.  Many independent
+// small instances are packed into one graph whose components are the
+// inputs, run under a single simulator barrier, and split back apart
+// afterwards.  Correctness rests on two locality facts:
+//
+//   - Ports are structure.  Each input's half-edges are appended in
+//     the input's own edge order with node, edge and port indices
+//     merely shifted, so every node's local view — degree, port
+//     numbering, reverse ports — is exactly what it was in its input
+//     graph.  An anonymous-network algorithm sees nothing else.
+//   - Components never talk.  No edge crosses inputs, so a node's
+//     message history in the union is identical to its history in a
+//     solo run of its input (given the same per-node parameters; the
+//     edgepack runner's Options.NodeParams keeps each component on its
+//     own solo schedule).
+//
+// Together these make per-component outputs of a union run
+// bit-identical to solo runs of the inputs.
+
+// Union is a disjoint union built by DisjointUnion: the combined graph
+// plus the offset tables that map it back to its inputs.
+type Union struct {
+	// G is the combined graph; input i occupies nodes
+	// [NodeOff[i], NodeOff[i+1]) and edges [EdgeOff[i], EdgeOff[i+1]).
+	G *G
+	// NodeOff and EdgeOff have len(inputs)+1 entries (prefix sums).
+	NodeOff []int
+	EdgeOff []int
+}
+
+// DisjointUnion packs the inputs into one graph with the inputs as its
+// components, preserving every node's weight and local port structure.
+// The inputs are read, not retained; the union shares nothing with
+// them.
+func DisjointUnion(gs []*G) *Union {
+	u := &Union{NodeOff: make([]int, len(gs)+1), EdgeOff: make([]int, len(gs)+1)}
+	n, m := 0, 0
+	for i, g := range gs {
+		u.NodeOff[i], u.EdgeOff[i] = n, m
+		n += g.N()
+		m += g.M()
+	}
+	u.NodeOff[len(gs)], u.EdgeOff[len(gs)] = n, m
+	out := &G{
+		adj:     make([][]Half, n),
+		weights: make([]int64, n),
+		ends:    make([][2]int, m),
+	}
+	for i, g := range gs {
+		vo, eo := u.NodeOff[i], u.EdgeOff[i]
+		for v := 0; v < g.N(); v++ {
+			out.weights[vo+v] = g.Weight(v)
+			ports := g.Ports(v)
+			half := make([]Half, len(ports))
+			for p, h := range ports {
+				half[p] = Half{To: vo + h.To, Edge: eo + h.Edge, RevPort: h.RevPort}
+			}
+			out.adj[vo+v] = half
+		}
+		for e := 0; e < g.M(); e++ {
+			a, b := g.Endpoints(e)
+			out.ends[eo+e] = [2]int{vo + a, vo + b}
+		}
+	}
+	u.G = out
+	return u
+}
+
+// Nodes returns the node range of input i in the union.
+func (u *Union) Nodes(i int) (lo, hi int) { return u.NodeOff[i], u.NodeOff[i+1] }
+
+// Edges returns the edge range of input i in the union.
+func (u *Union) Edges(i int) (lo, hi int) { return u.EdgeOff[i], u.EdgeOff[i+1] }
+
+// Len returns the number of inputs the union was built from.
+func (u *Union) Len() int { return len(u.NodeOff) - 1 }

@@ -1,0 +1,74 @@
+package graph
+
+import "testing"
+
+// TestDisjointUnion pins the union contract: the combined graph is
+// internally consistent, the offset tables tile it exactly, and every
+// node keeps its input's weight and local port structure (degree, port
+// order, reverse ports) — the properties batched execution rests on.
+func TestDisjointUnion(t *testing.T) {
+	gs := []*G{Grid(3, 4), Star(5), Path(1), Cycle(6)}
+	gs[1].SetWeight(0, 17)
+	gs[3].SetWeight(2, 9)
+	u := DisjointUnion(gs)
+	if err := u.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != len(gs) {
+		t.Fatalf("Len = %d, want %d", u.Len(), len(gs))
+	}
+	wantN, wantM := 0, 0
+	for i, g := range gs {
+		vlo, vhi := u.Nodes(i)
+		elo, ehi := u.Edges(i)
+		if vhi-vlo != g.N() || ehi-elo != g.M() {
+			t.Fatalf("input %d: range (%d nodes, %d edges), want (%d, %d)",
+				i, vhi-vlo, ehi-elo, g.N(), g.M())
+		}
+		wantN += g.N()
+		wantM += g.M()
+		for v := 0; v < g.N(); v++ {
+			if u.G.Weight(vlo+v) != g.Weight(v) {
+				t.Fatalf("input %d node %d: weight %d != %d", i, v, u.G.Weight(vlo+v), g.Weight(v))
+			}
+			want := g.Ports(v)
+			got := u.G.Ports(vlo + v)
+			if len(got) != len(want) {
+				t.Fatalf("input %d node %d: degree %d != %d", i, v, len(got), len(want))
+			}
+			for p, h := range want {
+				uh := got[p]
+				if uh.To != vlo+h.To || uh.Edge != elo+h.Edge || uh.RevPort != h.RevPort {
+					t.Fatalf("input %d node %d port %d: %+v is not %+v shifted by (%d, %d)",
+						i, v, p, uh, h, vlo, elo)
+				}
+			}
+		}
+	}
+	if u.G.N() != wantN || u.G.M() != wantM {
+		t.Fatalf("union is %d nodes / %d edges, want %d / %d", u.G.N(), u.G.M(), wantN, wantM)
+	}
+	// No edge crosses inputs.
+	for i := range gs {
+		vlo, vhi := u.Nodes(i)
+		elo, ehi := u.Edges(i)
+		for e := elo; e < ehi; e++ {
+			a, b := u.G.Endpoints(e)
+			if a < vlo || a >= vhi || b < vlo || b >= vhi {
+				t.Fatalf("edge %d of input %d joins %d-%d outside [%d, %d)", e, i, a, b, vlo, vhi)
+			}
+		}
+	}
+}
+
+// TestDisjointUnionSingle: a one-input union is a faithful copy.
+func TestDisjointUnionSingle(t *testing.T) {
+	g := Grid(2, 3)
+	u := DisjointUnion([]*G{g})
+	if err := u.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if u.G.Fingerprint() != g.Fingerprint() {
+		t.Error("one-input union changed the canonical fingerprint")
+	}
+}

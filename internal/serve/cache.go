@@ -26,9 +26,10 @@ type entry[S closer] struct {
 	solver S
 	err    error
 
-	refs int // guarded by cache.mu
-	dead bool
-	elem *list.Element
+	refs   int // guarded by cache.mu
+	dead   bool
+	pinned bool // guarded by cache.mu; pinned entries are skipped by LRU eviction
+	elem   *list.Element
 
 	// Serving state attached to the solver, owned by the handlers:
 	// wmu serializes weight-snapshot installs so the weightsKey
@@ -148,12 +149,14 @@ func (c *cache[S]) release(e *entry[S]) {
 // evictOverflowLocked trims the LRU tail past the capacity.  Entries
 // still referenced by in-flight requests are skipped — the cache may
 // transiently exceed its capacity by the number of concurrent
-// requests, which admission control bounds.
+// requests, which admission control bounds — and so are pinned
+// entries, which operators have promised a slot (the cache then holds
+// capacity + pinned solvers; pinning is an explicit operator trade).
 func (c *cache[S]) evictOverflowLocked() {
 	for c.lru.Len() > c.max {
 		victim := (*entry[S])(nil)
 		for el := c.lru.Back(); el != nil; el = el.Prev() {
-			if cand := el.Value.(*entry[S]); cand.refs == 0 {
+			if cand := el.Value.(*entry[S]); cand.refs == 0 && !cand.pinned {
 				victim = cand
 				break
 			}
@@ -194,6 +197,91 @@ func (c *cache[S]) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Len()
+}
+
+// solverInfo is one row of the GET /v1/solvers listing.
+type solverInfo struct {
+	Fingerprint string `json:"fingerprint"`
+	Kind        string `json:"kind"` // "vertexcover" or "setcover"
+	Refs        int    `json:"refs"`
+	Pinned      bool   `json:"pinned"`
+	MemoEntries int    `json:"memo_entries"`
+	Compiling   bool   `json:"compiling,omitempty"`
+}
+
+// list snapshots the cache contents in LRU order (most recently used
+// first) for the cache operations API.
+func (c *cache[S]) list(kind string) []solverInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]solverInfo, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry[S])
+		compiling := true
+		select {
+		case <-e.ready:
+			compiling = false
+		default:
+		}
+		out = append(out, solverInfo{
+			Fingerprint: e.key, Kind: kind, Refs: e.refs,
+			Pinned: e.pinned, MemoEntries: e.memo.len(), Compiling: compiling,
+		})
+	}
+	return out
+}
+
+// remove expires an entry on operator request, reporting whether the
+// key was cached.  Like LRU eviction it only unlinks: a solver still
+// referenced by in-flight requests closes when the last reference
+// releases.
+func (c *cache[S]) remove(key string) bool {
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		c.mu.Unlock()
+		return false
+	}
+	closeNow := e.refs == 0
+	c.removeLocked(e)
+	c.ctrs.Evictions.Add(1)
+	c.mu.Unlock()
+	if closeNow {
+		// refs == 0 implies the compile finished (the compiling request
+		// holds a reference until release), so closing cannot race it.
+		go e.closeSolver()
+	}
+	return true
+}
+
+// setPinned pins or unpins an entry, reporting whether the key was
+// cached.  Unpinning re-runs eviction: overflow the pin was holding
+// back must drain.
+func (c *cache[S]) setPinned(key string, pinned bool) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	if e == nil {
+		return false
+	}
+	e.pinned = pinned
+	if !pinned {
+		c.evictOverflowLocked()
+	}
+	return true
+}
+
+// pinnedCount reports the number of pinned entries.
+func (c *cache[S]) pinnedCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		if el.Value.(*entry[S]).pinned {
+			n++
+		}
+	}
+	return n
 }
 
 // closeAll evicts everything; entries still referenced close when
@@ -254,6 +342,12 @@ func (mm *memo) get(key string) (any, bool) {
 	}
 	mm.lru.MoveToFront(el)
 	return el.Value.(memoItem).val, true
+}
+
+func (mm *memo) len() int {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return mm.lru.Len()
 }
 
 func (mm *memo) put(key string, val any) {

@@ -188,13 +188,32 @@ func hashWeights(w []int64) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// memoKey is the full result-determining request signature.
+// memoKey is the full result-determining request signature: every
+// parameter that could change the response body must appear here, or
+// two requests differing only in that parameter would share a memo
+// slot (and a coalesced flight).  scramble is included on contract
+// even though the repo's broadcast algorithms are delivery-order
+// invariant: it is a run input, and the memo must not bake in an
+// invariance claim that a future algorithm may not honour.  Engine and
+// worker overrides stay out by design — the equivalence suite pins
+// bit-identical results across engines and delivery paths.
 func (p *runParams) memoKey(algo, whash string) string {
 	return strings.Join([]string{
 		algo, p.model, whash,
 		strconv.Itoa(p.budget), strconv.FormatBool(p.verify),
 		strconv.FormatBool(p.earlyExit),
+		strconv.FormatInt(p.scramble, 10),
 	}, "|")
+}
+
+// batchable reports whether the request qualifies for the batch
+// window: a plain port-model run with no per-request execution
+// overrides (engine, budget, scramble, early exit) and no progress
+// stream.  Everything a batch run shares — engine, workers, timeout —
+// comes from the server session config.
+func (p *runParams) batchable() bool {
+	return p.progress == "" && p.model == "port" && len(p.engine) == 0 &&
+		p.budget == 0 && p.scramble == 0 && !p.earlyExit
 }
 
 // admit runs admission control and reports whether the request may
@@ -212,24 +231,64 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
 	return true
 }
 
-// runStatus maps a run error to an HTTP status.
+// statusClientGone is the nginx-style status for requests whose client
+// closed the connection: the work died because the caller left, not
+// because the server failed, and fleet dashboards must not read one as
+// the other.
+const statusClientGone = 499
+
+// runStatus maps a server-side run error to an HTTP status.  Client
+// disconnects (context.Canceled) are classified by failStatus before
+// this mapping applies.
 func runStatus(err error) int {
 	switch {
 	case errors.Is(err, anoncover.ErrRoundBudget):
 		return http.StatusUnprocessableEntity
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	default:
 		return http.StatusBadRequest
 	}
 }
 
+// failStatus classifies a failed run and applies the outcome counter:
+// a cancelled run context means the client went away (499, ClientGone
+// — the run context is only ever cancelled through the request
+// context); everything else is a server-side failure (RunErrors,
+// runStatus mapping).
+func (s *Server) failStatus(err error) int {
+	if errors.Is(err, context.Canceled) {
+		s.ctrs.ClientGone.Add(1)
+		return statusClientGone
+	}
+	s.ctrs.RunErrors.Add(1)
+	return runStatus(err)
+}
+
+// waitFailure reports a request that expired while parked on shared
+// work — a coalesced flight or a batch window — rather than while
+// running.  The shared run continues for its other clients, so no run
+// counter moves; a disconnect still counts as ClientGone.
+func (s *Server) waitFailure(w http.ResponseWriter, ctx context.Context) {
+	if errors.Is(ctx.Err(), context.Canceled) {
+		s.ctrs.ClientGone.Add(1)
+		writeError(w, statusClientGone, "client went away: %v", ctx.Err())
+		return
+	}
+	writeError(w, http.StatusGatewayTimeout, "deadline expired while waiting for the shared run: %v", ctx.Err())
+}
+
 // compileStatus maps a cache acquire/lookup error: a request that gave
-// up waiting on another request's compile timed out; anything else is
-// the compile rejecting the instance.
-func compileStatus(err error) int {
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+// up waiting on another request's compile either timed out (504) or
+// hung up (499, counted as ClientGone); anything else is the compile
+// rejecting the instance.
+func (s *Server) compileStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
 		return http.StatusGatewayTimeout
+	}
+	if errors.Is(err, context.Canceled) {
+		s.ctrs.ClientGone.Add(1)
+		return statusClientGone
 	}
 	return http.StatusBadRequest
 }
@@ -275,23 +334,29 @@ func readWeightsBody(r *http.Request, maxBody int64) ([]int64, error) {
 // vcResponse is the JSON result of a vertex-cover request.  Cache and
 // ElapsedMS are per-request; everything else is memoizable.
 type vcResponse struct {
-	Fingerprint string  `json:"fingerprint"`
-	Algorithm   string  `json:"algorithm"`
-	N           int     `json:"n"`
-	M           int     `json:"m"`
-	Cover       []int   `json:"cover"`
-	CoverSize   int     `json:"cover_size"`
-	Weight      int64   `json:"weight"`
-	Rounds      int     `json:"rounds"`
-	Messages    int64   `json:"messages"`
-	Bytes       int64   `json:"bytes"`
-	Verified    bool    `json:"verified,omitempty"`
-	Cache       string  `json:"cache"`
-	ElapsedMS   float64 `json:"elapsed_ms"`
+	Fingerprint string `json:"fingerprint"`
+	Algorithm   string `json:"algorithm"`
+	N           int    `json:"n"`
+	M           int    `json:"m"`
+	Cover       []int  `json:"cover"`
+	CoverSize   int    `json:"cover_size"`
+	Weight      int64  `json:"weight"`
+	Rounds      int    `json:"rounds"`
+	Messages    int64  `json:"messages"`
+	Bytes       int64  `json:"bytes"`
+	Verified    bool   `json:"verified,omitempty"`
+	Cache       string `json:"cache"`
+	// Batch is the occupancy of the pooled run that served this
+	// response (requests in the batch); 0 for unbatched responses.
+	Batch     int     `json:"batch,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 // handleVertexCover serves a full-instance request: parse, fingerprint,
-// compile or hit the cache, snapshot the weights, run.
+// compile or hit the cache, snapshot the weights, run.  Small plain
+// requests for uncached topologies may take the batch window instead
+// (see batch.go), which runs them pooled without compiling a
+// per-topology solver.
 func (s *Server) handleVertexCover(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	if !s.admit(w, r) {
@@ -311,12 +376,31 @@ func (s *Server) handleVertexCover(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := p.runContext(r)
 	defer cancel()
 	fp := g.Fingerprint()
+	if s.batch != nil && p.batchable() && g.N() <= s.cfg.BatchMaxNodes {
+		// Batch only topologies that are not already compiled: a cached
+		// solver (and its memo) serves a solo run cheaper than packing
+		// the instance into a union, and the warm/pin endpoints are the
+		// way to promote a hot tenant onto that path.
+		e, err := s.vc.lookup(ctx, fp)
+		if err != nil {
+			writeError(w, s.compileStatus(err), "cached solver: %v", err)
+			return
+		}
+		if e == nil {
+			s.serveVCBatched(w, ctx, p, g, fp, start)
+			return
+		}
+		defer s.vc.release(e)
+		s.ctrs.CacheHits.Add(1)
+		s.serveVC(w, ctx, p, e, fp, g.Weights(), true, start)
+		return
+	}
 	e, hit, err := s.vc.acquire(ctx, fp, func() (*anoncover.Solver, error) {
 		s.ctrs.Compiles.Add(1)
 		return anoncover.Compile(g, s.sessionOpts()...)
 	})
 	if err != nil {
-		writeError(w, compileStatus(err), "compiling solver: %v", err)
+		writeError(w, s.compileStatus(err), "compiling solver: %v", err)
 		return
 	}
 	defer s.vc.release(e)
@@ -345,7 +429,7 @@ func (s *Server) handleVertexCoverCached(w http.ResponseWriter, r *http.Request)
 	fp := r.PathValue("fp")
 	e, err := s.vc.lookup(ctx, fp)
 	if err != nil {
-		writeError(w, compileStatus(err), "cached solver: %v", err)
+		writeError(w, s.compileStatus(err), "cached solver: %v", err)
 		return
 	}
 	if e == nil {
@@ -365,8 +449,11 @@ func (s *Server) handleVertexCoverCached(w http.ResponseWriter, r *http.Request)
 	s.serveVC(w, ctx, p, e, fp, weights, true, start)
 }
 
-// serveVC is the shared run path: weight snapshot bookkeeping, memo,
-// run, verify, respond.
+// serveVC is the shared run path: weight snapshot bookkeeping, then
+// memo → coalesce → run.  Progress requests bypass the memo and the
+// single-flight layer — they want the round stream, not a shared
+// answer — and open their stream eagerly so the client sees bytes
+// before the first (possibly slow) round completes.
 func (s *Server) serveVC(w http.ResponseWriter, ctx context.Context, p runParams,
 	e *entry[*anoncover.Solver], fp string, weights []int64, hit bool, start time.Time) {
 
@@ -381,29 +468,95 @@ func (s *Server) serveVC(w http.ResponseWriter, ctx context.Context, p runParams
 		algo = "vertexcover-broadcast"
 	}
 	mkey := p.memoKey(algo, whash)
-	if p.progress == "" {
+
+	if p.progress != "" {
+		stream, obs := newStream(w, p)
+		stream.start(algo)
+		resp, status, errMsg := s.execVC(ctx, p, e, fp, weights, algo, cacheLabel, obs)
+		if errMsg != "" {
+			stream.fail(status, "%s", errMsg)
+			return
+		}
+		resp.ElapsedMS = msSince(start)
+		stream.finish(resp)
+		return
+	}
+
+	serve := func(resp vcResponse, label string) {
+		resp.Cache = label
+		resp.ElapsedMS = msSince(start)
+		writeJSON(w, http.StatusOK, resp)
+	}
+	fkey := strings.Join([]string{"vc", fp, mkey}, "|")
+	for {
 		if v, ok := e.memo.get(mkey); ok {
 			s.ctrs.MemoHits.Add(1)
-			resp := v.(vcResponse)
-			resp.Cache = "memo"
-			resp.ElapsedMS = msSince(start)
-			writeJSON(w, http.StatusOK, resp)
+			serve(v.(vcResponse), "memo")
+			return
+		}
+		f, leader := s.flights.join(fkey)
+		if leader {
+			resp, status, errMsg := s.execVC(ctx, p, e, fp, weights, algo, cacheLabel, nil)
+			if errMsg == "" {
+				e.memo.put(mkey, resp)
+			}
+			f.resp, f.status, f.errMsg = resp, status, errMsg
+			s.flights.leave(fkey, f)
+			if errMsg != "" {
+				writeError(w, status, "%s", errMsg)
+				return
+			}
+			serve(resp, cacheLabel)
+			return
+		}
+		s.ctrs.Coalesced.Add(1)
+		select {
+		case <-f.done:
+			if f.errMsg == "" {
+				serve(f.resp.(vcResponse), "coalesced")
+				return
+			}
+			if retryShared(f.status, ctx) {
+				// The leader's own context killed the shared run (its
+				// client hung up, or its deadline was shorter than
+				// ours); this joiner is still live, so take the lead
+				// on a fresh flight (or hit the memo if one landed).
+				continue
+			}
+			writeError(w, f.status, "%s", f.errMsg)
+			return
+		case <-ctx.Done():
+			s.waitFailure(w, ctx)
 			return
 		}
 	}
+}
 
-	stream, obs := newStream(w, p)
+// retryShared reports whether a joiner whose shared run failed should
+// retry with a fresh flight: the failure was the leader's own context
+// dying (disconnect or deadline), and this request's context is alive.
+func retryShared(status int, ctx context.Context) bool {
+	return (status == statusClientGone || status == http.StatusGatewayTimeout) &&
+		ctx.Err() == nil
+}
+
+// execVC runs the vertex-cover algorithm once and builds the response.
+// On failure it returns the classified status and message (counters
+// already applied); on success errMsg is empty and status is 0.
+func (s *Server) execVC(ctx context.Context, p runParams, e *entry[*anoncover.Solver],
+	fp string, weights []int64, algo, cacheLabel string,
+	obs func(anoncover.RoundInfo)) (vcResponse, int, string) {
+
 	s.ctrs.Runs.Add(1)
 	var res *anoncover.VertexCoverResult
+	var err error
 	if p.model == "broadcast" {
 		res, err = e.solver.VertexCoverBroadcast(ctx, p.options(weights, obs)...)
 	} else {
 		res, err = e.solver.VertexCover(ctx, p.options(weights, obs)...)
 	}
 	if err != nil {
-		s.ctrs.RunErrors.Add(1)
-		stream.fail(runStatus(err), "run failed: %v", err)
-		return
+		return vcResponse{}, s.failStatus(err), fmt.Sprintf("run failed: %v", err)
 	}
 	resp := vcResponse{
 		Fingerprint: fp, Algorithm: algo,
@@ -416,16 +569,11 @@ func (s *Server) serveVC(w http.ResponseWriter, ctx context.Context, p runParams
 	if p.verify {
 		if verr := res.Verify(); verr != nil {
 			s.ctrs.RunErrors.Add(1)
-			stream.fail(http.StatusInternalServerError, "INVARIANT VIOLATION: %v", verr)
-			return
+			return vcResponse{}, http.StatusInternalServerError, fmt.Sprintf("INVARIANT VIOLATION: %v", verr)
 		}
 		resp.Verified = true
 	}
-	if p.progress == "" {
-		e.memo.put(mkey, resp)
-	}
-	resp.ElapsedMS = msSince(start)
-	stream.finish(resp)
+	return resp, 0, ""
 }
 
 // --- set cover ---
@@ -472,7 +620,7 @@ func (s *Server) handleSetCover(w http.ResponseWriter, r *http.Request) {
 		return anoncover.CompileSetCover(ins, s.sessionOpts()...)
 	})
 	if err != nil {
-		writeError(w, compileStatus(err), "compiling solver: %v", err)
+		writeError(w, s.compileStatus(err), "compiling solver: %v", err)
 		return
 	}
 	defer s.sc.release(e)
@@ -498,7 +646,7 @@ func (s *Server) handleSetCoverCached(w http.ResponseWriter, r *http.Request) {
 	fp := r.PathValue("fp")
 	e, err := s.sc.lookup(ctx, fp)
 	if err != nil {
-		writeError(w, compileStatus(err), "cached solver: %v", err)
+		writeError(w, s.compileStatus(err), "cached solver: %v", err)
 		return
 	}
 	if e == nil {
@@ -518,6 +666,9 @@ func (s *Server) handleSetCoverCached(w http.ResponseWriter, r *http.Request) {
 	s.serveSC(w, ctx, p, e, fp, weights, true, start)
 }
 
+// serveSC mirrors serveVC for set cover: snapshot bookkeeping, then
+// memo → coalesce → run, with progress requests streaming eagerly and
+// bypassing both sharing layers.
 func (s *Server) serveSC(w http.ResponseWriter, ctx context.Context, p runParams,
 	e *entry[*anoncover.SetCoverSolver], fp string, weights []int64, hit bool, start time.Time) {
 
@@ -528,24 +679,76 @@ func (s *Server) serveSC(w http.ResponseWriter, ctx context.Context, p runParams
 	}
 
 	mkey := p.memoKey("setcover", whash)
-	if p.progress == "" {
+
+	if p.progress != "" {
+		stream, obs := newStream(w, p)
+		stream.start("setcover")
+		resp, status, errMsg := s.execSC(ctx, p, e, fp, weights, cacheLabel, obs)
+		if errMsg != "" {
+			stream.fail(status, "%s", errMsg)
+			return
+		}
+		resp.ElapsedMS = msSince(start)
+		stream.finish(resp)
+		return
+	}
+
+	serve := func(resp scResponse, label string) {
+		resp.Cache = label
+		resp.ElapsedMS = msSince(start)
+		writeJSON(w, http.StatusOK, resp)
+	}
+	fkey := strings.Join([]string{"sc", fp, mkey}, "|")
+	for {
 		if v, ok := e.memo.get(mkey); ok {
 			s.ctrs.MemoHits.Add(1)
-			resp := v.(scResponse)
-			resp.Cache = "memo"
-			resp.ElapsedMS = msSince(start)
-			writeJSON(w, http.StatusOK, resp)
+			serve(v.(scResponse), "memo")
+			return
+		}
+		f, leader := s.flights.join(fkey)
+		if leader {
+			resp, status, errMsg := s.execSC(ctx, p, e, fp, weights, cacheLabel, nil)
+			if errMsg == "" {
+				e.memo.put(mkey, resp)
+			}
+			f.resp, f.status, f.errMsg = resp, status, errMsg
+			s.flights.leave(fkey, f)
+			if errMsg != "" {
+				writeError(w, status, "%s", errMsg)
+				return
+			}
+			serve(resp, cacheLabel)
+			return
+		}
+		s.ctrs.Coalesced.Add(1)
+		select {
+		case <-f.done:
+			if f.errMsg == "" {
+				serve(f.resp.(scResponse), "coalesced")
+				return
+			}
+			if retryShared(f.status, ctx) {
+				continue
+			}
+			writeError(w, f.status, "%s", f.errMsg)
+			return
+		case <-ctx.Done():
+			s.waitFailure(w, ctx)
 			return
 		}
 	}
+}
 
-	stream, obs := newStream(w, p)
+// execSC runs the set-cover algorithm once and builds the response;
+// error contract as execVC.
+func (s *Server) execSC(ctx context.Context, p runParams, e *entry[*anoncover.SetCoverSolver],
+	fp string, weights []int64, cacheLabel string,
+	obs func(anoncover.RoundInfo)) (scResponse, int, string) {
+
 	s.ctrs.Runs.Add(1)
 	res, err := e.solver.SetCover(ctx, p.options(weights, obs)...)
 	if err != nil {
-		s.ctrs.RunErrors.Add(1)
-		stream.fail(runStatus(err), "run failed: %v", err)
-		return
+		return scResponse{}, s.failStatus(err), fmt.Sprintf("run failed: %v", err)
 	}
 	resp := scResponse{
 		Fingerprint: fp, Algorithm: "setcover",
@@ -559,16 +762,11 @@ func (s *Server) serveSC(w http.ResponseWriter, ctx context.Context, p runParams
 	if p.verify {
 		if verr := res.Verify(); verr != nil {
 			s.ctrs.RunErrors.Add(1)
-			stream.fail(http.StatusInternalServerError, "INVARIANT VIOLATION: %v", verr)
-			return
+			return scResponse{}, http.StatusInternalServerError, fmt.Sprintf("INVARIANT VIOLATION: %v", verr)
 		}
 		resp.Verified = true
 	}
-	if p.progress == "" {
-		e.memo.put(mkey, resp)
-	}
-	resp.ElapsedMS = msSince(start)
-	stream.finish(resp)
+	return resp, 0, ""
 }
 
 // sessionOpts are the compile-time session defaults.

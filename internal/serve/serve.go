@@ -72,6 +72,19 @@ type Config struct {
 	// recompile.  Default EngineSharded with GOMAXPROCS workers.
 	Engine  anoncover.Engine
 	Workers int
+	// BatchWindow enables batched small-instance execution: plain
+	// port-model requests for uncached topologies wait up to this long
+	// and run pooled as one disjoint union under a single barrier
+	// (bit-identical per-request results; see batch.go).  0 disables
+	// batching.
+	BatchWindow time.Duration
+	// BatchMaxNodes caps the instance size eligible for the batch
+	// window; larger instances always run solo.  Default 512 when
+	// BatchWindow is set.
+	BatchMaxNodes int
+	// BatchLimit flushes a window early once this many requests are
+	// parked in it.  Default 64.
+	BatchLimit int
 	// engineSet distinguishes an explicit EngineSequential (0) from an
 	// unset field; WithEngineDefault sets it.
 	engineSet bool
@@ -108,34 +121,57 @@ func (c Config) withDefaults() Config {
 	if !c.engineSet && c.Engine == anoncover.EngineSequential {
 		c.Engine = anoncover.EngineSharded
 	}
+	if c.BatchWindow > 0 {
+		if c.BatchMaxNodes <= 0 {
+			c.BatchMaxNodes = 512
+		}
+		if c.BatchLimit <= 0 {
+			c.BatchLimit = 64
+		}
+	}
 	return c
 }
 
 // Server is the HTTP solver service.  Create with New, mount Handler,
 // Close when done (closes every cached solver).
 type Server struct {
-	cfg  Config
-	vc   *cache[*anoncover.Solver]
-	sc   *cache[*anoncover.SetCoverSolver]
-	adm  *admission
-	ctrs counters
-	mux  *http.ServeMux
+	cfg     Config
+	vc      *cache[*anoncover.Solver]
+	sc      *cache[*anoncover.SetCoverSolver]
+	adm     *admission
+	ctrs    counters
+	flights *flights
+	batch   *vcBatcher // nil when BatchWindow is 0
+	mux     *http.ServeMux
 }
 
 // New builds a Server from cfg.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg: cfg,
-		adm: newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
+		cfg:     cfg,
+		adm:     newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
+		flights: newFlights(),
 	}
 	s.vc = newCache[*anoncover.Solver](cfg.CacheSize, cfg.MemoSize, &s.ctrs)
 	s.sc = newCache[*anoncover.SetCoverSolver](cfg.CacheSize, cfg.MemoSize, &s.ctrs)
+	if cfg.BatchWindow > 0 {
+		// The session options are validated at Compile time too, so a
+		// config the batcher rejects would fail every request anyway;
+		// leave batch nil and let the solo path report it.
+		s.batch, _ = newVCBatcher(s)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/vertexcover", s.handleVertexCover)
 	mux.HandleFunc("POST /v1/vertexcover/{fp}", s.handleVertexCoverCached)
 	mux.HandleFunc("POST /v1/setcover", s.handleSetCover)
 	mux.HandleFunc("POST /v1/setcover/{fp}", s.handleSetCoverCached)
+	mux.HandleFunc("GET /v1/solvers", s.handleSolversList)
+	mux.HandleFunc("DELETE /v1/solvers/{fp}", s.handleSolverDelete)
+	mux.HandleFunc("POST /v1/solvers/{fp}/pin", s.handleSolverPin)
+	mux.HandleFunc("DELETE /v1/solvers/{fp}/pin", s.handleSolverUnpin)
+	mux.HandleFunc("POST /v1/solvers/vertexcover", s.handleWarmVertexCover)
+	mux.HandleFunc("POST /v1/solvers/setcover", s.handleWarmSetCover)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux = mux
@@ -150,11 +186,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Close evicts and closes every cached solver.  In-flight requests
-// finish on the solvers they hold; their solvers close on release.
+// Close evicts and closes every cached solver and releases the batch
+// runner's pooled workers.  In-flight requests finish on the solvers
+// they hold; their solvers close on release.
 func (s *Server) Close() error {
 	s.vc.closeAll()
 	s.sc.closeAll()
+	if s.batch != nil {
+		s.batch.close()
+	}
 	return nil
 }
 
@@ -163,6 +203,7 @@ func (s *Server) Stats() Stats {
 	st := s.ctrs.snapshot()
 	st.VertexCoverSolvers = s.vc.len()
 	st.SetCoverSolvers = s.sc.len()
+	st.PinnedSolvers = s.vc.pinnedCount() + s.sc.pinnedCount()
 	st.InFlight = s.adm.inFlight()
 	st.Queued = s.adm.queued()
 	return st

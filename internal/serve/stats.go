@@ -7,16 +7,22 @@ import "sync/atomic"
 // /v1/stats endpoint, whose consumers (the CI smoke, the bench
 // harness, operators) use them to observe cache behaviour from the
 // outside — most importantly that a weight-update rerun did NOT
-// recompile (Compiles stays flat while WeightUpdates moves).
+// recompile (Compiles stays flat while WeightUpdates moves), and that
+// the fleet-scale levers engaged (Coalesced and Batched move while
+// Runs stays flat).
 type counters struct {
 	Compiles      atomic.Int64 // solver compilations (cache misses served by a fresh Compile)
 	CacheHits     atomic.Int64 // requests served by an already compiled solver
 	WeightUpdates atomic.Int64 // snapshot installs on a cached solver (no recompile)
 	MemoHits      atomic.Int64 // requests served from a solver's result memo
-	Evictions     atomic.Int64 // solvers evicted from the LRU cache
-	Runs          atomic.Int64 // algorithm runs executed
-	RunErrors     atomic.Int64 // runs that returned an error (budget, cancellation, bounds)
+	Evictions     atomic.Int64 // solvers evicted from the LRU cache (or expired via DELETE)
+	Runs          atomic.Int64 // algorithm runs executed (one per batch, however many tenants)
+	RunErrors     atomic.Int64 // runs that returned a server-side error (budget, deadline, bounds)
+	ClientGone    atomic.Int64 // requests abandoned by their client mid-run or mid-wait (499, not a server fault)
 	Rejected      atomic.Int64 // requests refused by admission control (queue full)
+	Coalesced     atomic.Int64 // requests that joined another identical request's in-flight run
+	Batched       atomic.Int64 // requests executed through the batch window
+	BatchRuns     atomic.Int64 // pooled batch runs executed (Batched/BatchRuns = mean occupancy)
 }
 
 // Stats is the JSON shape of /v1/stats.
@@ -28,16 +34,24 @@ type Stats struct {
 	Evictions     int64 `json:"evictions"`
 	Runs          int64 `json:"runs"`
 	RunErrors     int64 `json:"run_errors"`
+	ClientGone    int64 `json:"client_gone"`
 	Rejected      int64 `json:"rejected"`
+	Coalesced     int64 `json:"coalesced"`
+	Batched       int64 `json:"batched"`
+	BatchRuns     int64 `json:"batch_runs"`
+	// BatchOccupancy is the mean number of requests per pooled batch
+	// run (Batched / BatchRuns); 0 while no batch has run.
+	BatchOccupancy float64 `json:"batch_occupancy"`
 
 	VertexCoverSolvers int `json:"vertexcover_solvers"` // cached vertex-cover solvers
 	SetCoverSolvers    int `json:"setcover_solvers"`    // cached set-cover solvers
+	PinnedSolvers      int `json:"pinned_solvers"`      // cached solvers pinned against eviction
 	InFlight           int `json:"in_flight"`           // requests holding a run slot
 	Queued             int `json:"queued"`              // requests admitted (running or waiting)
 }
 
 func (c *counters) snapshot() Stats {
-	return Stats{
+	st := Stats{
 		Compiles:      c.Compiles.Load(),
 		CacheHits:     c.CacheHits.Load(),
 		WeightUpdates: c.WeightUpdates.Load(),
@@ -45,6 +59,14 @@ func (c *counters) snapshot() Stats {
 		Evictions:     c.Evictions.Load(),
 		Runs:          c.Runs.Load(),
 		RunErrors:     c.RunErrors.Load(),
+		ClientGone:    c.ClientGone.Load(),
 		Rejected:      c.Rejected.Load(),
+		Coalesced:     c.Coalesced.Load(),
+		Batched:       c.Batched.Load(),
+		BatchRuns:     c.BatchRuns.Load(),
 	}
+	if st.BatchRuns > 0 {
+		st.BatchOccupancy = float64(st.Batched) / float64(st.BatchRuns)
+	}
+	return st
 }

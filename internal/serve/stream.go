@@ -47,6 +47,28 @@ func newStream(w http.ResponseWriter, p runParams) (*stream, func(anoncover.Roun
 	}
 }
 
+// start opens a progress stream eagerly, before the run's first round:
+// status line, headers and a heartbeat — an SSE comment or an ndjson
+// header line — so proxies and clients see bytes immediately instead
+// of staring at an unwritten status line while a slow first round (or
+// a large progress_every filter) withholds the first record.  Plain
+// mode is a no-op.
+func (st *stream) start(algo string) {
+	if st.mode == "" {
+		return
+	}
+	st.begin()
+	switch st.mode {
+	case "sse":
+		fmt.Fprintf(st.w, ": stream %s\n\n", algo)
+	default: // ndjson header line; round records never carry "stream"
+		fmt.Fprintf(st.w, "{\"stream\":%q}\n", algo)
+	}
+	if f, ok := st.w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // begin writes the streaming headers once, before the first record.
 func (st *stream) begin() {
 	if st.started {
