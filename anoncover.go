@@ -97,6 +97,22 @@ const (
 	EngineSharded
 )
 
+// String names the engine as it appears in request parameters, bench
+// rows and telemetry labels.
+func (e Engine) String() string {
+	switch e {
+	case EngineSequential:
+		return "sequential"
+	case EngineParallel:
+		return "parallel"
+	case EngineCSP:
+		return "csp"
+	case EngineSharded:
+		return "sharded"
+	}
+	return fmt.Sprintf("engine(%d)", int(e))
+}
+
 func (e Engine) internal() sim.Engine {
 	switch e {
 	case EngineParallel:

@@ -12,20 +12,26 @@
 //
 //	anoncoverd -addr :8080
 //	anoncoverd -addr :8080 -engine sharded -workers 4 -cache 32 -maxbudget 100000
+//	anoncoverd -addr :8080 -log-format json -debug-addr localhost:6060
 //
 // Smoke it with curl:
 //
 //	curl -s -X POST --data-binary @graph.txt 'localhost:8080/v1/vertexcover?verify=true'
 //	curl -s -X POST -d '{"weights":[2,1,3]}' 'localhost:8080/v1/vertexcover/<fingerprint>'
 //	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics
+//
+// The -debug-addr mux serves net/http/pprof and a second /metrics,
+// keeping profiling endpoints off the service listener.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -52,8 +58,19 @@ func main() {
 		batchWindow = flag.Int("batch_window_ms", 0, "batch admission window in ms for small uncached instances; 0 disables batching")
 		batchNodes  = flag.Int("batch_max_nodes", 0, "max instance size eligible for the batch window; 0 = default 512")
 		batchLimit  = flag.Int("batch_limit", 0, "flush a batch window early at this many requests; 0 = default 64")
+		logFormat   = flag.String("log-format", "text", "log output format: text | json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
+		runLog      = flag.Int("runlog", 0, "run summaries kept for GET /v1/runs; 0 = default 256")
+		debugAddr   = flag.String("debug-addr", "", "listen address for the debug mux (net/http/pprof + /metrics); empty disables")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		slog.Error("anoncoverd: bad logging flags", "error", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	cfg := serve.Config{
 		CacheSize:     *cacheSize,
@@ -67,6 +84,8 @@ func main() {
 		BatchWindow:   time.Duration(*batchWindow) * time.Millisecond,
 		BatchMaxNodes: *batchNodes,
 		BatchLimit:    *batchLimit,
+		Logger:        logger,
+		RunLogSize:    *runLog,
 	}
 	if *memoSize <= 0 {
 		cfg.MemoSize = -1
@@ -81,7 +100,8 @@ func main() {
 	case "sharded":
 		cfg = cfg.WithEngineDefault(anoncover.EngineSharded)
 	default:
-		log.Fatalf("unknown engine %q (the csp test oracle cannot serve)", *engine)
+		logger.Error("anoncoverd: unknown engine (the csp test oracle cannot serve)", "engine", *engine)
+		os.Exit(2)
 	}
 
 	svc := serve.New(cfg)
@@ -89,6 +109,31 @@ func main() {
 		Addr:              *addr,
 		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The debug mux keeps pprof off the service listener: operators can
+	// firewall it separately and a runaway profile download cannot
+	// starve request handling connections.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/metrics", svc.MetricsHandler())
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           dmux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Info("anoncoverd: debug mux serving", "addr", *debugAddr)
+			if derr := debugSrv.ListenAndServe(); !errors.Is(derr, http.ErrServerClosed) {
+				logger.Error("anoncoverd: debug mux failed", "error", derr)
+			}
+		}()
 	}
 
 	// Graceful shutdown: stop accepting, drain in-flight requests,
@@ -102,23 +147,46 @@ func main() {
 	go func() {
 		defer close(drained)
 		sig := <-stop
-		log.Printf("anoncoverd: %v, shutting down", sig)
+		logger.Info("anoncoverd: shutting down", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(ctx)
+		if debugSrv != nil {
+			debugSrv.Shutdown(ctx)
+		}
 	}()
 
 	conc := cfg.MaxConcurrent
 	if conc <= 0 {
 		conc = runtime.GOMAXPROCS(0)
 	}
-	log.Printf("anoncoverd: serving on %s (engine=%s cache=%d concurrency=%d)",
-		*addr, *engine, cfg.CacheSize, conc)
-	err := httpSrv.ListenAndServe()
+	logger.Info("anoncoverd: serving",
+		"addr", *addr, "engine", *engine,
+		"cache", cfg.CacheSize, "concurrency", conc)
+	err = httpSrv.ListenAndServe()
 	if !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		logger.Error("anoncoverd: listen failed", "error", err)
+		os.Exit(1)
 	}
 	<-drained
 	svc.Close()
-	log.Print("anoncoverd: bye")
+	logger.Info("anoncoverd: bye")
+}
+
+// buildLogger assembles the process logger from the logging flags.
+// Logs go to stderr so piped stdout stays clean for tooling.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	default:
+		return nil, errors.New("unknown log format " + format + " (want text or json)")
+	}
 }

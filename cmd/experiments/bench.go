@@ -51,9 +51,11 @@ type benchRow struct {
 	Bytes          int64   `json:"bytes"`
 	WallNS         int64   `json:"wall_ns"`
 	NsPerNodeRound float64 `json:"ns_per_node_round"`
-	// Per-round trace aggregates.
+	// Per-round trace aggregates (sim.Stats.Rollup of a traced run).
 	MeanRoundNS    int64   `json:"mean_round_ns,omitempty"`
 	MaxRoundNS     int64   `json:"max_round_ns,omitempty"`
+	P50RoundNS     int64   `json:"p50_round_ns,omitempty"`
+	P99RoundNS     int64   `json:"p99_round_ns,omitempty"`
 	AllocsPerRound float64 `json:"allocs_per_round,omitempty"`
 	// Per-request latency percentiles (serving workloads, where each
 	// sample is one HTTP request under concurrent load).
@@ -315,20 +317,12 @@ func benchMatrix(path string, quick bool) {
 						Bytes: stats.Bytes, WallNS: wall,
 						NsPerNodeRound: float64(wall) / float64(rounds) / float64(tp.n),
 					}
-					var sum, max int64
-					for _, ns := range stats.RoundNanos {
-						sum += ns
-						if ns > max {
-							max = ns
-						}
-					}
-					var allocs uint64
-					for _, a := range stats.RoundAllocs {
-						allocs += a
-					}
-					row.MeanRoundNS = sum / int64(len(stats.RoundNanos))
-					row.MaxRoundNS = max
-					row.AllocsPerRound = float64(allocs) / float64(rounds)
+					ru := stats.Rollup()
+					row.MeanRoundNS = int64(ru.MeanNanos)
+					row.MaxRoundNS = ru.MaxNanos
+					row.P50RoundNS = ru.P50Nanos
+					row.P99RoundNS = ru.P99Nanos
+					row.AllocsPerRound = float64(ru.TotalAllocs) / float64(rounds)
 					file.Rows = append(file.Rows, row)
 					return row.NsPerNodeRound
 				}

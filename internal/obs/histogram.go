@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket distribution.  Buckets are chosen at
+// construction (log-spaced, via ExpBuckets, for latency-shaped data),
+// so Observe is two atomic adds and a binary search — no allocation,
+// no lock — and the cumulative series is assembled at scrape time.
+type Histogram struct {
+	upper  []float64 // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(upper []float64) *Histogram {
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound contains v; the final slot is the
+	// implicit +Inf bucket.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// snapshot returns the cumulative bucket counts (ending with the +Inf
+// total) and the value sum.
+func (h *Histogram) snapshot() (cum []uint64, sum float64) {
+	cum = make([]uint64, len(h.counts))
+	var run uint64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cum[i] = run
+	}
+	return cum, math.Float64frombits(h.sum.Load())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// HistogramVec is a family of histograms sharing one bucket layout,
+// distinguished by label values from a bounded set.  A vec registered
+// with no labels is a single histogram; call With() with no values.
+type HistogramVec struct {
+	name   string
+	help   string
+	labels []string
+	upper  []float64
+
+	mu       sync.Mutex
+	children map[string]*Histogram
+}
+
+// HistogramVec registers a histogram family.  buckets are the upper
+// bounds (sorted ascending, +Inf implicit).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(buckets) == 0 {
+		panic("obs: histogram " + name + " needs at least one bucket")
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("obs: histogram " + name + " buckets must increase")
+		}
+	}
+	if math.IsInf(buckets[len(buckets)-1], 1) {
+		buckets = buckets[:len(buckets)-1] // +Inf is implicit
+	}
+	v := &HistogramVec{
+		name: name, help: help, labels: checkLabels(labels),
+		upper:    append([]float64(nil), buckets...),
+		children: make(map[string]*Histogram),
+	}
+	r.register(name, v)
+	return v
+}
+
+// With returns the child histogram for the given label values,
+// creating it on first use.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	key := labelString(v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h := v.children[key]
+	if h == nil {
+		h = newHistogram(v.upper)
+		v.children[key] = h
+	}
+	return h
+}
+
+func (v *HistogramVec) exposition(w io.Writer) {
+	writeHeader(w, v.name, v.help, "histogram")
+	v.mu.Lock()
+	keys := sortedKeys(v.children)
+	children := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		children[i] = v.children[k]
+	}
+	v.mu.Unlock()
+	for i, k := range keys {
+		cum, sum := children[i].snapshot()
+		for bi, bound := range v.upper {
+			fmt.Fprintf(w, "%s_bucket%s %d\n",
+				v.name, spliceLabel(k, "le", formatFloat(bound)), cum[bi])
+		}
+		total := cum[len(cum)-1]
+		fmt.Fprintf(w, "%s_bucket%s %d\n", v.name, spliceLabel(k, "le", "+Inf"), total)
+		fmt.Fprintf(w, "%s_count%s %d\n", v.name, k, total)
+		fmt.Fprintf(w, "%s_sum%s %s\n", v.name, k, formatFloat(sum))
+	}
+}
+
+// ExpBuckets returns n log-spaced upper bounds starting at start and
+// multiplying by factor — the standard layout for latency, round-count
+// and byte-volume distributions whose mass spans orders of magnitude.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+// Package obs is the service's zero-dependency telemetry kit: a
+// metrics registry with OpenMetrics text exposition, fixed-bucket
+// log-spaced histograms, request run IDs, and a bounded in-memory run
+// log for tail-latency forensics.
+//
+// The package deliberately implements only what the serving layer
+// needs — no pull/push protocols, no client library compatibility —
+// so it stays dependency-free and the hot path stays allocation-free:
+// every metric update is one or two atomic operations, and exposition
+// cost is paid by the scraper, not the request path.
+//
+// Cardinality is a contract, not a convention: label values must come
+// from small closed sets (algorithm, engine, outcome, cache class).
+// Nothing in this package evicts children, so an unbounded label value
+// (a fingerprint, a client ID) would grow the registry without bound.
+//
+// The exposition follows the OpenMetrics text format: one HELP and
+// TYPE comment per family, counter samples carrying the _total suffix,
+// histogram samples as cumulative _bucket/_count/_sum series, and the
+// terminal "# EOF" marker.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ContentType is the OpenMetrics exposition media type served by
+// Registry.Handler.
+const ContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// exposer is one metric family that can write its exposition.
+type exposer interface {
+	exposition(w io.Writer)
+}
+
+// Registry holds metric families and writes their OpenMetrics
+// exposition in registration order.
+type Registry struct {
+	mu    sync.Mutex
+	fams  []exposer
+	names map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// register adds a family, panicking on a duplicate or invalid name —
+// metric registration happens at construction time, where a panic is a
+// build bug, not a request-path hazard.
+func (r *Registry) register(name string, e exposer) {
+	if !validName(name) {
+		panic("obs: invalid metric family name " + strconv.Quote(name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic("obs: duplicate metric family " + name)
+	}
+	r.names[name] = true
+	r.fams = append(r.fams, e)
+}
+
+// WriteOpenMetrics writes every registered family followed by the
+// OpenMetrics EOF marker.
+func (r *Registry) WriteOpenMetrics(w io.Writer) {
+	r.mu.Lock()
+	fams := append([]exposer(nil), r.fams...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.exposition(w)
+	}
+	io.WriteString(w, "# EOF\n")
+}
+
+// Handler serves the exposition over HTTP.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WriteOpenMetrics(w)
+	})
+}
+
+// --- counters ---
+
+// Counter is a monotone event count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (which must be >= 0 to keep the counter monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct {
+	name   string
+	help   string
+	labels []string
+
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// CounterVec registers a labeled counter family.  Label values passed
+// to With must come from a bounded set.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{
+		name: name, help: help, labels: checkLabels(labels),
+		children: make(map[string]*Counter),
+	}
+	r.register(name, v)
+	return v
+}
+
+// With returns the child counter for the given label values, creating
+// it on first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	key := labelString(v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := v.children[key]
+	if c == nil {
+		c = &Counter{}
+		v.children[key] = c
+	}
+	return c
+}
+
+func (v *CounterVec) exposition(w io.Writer) {
+	writeHeader(w, v.name, v.help, "counter")
+	v.mu.Lock()
+	keys := sortedKeys(v.children)
+	vals := make([]int64, len(keys))
+	for i, k := range keys {
+		vals[i] = v.children[k].Value()
+	}
+	v.mu.Unlock()
+	for i, k := range keys {
+		fmt.Fprintf(w, "%s_total%s %d\n", v.name, k, vals[i])
+	}
+}
+
+// --- function-backed families ---
+
+// FuncFamily exposes values computed at scrape time: counters that
+// mirror externally owned atomics, or gauges sampled from live state
+// (cache occupancy, queue depth).
+type FuncFamily struct {
+	name    string
+	help    string
+	typ     string // "counter" or "gauge"
+	labels  []string
+	mu      sync.Mutex
+	keys    []string
+	sources map[string]func() float64
+}
+
+// CounterFuncs registers a counter family whose samples are read from
+// callbacks at scrape time.  The callbacks must be monotone.
+func (r *Registry) CounterFuncs(name, help string, labels ...string) *FuncFamily {
+	return r.funcFamily(name, help, "counter", labels)
+}
+
+// GaugeFuncs registers a gauge family whose samples are read from
+// callbacks at scrape time.
+func (r *Registry) GaugeFuncs(name, help string, labels ...string) *FuncFamily {
+	return r.funcFamily(name, help, "gauge", labels)
+}
+
+func (r *Registry) funcFamily(name, help, typ string, labels []string) *FuncFamily {
+	f := &FuncFamily{
+		name: name, help: help, typ: typ, labels: checkLabels(labels),
+		sources: make(map[string]func() float64),
+	}
+	r.register(name, f)
+	return f
+}
+
+// Add attaches one sample source under the given label values.
+func (f *FuncFamily) Add(fn func() float64, values ...string) *FuncFamily {
+	key := labelString(f.labels, values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.sources[key]; dup {
+		panic("obs: duplicate sample " + f.name + key)
+	}
+	f.keys = append(f.keys, key)
+	f.sources[key] = fn
+	return f
+}
+
+func (f *FuncFamily) exposition(w io.Writer) {
+	writeHeader(w, f.name, f.help, f.typ)
+	f.mu.Lock()
+	keys := append([]string(nil), f.keys...)
+	fns := make([]func() float64, len(keys))
+	for i, k := range keys {
+		fns[i] = f.sources[k]
+	}
+	f.mu.Unlock()
+	suffix := ""
+	if f.typ == "counter" {
+		suffix = "_total"
+	}
+	for i, k := range keys {
+		fmt.Fprintf(w, "%s%s%s %s\n", f.name, suffix, k, formatFloat(fns[i]()))
+	}
+}
+
+// --- shared helpers ---
+
+func writeHeader(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// labelString renders a label set as it appears on a sample line:
+// `{a="x",b="y"}`, or "" when there are no labels.  It doubles as the
+// child key, so equal label values always share one child.
+func labelString(names, values []string) string {
+	if len(names) != len(values) {
+		panic(fmt.Sprintf("obs: %d label values for %d labels", len(values), len(names)))
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// spliceLabel inserts one extra pair into a rendered label set — the
+// histogram's le bucket bound.
+func spliceLabel(rendered, name, value string) string {
+	pair := name + `="` + escapeLabel(value) + `"`
+	if rendered == "" {
+		return "{" + pair + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + pair + "}"
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func checkLabels(labels []string) []string {
+	for _, l := range labels {
+		if !validName(l) || strings.Contains(l, ":") {
+			panic("obs: invalid label name " + strconv.Quote(l))
+		}
+		if l == "le" {
+			panic("obs: label name le is reserved for histogram buckets")
+		}
+	}
+	return labels
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterVecExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_events", "events by kind", "kind")
+	v.With("a").Add(3)
+	v.With("b").Inc()
+	v.With("a").Inc() // same child as the first: one series, count 4
+
+	var b strings.Builder
+	r.WriteOpenMetrics(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_events events by kind\n",
+		"# TYPE test_events counter\n",
+		`test_events_total{kind="a"} 4` + "\n",
+		`test_events_total{kind="b"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("exposition does not end with the EOF marker:\n%s", out)
+	}
+}
+
+func TestFuncFamilies(t *testing.T) {
+	r := NewRegistry()
+	n := int64(7)
+	r.CounterFuncs("test_mirrored", "mirrored counter").Add(func() float64 { return float64(n) })
+	r.GaugeFuncs("test_depth", "queue depth by lane", "lane").
+		Add(func() float64 { return 2 }, "fast").
+		Add(func() float64 { return 5.5 }, "slow")
+
+	var b strings.Builder
+	r.WriteOpenMetrics(&b)
+	out := b.String()
+	for _, want := range []string{
+		"test_mirrored_total 7\n",
+		`test_depth{lane="fast"} 2` + "\n",
+		`test_depth{lane="slow"} 5.5` + "\n",
+		"# TYPE test_depth gauge\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("test_latency_seconds", "latency", []float64{1, 10, 100}, "op")
+	h := v.With("run")
+	for _, x := range []float64{0.5, 1, 5, 50, 200, 300} {
+		h.Observe(x)
+	}
+	// 0.5 and 1 land in le=1 (bounds are inclusive), 5 in le=10, 50 in
+	// le=100, and 200 and 300 overflow to +Inf.
+	var b strings.Builder
+	r.WriteOpenMetrics(&b)
+	out := b.String()
+	for _, want := range []string{
+		`test_latency_seconds_bucket{op="run",le="1"} 2`,
+		`test_latency_seconds_bucket{op="run",le="10"} 3`,
+		`test_latency_seconds_bucket{op="run",le="100"} 4`,
+		`test_latency_seconds_bucket{op="run",le="+Inf"} 6`,
+		`test_latency_seconds_count{op="run"} 6`,
+		`test_latency_seconds_sum{op="run"} 556.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("Count = %d, want 6", h.Count())
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("test_conc", "concurrent", ExpBuckets(1, 2, 10)).With()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(w + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("lost observations: count %d, want 8000", got)
+	}
+	cum, sum := h.snapshot()
+	if cum[len(cum)-1] != 8000 {
+		t.Fatalf("cumulative tail %d, want 8000", cum[len(cum)-1])
+	}
+	if want := float64(1000 * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8)); sum != want {
+		t.Fatalf("sum %v, want %v", sum, want)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.0001, 4, 5)
+	want := []float64{0.0001, 0.0004, 0.0016, 0.0064, 0.0256}
+	if len(b) != len(want) {
+		t.Fatalf("len %d, want %d", len(b), len(want))
+	}
+	for i := range want {
+		if diff := b[i]/want[i] - 1; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("test_esc", "escapes", "v").With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	r.WriteOpenMetrics(&b)
+	if want := `test_esc_total{v="a\"b\\c\nd"} 1`; !strings.Contains(b.String(), want) {
+		t.Errorf("escaped sample missing %q:\n%s", want, b.String())
+	}
+}
+
+func TestDuplicateFamilyPanics(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("test_dup", "one")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate family registration did not panic")
+		}
+	}()
+	r.CounterVec("test_dup", "two")
+}
+
+func TestRunLogRing(t *testing.T) {
+	l := NewRunLog(3)
+	for i := 1; i <= 5; i++ {
+		l.Add(RunRecord{ID: string(rune('0' + i))})
+	}
+	got := l.Snapshot(0)
+	if len(got) != 3 || l.Len() != 3 {
+		t.Fatalf("ring holds %d records, want 3", len(got))
+	}
+	for i, want := range []string{"5", "4", "3"} {
+		if got[i].ID != want {
+			t.Errorf("snapshot[%d] = %q, want %q (newest first)", i, got[i].ID, want)
+		}
+	}
+	if got := l.Snapshot(2); len(got) != 2 || got[0].ID != "5" {
+		t.Errorf("bounded snapshot = %+v, want newest 2", got)
+	}
+}
+
+func TestNewRunIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewRunID()
+		if seen[id] {
+			t.Fatalf("duplicate run id %q", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// runIDBase is a per-process random prefix, so run IDs from different
+// server instances (or restarts) never collide even though the suffix
+// is a plain sequence number.
+var runIDBase = func() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fallback: uniqueness within the process still holds through
+		// the sequence; cross-process uniqueness degrades to the clock.
+		return fmt.Sprintf("t%x", time.Now().UnixNano()&0xffffffff)
+	}
+	return hex.EncodeToString(b[:])
+}()
+
+var runIDSeq atomic.Uint64
+
+// NewRunID returns a process-unique run identifier, e.g.
+// "9f1c03aa-000042".  Allocation happens once per request, never per
+// round.
+func NewRunID() string {
+	return fmt.Sprintf("%s-%06x", runIDBase, runIDSeq.Add(1))
+}
+
+// RunRecord is one finished request's trace summary: identity, where
+// its wall time went, and what the run produced.  Phase timings are
+// recorded at request granularity — nothing here is touched at the
+// round barrier.
+type RunRecord struct {
+	ID          string    `json:"id"`
+	Algo        string    `json:"algo"`
+	Engine      string    `json:"engine,omitempty"`
+	Fingerprint string    `json:"fingerprint,omitempty"`
+	Cache       string    `json:"cache,omitempty"`
+	Outcome     string    `json:"outcome"`
+	Status      int       `json:"status"`
+	Batch       int       `json:"batch,omitempty"`
+	Rounds      int       `json:"rounds,omitempty"`
+	Messages    int64     `json:"messages,omitempty"`
+	Bytes       int64     `json:"bytes,omitempty"`
+	QueueMS     float64   `json:"queue_ms"`
+	CompileMS   float64   `json:"compile_ms"`
+	RunMS       float64   `json:"run_ms"`
+	VerifyMS    float64   `json:"verify_ms"`
+	TotalMS     float64   `json:"total_ms"`
+	StartedAt   time.Time `json:"started_at"`
+}
+
+// RunLog is a bounded ring of the most recent run records, the backing
+// store of GET /v1/runs.  Writes overwrite the oldest record; Snapshot
+// returns newest first.
+type RunLog struct {
+	mu   sync.Mutex
+	buf  []RunRecord
+	next int // slot the next Add writes
+	n    int // records held (<= len(buf))
+}
+
+// NewRunLog returns a ring holding the last capacity records.
+func NewRunLog(capacity int) *RunLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RunLog{buf: make([]RunRecord, capacity)}
+}
+
+// Add appends a record, evicting the oldest when full.
+func (l *RunLog) Add(r RunRecord) {
+	l.mu.Lock()
+	l.buf[l.next] = r
+	l.next = (l.next + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// Snapshot returns up to max records, newest first; max <= 0 means all.
+func (l *RunLog) Snapshot(max int) []RunRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.n
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]RunRecord, n)
+	for i := 0; i < n; i++ {
+		out[i] = l.buf[(l.next-1-i+len(l.buf)*2)%len(l.buf)]
+	}
+	return out
+}
+
+// Len reports the number of records held.
+func (l *RunLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}

@@ -35,6 +35,9 @@ type vcBatchItem struct {
 	resp   vcResponse
 	status int
 	errMsg string
+	// runWall is the pooled run's wall time, copied to every waiter so
+	// each request's trace carries the run phase it actually waited on.
+	runWall time.Duration
 }
 
 // vcBatch is one admission window's worth of requests.
@@ -140,7 +143,12 @@ func (b *vcBatcher) run(items []*vcBatchItem) {
 	b.s.ctrs.Runs.Add(1)
 	b.s.ctrs.BatchRuns.Add(1)
 	b.s.ctrs.Batched.Add(int64(len(items)))
+	t0 := time.Now()
 	res, err := b.runner.VertexCover(ctx, gs)
+	wall := time.Since(t0)
+	for _, it := range items {
+		it.runWall = wall
+	}
 	if err != nil {
 		b.s.ctrs.RunErrors.Add(1)
 		status, msg := runStatus(err), "batch run failed: "+err.Error()
@@ -150,6 +158,17 @@ func (b *vcBatcher) run(items []*vcBatchItem) {
 		}
 		return
 	}
+	// Observe the pooled run once in the per-run histograms: the union
+	// ran to its slowest component's schedule, delivering every
+	// component's traffic.
+	var rounds int
+	var messages, bytes int64
+	for _, r := range res {
+		rounds = max(rounds, r.Rounds)
+		messages += r.Messages
+		bytes += r.Bytes
+	}
+	b.s.tel.observeRun("vertexcover", rounds, messages, bytes)
 	occupancy := len(items)
 	for gi, grp := range groups {
 		r := res[gi]
@@ -192,6 +211,8 @@ func (b *vcBatcher) run(items []*vcBatchItem) {
 func (s *Server) serveVCBatched(w http.ResponseWriter, ctx context.Context,
 	p runParams, g *anoncover.Graph, fp string, start time.Time) {
 
+	tr := traceFrom(ctx)
+	tr.label("vertexcover", fp, "batch")
 	it := &vcBatchItem{
 		g: g, fp: fp, whash: hashWeights(g.Weights()),
 		verify: p.verify, done: make(chan struct{}),
@@ -199,12 +220,15 @@ func (s *Server) serveVCBatched(w http.ResponseWriter, ctx context.Context,
 	s.batch.submit(it)
 	select {
 	case <-it.done:
+		tr.mark(phaseRun, it.runWall)
 		if it.errMsg != "" {
 			writeError(w, it.status, "%s", it.errMsg)
 			return
 		}
 		resp := it.resp
 		resp.ElapsedMS = msSince(start)
+		tr.setBatch(resp.Batch)
+		tr.result(resp.Rounds, resp.Messages, resp.Bytes)
 		writeJSON(w, http.StatusOK, resp)
 	case <-ctx.Done():
 		s.waitFailure(w, ctx)

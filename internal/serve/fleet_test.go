@@ -273,8 +273,15 @@ func TestServeStreamHeartbeat(t *testing.T) {
 			t.Fatalf("status %d", code)
 		}
 		first := strings.SplitN(string(data), "\n", 2)[0]
-		if first != `{"stream":"vertexcover"}` {
-			t.Fatalf("first ndjson line %q, want stream header", first)
+		var hdr struct {
+			Stream string `json:"stream"`
+			RunID  string `json:"run_id"`
+		}
+		if err := json.Unmarshal([]byte(first), &hdr); err != nil {
+			t.Fatalf("first ndjson line %q does not parse: %v", first, err)
+		}
+		if hdr.Stream != "vertexcover" || hdr.RunID == "" {
+			t.Fatalf("first ndjson line %q, want stream header with run id", first)
 		}
 	})
 	t.Run("sse-comment", func(t *testing.T) {
@@ -282,7 +289,9 @@ func TestServeStreamHeartbeat(t *testing.T) {
 		if code != http.StatusOK {
 			t.Fatalf("status %d", code)
 		}
-		if !strings.HasPrefix(string(data), ": stream vertexcover\n\n") {
+		first := strings.SplitN(string(data), "\n", 2)[0]
+		if !strings.HasPrefix(first, ": stream vertexcover run ") ||
+			strings.TrimPrefix(first, ": stream vertexcover run ") == "" {
 			t.Fatalf("sse stream does not open with the heartbeat comment:\n%s", data)
 		}
 	})

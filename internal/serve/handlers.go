@@ -20,15 +20,16 @@ import (
 
 // runParams are the per-request knobs, parsed from the query string.
 type runParams struct {
-	model     string // "port" (default) or "broadcast"; vertex cover only
-	engine    []anoncover.Option
-	budget    int
-	verify    bool
-	earlyExit bool
-	scramble  int64
-	progress  string // "", "ndjson" or "sse"
-	every     int    // stream every N rounds
-	timeout   time.Duration
+	model      string // "port" (default) or "broadcast"; vertex cover only
+	engine     []anoncover.Option
+	engineName string // non-empty when the request overrides the engine
+	budget     int
+	verify     bool
+	earlyExit  bool
+	scramble   int64
+	progress   string // "", "ndjson" or "sse"
+	every      int    // stream every N rounds
+	timeout    time.Duration
 }
 
 func (s *Server) parseRunParams(r *http.Request) (runParams, error) {
@@ -55,6 +56,7 @@ func (s *Server) parseRunParams(r *http.Request) (runParams, error) {
 			return p, fmt.Errorf("unknown engine %q", e)
 		}
 		p.engine = append(p.engine, anoncover.WithEngine(eng))
+		p.engineName = e
 	}
 	if w := q.Get("workers"); w != "" {
 		n, err := strconv.Atoi(w)
@@ -217,9 +219,13 @@ func (p *runParams) batchable() bool {
 }
 
 // admit runs admission control and reports whether the request may
-// proceed; on refusal the response has already been written.
+// proceed; on refusal the response has already been written.  The time
+// spent waiting for a run slot is the request's queue phase.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
-	if err := s.adm.acquire(r.Context()); err != nil {
+	t0 := time.Now()
+	err := s.adm.acquire(r.Context())
+	traceFrom(r.Context()).mark(phaseQueue, time.Since(t0))
+	if err != nil {
 		s.ctrs.Rejected.Add(1)
 		if errors.Is(err, errBusy) {
 			writeError(w, http.StatusServiceUnavailable, "run queue full; retry later")
@@ -397,7 +403,10 @@ func (s *Server) handleVertexCover(w http.ResponseWriter, r *http.Request) {
 	}
 	e, hit, err := s.vc.acquire(ctx, fp, func() (*anoncover.Solver, error) {
 		s.ctrs.Compiles.Add(1)
-		return anoncover.Compile(g, s.sessionOpts()...)
+		t0 := time.Now()
+		sol, cerr := anoncover.Compile(g, s.sessionOpts()...)
+		traceFrom(ctx).mark(phaseCompile, time.Since(t0))
+		return sol, cerr
 	})
 	if err != nil {
 		writeError(w, s.compileStatus(err), "compiling solver: %v", err)
@@ -468,10 +477,13 @@ func (s *Server) serveVC(w http.ResponseWriter, ctx context.Context, p runParams
 		algo = "vertexcover-broadcast"
 	}
 	mkey := p.memoKey(algo, whash)
+	tr := traceFrom(ctx)
+	tr.label(algo, fp, cacheLabel)
+	tr.setEngine(p.engineName)
 
 	if p.progress != "" {
 		stream, obs := newStream(w, p)
-		stream.start(algo)
+		stream.start(algo, tr.runID())
 		resp, status, errMsg := s.execVC(ctx, p, e, fp, weights, algo, cacheLabel, obs)
 		if errMsg != "" {
 			stream.fail(status, "%s", errMsg)
@@ -483,6 +495,8 @@ func (s *Server) serveVC(w http.ResponseWriter, ctx context.Context, p runParams
 	}
 
 	serve := func(resp vcResponse, label string) {
+		tr.setCache(label)
+		tr.result(resp.Rounds, resp.Messages, resp.Bytes)
 		resp.Cache = label
 		resp.ElapsedMS = msSince(start)
 		writeJSON(w, http.StatusOK, resp)
@@ -514,6 +528,17 @@ func (s *Server) serveVC(w http.ResponseWriter, ctx context.Context, p runParams
 		case <-f.done:
 			if f.errMsg == "" {
 				serve(f.resp.(vcResponse), "coalesced")
+				return
+			}
+			if ctx.Err() != nil {
+				// Both channels were ready and the select picked
+				// f.done: this joiner's own context died while the
+				// shared run failed.  Classify by OUR context — the
+				// leader's failure already moved the leader's counter,
+				// and without this check an abandoned joiner would be
+				// reported under the leader's status and counted
+				// nowhere.
+				s.waitFailure(w, ctx)
 				return
 			}
 			if retryShared(f.status, ctx) {
@@ -548,16 +573,20 @@ func (s *Server) execVC(ctx context.Context, p runParams, e *entry[*anoncover.So
 	obs func(anoncover.RoundInfo)) (vcResponse, int, string) {
 
 	s.ctrs.Runs.Add(1)
+	tr := traceFrom(ctx)
 	var res *anoncover.VertexCoverResult
 	var err error
+	t0 := time.Now()
 	if p.model == "broadcast" {
 		res, err = e.solver.VertexCoverBroadcast(ctx, p.options(weights, obs)...)
 	} else {
 		res, err = e.solver.VertexCover(ctx, p.options(weights, obs)...)
 	}
+	tr.mark(phaseRun, time.Since(t0))
 	if err != nil {
 		return vcResponse{}, s.failStatus(err), fmt.Sprintf("run failed: %v", err)
 	}
+	s.tel.observeRun(algo, res.Rounds, res.Messages, res.Bytes)
 	resp := vcResponse{
 		Fingerprint: fp, Algorithm: algo,
 		N: len(res.Cover), M: len(res.Packing),
@@ -567,7 +596,10 @@ func (s *Server) execVC(ctx context.Context, p runParams, e *entry[*anoncover.So
 	}
 	resp.CoverSize = len(resp.Cover)
 	if p.verify {
-		if verr := res.Verify(); verr != nil {
+		t0 = time.Now()
+		verr := res.Verify()
+		tr.mark(phaseVerify, time.Since(t0))
+		if verr != nil {
 			s.ctrs.RunErrors.Add(1)
 			return vcResponse{}, http.StatusInternalServerError, fmt.Sprintf("INVARIANT VIOLATION: %v", verr)
 		}
@@ -617,7 +649,10 @@ func (s *Server) handleSetCover(w http.ResponseWriter, r *http.Request) {
 	fp := ins.Fingerprint()
 	e, hit, err := s.sc.acquire(ctx, fp, func() (*anoncover.SetCoverSolver, error) {
 		s.ctrs.Compiles.Add(1)
-		return anoncover.CompileSetCover(ins, s.sessionOpts()...)
+		t0 := time.Now()
+		sol, cerr := anoncover.CompileSetCover(ins, s.sessionOpts()...)
+		traceFrom(ctx).mark(phaseCompile, time.Since(t0))
+		return sol, cerr
 	})
 	if err != nil {
 		writeError(w, s.compileStatus(err), "compiling solver: %v", err)
@@ -679,10 +714,13 @@ func (s *Server) serveSC(w http.ResponseWriter, ctx context.Context, p runParams
 	}
 
 	mkey := p.memoKey("setcover", whash)
+	tr := traceFrom(ctx)
+	tr.label("setcover", fp, cacheLabel)
+	tr.setEngine(p.engineName)
 
 	if p.progress != "" {
 		stream, obs := newStream(w, p)
-		stream.start("setcover")
+		stream.start("setcover", tr.runID())
 		resp, status, errMsg := s.execSC(ctx, p, e, fp, weights, cacheLabel, obs)
 		if errMsg != "" {
 			stream.fail(status, "%s", errMsg)
@@ -694,6 +732,8 @@ func (s *Server) serveSC(w http.ResponseWriter, ctx context.Context, p runParams
 	}
 
 	serve := func(resp scResponse, label string) {
+		tr.setCache(label)
+		tr.result(resp.Rounds, resp.Messages, resp.Bytes)
 		resp.Cache = label
 		resp.ElapsedMS = msSince(start)
 		writeJSON(w, http.StatusOK, resp)
@@ -727,6 +767,12 @@ func (s *Server) serveSC(w http.ResponseWriter, ctx context.Context, p runParams
 				serve(f.resp.(scResponse), "coalesced")
 				return
 			}
+			if ctx.Err() != nil {
+				// As in serveVC: an abandoned joiner is classified by
+				// its own dead context, not the leader's failure.
+				s.waitFailure(w, ctx)
+				return
+			}
 			if retryShared(f.status, ctx) {
 				continue
 			}
@@ -746,10 +792,14 @@ func (s *Server) execSC(ctx context.Context, p runParams, e *entry[*anoncover.Se
 	obs func(anoncover.RoundInfo)) (scResponse, int, string) {
 
 	s.ctrs.Runs.Add(1)
+	tr := traceFrom(ctx)
+	t0 := time.Now()
 	res, err := e.solver.SetCover(ctx, p.options(weights, obs)...)
+	tr.mark(phaseRun, time.Since(t0))
 	if err != nil {
 		return scResponse{}, s.failStatus(err), fmt.Sprintf("run failed: %v", err)
 	}
+	s.tel.observeRun("setcover", res.Rounds, res.Messages, res.Bytes)
 	resp := scResponse{
 		Fingerprint: fp, Algorithm: "setcover",
 		Subsets: len(res.Cover), Elements: len(res.Packing),
@@ -760,7 +810,10 @@ func (s *Server) execSC(ctx context.Context, p runParams, e *entry[*anoncover.Se
 	}
 	resp.CoverSize = len(resp.Cover)
 	if p.verify {
-		if verr := res.Verify(); verr != nil {
+		t0 = time.Now()
+		verr := res.Verify()
+		tr.mark(phaseVerify, time.Since(t0))
+		if verr != nil {
 			s.ctrs.RunErrors.Add(1)
 			return scResponse{}, http.StatusInternalServerError, fmt.Sprintf("INVARIANT VIOLATION: %v", verr)
 		}

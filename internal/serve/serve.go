@@ -33,6 +33,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"time"
@@ -85,6 +86,12 @@ type Config struct {
 	// BatchLimit flushes a window early once this many requests are
 	// parked in it.  Default 64.
 	BatchLimit int
+	// Logger receives one structured access-log record per request plus
+	// request-lifecycle events.  nil discards logs (tests, embedding).
+	Logger *slog.Logger
+	// RunLogSize bounds the run-trace ring served by GET /v1/runs.
+	// Default 256.
+	RunLogSize int
 	// engineSet distinguishes an explicit EngineSequential (0) from an
 	// unset field; WithEngineDefault sets it.
 	engineSet bool
@@ -142,7 +149,10 @@ type Server struct {
 	ctrs    counters
 	flights *flights
 	batch   *vcBatcher // nil when BatchWindow is 0
+	tel     *telemetry
 	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the telemetry middleware
+	started time.Time
 }
 
 // New builds a Server from cfg.
@@ -152,6 +162,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		adm:     newAdmission(cfg.MaxConcurrent, cfg.QueueDepth),
 		flights: newFlights(),
+		started: time.Now(),
 	}
 	s.vc = newCache[*anoncover.Solver](cfg.CacheSize, cfg.MemoSize, &s.ctrs)
 	s.sc = newCache[*anoncover.SetCoverSolver](cfg.CacheSize, cfg.MemoSize, &s.ctrs)
@@ -174,16 +185,21 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/solvers/setcover", s.handleWarmSetCover)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.tel = newTelemetry(s, cfg.Logger, cfg.RunLogSize)
+	mux.HandleFunc("GET /v1/runs", s.handleRuns)
+	mux.Handle("GET /metrics", s.MetricsHandler())
 	s.mux = mux
+	s.handler = s.instrument(mux)
 	return s
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler: the route mux wrapped in
+// the telemetry middleware (run IDs, latency histograms, access logs).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	s.handler.ServeHTTP(w, r)
 }
 
 // Close evicts and closes every cached solver and releases the batch
@@ -206,6 +222,13 @@ func (s *Server) Stats() Stats {
 	st.PinnedSolvers = s.vc.pinnedCount() + s.sc.pinnedCount()
 	st.InFlight = s.adm.inFlight()
 	st.Queued = s.adm.queued()
+	st.StartedAt = s.started
+	st.UptimeSeconds = time.Since(s.started).Seconds()
+	bi := buildInfo()
+	st.GoVersion = bi.goVersion
+	if bi.revision != "unknown" {
+		st.Revision = bi.revision
+	}
 	return st
 }
 

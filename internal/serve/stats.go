@@ -1,6 +1,9 @@
 package serve
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // counters are the service's monotone event counts.  Every field is
 // updated lock-free on the request path; Stats snapshots them for the
@@ -48,6 +51,13 @@ type Stats struct {
 	PinnedSolvers      int `json:"pinned_solvers"`      // cached solvers pinned against eviction
 	InFlight           int `json:"in_flight"`           // requests holding a run slot
 	Queued             int `json:"queued"`              // requests admitted (running or waiting)
+
+	// Process identity: when this server started, how long it has been
+	// up, and what build is running (Go toolchain + VCS revision).
+	StartedAt     time.Time `json:"started_at"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	GoVersion     string    `json:"go_version"`
+	Revision      string    `json:"revision,omitempty"`
 }
 
 func (c *counters) snapshot() Stats {

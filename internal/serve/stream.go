@@ -51,18 +51,19 @@ func newStream(w http.ResponseWriter, p runParams) (*stream, func(anoncover.Roun
 // status line, headers and a heartbeat — an SSE comment or an ndjson
 // header line — so proxies and clients see bytes immediately instead
 // of staring at an unwritten status line while a slow first round (or
-// a large progress_every filter) withholds the first record.  Plain
-// mode is a no-op.
-func (st *stream) start(algo string) {
+// a large progress_every filter) withholds the first record.  The
+// header carries the request's run ID so a streamed run can be matched
+// to its /v1/runs record and access-log line.  Plain mode is a no-op.
+func (st *stream) start(algo, runID string) {
 	if st.mode == "" {
 		return
 	}
 	st.begin()
 	switch st.mode {
 	case "sse":
-		fmt.Fprintf(st.w, ": stream %s\n\n", algo)
+		fmt.Fprintf(st.w, ": stream %s run %s\n\n", algo, runID)
 	default: // ndjson header line; round records never carry "stream"
-		fmt.Fprintf(st.w, "{\"stream\":%q}\n", algo)
+		fmt.Fprintf(st.w, "{\"stream\":%q,\"run_id\":%q}\n", algo, runID)
 	}
 	if f, ok := st.w.(http.Flusher); ok {
 		f.Flush()

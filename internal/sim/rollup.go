@@ -1,0 +1,68 @@
+package sim
+
+import "sort"
+
+// TraceRollup condenses a traced run's per-round measurements into the
+// summary numbers a telemetry pipeline or bench harness wants: totals,
+// extremes, the mean, and tail quantiles of the per-round wall time.
+// It exists so callers exporting run telemetry do not each re-derive
+// the same aggregation from the raw RoundNanos/RoundAllocs slices.
+type TraceRollup struct {
+	Rounds int // traced rounds (len of the trace slices)
+
+	TotalNanos int64 // sum of per-round wall time
+	MinNanos   int64
+	MaxNanos   int64
+	MeanNanos  float64
+	P50Nanos   int64 // median per-round wall time
+	P99Nanos   int64 // 99th-percentile per-round wall time
+
+	TotalAllocs uint64 // sum of per-round heap allocations
+	MaxAllocs   uint64 // worst single round
+}
+
+// Rollup aggregates the trace slices.  It returns the zero rollup when
+// the run was not traced (Options.Trace unset).  Quantiles use the
+// nearest-rank method on the sorted per-round times: P50 of a 4-round
+// trace is the 2nd-smallest value, P99 of anything under 100 rounds is
+// the maximum.
+func (s *Stats) Rollup() TraceRollup {
+	n := len(s.RoundNanos)
+	if n == 0 {
+		return TraceRollup{}
+	}
+	r := TraceRollup{Rounds: n, MinNanos: s.RoundNanos[0]}
+	sorted := make([]int64, n)
+	copy(sorted, s.RoundNanos)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, ns := range s.RoundNanos {
+		r.TotalNanos += ns
+		if ns < r.MinNanos {
+			r.MinNanos = ns
+		}
+		if ns > r.MaxNanos {
+			r.MaxNanos = ns
+		}
+	}
+	r.MeanNanos = float64(r.TotalNanos) / float64(n)
+	r.P50Nanos = sorted[rank(50, n)]
+	r.P99Nanos = sorted[rank(99, n)]
+	for _, a := range s.RoundAllocs {
+		r.TotalAllocs += a
+		if a > r.MaxAllocs {
+			r.MaxAllocs = a
+		}
+	}
+	return r
+}
+
+// rank returns the index of the nearest-rank p-th percentile in a
+// sorted slice of length n: ceil(p/100 * n) converted to a 0-based
+// index.
+func rank(p, n int) int {
+	i := (p*n + 99) / 100
+	if i < 1 {
+		i = 1
+	}
+	return i - 1
+}

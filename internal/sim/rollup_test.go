@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"testing"
+
+	"anoncover/internal/graph"
+)
+
+func TestTraceRollup(t *testing.T) {
+	s := Stats{
+		RoundNanos:  []int64{40, 10, 30, 20},
+		RoundAllocs: []uint64{0, 5, 2, 0},
+	}
+	r := s.Rollup()
+	if r.Rounds != 4 {
+		t.Fatalf("Rounds = %d, want 4", r.Rounds)
+	}
+	if r.TotalNanos != 100 || r.MinNanos != 10 || r.MaxNanos != 40 {
+		t.Errorf("total/min/max = %d/%d/%d, want 100/10/40",
+			r.TotalNanos, r.MinNanos, r.MaxNanos)
+	}
+	if r.MeanNanos != 25 {
+		t.Errorf("MeanNanos = %v, want 25", r.MeanNanos)
+	}
+	// Nearest rank on sorted {10,20,30,40}: P50 -> 2nd value, P99 -> max.
+	if r.P50Nanos != 20 {
+		t.Errorf("P50Nanos = %d, want 20", r.P50Nanos)
+	}
+	if r.P99Nanos != 40 {
+		t.Errorf("P99Nanos = %d, want 40", r.P99Nanos)
+	}
+	if r.TotalAllocs != 7 || r.MaxAllocs != 5 {
+		t.Errorf("allocs total/max = %d/%d, want 7/5", r.TotalAllocs, r.MaxAllocs)
+	}
+}
+
+func TestTraceRollupUntraced(t *testing.T) {
+	var s Stats
+	s.Rounds, s.Messages = 12, 99 // run stats without a trace
+	if r := s.Rollup(); r != (TraceRollup{}) {
+		t.Fatalf("untraced rollup = %+v, want zero", r)
+	}
+}
+
+// TestTraceRollupFromRun pins the rollup against a real traced run: it
+// must cover every executed round and keep its quantiles ordered.
+func TestTraceRollupFromRun(t *testing.T) {
+	g := graph.Cycle(8)
+	progs := make([]BroadcastProgram, g.N())
+	for v := range progs {
+		progs[v] = &sumProg{}
+		progs[v].Init(Env{})
+	}
+	stats, err := RunBroadcast(g, progs, 5, Options{Engine: Sequential, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.Rollup()
+	if r.Rounds != stats.Rounds {
+		t.Fatalf("rollup rounds %d != run rounds %d", r.Rounds, stats.Rounds)
+	}
+	if r.TotalNanos <= 0 || r.MaxNanos < r.P99Nanos || r.P99Nanos < r.P50Nanos || r.P50Nanos < r.MinNanos {
+		t.Fatalf("rollup ordering violated: %+v", r)
+	}
+}
