@@ -14,6 +14,15 @@
 //	anoncoverd -addr :8080 -engine sharded -workers 4 -cache 32 -maxbudget 100000
 //	anoncoverd -addr :8080 -log-format json -debug-addr localhost:6060
 //
+// Distributed mode splits one instance across processes: start shard
+// workers, then a coordinator pointed at them.  Plain port-model
+// vertex-cover requests execute across the fleet; everything else
+// serves locally, bit-identical either way.
+//
+//	anoncoverd -worker -addr 127.0.0.1:9001
+//	anoncoverd -worker -addr 127.0.0.1:9002
+//	anoncoverd -addr :8080 -dist-workers 127.0.0.1:9001,127.0.0.1:9002
+//
 // Smoke it with curl:
 //
 //	curl -s -X POST --data-binary @graph.txt 'localhost:8080/v1/vertexcover?verify=true'
@@ -35,12 +44,54 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"anoncover"
+	"anoncover/internal/dist"
 	"anoncover/internal/serve"
 )
+
+// runWorker runs the process as one distributed shard worker: it
+// serves the dist frame protocol on addr until SIGTERM/SIGINT, then
+// drains gracefully — in-flight runs finish their rounds and flush
+// their final halo frames before the listener closes — mirroring the
+// HTTP server's shutdown path.
+func runWorker(logger *slog.Logger, addr string, frameTimeout time.Duration) int {
+	w := dist.NewWorker()
+	if frameTimeout > 0 {
+		w.FrameTimeout = frameTimeout
+	}
+	if err := w.Listen(addr); err != nil {
+		logger.Error("anoncoverd: worker listen failed", "error", err)
+		return 1
+	}
+	logger.Info("anoncoverd: worker serving", "addr", w.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sig := <-stop
+		logger.Info("anoncoverd: worker draining", "signal", sig.String())
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := w.Shutdown(ctx); err != nil {
+			logger.Warn("anoncoverd: worker drain incomplete", "error", err)
+		}
+	}()
+
+	err := w.Serve()
+	<-drained
+	if err != nil {
+		logger.Error("anoncoverd: worker serve failed", "error", err)
+		return 1
+	}
+	logger.Info("anoncoverd: worker bye")
+	return 0
+}
 
 func main() {
 	var (
@@ -62,6 +113,9 @@ func main() {
 		logLevel    = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
 		runLog      = flag.Int("runlog", 0, "run summaries kept for GET /v1/runs; 0 = default 256")
 		debugAddr   = flag.String("debug-addr", "", "listen address for the debug mux (net/http/pprof + /metrics); empty disables")
+		workerMode  = flag.Bool("worker", false, "run as a distributed shard worker on -addr instead of serving HTTP")
+		distWorkers = flag.String("dist-workers", "", "comma-separated worker addresses; makes this server the coordinator of a distributed fleet")
+		distTimeout = flag.Duration("dist-timeout", 0, "frame/barrier timeout for distributed mode; 0 = default")
 	)
 	flag.Parse()
 
@@ -71,6 +125,10 @@ func main() {
 		os.Exit(2)
 	}
 	slog.SetDefault(logger)
+
+	if *workerMode {
+		os.Exit(runWorker(logger, *addr, *distTimeout))
+	}
 
 	cfg := serve.Config{
 		CacheSize:     *cacheSize,
@@ -91,6 +149,14 @@ func main() {
 		cfg.MemoSize = -1
 	} else {
 		cfg.MemoSize = *memoSize
+	}
+	if *distWorkers != "" {
+		for _, a := range strings.Split(*distWorkers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cfg.WorkerAddrs = append(cfg.WorkerAddrs, a)
+			}
+		}
+		cfg.DistTimeout = *distTimeout
 	}
 	switch *engine {
 	case "sequential":

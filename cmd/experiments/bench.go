@@ -341,6 +341,7 @@ func benchMatrix(path string, quick bool) {
 	solverReuseRows(&file, quick)
 	serverRows(&file, quick)
 	fleetRows(&file, quick)
+	stragglerRows(&file, quick)
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		panic(err)
@@ -514,7 +515,7 @@ func solverReuseThroughputRows(file *benchFile, procs int) {
 			// per request.
 			return runOnce(sc.g, nil)
 		})
-		st := shard.BuildK(graph.Flatten(sc.g), workers)
+		st := shard.BuildK(graph.MustFlatten(sc.g), workers)
 		pool := sim.NewPool()
 		measure("solver", func() sim.Stats {
 			return runOnce(st, pool)

@@ -39,7 +39,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: e1..e13, a1, a3, bench, reuse, or all")
-	benchOut := flag.String("out", "BENCH_6.json", "output path for the -exp bench scenario matrix")
+	benchOut := flag.String("out", "BENCH_8.json", "output path for the -exp bench scenario matrix")
 	quick := flag.Bool("quick", false, "shrink -exp bench to a seconds-long smoke (small instances, fewer samples)")
 	flag.Parse()
 	all := map[string]func(){
@@ -49,9 +49,10 @@ func main() {
 		"e10": e10BroadcastVC, "e11": e11Frucht, "e12": e12Engines,
 		"e13": e13SelfStab,
 		"a1":  a1PhaseBreakdown, "a3": a3EarlyExit,
-		"bench": func() { benchMatrix(*benchOut, *quick) },
-		"reuse": func() { var f benchFile; solverReuseRows(&f, *quick) },
-		"fleet": func() { var f benchFile; fleetRows(&f, *quick) },
+		"bench":     func() { benchMatrix(*benchOut, *quick) },
+		"reuse":     func() { var f benchFile; solverReuseRows(&f, *quick) },
+		"fleet":     func() { var f benchFile; fleetRows(&f, *quick) },
+		"straggler": func() { var f benchFile; stragglerRows(&f, *quick) },
 	}
 	if *exp == "all" {
 		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "a1", "a3"} {

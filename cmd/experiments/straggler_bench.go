@@ -1,0 +1,167 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"anoncover/internal/dist"
+	"anoncover/internal/graph"
+	"anoncover/internal/shard"
+	"anoncover/internal/sim"
+)
+
+// stragglerProg is the straggler workload's per-node program: the
+// wireport message shape (edgepack's 3-word offer lanes) plus an
+// injected per-shard stall.  Each round one pseudorandomly chosen
+// shard is slow — its agent node (the shard's first owned node)
+// sleeps for the spike duration inside Send, i.e. inside the round's
+// compute phase, exactly where a real straggler (a blocking syscall,
+// a page fault storm, a noisy neighbor's preemption) lands.  The
+// stall sleeps rather than spins so it models a shard that is slow,
+// not one that is hogging the machine: the CPU stays available, and
+// whether other shards can use it is decided purely by the barrier
+// semantics under test.
+type stragglerProg struct {
+	*wirePortProg
+	shard int           // shard owning this node
+	agent bool          // first node of its shard: carries the spike
+	k     int           // shard count (spike schedule modulus)
+	spike time.Duration // injected compute per spiking shard-round
+}
+
+// spikeShard picks the slow shard for a round, deterministically so
+// both engines (and every sample) see the identical schedule.  The
+// splitmix64 finalizer jumps the spike around the fleet: a weaker
+// mixer (a bare multiplicative hash) walks the spike one shard every
+// other round, which delay propagation — travelling one shard-hop per
+// round — tracks perfectly, collapsing the per-pair barrier's
+// advantage to a measurement of the resonance, not the barrier.
+func spikeShard(r, k int) int {
+	x := uint64(r+1) * 0x9E3779B97F4A7C15
+	x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
+	x = (x ^ x>>27) * 0x94D049BB133111EB
+	return int((x ^ x>>31) % uint64(k))
+}
+
+func (p *stragglerProg) Send(r int) []sim.Message {
+	if p.agent && spikeShard(r, p.k) == p.shard {
+		time.Sleep(p.spike)
+	}
+	return p.wirePortProg.Send(r)
+}
+
+func (p *stragglerProg) SendWire(r int, out []uint64) (int64, int64, bool) {
+	if p.agent && spikeShard(r, p.k) == p.shard {
+		time.Sleep(p.spike)
+	}
+	return p.wirePortProg.SendWire(r, out)
+}
+
+// stragglerRows measures what the per-pair barrier buys over a global
+// barrier when shards straggle.  Workload: the wireport message shape
+// with one pseudorandomly chosen shard per round paying a fixed
+// compute spike.  Under the in-process sharded engine's global
+// barrier, every round ends when the slowest shard does, so the run
+// pays every spike in full: wall ≈ rounds × spike.  Under the
+// distributed engine the phase barrier is per cut-edge pair with
+// bounded generation skew: a shard waits only for the neighbors whose
+// halo lanes it actually consumes, so a spike delays the rest of the
+// fleet only as far as delay propagation carries it (one shard-hop
+// per round), and non-adjacent shards run through it.  The headline
+// is per-pair wall < global wall on the identical schedule — the
+// motivating case for the distributed transport's pairwise sync.
+//
+// The comparison deliberately includes the distributed engine's
+// loopback TCP framing cost: the win must survive real transport
+// overhead, not be measured net of it.
+func stragglerRows(file *benchFile, quick bool) {
+	fmt.Println("\nstraggler workload: one slow shard per round — global vs per-pair barrier")
+	fmt.Println("| family | n | k | spike | rounds | mode | wall | speedup |")
+	fmt.Println("|---|---|---|---|---|---|---|---|")
+
+	const k = 8
+	side, rounds, runs := 48, 32, 5
+	spike := 1 * time.Millisecond
+	if quick {
+		side, rounds, runs = 24, 12, 3
+	}
+	procs := runtime.GOMAXPROCS(0)
+
+	g := graph.Grid(side, side)
+	family := fmt.Sprintf("grid-%dx%d", side, side)
+	ft := g.Flat()
+	st := shard.BuildK(ft, k)
+	part := st.Part()
+
+	// Shard assignment and per-shard agent nodes, from the same
+	// partition both engines execute.
+	shardOf := make([]int, g.N())
+	agent := make(map[int32]bool, k)
+	for s, nodes := range part.Nodes {
+		for _, v := range nodes {
+			shardOf[v] = s
+		}
+		if len(nodes) > 0 {
+			agent[nodes[0]] = true
+		}
+	}
+	progs := func() []sim.PortProgram {
+		out := make([]sim.PortProgram, g.N())
+		for v := range out {
+			out[v] = &stragglerProg{
+				wirePortProg: newWirePortProg(ft.Deg(v)),
+				shard:        shardOf[v], agent: agent[int32(v)],
+				k: part.K(), spike: spike,
+			}
+		}
+		return out
+	}
+
+	cluster := dist.NewCluster(k)
+	modes := []struct {
+		name string
+		opt  sim.Options
+	}{
+		{"global-barrier", sim.Options{Engine: sim.Sharded, Workers: k}},
+		{"per-pair", sim.Options{Engine: sim.Distributed, Dist: cluster, Workers: k}},
+	}
+	walls := make([]int64, len(modes))
+	for mi, m := range modes {
+		sample := func() int64 {
+			start := time.Now()
+			if _, err := sim.RunPort(st, progs(), rounds, m.opt); err != nil {
+				panic(err)
+			}
+			return time.Since(start).Nanoseconds()
+		}
+		sample() // warm (dials the mesh, faults the arenas)
+		samples := make([]int64, 0, runs)
+		for i := 0; i < runs; i++ {
+			samples = append(samples, sample())
+		}
+		sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+		walls[mi] = samples[len(samples)/2]
+
+		engine := fmt.Sprintf("sharded-%d", k)
+		if m.opt.Engine == sim.Distributed {
+			engine = fmt.Sprintf("distributed-%d", k)
+		}
+		file.Rows = append(file.Rows, benchRow{
+			Engine: engine, Workers: k, Mode: m.name,
+			Workload:   fmt.Sprintf("straggler-%dr-%s", rounds, spike),
+			Gomaxprocs: procs, Family: family, N: g.N(),
+			HalfEdges: ft.HalfEdges(), CutEdges: part.CutEdges,
+			Rounds: rounds, WallNS: walls[mi],
+			NsPerNodeRound: float64(walls[mi]) / float64(rounds) / float64(g.N()),
+		})
+		speedup := "—"
+		if mi > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(walls[0])/float64(walls[mi]))
+		}
+		fmt.Printf("| %s | %d | %d | %v | %d | %s | %v | %s |\n",
+			family, g.N(), k, spike, rounds, m.name,
+			time.Duration(walls[mi]).Round(time.Microsecond), speedup)
+	}
+}

@@ -5,4 +5,4 @@ import "anoncover/internal/graph"
 // Flat returns the CSR view of the instance over its combined node
 // space (subsets first, then elements), so set-cover instances run
 // through the same compact simulator path as plain graphs.
-func (ins *Instance) Flat() *graph.FlatTopology { return graph.Flatten(ins) }
+func (ins *Instance) Flat() *graph.FlatTopology { return graph.MustFlatten(ins) }

@@ -324,6 +324,9 @@ type Options struct {
 	RoundBudget int
 	Observer    func(sim.RoundInfo)
 	Pool        *sim.Pool
+	// Dist is the process-spanning runner required when Engine is
+	// sim.Distributed (see sim.Options.Dist); ignored otherwise.
+	Dist sim.DistRunner
 	// NoWire forces the boxed simulator delivery path; results are
 	// identical either way (equivalence tests and ablations).
 	NoWire bool
@@ -372,7 +375,7 @@ func Run(g *graph.G, opt Options) (*Result, error) {
 	}
 	stats, err := sim.RunBroadcast(top, progs, rounds, sim.Options{
 		Engine: opt.Engine, Workers: opt.Workers, ScrambleSeed: opt.ScrambleSeed,
-		Context: opt.Context, RoundBudget: opt.RoundBudget,
+		Dist: opt.Dist, Context: opt.Context, RoundBudget: opt.RoundBudget,
 		Observer: opt.Observer, Pool: opt.Pool, NoWire: opt.NoWire,
 	})
 	if err != nil {

@@ -1,0 +1,11 @@
+package bcastvc
+
+import "encoding/gob"
+
+// hMsg (a subset node's full message history) is what crosses shard
+// boundaries when the broadcast algorithm runs on the distributed
+// transport; its inner messages are fracpack types registered by that
+// package's own init.
+func init() {
+	gob.Register(hMsg{})
+}

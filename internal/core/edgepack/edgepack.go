@@ -686,6 +686,9 @@ type Options struct {
 	RoundBudget int
 	Observer    func(sim.RoundInfo)
 	Pool        *sim.Pool
+	// Dist is the process-spanning runner required when Engine is
+	// sim.Distributed (see sim.Options.Dist); ignored otherwise.
+	Dist sim.DistRunner
 	// NoWire forces the boxed simulator path (sim.Options.NoWire); the
 	// equivalence tests and ablation benchmarks use it.  Results are
 	// identical either way.
@@ -809,7 +812,7 @@ func runOnce(g *graph.G, envs []sim.Env, rounds int, top sim.Topology, opt Optio
 		progs[v] = nodes[v]
 	}
 	stats, err := sim.RunPort(top, progs, rounds, sim.Options{
-		Engine: opt.Engine, Workers: opt.Workers,
+		Engine: opt.Engine, Workers: opt.Workers, Dist: opt.Dist,
 		Context: opt.Context, RoundBudget: opt.RoundBudget,
 		Observer: opt.Observer, Pool: opt.Pool, NoWire: noWire,
 	})
@@ -817,6 +820,27 @@ func runOnce(g *graph.G, envs []sim.Env, rounds int, top sim.Topology, opt Optio
 		return nil, err
 	}
 
+	outs := make([]NodeResult, g.N())
+	for v := range outs {
+		outs[v] = nodes[v].Output().(NodeResult)
+	}
+	res, aerr := AssembleResult(g, outs, rounds, stats)
+	if aerr != nil {
+		panic(aerr)
+	}
+	return res, nil
+}
+
+// AssembleResult turns per-node outputs into a run Result: the edge
+// packing gathered from both endpoints (which must agree — a
+// disagreement means the outputs do not come from one lockstep run)
+// and the cover bits.  Exported for the distributed coordinator, which
+// gathers NodeResults from workers over the wire and assembles them
+// exactly as an in-process run would.
+func AssembleResult(g *graph.G, outs []NodeResult, rounds int, stats sim.Stats) (*Result, error) {
+	if len(outs) != g.N() {
+		return nil, fmt.Errorf("edgepack: %d node outputs for %d nodes", len(outs), g.N())
+	}
 	res := &Result{
 		Y:      make([]rational.Rat, g.M()),
 		Cover:  make([]bool, g.N()),
@@ -825,15 +849,19 @@ func runOnce(g *graph.G, envs []sim.Env, rounds int, top sim.Topology, opt Optio
 	}
 	seen := make([]bool, g.M())
 	for v := 0; v < g.N(); v++ {
-		out := nodes[v].Output().(NodeResult)
+		out := outs[v]
 		res.Cover[v] = out.InCover
+		if len(out.Y) != g.Deg(v) {
+			return nil, fmt.Errorf("edgepack: node %d output carries %d port values, degree %d",
+				v, len(out.Y), g.Deg(v))
+		}
 		for q, h := range g.Ports(v) {
 			if !seen[h.Edge] {
 				seen[h.Edge] = true
 				res.Y[h.Edge] = out.Y[q]
 			} else if !res.Y[h.Edge].Equal(out.Y[q]) {
-				panic(fmt.Sprintf("edgepack: endpoints disagree on edge %d: %v vs %v",
-					h.Edge, res.Y[h.Edge], out.Y[q]))
+				return nil, fmt.Errorf("edgepack: endpoints disagree on edge %d: %v vs %v",
+					h.Edge, res.Y[h.Edge], out.Y[q])
 			}
 		}
 	}

@@ -1,0 +1,17 @@
+package edgepack
+
+import "encoding/gob"
+
+// The distributed transport ships boxed-fallback rounds (and, in
+// remote mode, per-node outputs) as gob frames, so the concrete
+// message types Send returns and the NodeResult outputs travel by
+// registration.  The types are unexported; registration lives here.
+func init() {
+	gob.Register(offerMsg{})
+	gob.Register(statusMsg{})
+	gob.Register(cvMsg{})
+	gob.Register(smallColsMsg{})
+	gob.Register(starReq{})
+	gob.Register(starReply{})
+	gob.Register(NodeResult{})
+}

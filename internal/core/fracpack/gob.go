@@ -1,0 +1,23 @@
+package fracpack
+
+import "encoding/gob"
+
+// The distributed transport ships boxed-fallback rounds as gob frames
+// (internal/dist), so every concrete type this package puts into a
+// sim.Message must be registered.  Registration must happen here — the
+// types are unexported — and the registered form must match the form
+// Send returns: arena-backed payloads travel as pointers, the zero-size
+// membership signal as a value.  rational.Rat and big.Int marshal
+// through their own GobEncode, so the decoded copies are
+// representation-identical to the originals.
+func init() {
+	gob.Register(&mY{})
+	gob.Register(&mR{})
+	gob.Register(mMember{})
+	gob.Register(&mX{})
+	gob.Register(&mP{})
+	gob.Register(&weakTriplet{})
+	gob.Register(&classState{})
+	gob.Register(&mWeakSet{})
+	gob.Register(&mClassSet{})
+}

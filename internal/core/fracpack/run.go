@@ -51,6 +51,9 @@ type Options struct {
 	RoundBudget int
 	Observer    func(sim.RoundInfo)
 	Pool        *sim.Pool
+	// Dist is the process-spanning runner required when Engine is
+	// sim.Distributed (see sim.Options.Dist); ignored otherwise.
+	Dist sim.DistRunner
 	// NoWire forces the boxed simulator delivery path (the broadcast
 	// model's interned value tables are part of the wire path); results
 	// are identical either way.  Used by equivalence tests and
@@ -158,7 +161,7 @@ func Run(ins *bipartite.Instance, opt Options) (*Result, error) {
 	}
 	simOpt := sim.Options{
 		Engine: opt.Engine, Workers: opt.Workers, ScrambleSeed: opt.ScrambleSeed,
-		Context: opt.Context, Pool: opt.Pool, NoWire: opt.NoWire,
+		Dist: opt.Dist, Context: opt.Context, Pool: opt.Pool, NoWire: opt.NoWire,
 	}
 
 	res := &Result{ScheduledRounds: scheduled}

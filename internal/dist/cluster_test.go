@@ -1,0 +1,132 @@
+package dist_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"anoncover/internal/core/bcastvc"
+	"anoncover/internal/core/edgepack"
+	"anoncover/internal/dist"
+	"anoncover/internal/graph"
+	"anoncover/internal/sim"
+)
+
+// TestClusterEdgepackEquiv: the loopback cluster must be bit-identical
+// to the Sequential reference on both the wire and boxed paths.  The
+// full cross-engine matrix lives in internal/sim's equivalence suite;
+// this is the fast in-package gate.
+func TestClusterEdgepackEquiv(t *testing.T) {
+	g := graph.Grid(6, 7)
+	graph.RandomWeights(g, 25, 8)
+	ref := edgepack.MustRun(g, edgepack.Options{Engine: sim.Sequential})
+	for _, k := range []int{1, 2, 3} {
+		cl := dist.NewCluster(k)
+		for _, noWire := range []bool{false, true} {
+			got := edgepack.MustRun(g, edgepack.Options{
+				Engine: sim.Distributed, Dist: cl, NoWire: noWire,
+			})
+			for v := range ref.Cover {
+				if got.Cover[v] != ref.Cover[v] {
+					t.Fatalf("k=%d noWire=%v: cover diverges at %d", k, noWire, v)
+				}
+			}
+			for i := range ref.Y {
+				if !got.Y[i].Equal(ref.Y[i]) {
+					t.Fatalf("k=%d noWire=%v: y diverges at %d", k, noWire, i)
+				}
+			}
+			if got.Stats.Rounds != ref.Stats.Rounds || got.Stats.Messages != ref.Stats.Messages || got.Stats.Bytes != ref.Stats.Bytes {
+				t.Fatalf("k=%d noWire=%v: stats %+v != %+v", k, noWire, got.Stats, ref.Stats)
+			}
+		}
+		mx := cl.Metrics().SnapshotNow()
+		if k > 1 && (mx.LaneFrames == 0 || mx.BoxedFrames == 0) {
+			t.Fatalf("k=%d: expected both wire and boxed frames, got %+v", k, mx)
+		}
+		if mx.RunErrors != 0 {
+			t.Fatalf("k=%d: unexpected run errors: %+v", k, mx)
+		}
+	}
+}
+
+func TestClusterBroadcastEquiv(t *testing.T) {
+	g := graph.Grid(3, 4)
+	graph.RandomWeights(g, 6, 5)
+	ref := bcastvc.MustRun(g, bcastvc.Options{Engine: sim.Sequential})
+	cl := dist.NewCluster(3)
+	got := bcastvc.MustRun(g, bcastvc.Options{
+		Engine: sim.Distributed, Dist: cl, ScrambleSeed: 42,
+	})
+	for v := range ref.Cover {
+		if got.Cover[v] != ref.Cover[v] {
+			t.Fatalf("cover diverges at %d", v)
+		}
+	}
+	if got.Stats.Rounds != ref.Stats.Rounds || got.Stats.Messages != ref.Stats.Messages || got.Stats.Bytes != ref.Stats.Bytes {
+		t.Fatalf("stats %+v != %+v", got.Stats, ref.Stats)
+	}
+}
+
+// TestClusterRunControls: RoundBudget and Context must surface as
+// clean run-level errors from the network barrier, and the cluster
+// must stay usable afterwards.
+func TestClusterRunControls(t *testing.T) {
+	g := graph.Grid(5, 5)
+	graph.RandomWeights(g, 25, 8)
+	cl := dist.NewCluster(2)
+
+	_, err := edgepack.Run(g, edgepack.Options{
+		Engine: sim.Distributed, Dist: cl, RoundBudget: 2,
+	})
+	if !errors.Is(err, sim.ErrRoundBudget) {
+		t.Fatalf("round budget: err=%v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = edgepack.Run(g, edgepack.Options{
+		Engine: sim.Distributed, Dist: cl, Context: ctx,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled context: err=%v", err)
+	}
+
+	deadCtx, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	_, err = edgepack.Run(g, edgepack.Options{
+		Engine: sim.Distributed, Dist: cl, Context: deadCtx,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: err=%v", err)
+	}
+
+	// The cluster recovers: a normal run still matches the reference.
+	ref := edgepack.MustRun(g, edgepack.Options{Engine: sim.Sequential})
+	got := edgepack.MustRun(g, edgepack.Options{Engine: sim.Distributed, Dist: cl})
+	if got.Stats.Rounds != ref.Stats.Rounds || got.Stats.Messages != ref.Stats.Messages || got.Stats.Bytes != ref.Stats.Bytes {
+		t.Fatalf("post-error run diverges: %+v != %+v", got.Stats, ref.Stats)
+	}
+	if cl.Metrics().RunErrors.Load() == 0 {
+		t.Fatal("run errors not counted")
+	}
+}
+
+// TestClusterBarrierWaits: per-pair wait accounting appears for
+// adjacent shards.
+func TestClusterBarrierWaits(t *testing.T) {
+	g := graph.Grid(6, 6)
+	graph.RandomWeights(g, 10, 3)
+	cl := dist.NewCluster(2)
+	edgepack.MustRun(g, edgepack.Options{Engine: sim.Distributed, Dist: cl})
+	snap := cl.Metrics().SnapshotNow()
+	if len(snap.PairWaits) == 0 {
+		t.Fatal("no pair-wait stats recorded")
+	}
+	for _, pw := range snap.PairWaits {
+		if pw.Src == pw.Dst {
+			t.Fatalf("self pair recorded: %+v", pw)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+)
+
+// frameConn is one framed TCP connection.  Reads are single-consumer
+// (each conn has exactly one reader goroutine); writes may come from
+// several goroutines (a shard's flush loop, an abort fan-out) and are
+// serialized by wmu.  A write deadline protects against a stalled peer
+// wedging the writer: if it fires mid-frame the stream is desynced, so
+// the owner must treat any write error as fatal for the conn.
+type frameConn struct {
+	c  net.Conn
+	r  *bufio.Reader
+	mx *Metrics
+
+	wmu      sync.Mutex
+	w        *bufio.Writer
+	wbuf     []byte
+	deadline time.Duration
+}
+
+func newFrameConn(c net.Conn, deadline time.Duration, mx *Metrics) *frameConn {
+	return &frameConn{
+		c:        c,
+		r:        bufio.NewReaderSize(c, 1<<16),
+		w:        bufio.NewWriterSize(c, 1<<16),
+		deadline: deadline,
+		mx:       mx,
+	}
+}
+
+// write sends one frame and flushes it.
+func (fc *frameConn) write(f *frame) error {
+	fc.wmu.Lock()
+	defer fc.wmu.Unlock()
+	if fc.deadline > 0 {
+		fc.c.SetWriteDeadline(time.Now().Add(fc.deadline))
+	}
+	fc.wbuf = appendFrame(fc.wbuf[:0], f)
+	if _, err := fc.w.Write(fc.wbuf); err != nil {
+		return err
+	}
+	if err := fc.w.Flush(); err != nil {
+		return err
+	}
+	if fc.mx != nil {
+		fc.mx.frameOut(f)
+	}
+	return nil
+}
+
+// read blocks for the next frame.  Callers that need liveness bounds
+// get them from run-level timers (staging waits, request deadlines),
+// not per-read deadlines: control connections legitimately sit idle
+// between runs.
+func (fc *frameConn) read() (frame, error) {
+	fc.c.SetReadDeadline(time.Time{})
+	f, err := decodeFrame(fc.r)
+	if err == nil && fc.mx != nil {
+		fc.mx.frameIn(&f)
+	}
+	return f, err
+}
+
+// readTimeout blocks for the next frame at most d.
+func (fc *frameConn) readTimeout(d time.Duration) (frame, error) {
+	fc.c.SetReadDeadline(time.Now().Add(d))
+	defer fc.c.SetReadDeadline(time.Time{})
+	f, err := decodeFrame(fc.r)
+	if err == nil && fc.mx != nil {
+		fc.mx.frameIn(&f)
+	}
+	return f, err
+}
+
+func (fc *frameConn) close() error { return fc.c.Close() }

@@ -1,0 +1,708 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anoncover/internal/core/edgepack"
+	"anoncover/internal/graph"
+	"anoncover/internal/shard"
+	"anoncover/internal/sim"
+)
+
+// Coordinator owns the partition and the request lifecycle of the
+// remote deployment: it compiles an instance into per-worker plans,
+// installs them as a session across the worker fleet, and drives runs
+// — prepare, go, collect — over persistent control connections.  Data
+// never touches the coordinator: workers exchange halo frames
+// directly.
+type Coordinator struct {
+	// FrameTimeout bounds control-frame round trips and is the
+	// workers' barrier-wait bound; zero means the default.
+	FrameTimeout time.Duration
+
+	addrs []string
+	mx    Metrics
+	nonce atomic.Uint32
+
+	mu     sync.Mutex
+	ctrls  []*ctrlConn // lazily dialed, index-aligned with addrs
+	closed bool
+}
+
+// NewCoordinator returns a coordinator over the given worker listen
+// addresses.  Connections are dialed lazily on first use.
+func NewCoordinator(addrs []string) *Coordinator {
+	c := &Coordinator{
+		FrameTimeout: defaultFrameTimeout,
+		addrs:        append([]string(nil), addrs...),
+	}
+	c.ctrls = make([]*ctrlConn, len(c.addrs))
+	return c
+}
+
+// Metrics exposes the coordinator's transport counters.
+func (c *Coordinator) Metrics() *Metrics { return &c.mx }
+
+// Workers returns the configured worker addresses.
+func (c *Coordinator) Workers() []string { return append([]string(nil), c.addrs...) }
+
+// Close drops every control connection.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	ctrls := c.ctrls
+	c.ctrls = make([]*ctrlConn, len(c.addrs))
+	c.mu.Unlock()
+	for _, cc := range ctrls {
+		if cc != nil {
+			cc.shutdown(errors.New("dist: coordinator closed"))
+		}
+	}
+	return nil
+}
+
+// ctrlConn is one control connection with nonce-routed request
+// multiplexing: every request frame carries a nonce in its run field,
+// the worker echoes it, and a reader goroutine routes responses to the
+// waiting caller — so pings can interleave with a multi-second run on
+// the same connection.
+type ctrlConn struct {
+	addr string
+	fc   *frameConn
+
+	mu      sync.Mutex
+	pending map[uint32]chan frame
+	dead    error
+}
+
+func (cc *ctrlConn) shutdown(reason error) {
+	cc.mu.Lock()
+	if cc.dead == nil {
+		cc.dead = reason
+	}
+	pending := cc.pending
+	cc.pending = nil
+	cc.mu.Unlock()
+	cc.fc.close()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+func (cc *ctrlConn) readLoop() {
+	for {
+		f, err := cc.fc.read()
+		if err != nil {
+			cc.shutdown(fmt.Errorf("dist: control connection to %s: %w", cc.addr, err))
+			return
+		}
+		cc.mu.Lock()
+		ch := cc.pending[f.run]
+		cc.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- f:
+			default:
+			}
+		}
+	}
+}
+
+func (cc *ctrlConn) register(nonce uint32) (chan frame, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.dead != nil {
+		return nil, cc.dead
+	}
+	ch := make(chan frame, 4)
+	cc.pending[nonce] = ch
+	return ch, nil
+}
+
+func (cc *ctrlConn) unregister(nonce uint32) {
+	cc.mu.Lock()
+	delete(cc.pending, nonce)
+	cc.mu.Unlock()
+}
+
+// await blocks for the next response frame carrying nonce.
+func (cc *ctrlConn) await(ch chan frame, ctx context.Context, timeout time.Duration) (frame, error) {
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case f, ok := <-ch:
+		if !ok {
+			cc.mu.Lock()
+			err := cc.dead
+			cc.mu.Unlock()
+			if err == nil {
+				err = fmt.Errorf("dist: control connection to %s lost", cc.addr)
+			}
+			return frame{}, err
+		}
+		return f, nil
+	case <-done:
+		return frame{}, ctx.Err()
+	case <-timer:
+		return frame{}, fmt.Errorf("dist: worker %s did not respond within %v", cc.addr, timeout)
+	}
+}
+
+// ctrl returns worker i's control connection, dialing on first use or
+// after a failure.
+func (c *Coordinator) ctrl(i int) (*ctrlConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("dist: coordinator closed")
+	}
+	if cc := c.ctrls[i]; cc != nil {
+		cc.mu.Lock()
+		dead := cc.dead
+		cc.mu.Unlock()
+		if dead == nil {
+			c.mu.Unlock()
+			return cc, nil
+		}
+		c.ctrls[i] = nil
+	}
+	c.mu.Unlock()
+
+	conn, err := net.DialTimeout("tcp", c.addrs[i], c.timeout())
+	if err != nil {
+		return nil, fmt.Errorf("dist: dialing worker %s: %w", c.addrs[i], err)
+	}
+	fc := newFrameConn(conn, c.timeout(), &c.mx)
+	if err := fc.write(&frame{typ: fHello}); err != nil {
+		fc.close()
+		return nil, fmt.Errorf("dist: hello to worker %s: %w", c.addrs[i], err)
+	}
+	cc := &ctrlConn{addr: c.addrs[i], fc: fc, pending: make(map[uint32]chan frame)}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		fc.close()
+		return nil, errors.New("dist: coordinator closed")
+	}
+	if prev := c.ctrls[i]; prev != nil {
+		// Lost a dial race; use the winner.
+		c.mu.Unlock()
+		fc.close()
+		return prev, nil
+	}
+	c.ctrls[i] = cc
+	c.mu.Unlock()
+	go cc.readLoop()
+	return cc, nil
+}
+
+func (c *Coordinator) timeout() time.Duration {
+	if c.FrameTimeout > 0 {
+		return c.FrameTimeout
+	}
+	return defaultFrameTimeout
+}
+
+// request sends one frame to worker i and awaits its echo-nonce reply.
+func (c *Coordinator) request(ctx context.Context, i int, f *frame, timeout time.Duration) (frame, error) {
+	cc, err := c.ctrl(i)
+	if err != nil {
+		return frame{}, err
+	}
+	ch, err := cc.register(f.run)
+	if err != nil {
+		return frame{}, err
+	}
+	defer cc.unregister(f.run)
+	if err := cc.fc.write(f); err != nil {
+		cc.shutdown(err)
+		return frame{}, fmt.Errorf("dist: writing to worker %s: %w", cc.addr, err)
+	}
+	return cc.await(ch, ctx, timeout)
+}
+
+// WorkerHealth is one worker's liveness snapshot.
+type WorkerHealth struct {
+	Addr  string        `json:"addr"`
+	OK    bool          `json:"ok"`
+	RTT   time.Duration `json:"rtt_nanos"`
+	Error string        `json:"error,omitempty"`
+}
+
+// Health pings every worker concurrently.
+func (c *Coordinator) Health(ctx context.Context) []WorkerHealth {
+	out := make([]WorkerHealth, len(c.addrs))
+	var wg sync.WaitGroup
+	for i := range c.addrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i].Addr = c.addrs[i]
+			start := time.Now()
+			f, err := c.request(ctx, i, &frame{typ: fPing, run: c.nonce.Add(1)}, c.timeout())
+			if err == nil && f.typ != fPong {
+				err = fmt.Errorf("dist: unexpected %d reply to ping", f.typ)
+			}
+			if err != nil {
+				out[i].Error = err.Error()
+				return
+			}
+			out[i].OK = true
+			out[i].RTT = time.Since(start)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// Session is one compiled instance installed across the worker fleet.
+// Runs are serialized per session; UpdateWeights swaps the weight
+// assignment between runs without re-planning, which is the
+// distributed face of the serving layer's snapshot machinery.
+type Session struct {
+	c        *Coordinator
+	id       uint64
+	algoName string
+	algo     algoDef
+	k        int
+	nodes    [][]int32 // per worker, owned global node ids
+	n        int
+	g        *graph.G // set by CompileVC, for result assembly
+
+	mu     sync.Mutex
+	params sim.Params
+	closed bool
+}
+
+// RunOptions are the per-run knobs; the zero value is the default
+// (wire path, no scramble, no budget).
+type RunOptions struct {
+	NoWire       bool
+	ScrambleSeed int64
+	RoundBudget  int
+}
+
+// RunResult is one distributed run's assembled outcome: node outputs
+// in global node order plus engine-contract Stats.
+type RunResult struct {
+	Outs  []any
+	Stats sim.Stats
+}
+
+// Compile plans the topology across the fleet and installs the session
+// on every worker: partition, per-worker routing, weights, kinds.  The
+// effective shard count is min(workers, partitioner clamp); surplus
+// workers are simply not part of the session.
+func (c *Coordinator) Compile(algo string, top sim.Topology, weights []int64, kinds []uint8, params sim.Params) (*Session, error) {
+	def, ok := algos[algo]
+	if !ok {
+		return nil, fmt.Errorf("dist: unknown algorithm %q", algo)
+	}
+	if len(c.addrs) == 0 {
+		return nil, errors.New("dist: coordinator has no workers")
+	}
+	ft, err := flattenTop(top)
+	if err != nil {
+		return nil, err
+	}
+	n := ft.N()
+	if len(weights) != n || len(kinds) != n {
+		return nil, fmt.Errorf("dist: %d weights and %d kinds for %d nodes", len(weights), len(kinds), n)
+	}
+	st := shard.BuildK(ft, len(c.addrs))
+	k := st.K()
+
+	var idbuf [8]byte
+	if _, err := rand.Read(idbuf[:]); err != nil {
+		return nil, err
+	}
+	id := binary.LittleEndian.Uint64(idbuf[:])
+
+	s := &Session{
+		c: c, id: id, algoName: algo, algo: def,
+		k: k, n: n, params: params,
+		nodes: make([][]int32, k),
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, k)
+	for w := 0; w < k; w++ {
+		plan := &WorkerPlan{
+			Session: id,
+			Algo:    algo,
+			Workers: k,
+			Self:    int32(w),
+			Peers:   c.addrs[:k],
+			Params:  params,
+			Shard:   *planFor(st, w),
+		}
+		s.nodes[w] = plan.Shard.Nodes
+		plan.Weights = make([]int64, len(plan.Shard.Nodes))
+		plan.Kinds = make([]uint8, len(plan.Shard.Nodes))
+		for i, v := range plan.Shard.Nodes {
+			plan.Weights[i] = weights[v]
+			plan.Kinds[i] = kinds[v]
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(plan); err != nil {
+			return nil, fmt.Errorf("dist: encoding plan: %w", err)
+		}
+		wg.Add(1)
+		go func(w int, payload []byte) {
+			defer wg.Done()
+			f, err := c.request(nil, w, &frame{typ: fSetup, run: c.nonce.Add(1), payload: payload},
+				2*c.timeout())
+			if err == nil {
+				err = ackError(&f, fReady)
+			}
+			errs[w] = err
+		}(w, buf.Bytes())
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			s.Close() // best-effort teardown of the workers that did install
+			return nil, fmt.Errorf("dist: installing session on worker %s: %w", c.addrs[w], err)
+		}
+	}
+	return s, nil
+}
+
+// ackError converts a control reply into an error unless it is the
+// expected ack type.
+func ackError(f *frame, want byte) error {
+	switch f.typ {
+	case want:
+		return nil
+	case fError:
+		return codeError(f.payload)
+	}
+	return fmt.Errorf("%w: unexpected %d reply", ErrBadFrame, f.typ)
+}
+
+func (s *Session) sessionPayload(spec *StartSpec) []byte {
+	var buf bytes.Buffer
+	var sid [8]byte
+	binary.LittleEndian.PutUint64(sid[:], s.id)
+	buf.Write(sid[:])
+	if spec != nil {
+		gob.NewEncoder(&buf).Encode(spec)
+	}
+	return buf.Bytes()
+}
+
+// N returns the instance's node count.
+func (s *Session) N() int { return s.n }
+
+// Params returns the session's current global parameters.
+func (s *Session) Params() sim.Params {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.params
+}
+
+// Run executes one distributed run: prepare on every worker (fresh
+// programs, fresh staging), a go barrier, then collection.  Any worker
+// failure — including a killed process — aborts the others and
+// surfaces as a run-level error; sentinel errors (wire overflow,
+// budget, context) survive the trip.
+func (s *Session) Run(ctx context.Context, opt RunOptions) (*RunResult, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errors.New("dist: session closed")
+	}
+	params := s.params
+	s.mu.Unlock()
+
+	runID := s.c.nonce.Add(1)
+	rounds := s.algo.rounds(params)
+	spec := &StartSpec{
+		Run:          runID,
+		Rounds:       rounds,
+		NoWire:       opt.NoWire,
+		ScrambleSeed: opt.ScrambleSeed,
+		RoundBudget:  opt.RoundBudget,
+	}
+	collectTimeout := time.Duration(0) // unbounded: worker barrier timeouts are the backstop
+	if ctx != nil {
+		if dl, ok := ctx.Deadline(); ok {
+			spec.DeadlineMillis = int64(time.Until(dl) / time.Millisecond)
+			if spec.DeadlineMillis <= 0 {
+				return nil, context.DeadlineExceeded
+			}
+			collectTimeout = time.Until(dl) + s.c.timeout()
+		}
+	}
+	s.c.mx.Runs.Add(1)
+
+	type reply struct {
+		w   int
+		f   frame
+		err error
+	}
+	phase := func(f func(w int) (frame, error)) []reply {
+		out := make([]reply, s.k)
+		var wg sync.WaitGroup
+		for w := 0; w < s.k; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				fr, err := f(w)
+				out[w] = reply{w: w, f: fr, err: err}
+			}(w)
+		}
+		wg.Wait()
+		return out
+	}
+	fail := func(err error) (*RunResult, error) {
+		s.c.mx.RunErrors.Add(1)
+		s.abortRun(runID)
+		return nil, err
+	}
+
+	// Prepare: every worker installs fresh programs and staging.
+	prep := s.sessionPayload(spec)
+	for _, r := range phase(func(w int) (frame, error) {
+		f, err := s.c.request(ctx, w, &frame{typ: fStart, run: runID, payload: prep}, 3*s.c.timeout())
+		if err == nil {
+			err = ackError(&f, fReady)
+		}
+		return f, err
+	}) {
+		if r.err != nil {
+			return fail(fmt.Errorf("dist: preparing run on worker %s: %w", s.c.addrs[r.w], r.err))
+		}
+	}
+
+	// Go + collect: one request whose response is the run outcome.
+	goPl := s.sessionPayload(nil)
+	replies := phase(func(w int) (frame, error) {
+		return s.c.request(ctx, w, &frame{typ: fGo, run: runID, payload: goPl}, collectTimeout)
+	})
+	var firstErr error
+	outs := make([]any, s.n)
+	stats := sim.Stats{Rounds: rounds}
+	for _, r := range replies {
+		err := r.err
+		if err == nil {
+			if r.f.typ == fError {
+				err = codeError(r.f.payload)
+			} else if r.f.typ != fOutputs {
+				err = fmt.Errorf("%w: unexpected %d reply to go", ErrBadFrame, r.f.typ)
+			}
+		}
+		if err != nil {
+			// Prefer a semantic verdict over transport noise: an
+			// aborted peer's reset explains nothing.
+			if firstErr == nil || errorCode(err) != ecInternal {
+				if firstErr == nil || errorCode(firstErr) == ecInternal {
+					firstErr = fmt.Errorf("dist: worker %s: %w", s.c.addrs[r.w], err)
+				}
+			}
+			continue
+		}
+		var om outputsMsg
+		if derr := gob.NewDecoder(bytes.NewReader(r.f.payload)).Decode(&om); derr != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("dist: decoding outputs from %s: %w", s.c.addrs[r.w], derr)
+			}
+			continue
+		}
+		if om.Rounds != rounds || len(om.Outs) != len(s.nodes[r.w]) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("dist: worker %s returned %d outputs over %d rounds, want %d/%d",
+					s.c.addrs[r.w], len(om.Outs), om.Rounds, len(s.nodes[r.w]), rounds)
+			}
+			continue
+		}
+		stats.Messages += om.Messages
+		stats.Bytes += om.Bytes
+		for i, v := range s.nodes[r.w] {
+			outs[v] = om.Outs[i]
+		}
+	}
+	if firstErr != nil {
+		return fail(firstErr)
+	}
+	return &RunResult{Outs: outs, Stats: stats}, nil
+}
+
+// abortRun fans fAbort out to every worker, best effort.
+func (s *Session) abortRun(runID uint32) {
+	var sid [8]byte
+	binary.LittleEndian.PutUint64(sid[:], s.id)
+	for w := 0; w < s.k; w++ {
+		if cc, err := s.c.ctrl(w); err == nil {
+			cc.fc.write(&frame{typ: fAbort, run: runID, payload: sid[:]})
+		}
+	}
+}
+
+// UpdateWeights broadcasts a new weight assignment (global node order)
+// and parameters to every worker; the next run uses them.  This is how
+// a weights-only serving request reaches a compiled distributed
+// session without re-planning.
+func (s *Session) UpdateWeights(weights []int64, params sim.Params) error {
+	if len(weights) != s.n {
+		return fmt.Errorf("dist: %d weights for %d nodes", len(weights), s.n)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("dist: session closed")
+	}
+	s.mu.Unlock()
+
+	nonce := s.c.nonce.Add(1)
+	var sid [8]byte
+	binary.LittleEndian.PutUint64(sid[:], s.id)
+	errs := make([]error, s.k)
+	var wg sync.WaitGroup
+	for w := 0; w < s.k; w++ {
+		sub := make([]int64, len(s.nodes[w]))
+		for i, v := range s.nodes[w] {
+			sub[i] = weights[v]
+		}
+		var buf bytes.Buffer
+		buf.Write(sid[:])
+		if err := gob.NewEncoder(&buf).Encode(&weightsMsg{Weights: sub, Params: params}); err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(w int, payload []byte) {
+			defer wg.Done()
+			f, err := s.c.request(nil, w, &frame{typ: fWeights, run: nonce, payload: payload}, 2*s.c.timeout())
+			if err == nil {
+				err = ackError(&f, fWeightsOK)
+			}
+			errs[w] = err
+		}(w, buf.Bytes())
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			return fmt.Errorf("dist: updating weights on worker %s: %w", s.c.addrs[w], err)
+		}
+	}
+	s.mu.Lock()
+	s.params = params
+	if s.g != nil {
+		// Keep the assembly-side weight view in step with the fleet so
+		// CompileVC sessions verify and weigh covers against the weights
+		// the run actually used.
+		s.g = s.g.WeightView(append([]int64(nil), weights...))
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Graph returns the current weight view of a CompileVC session's
+// graph (nil for Compile sessions).
+func (s *Session) Graph() *graph.G {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.g
+}
+
+// Close tears the session down on every worker, best effort.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	var sid [8]byte
+	binary.LittleEndian.PutUint64(sid[:], s.id)
+	var firstErr error
+	for w := 0; w < s.k; w++ {
+		f, err := s.c.request(nil, w, &frame{typ: fClose, run: s.c.nonce.Add(1), payload: sid[:]}, s.c.timeout())
+		if err == nil {
+			err = ackError(&f, fReady)
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// CompileVC compiles a weighted graph for distributed vertex cover
+// serving (the edgepack algorithm): weights and parameters are derived
+// from the graph exactly as the in-process solver derives them.
+func (c *Coordinator) CompileVC(g *graph.G) (*Session, error) {
+	n := g.N()
+	weights := make([]int64, n)
+	kinds := make([]uint8, n)
+	for v := 0; v < n; v++ {
+		weights[v] = g.Weight(v)
+	}
+	s, err := c.Compile("edgepack", g, weights, kinds, sim.GraphParams(g))
+	if err != nil {
+		return nil, err
+	}
+	s.g = g
+	return s, nil
+}
+
+// UpdateVCWeights recomputes the vertex-cover parameters for a new
+// weight assignment and broadcasts both.
+func (s *Session) UpdateVCWeights(weights []int64) error {
+	params := s.Params()
+	var maxW int64
+	for _, w := range weights {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	params.W = maxW
+	return s.UpdateWeights(weights, params)
+}
+
+// VertexCover runs the session's edgepack instance and assembles the
+// full result, rerunning on the boxed path after a wire overflow
+// exactly as the in-process solver does.
+func (s *Session) VertexCover(ctx context.Context, opt RunOptions) (*edgepack.Result, error) {
+	g := s.Graph()
+	if s.algoName != "edgepack" || g == nil {
+		return nil, errors.New("dist: session was not compiled with CompileVC")
+	}
+	res, err := s.Run(ctx, opt)
+	if err != nil && !opt.NoWire && errors.Is(err, sim.ErrWireOverflow) {
+		boxed := opt
+		boxed.NoWire = true
+		res, err = s.Run(ctx, boxed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]edgepack.NodeResult, len(res.Outs))
+	for v, o := range res.Outs {
+		nr, ok := o.(edgepack.NodeResult)
+		if !ok {
+			return nil, fmt.Errorf("dist: node %d returned %T, want edgepack.NodeResult", v, o)
+		}
+		outs[v] = nr
+	}
+	return edgepack.AssembleResult(g, outs, res.Stats.Rounds, res.Stats)
+}

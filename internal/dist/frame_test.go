@@ -1,0 +1,163 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"io"
+	"testing"
+
+	"anoncover/internal/sim"
+)
+
+type fuzzMsg struct{ V int64 }
+
+func (fuzzMsg) WireSize() int { return 8 }
+
+func init() { gob.Register(fuzzMsg{}) }
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []frame{
+		{typ: fPeerHello, src: 0, dst: 3, run: 7},
+		{typ: fLanes, src: 2, dst: 1, run: 9, round: 41, payload: lanesToBytes(nil, []uint64{1, 0, 1 << 63})},
+		{typ: fBoxed, src: 1, dst: 2, run: 1, round: 1, payload: []byte{}},
+		{typ: fError, src: 0, dst: 0, run: 3, payload: []byte{1, 'x'}},
+	}
+	for _, f := range cases {
+		buf := appendFrame(nil, &f)
+		got, err := decodeFrame(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("decode type %d: %v", f.typ, err)
+		}
+		if got.typ != f.typ || got.src != f.src || got.dst != f.dst ||
+			got.run != f.run || got.round != f.round || !bytes.Equal(got.payload, f.payload) {
+			t.Fatalf("round trip changed frame: %+v -> %+v", f, got)
+		}
+	}
+}
+
+func TestFrameRejects(t *testing.T) {
+	good := appendFrame(nil, &frame{typ: fLanes, round: 1, payload: []byte{1, 2, 3, 4, 5, 6, 7, 8}})
+	// Truncations at every boundary must error, never panic.
+	for n := 0; n < len(good); n++ {
+		if _, err := decodeFrame(bytes.NewReader(good[:n])); err == nil {
+			t.Fatalf("decode accepted a %d-byte truncation", n)
+		}
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff // magic
+	if _, err := decodeFrame(bytes.NewReader(bad)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad magic: err=%v", err)
+	}
+	bad = append([]byte(nil), good...)
+	bad[5] = 200 // type
+	if _, err := decodeFrame(bytes.NewReader(bad)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad type: err=%v", err)
+	}
+	bad = append([]byte(nil), good...)
+	bad[20], bad[21], bad[22], bad[23] = 0xff, 0xff, 0xff, 0xff // length
+	if _, err := decodeFrame(bytes.NewReader(bad)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized length: err=%v", err)
+	}
+}
+
+func TestBoxedSegRoundTrip(t *testing.T) {
+	seg := []sim.Message{nil, fuzzMsg{3}, nil, fuzzMsg{-1}, nil}
+	pl, err := encodeBoxed(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := decodeBoxed(pl, len(seg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]sim.Message, len(seg))
+	for i, p := range bs.Pos {
+		out[p] = bs.Msgs[i]
+	}
+	for i := range seg {
+		if seg[i] != out[i] {
+			t.Fatalf("slot %d: %v != %v", i, out[i], seg[i])
+		}
+	}
+	// A position outside the segment is a protocol error.
+	if _, err := decodeBoxed(pl, 2); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("out-of-range position accepted: err=%v", err)
+	}
+	if _, err := decodeBoxed([]byte{0x01, 0x02}, 2); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("garbage gob accepted: err=%v", err)
+	}
+}
+
+// TestStagingGenerations pins the per-pair synchronization contract:
+// frames must arrive in per-segment round order and never more than
+// two rounds past the consumer.
+func TestStagingGenerations(t *testing.T) {
+	st := newStaging(1)
+	mk := func(round uint32) *frame { return &frame{typ: fLanes, round: round} }
+	if err := st.deliver(0, mk(2)); err == nil {
+		t.Fatal("accepted round 2 before round 1")
+	}
+	if err := st.deliver(0, mk(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.deliver(0, mk(1)); err == nil {
+		t.Fatal("accepted a duplicate round-1 frame")
+	}
+	if err := st.deliver(0, mk(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Round 3 would overwrite the round-1 generation before the
+	// consumer has applied it: stale-generation error.
+	if err := st.deliver(0, mk(3)); err == nil {
+		t.Fatal("accepted a generation overrun")
+	}
+	st.doneRound(1)
+	if err := st.deliver(0, mk(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.deliver(0, &frame{typ: fLanes, round: 4}); err == nil {
+		t.Fatal("accepted overrun after one consumed round")
+	}
+	if err := st.deliver(2, mk(1)); err == nil {
+		t.Fatal("accepted a frame for an unknown segment")
+	}
+}
+
+// FuzzFrame: arbitrary bytes through the frame decoder and both
+// payload decoders must either parse cleanly or error — never panic —
+// and everything that parses must re-encode to the bytes it came from.
+func FuzzFrame(f *testing.F) {
+	f.Add(appendFrame(nil, &frame{typ: fLanes, src: 1, dst: 2, run: 3, round: 4,
+		payload: lanesToBytes(nil, []uint64{7, 0, 1})}))
+	boxed, _ := encodeBoxed([]sim.Message{nil, fuzzMsg{9}})
+	f.Add(appendFrame(nil, &frame{typ: fBoxed, src: 2, dst: 1, run: 3, round: 5, payload: boxed}))
+	f.Add(appendFrame(nil, &frame{typ: fPing, run: 17}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, headerLen+8))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := decodeFrame(bytes.NewReader(data))
+		if err != nil {
+			if errors.Is(err, ErrBadFrame) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return
+			}
+			t.Fatalf("unexpected error class: %v", err)
+		}
+		enc := appendFrame(nil, &fr)
+		if !bytes.Equal(enc, data[:len(enc)]) {
+			t.Fatalf("re-encode diverges from input")
+		}
+		// Whatever parsed must also survive the payload decoders
+		// without panicking, whether or not it is semantically valid.
+		if len(fr.payload)%8 == 0 {
+			words := make([]uint64, len(fr.payload)/8)
+			if err := bytesToLanes(words, fr.payload); err == nil {
+				if !bytes.Equal(lanesToBytes(nil, words), fr.payload) {
+					t.Fatalf("lane re-encode diverges")
+				}
+			}
+		}
+		decodeBoxed(fr.payload, 4)
+	})
+}

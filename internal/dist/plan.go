@@ -1,0 +1,183 @@
+package dist
+
+import (
+	"fmt"
+
+	"anoncover/internal/shard"
+	"anoncover/internal/sim"
+)
+
+// InSeg is the gob-portable image of one incoming halo segment: the
+// messages of the source shard's matching Out segment land, in order,
+// in these local inbox slots.
+type InSeg struct {
+	Src   int32
+	Slots []int32
+}
+
+// ShardPlan is one shard's routing state in a form that both the
+// loopback cluster (which borrows slices straight from a
+// shard.Topology) and a remote worker (which receives it by gob) can
+// execute.  Everything here is immutable during a run.
+type ShardPlan struct {
+	ID    int32
+	Nodes []int32 // owned global node ids, partition order
+	Off   []int32 // local CSR over Nodes
+	Route []int32 // per-half-edge routing, see shard.Topology
+
+	HaloOut int
+	Out     []shard.Seg
+	In      []InSeg
+}
+
+// planFor borrows shard s's routing view from a built topology.
+func planFor(st *shard.Topology, s int) *ShardPlan {
+	sh := &st.Shards[s]
+	p := &ShardPlan{
+		ID:    int32(s),
+		Nodes: sh.Nodes,
+		Off:   sh.Off,
+		Route: sh.Route,
+
+		HaloOut: sh.HaloOut,
+		Out:     sh.Out,
+	}
+	for i := range sh.In {
+		in := &sh.In[i]
+		p.In = append(p.In, InSeg{Src: in.Src, Slots: in.Slots})
+	}
+	return p
+}
+
+// inboxLen is the shard's half-edge count.
+func (p *ShardPlan) inboxLen() int { return int(p.Off[len(p.Nodes)]) }
+
+// peerSet returns the ids of every shard this plan exchanges frames
+// with, in ascending order.
+func (p *ShardPlan) peerSet() []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	add := func(id int32) {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, sg := range p.Out {
+		add(sg.Dst)
+	}
+	for _, in := range p.In {
+		add(in.Src)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// validate rejects a plan whose internal structure is inconsistent —
+// a remote worker runs it on everything that arrives by gob, so a
+// corrupted or adversarial plan fails here instead of as an index
+// panic mid-run.
+func (p *ShardPlan) validate(workers int) error {
+	if p.ID < 0 || int(p.ID) >= workers {
+		return fmt.Errorf("dist: plan shard id %d outside %d workers", p.ID, workers)
+	}
+	if len(p.Off) != len(p.Nodes)+1 || len(p.Off) == 0 || p.Off[0] != 0 {
+		return fmt.Errorf("dist: plan CSR malformed: %d nodes, %d offsets", len(p.Nodes), len(p.Off))
+	}
+	for i := 1; i < len(p.Off); i++ {
+		if p.Off[i] < p.Off[i-1] {
+			return fmt.Errorf("dist: plan CSR offsets decrease at %d", i)
+		}
+	}
+	inbox := p.inboxLen()
+	if len(p.Route) != inbox {
+		return fmt.Errorf("dist: plan route table %d entries for %d half-edges", len(p.Route), inbox)
+	}
+	for j, rt := range p.Route {
+		if rt >= 0 && int(rt) >= inbox {
+			return fmt.Errorf("dist: route %d -> local slot %d beyond inbox %d", j, rt, inbox)
+		}
+		if rt < 0 && int(^rt) >= p.HaloOut {
+			return fmt.Errorf("dist: route %d -> halo slot %d beyond halo-out %d", j, ^rt, p.HaloOut)
+		}
+	}
+	covered := 0
+	for i, sg := range p.Out {
+		if sg.Dst < 0 || int(sg.Dst) >= workers || sg.Dst == p.ID {
+			return fmt.Errorf("dist: out segment %d bound for shard %d", i, sg.Dst)
+		}
+		if int(sg.Off) != covered || sg.Len < 0 {
+			return fmt.Errorf("dist: out segment %d does not tile the halo-out buffer", i)
+		}
+		covered += int(sg.Len)
+	}
+	if covered != p.HaloOut {
+		return fmt.Errorf("dist: out segments cover %d of %d halo-out slots", covered, p.HaloOut)
+	}
+	for i, in := range p.In {
+		if in.Src < 0 || int(in.Src) >= workers || in.Src == p.ID {
+			return fmt.Errorf("dist: in segment %d sourced from shard %d", i, in.Src)
+		}
+		for _, slot := range in.Slots {
+			if slot < 0 || int(slot) >= inbox {
+				return fmt.Errorf("dist: in segment %d delivers to slot %d beyond inbox %d", i, slot, inbox)
+			}
+		}
+	}
+	return nil
+}
+
+// WorkerPlan is the gob setup message installing one session on a
+// remote worker: the shard it owns, where its peers listen, and
+// everything needed to rebuild the node programs locally — algorithm
+// name, global parameters, per-node weights and kinds.  Run-variant
+// knobs (rounds, scramble seed, wire/boxed, budget) travel per run in
+// StartSpec instead, so an overflow rerun or a weight update does not
+// re-plan.
+type WorkerPlan struct {
+	Session uint64
+	Algo    string
+	Workers int      // effective shard count
+	Self    int32    // == Shard.ID
+	Peers   []string // listen address per shard id; Peers[Self] unused
+
+	Params  sim.Params
+	Weights []int64 // per local node, Nodes order
+	Kinds   []uint8 // per local node, sim.NodeKind
+
+	Shard ShardPlan
+}
+
+// StartSpec is the per-run fStart payload.
+type StartSpec struct {
+	Run          uint32
+	Rounds       int
+	NoWire       bool
+	ScrambleSeed int64
+	RoundBudget  int
+	// DeadlineMillis bounds the run from the worker's side (wall
+	// clock, from receipt); 0 means the coordinator's abort frame is
+	// the only cancellation path.
+	DeadlineMillis int64
+}
+
+// outputsMsg is the fOutputs payload: the worker's node outputs in
+// plan order plus its shard's stats contribution.
+type outputsMsg struct {
+	Rounds   int
+	Messages int64
+	Bytes    int64
+	Outs     []any
+}
+
+// weightsMsg is the fWeights payload: new weights for the worker's
+// nodes (plan order) and the updated global parameters, which shift
+// when the maximum weight does.
+type weightsMsg struct {
+	Weights []int64
+	Params  sim.Params
+}

@@ -1,0 +1,125 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"anoncover/internal/core/bcastvc"
+	"anoncover/internal/core/edgepack"
+	"anoncover/internal/core/fracpack"
+	"anoncover/internal/sim"
+)
+
+// algoDef is one algorithm a remote worker can rebuild from a
+// WorkerPlan: a constructor per node plus the global round schedule.
+// Programs are deterministic functions of their Env, so a worker that
+// builds them from the shipped weights, kinds and parameters executes
+// the same state machines the coordinator would in process.
+type algoDef struct {
+	broadcast bool
+	newPort   func(sim.Env) sim.PortProgram
+	newBcast  func(sim.Env) sim.BroadcastProgram
+	rounds    func(sim.Params) int
+}
+
+var algos = map[string]algoDef{
+	"edgepack": {
+		newPort: func(e sim.Env) sim.PortProgram { return edgepack.New(e) },
+		rounds:  edgepack.Rounds,
+	},
+	"bcastvc": {
+		broadcast: true,
+		newBcast:  func(e sim.Env) sim.BroadcastProgram { return bcastvc.New(e) },
+		rounds:    bcastvc.Rounds,
+	},
+	"fracpack": {
+		broadcast: true,
+		newBcast: func(e sim.Env) sim.BroadcastProgram {
+			if e.Kind == sim.KindSubset {
+				return fracpack.NewSubset(e)
+			}
+			return fracpack.NewElement(e)
+		},
+		rounds: fracpack.Rounds,
+	},
+}
+
+// buildPrograms instantiates the plan's node programs with the given
+// weights (plan order).
+func buildPrograms(plan *WorkerPlan, weights []int64, params sim.Params) (
+	[]sim.PortProgram, []sim.BroadcastProgram, error) {
+
+	def, ok := algos[plan.Algo]
+	if !ok {
+		return nil, nil, fmt.Errorf("dist: unknown algorithm %q", plan.Algo)
+	}
+	n := len(plan.Shard.Nodes)
+	if len(weights) != n || len(plan.Kinds) != n {
+		return nil, nil, fmt.Errorf("dist: plan carries %d weights and %d kinds for %d nodes",
+			len(weights), len(plan.Kinds), n)
+	}
+	envAt := func(i int) sim.Env {
+		return sim.Env{
+			Degree: int(plan.Shard.Off[i+1] - plan.Shard.Off[i]),
+			Weight: weights[i],
+			Kind:   sim.NodeKind(plan.Kinds[i]),
+			Params: params,
+		}
+	}
+	if def.broadcast {
+		progs := make([]sim.BroadcastProgram, n)
+		for i := range progs {
+			progs[i] = def.newBcast(envAt(i))
+		}
+		return nil, progs, nil
+	}
+	progs := make([]sim.PortProgram, n)
+	for i := range progs {
+		progs[i] = def.newPort(envAt(i))
+	}
+	return progs, nil, nil
+}
+
+// errorCode classifies a run error for the wire.
+func errorCode(err error) byte {
+	switch {
+	case errors.Is(err, sim.ErrWireOverflow):
+		return ecOverflow
+	case errors.Is(err, sim.ErrRoundBudget):
+		return ecBudget
+	case errors.Is(err, context.Canceled):
+		return ecCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return ecDeadline
+	}
+	return ecInternal
+}
+
+// codeError reconstructs a run error from an fError payload,
+// preserving sentinel identity across the process boundary.
+func codeError(payload []byte) error {
+	if len(payload) == 0 {
+		return errors.New("dist: worker reported an error with no detail")
+	}
+	text := string(payload[1:])
+	switch payload[0] {
+	case ecOverflow:
+		return sim.ErrWireOverflow
+	case ecBudget:
+		return sim.ErrRoundBudget
+	case ecCanceled:
+		return context.Canceled
+	case ecDeadline:
+		return context.DeadlineExceeded
+	case ecDraining:
+		return fmt.Errorf("%w: %s", ErrWorkerDraining, text)
+	case ecBadRequest:
+		return fmt.Errorf("dist: worker rejected request: %s", text)
+	}
+	return fmt.Errorf("dist: worker error: %s", text)
+}
+
+// ErrWorkerDraining is returned for runs that reach a worker after it
+// began its graceful shutdown.
+var ErrWorkerDraining = errors.New("dist: worker is draining")

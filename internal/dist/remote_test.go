@@ -1,0 +1,201 @@
+package dist_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"anoncover/internal/dist"
+	"anoncover/internal/graph"
+	"anoncover/internal/sim"
+
+	"anoncover/internal/core/edgepack"
+)
+
+// startWorkers boots n in-process workers on loopback sockets and
+// returns them with their addresses.  In-process here still means the
+// full remote path: real TCP listeners, gob'd plans, framed halos.
+func startWorkers(t *testing.T, n int) ([]*dist.Worker, []string) {
+	t.Helper()
+	workers := make([]*dist.Worker, n)
+	addrs := make([]string, n)
+	for i := range workers {
+		w := dist.NewWorker()
+		if err := w.Listen("127.0.0.1:0"); err != nil {
+			t.Fatalf("worker %d listen: %v", i, err)
+		}
+		go w.Serve()
+		workers[i] = w
+		addrs[i] = w.Addr()
+		t.Cleanup(func() { w.Close() })
+	}
+	return workers, addrs
+}
+
+// TestRemoteVertexCover: a coordinator driving real worker processes
+// (in-process, real sockets) must be bit-identical to the sequential
+// solver on both wire and boxed paths, and UpdateWeights must swap the
+// instance without re-compiling.
+func TestRemoteVertexCover(t *testing.T) {
+	g := graph.Grid(6, 7)
+	graph.RandomWeights(g, 25, 8)
+	_, addrs := startWorkers(t, 3)
+	c := dist.NewCoordinator(addrs)
+	defer c.Close()
+
+	sess, err := c.CompileVC(g)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	defer sess.Close()
+
+	ref := edgepack.MustRun(g, edgepack.Options{Engine: sim.Sequential})
+	for _, noWire := range []bool{false, true} {
+		got, err := sess.VertexCover(context.Background(), dist.RunOptions{NoWire: noWire})
+		if err != nil {
+			t.Fatalf("noWire=%v: %v", noWire, err)
+		}
+		for v := range ref.Cover {
+			if got.Cover[v] != ref.Cover[v] {
+				t.Fatalf("noWire=%v: cover diverges at %d", noWire, v)
+			}
+		}
+		for i := range ref.Y {
+			if !got.Y[i].Equal(ref.Y[i]) {
+				t.Fatalf("noWire=%v: y diverges at %d", noWire, i)
+			}
+		}
+		if got.Stats.Rounds != ref.Stats.Rounds || got.Stats.Messages != ref.Stats.Messages || got.Stats.Bytes != ref.Stats.Bytes {
+			t.Fatalf("noWire=%v: stats %+v != %+v", noWire, got.Stats, ref.Stats)
+		}
+	}
+
+	// Weights-only update: the session must now match a sequential run
+	// over the reweighted graph.
+	n := g.N()
+	weights := make([]int64, n)
+	for v := 0; v < n; v++ {
+		weights[v] = g.Weight(v)*3 + 1
+	}
+	if err := sess.UpdateVCWeights(weights); err != nil {
+		t.Fatalf("update weights: %v", err)
+	}
+	g2 := graph.Grid(6, 7)
+	graph.RandomWeights(g2, 25, 8)
+	for v := 0; v < n; v++ {
+		g2.SetWeight(v, weights[v])
+	}
+	ref2 := edgepack.MustRun(g2, edgepack.Options{Engine: sim.Sequential})
+	got2, err := sess.VertexCover(context.Background(), dist.RunOptions{})
+	if err != nil {
+		t.Fatalf("post-update run: %v", err)
+	}
+	for v := range ref2.Cover {
+		if got2.Cover[v] != ref2.Cover[v] {
+			t.Fatalf("post-update cover diverges at %d", v)
+		}
+	}
+	if got2.Stats.Rounds != ref2.Stats.Rounds || got2.Stats.Messages != ref2.Stats.Messages {
+		t.Fatalf("post-update stats %+v != %+v", got2.Stats, ref2.Stats)
+	}
+
+	if c.Metrics().FramesOut.Load() == 0 {
+		t.Fatal("coordinator sent no frames")
+	}
+}
+
+// TestRemoteHealth: pings report every worker live, and a dead address
+// reports its error without poisoning the rest.
+func TestRemoteHealth(t *testing.T) {
+	_, addrs := startWorkers(t, 2)
+	addrs = append(addrs, "127.0.0.1:1") // nothing listens here
+	c := dist.NewCoordinator(addrs)
+	defer c.Close()
+
+	hs := c.Health(context.Background())
+	if len(hs) != 3 {
+		t.Fatalf("got %d health rows", len(hs))
+	}
+	for i, h := range hs[:2] {
+		if !h.OK || h.Error != "" {
+			t.Fatalf("worker %d unhealthy: %+v", i, h)
+		}
+	}
+	if hs[2].OK || hs[2].Error == "" {
+		t.Fatalf("dead worker reported healthy: %+v", hs[2])
+	}
+}
+
+// TestRemoteRunControls: sentinel errors must survive the process
+// boundary, and a killed worker must fail the run promptly — within
+// the frame timeout, not the test's patience — while the session's
+// surviving peers recover for the error report.
+func TestRemoteRunControls(t *testing.T) {
+	g := graph.Grid(5, 5)
+	graph.RandomWeights(g, 25, 8)
+	workers, addrs := startWorkers(t, 2)
+	c := dist.NewCoordinator(addrs)
+	c.FrameTimeout = 2 * time.Second
+	defer c.Close()
+
+	sess, err := c.CompileVC(g)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+
+	_, err = sess.Run(context.Background(), dist.RunOptions{RoundBudget: 2})
+	if !errors.Is(err, sim.ErrRoundBudget) {
+		t.Fatalf("round budget: err=%v", err)
+	}
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err = sess.Run(ctx, dist.RunOptions{}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: err=%v", err)
+	}
+
+	// The session still works after sentinel-error runs.
+	if _, err = sess.VertexCover(context.Background(), dist.RunOptions{}); err != nil {
+		t.Fatalf("recovery run: %v", err)
+	}
+
+	// Kill worker 1 outright: the next run must error out within the
+	// frame-timeout envelope rather than hanging.
+	workers[1].Close()
+	start := time.Now()
+	_, err = sess.Run(context.Background(), dist.RunOptions{})
+	if err == nil {
+		t.Fatal("run against a killed worker succeeded")
+	}
+	if el := time.Since(start); el > 15*time.Second {
+		t.Fatalf("killed-worker run took %v", el)
+	}
+}
+
+// TestRemoteDraining: after Shutdown begins, new runs are rejected
+// with ErrWorkerDraining while in-flight state is not corrupted.
+func TestRemoteDraining(t *testing.T) {
+	g := graph.Grid(4, 4)
+	graph.RandomWeights(g, 9, 2)
+	workers, addrs := startWorkers(t, 1)
+	c := dist.NewCoordinator(addrs)
+	defer c.Close()
+
+	sess, err := c.CompileVC(g)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if _, err := sess.VertexCover(context.Background(), dist.RunOptions{}); err != nil {
+		t.Fatalf("pre-drain run: %v", err)
+	}
+
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := workers[0].Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := sess.Run(context.Background(), dist.RunOptions{}); err == nil {
+		t.Fatal("run accepted by a drained worker")
+	}
+}

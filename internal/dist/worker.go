@@ -1,0 +1,722 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"anoncover/internal/sim"
+)
+
+// Worker owns shards on behalf of a remote coordinator: it installs
+// sessions from WorkerPlan frames, dials its peer workers, rebuilds
+// the node programs locally, and executes runs with the same shard
+// executor the loopback cluster uses.  One Worker serves any number of
+// sessions; runs within a session are serialized (the coordinator
+// drives one at a time), runs across sessions proceed concurrently.
+//
+// Shutdown is graceful: a draining worker rejects new runs with
+// ErrWorkerDraining but finishes in-flight rounds and flushes its
+// final halo frames, mirroring the HTTP server's connection drain.
+type Worker struct {
+	// FrameTimeout bounds barrier waits and frame writes; zero means
+	// the default.
+	FrameTimeout time.Duration
+
+	mx Metrics
+	ln net.Listener
+
+	mu       sync.Mutex
+	sessions map[uint64]*wsession
+	pending  map[uint64][]*peerConn // peer conns that arrived before their session's setup
+	draining bool
+	closed   bool
+
+	runs sync.WaitGroup // in-flight runs, for the drain
+	wg   sync.WaitGroup // connection handlers
+}
+
+type peerConn struct {
+	src int32
+	fc  *frameConn
+}
+
+// NewWorker returns an idle worker; call Listen then Serve.
+func NewWorker() *Worker {
+	return &Worker{
+		FrameTimeout: defaultFrameTimeout,
+		sessions:     make(map[uint64]*wsession),
+		pending:      make(map[uint64][]*peerConn),
+	}
+}
+
+// Metrics exposes the worker's transport counters.
+func (w *Worker) Metrics() *Metrics { return &w.mx }
+
+// Listen binds the worker's frame listener.
+func (w *Worker) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	w.ln = ln
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (w *Worker) Addr() string {
+	if w.ln == nil {
+		return ""
+	}
+	return w.ln.Addr().String()
+}
+
+// Serve accepts connections until the listener closes.  Each
+// connection self-identifies with its first frame: fHello starts a
+// coordinator control loop, fPeerHello attaches a peer data stream to
+// a session.
+func (w *Worker) Serve() error {
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			w.mu.Lock()
+			closed := w.closed
+			w.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+			w.handleConn(conn)
+		}()
+	}
+}
+
+// Shutdown drains the worker: new runs are rejected, in-flight runs
+// finish (their final halo frames flush as part of the run), then all
+// connections close.  Returns ctx.Err() if the drain outlives the
+// context; the worker is closed regardless.
+func (w *Worker) Shutdown(ctx context.Context) error {
+	w.mu.Lock()
+	w.draining = true
+	w.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		w.runs.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	w.Close()
+	return err
+}
+
+// Close tears the worker down immediately.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	sessions := w.sessions
+	w.sessions = make(map[uint64]*wsession)
+	pend := w.pending
+	w.pending = make(map[uint64][]*peerConn)
+	w.mu.Unlock()
+
+	if w.ln != nil {
+		w.ln.Close()
+	}
+	for _, s := range sessions {
+		s.teardown(errors.New("dist: worker closed"))
+	}
+	for _, pcs := range pend {
+		for _, pc := range pcs {
+			pc.fc.close()
+		}
+	}
+	return nil
+}
+
+func (w *Worker) handleConn(conn net.Conn) {
+	fc := newFrameConn(conn, w.FrameTimeout, &w.mx)
+	first, err := fc.readTimeout(w.FrameTimeout)
+	if err != nil {
+		fc.close()
+		return
+	}
+	switch first.typ {
+	case fHello:
+		w.controlLoop(fc)
+	case fPeerHello:
+		w.attachPeer(fc, &first)
+	default:
+		fc.close()
+	}
+}
+
+// attachPeer hands an incoming peer data connection to its session,
+// parking it if the session's setup has not arrived yet.
+func (w *Worker) attachPeer(fc *frameConn, hello *frame) {
+	if len(hello.payload) != 8 {
+		fc.close()
+		return
+	}
+	session := binary.LittleEndian.Uint64(hello.payload)
+	pc := &peerConn{src: int32(hello.src), fc: fc}
+
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		fc.close()
+		return
+	}
+	s := w.sessions[session]
+	if s == nil {
+		w.pending[session] = append(w.pending[session], pc)
+		w.mu.Unlock()
+		return
+	}
+	w.mu.Unlock()
+	s.addPeer(pc)
+}
+
+// controlLoop serves one coordinator connection.
+func (w *Worker) controlLoop(fc *frameConn) {
+	defer fc.close()
+	for {
+		f, err := fc.read()
+		if err != nil {
+			return
+		}
+		switch f.typ {
+		case fPing:
+			fc.write(&frame{typ: fPong, run: f.run})
+		case fSetup:
+			w.handleSetup(fc, &f)
+		case fStart:
+			w.handleStart(fc, &f)
+		case fGo:
+			w.handleGo(fc, &f)
+		case fAbort:
+			w.handleAbort(&f)
+		case fWeights:
+			w.handleWeights(fc, &f)
+		case fClose:
+			w.handleClose(fc, &f)
+		default:
+			sendErr(fc, f.run, ecBadRequest, fmt.Sprintf("unexpected %d frame on a control connection", f.typ))
+		}
+	}
+}
+
+func sendErr(fc *frameConn, nonce uint32, code byte, text string) {
+	fc.write(&frame{typ: fError, run: nonce, payload: append([]byte{code}, text...)})
+}
+
+func (w *Worker) handleSetup(fc *frameConn, f *frame) {
+	var plan WorkerPlan
+	if err := gob.NewDecoder(bytes.NewReader(f.payload)).Decode(&plan); err != nil {
+		sendErr(fc, f.run, ecBadRequest, "undecodable plan: "+err.Error())
+		return
+	}
+	if plan.Self != plan.Shard.ID || len(plan.Peers) != plan.Workers {
+		sendErr(fc, f.run, ecBadRequest, "plan self/peers inconsistent")
+		return
+	}
+	if err := plan.Shard.validate(plan.Workers); err != nil {
+		sendErr(fc, f.run, ecBadRequest, err.Error())
+		return
+	}
+	if _, ok := algos[plan.Algo]; !ok {
+		sendErr(fc, f.run, ecBadRequest, "unknown algorithm "+plan.Algo)
+		return
+	}
+	s := &wsession{
+		w:       w,
+		plan:    plan,
+		weights: append([]int64(nil), plan.Weights...),
+		params:  plan.Params,
+		ctrl:    fc,
+		peers:   make(map[int32]*frameConn),
+		peerOK:  make(chan struct{}, 1),
+	}
+
+	w.mu.Lock()
+	if w.closed || w.draining {
+		w.mu.Unlock()
+		sendErr(fc, f.run, ecDraining, "worker is draining")
+		return
+	}
+	if old := w.sessions[plan.Session]; old != nil {
+		w.mu.Unlock()
+		sendErr(fc, f.run, ecBadRequest, "session already installed")
+		return
+	}
+	w.sessions[plan.Session] = s
+	parked := w.pending[plan.Session]
+	delete(w.pending, plan.Session)
+	w.mu.Unlock()
+
+	for _, pc := range parked {
+		s.addPeer(pc)
+	}
+	// Dial the higher-numbered peers this shard exchanges frames with;
+	// lower-numbered ones dial us.
+	for _, peer := range s.plan.Shard.peerSet() {
+		if peer < plan.Self {
+			continue
+		}
+		if err := s.dialPeer(peer); err != nil {
+			sendErr(fc, f.run, ecInternal, err.Error())
+			w.dropSession(plan.Session, err)
+			return
+		}
+	}
+	fc.write(&frame{typ: fReady, run: f.run})
+}
+
+func (w *Worker) session(id uint64) *wsession {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.sessions[id]
+}
+
+func (w *Worker) dropSession(id uint64, reason error) {
+	w.mu.Lock()
+	s := w.sessions[id]
+	delete(w.sessions, id)
+	w.mu.Unlock()
+	if s != nil {
+		s.teardown(reason)
+	}
+}
+
+// startPayload decodes the 8-byte session prefix + gob StartSpec the
+// coordinator packs into fStart and fGo payloads.
+func startPayload(f *frame) (uint64, *StartSpec, error) {
+	if len(f.payload) < 8 {
+		return 0, nil, errors.New("short payload")
+	}
+	session := binary.LittleEndian.Uint64(f.payload)
+	if len(f.payload) == 8 {
+		return session, nil, nil
+	}
+	var spec StartSpec
+	if err := gob.NewDecoder(bytes.NewReader(f.payload[8:])).Decode(&spec); err != nil {
+		return 0, nil, err
+	}
+	return session, &spec, nil
+}
+
+// handleStart prepares a run: fresh programs, fresh staging, peers
+// verified — but does not execute until fGo, so no peer can be mid-
+// round before every staging buffer in the fleet exists.
+func (w *Worker) handleStart(fc *frameConn, f *frame) {
+	session, spec, err := startPayload(f)
+	if err != nil || spec == nil {
+		sendErr(fc, f.run, ecBadRequest, "undecodable start")
+		return
+	}
+	s := w.session(session)
+	if s == nil {
+		sendErr(fc, f.run, ecBadRequest, "unknown session")
+		return
+	}
+	w.mu.Lock()
+	draining := w.draining || w.closed
+	w.mu.Unlock()
+	if draining {
+		sendErr(fc, f.run, ecDraining, "worker is draining")
+		return
+	}
+	if err := s.prepare(f.run, spec); err != nil {
+		sendErr(fc, f.run, errorCode(err), err.Error())
+		return
+	}
+	fc.write(&frame{typ: fReady, run: f.run})
+}
+
+func (w *Worker) handleGo(fc *frameConn, f *frame) {
+	session, _, err := startPayload(f)
+	if err != nil {
+		sendErr(fc, f.run, ecBadRequest, "undecodable go")
+		return
+	}
+	s := w.session(session)
+	if s == nil {
+		sendErr(fc, f.run, ecBadRequest, "unknown session")
+		return
+	}
+	s.launch(f.run)
+}
+
+func (w *Worker) handleAbort(f *frame) {
+	if len(f.payload) != 8 {
+		return
+	}
+	s := w.session(binary.LittleEndian.Uint64(f.payload))
+	if s == nil {
+		return
+	}
+	s.abort(f.run)
+}
+
+func (w *Worker) handleWeights(fc *frameConn, f *frame) {
+	if len(f.payload) < 8 {
+		sendErr(fc, f.run, ecBadRequest, "short weights payload")
+		return
+	}
+	s := w.session(binary.LittleEndian.Uint64(f.payload))
+	if s == nil {
+		sendErr(fc, f.run, ecBadRequest, "unknown session")
+		return
+	}
+	var msg weightsMsg
+	if err := gob.NewDecoder(bytes.NewReader(f.payload[8:])).Decode(&msg); err != nil {
+		sendErr(fc, f.run, ecBadRequest, "undecodable weights: "+err.Error())
+		return
+	}
+	if err := s.updateWeights(&msg); err != nil {
+		sendErr(fc, f.run, ecBadRequest, err.Error())
+		return
+	}
+	fc.write(&frame{typ: fWeightsOK, run: f.run})
+}
+
+func (w *Worker) handleClose(fc *frameConn, f *frame) {
+	if len(f.payload) != 8 {
+		sendErr(fc, f.run, ecBadRequest, "short close payload")
+		return
+	}
+	w.dropSession(binary.LittleEndian.Uint64(f.payload),
+		errors.New("dist: session closed by coordinator"))
+	fc.write(&frame{typ: fReady, run: f.run})
+}
+
+// wsession is one installed session on a worker.
+type wsession struct {
+	w      *Worker
+	plan   WorkerPlan
+	ctrl   *frameConn
+	peerOK chan struct{} // pulsed when a peer attaches
+
+	mu        sync.Mutex
+	weights   []int64
+	params    sim.Params
+	peers     map[int32]*frameConn
+	torn      error
+	actRun    uint32
+	actStage  *staging
+	actRS     *runState
+	actExec   *shardExec
+	actCancel context.CancelFunc
+	running   bool
+}
+
+func (s *wsession) addPeer(pc *peerConn) {
+	s.mu.Lock()
+	if s.torn != nil {
+		s.mu.Unlock()
+		pc.fc.close()
+		return
+	}
+	if old := s.peers[pc.src]; old != nil {
+		old.close()
+	}
+	s.peers[pc.src] = pc.fc
+	s.mu.Unlock()
+	select {
+	case s.peerOK <- struct{}{}:
+	default:
+	}
+	s.w.wg.Add(1)
+	go func() {
+		defer s.w.wg.Done()
+		s.peerReadLoop(pc.src, pc.fc)
+	}()
+}
+
+func (s *wsession) dialPeer(peer int32) error {
+	addr := s.plan.Peers[peer]
+	conn, err := net.DialTimeout("tcp", addr, s.w.FrameTimeout)
+	if err != nil {
+		return fmt.Errorf("dist: shard %d dialing peer %d at %s: %w", s.plan.Self, peer, addr, err)
+	}
+	fc := newFrameConn(conn, s.w.FrameTimeout, &s.w.mx)
+	var sid [8]byte
+	binary.LittleEndian.PutUint64(sid[:], s.plan.Session)
+	if err := fc.write(&frame{typ: fPeerHello, src: uint16(s.plan.Self), dst: uint16(peer), payload: sid[:]}); err != nil {
+		fc.close()
+		return fmt.Errorf("dist: peer hello to %d: %w", peer, err)
+	}
+	s.addPeer(&peerConn{src: peer, fc: fc})
+	return nil
+}
+
+// peerReadLoop drains one peer connection for the session's lifetime,
+// delivering data frames to whichever run is active.
+func (s *wsession) peerReadLoop(peer int32, fc *frameConn) {
+	for {
+		f, err := fc.read()
+		if err != nil {
+			s.mu.Lock()
+			rs := s.actRS
+			torn := s.torn
+			live := s.peers[peer] == fc
+			s.mu.Unlock()
+			if torn == nil && live && rs != nil {
+				rs.fail(fmt.Errorf("dist: shard %d lost peer %d: %w", s.plan.Self, peer, err), prioIO)
+			}
+			return
+		}
+		if f.typ != fLanes && f.typ != fBoxed {
+			continue
+		}
+		s.mu.Lock()
+		run, stage, rs, exec := s.actRun, s.actStage, s.actRS, s.actExec
+		s.mu.Unlock()
+		if stage == nil || f.run != run {
+			s.w.mx.StaleDrops.Add(1)
+			continue
+		}
+		if rs.closed() {
+			continue
+		}
+		si, ok := exec.segOf(peer)
+		if !ok || int32(f.src) != peer {
+			rs.fail(fmt.Errorf("%w: data frame from shard %d on the peer-%d stream", ErrBadFrame, f.src, peer), prioIO)
+			continue
+		}
+		if err := stage.deliver(si, &f); err != nil {
+			rs.fail(err, prioIO)
+		}
+	}
+}
+
+// waitPeers blocks until every expected peer connection is attached.
+func (s *wsession) waitPeers(deadline time.Time) error {
+	want := s.plan.Shard.peerSet()
+	for {
+		s.mu.Lock()
+		missing := int32(-1)
+		for _, p := range want {
+			if s.peers[p] == nil {
+				missing = p
+				break
+			}
+		}
+		torn := s.torn
+		s.mu.Unlock()
+		if torn != nil {
+			return torn
+		}
+		if missing < 0 {
+			return nil
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("dist: shard %d still waiting for peer %d", s.plan.Self, missing)
+		}
+		select {
+		case <-s.peerOK:
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// prepare installs a fresh run: programs rebuilt from the current
+// weights, staging reset, peers verified.
+func (s *wsession) prepare(run uint32, spec *StartSpec) error {
+	if err := s.waitPeers(time.Now().Add(s.w.FrameTimeout)); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.torn != nil {
+		return s.torn
+	}
+	if s.running {
+		return errors.New("dist: session already has a run in flight")
+	}
+	port, bcast, err := buildPrograms(&s.plan, s.weights, s.params)
+	if err != nil {
+		return err
+	}
+	var ctx context.Context = context.Background()
+	var cancel context.CancelFunc
+	if spec.DeadlineMillis > 0 {
+		ctx, cancel = context.WithDeadline(context.Background(),
+			time.Now().Add(time.Duration(spec.DeadlineMillis)*time.Millisecond))
+	}
+	s.actCancel = cancel
+
+	rs := newRunState()
+	stage := newStaging(len(s.plan.Shard.In))
+	waits := make([]*PairWait, len(s.plan.Shard.In))
+	for si, in := range s.plan.Shard.In {
+		waits[si] = s.w.mx.pairWait(in.Src, s.plan.Self)
+	}
+	peers := make(map[int32]*frameConn, len(s.peers))
+	for id, fc := range s.peers {
+		peers[id] = fc
+	}
+	exec := &shardExec{
+		plan:  &s.plan.Shard,
+		peers: peers,
+		runID: run,
+
+		port:  port,
+		bcast: bcast,
+
+		rounds:       spec.Rounds,
+		noWire:       spec.NoWire,
+		scrambleSeed: spec.ScrambleSeed,
+		budget:       spec.RoundBudget,
+		ctx:          ctx,
+		timeout:      s.w.FrameTimeout,
+
+		stage: stage,
+		rs:    rs,
+		mx:    &s.w.mx,
+		waits: waits,
+	}
+	s.actRun, s.actStage, s.actRS, s.actExec = run, stage, rs, exec
+	return nil
+}
+
+// segOf maps a source shard to its In-segment index.
+func (e *shardExec) segOf(src int32) (int, bool) {
+	for si := range e.plan.In {
+		if e.plan.In[si].Src == src {
+			return si, true
+		}
+	}
+	return 0, false
+}
+
+// launch executes the prepared run on its own goroutine and reports
+// the outcome on the control connection.
+func (s *wsession) launch(run uint32) {
+	s.mu.Lock()
+	exec := s.actExec
+	if exec == nil || s.actRun != run || s.running {
+		s.mu.Unlock()
+		sendErr(s.ctrl, run, ecBadRequest, "go without a prepared run")
+		return
+	}
+	s.running = true
+	s.mu.Unlock()
+
+	s.w.runs.Add(1)
+	s.w.wg.Add(1)
+	go func() {
+		defer s.w.wg.Done()
+		defer s.w.runs.Done()
+		err := s.execute(exec)
+		s.mu.Lock()
+		s.running = false
+		cancel := s.actCancel
+		s.actExec, s.actStage, s.actRS, s.actCancel = nil, nil, nil, nil
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		if err != nil {
+			s.w.mx.RunErrors.Add(1)
+			sendErr(s.ctrl, run, errorCode(err), err.Error())
+			return
+		}
+		outs := make([]any, len(exec.plan.Nodes))
+		if exec.port != nil {
+			for i, p := range exec.port {
+				outs[i] = p.Output()
+			}
+		} else {
+			for i, p := range exec.bcast {
+				outs[i] = p.Output()
+			}
+		}
+		var buf bytes.Buffer
+		if gerr := gob.NewEncoder(&buf).Encode(&outputsMsg{
+			Rounds: exec.rounds, Messages: exec.msgs, Bytes: exec.bytes, Outs: outs,
+		}); gerr != nil {
+			sendErr(s.ctrl, run, ecInternal, "encoding outputs: "+gerr.Error())
+			return
+		}
+		s.ctrl.write(&frame{typ: fOutputs, run: run, payload: buf.Bytes()})
+	}()
+}
+
+// execute runs the shard, recovering program panics into run errors so
+// a bad plan cannot take the worker process down.
+func (s *wsession) execute(exec *shardExec) (err error) {
+	s.w.mx.Runs.Add(1)
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("dist: shard %d panicked: %v", s.plan.Self, p)
+			exec.rs.fail(err, prioSemantic)
+		}
+	}()
+	return exec.run()
+}
+
+func (s *wsession) abort(run uint32) {
+	s.mu.Lock()
+	rs := s.actRS
+	match := s.actRun == run
+	s.mu.Unlock()
+	if rs != nil && match {
+		rs.fail(errAborted, prioIO)
+	}
+}
+
+func (s *wsession) updateWeights(msg *weightsMsg) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.torn != nil {
+		return s.torn
+	}
+	if s.running {
+		return errors.New("dist: weight update during a run")
+	}
+	if len(msg.Weights) != len(s.plan.Shard.Nodes) {
+		return fmt.Errorf("dist: %d weights for %d nodes", len(msg.Weights), len(s.plan.Shard.Nodes))
+	}
+	s.weights = append(s.weights[:0], msg.Weights...)
+	s.params = msg.Params
+	return nil
+}
+
+func (s *wsession) teardown(reason error) {
+	s.mu.Lock()
+	if s.torn != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.torn = reason
+	rs := s.actRS
+	peers := s.peers
+	s.peers = map[int32]*frameConn{}
+	s.mu.Unlock()
+	if rs != nil {
+		rs.fail(reason, prioIO)
+	}
+	for _, fc := range peers {
+		fc.close()
+	}
+}

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -33,8 +34,12 @@ type FlatTopology struct {
 }
 
 // Flatten builds the CSR view of src.  Offsets are 32-bit for
-// compactness; networks with 2^31 or more half-edges are rejected.
-func Flatten(src PortSource) *FlatTopology {
+// compactness; a network whose half-edge count would overflow them
+// (2^31 or more) is rejected with ErrTooLarge before any per-half-edge
+// allocation happens — such an instance must be run through per-shard
+// local indexing (internal/shard plus the distributed transport), where
+// each shard's own CSR stays under the ceiling.
+func Flatten(src PortSource) (*FlatTopology, error) {
 	n := src.N()
 	off := make([]int32, n+1)
 	total := 0
@@ -42,7 +47,8 @@ func Flatten(src PortSource) *FlatTopology {
 		off[v] = int32(total)
 		total += src.Deg(v)
 		if total > math.MaxInt32 {
-			panic(fmt.Sprintf("graph: %d half-edges overflow CSR offsets", total))
+			return nil, fmt.Errorf("%w: %d half-edges at node %d of %d exceed the int32 CSR offset ceiling (%d)",
+				ErrTooLarge, total, v, n, math.MaxInt32)
 		}
 	}
 	off[n] = int32(total)
@@ -50,7 +56,21 @@ func Flatten(src PortSource) *FlatTopology {
 	for v := 0; v < n; v++ {
 		copy(halves[off[v]:off[v+1]], src.Ports(v))
 	}
-	return &FlatTopology{off: off, halves: halves}
+	return &FlatTopology{off: off, halves: halves}, nil
+}
+
+// ErrTooLarge reports a port structure too large for a single flat CSR
+// view: its half-edge count does not fit int32 offsets.
+var ErrTooLarge = errors.New("graph: topology exceeds the int32 CSR ceiling")
+
+// MustFlatten is Flatten for sources statically known to fit the CSR
+// ceiling (graphs already held in memory); it panics on ErrTooLarge.
+func MustFlatten(src PortSource) *FlatTopology {
+	ft, err := Flatten(src)
+	if err != nil {
+		panic(err)
+	}
+	return ft
 }
 
 // N returns the number of nodes.
@@ -151,4 +171,4 @@ func (f *FlatTopology) Validate(src PortSource) error {
 }
 
 // Flat returns the CSR view of g.
-func (g *G) Flat() *FlatTopology { return Flatten(g) }
+func (g *G) Flat() *FlatTopology { return MustFlatten(g) }

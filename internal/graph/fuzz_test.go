@@ -28,7 +28,7 @@ func FuzzFlatTopology(f *testing.F) {
 		}
 		check := func(g *G) {
 			t.Helper()
-			ft := Flatten(g)
+			ft := MustFlatten(g)
 			if err := ft.Validate(g); err != nil {
 				t.Fatalf("CSR view diverges from source: %v", err)
 			}
@@ -47,7 +47,7 @@ func FuzzFlatTopology(f *testing.F) {
 			}
 			// A FlatTopology is itself a PortSource; flattening it again
 			// must be a fixed point.
-			if err := Flatten(ft).Validate(ft); err != nil {
+			if err := MustFlatten(ft).Validate(ft); err != nil {
 				t.Fatalf("re-flattening not a fixed point: %v", err)
 			}
 		}

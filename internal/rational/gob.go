@@ -1,0 +1,69 @@
+package rational
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/big"
+)
+
+// Gob support for Rat, used by the distributed shard transport to move
+// boxed-fallback messages between worker processes.  The encoding is
+// representation-preserving: a fast-path value decodes back onto the
+// fast path and a promoted value decodes back as promoted, so
+// WireBytes, Raw and the wire-lane encodings of a decoded value are
+// bit-identical to the original's — the property the cross-engine
+// equivalence suite relies on when a run's messages cross a process
+// boundary.
+
+// GobEncode implements gob.GobEncoder.
+func (x Rat) GobEncode() ([]byte, error) {
+	if x.b == nil {
+		buf := make([]byte, 1, 1+2*binary.MaxVarintLen64)
+		buf[0] = 0
+		buf = binary.AppendVarint(buf, x.n)
+		buf = binary.AppendVarint(buf, x.d)
+		return buf, nil
+	}
+	inner, err := x.b.GobEncode()
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte{1}, inner...), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (x *Rat) GobDecode(data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("rational: empty gob payload")
+	}
+	switch data[0] {
+	case 0:
+		n, ln := binary.Varint(data[1:])
+		if ln <= 0 {
+			return fmt.Errorf("rational: truncated numerator")
+		}
+		d, ld := binary.Varint(data[1+ln:])
+		if ld <= 0 {
+			return fmt.Errorf("rational: truncated denominator")
+		}
+		if d < 0 {
+			return fmt.Errorf("rational: negative denominator %d", d)
+		}
+		*x = Rat{n: n, d: d}
+		return nil
+	case 1:
+		if len(data) == 1 {
+			// big.Rat.GobDecode treats an empty buffer as a zero value;
+			// a promoted zero never occurs here (zero stays on the fast
+			// path), so an empty inner payload is a truncated frame.
+			return fmt.Errorf("rational: truncated big payload")
+		}
+		b := new(big.Rat)
+		if err := b.GobDecode(data[1:]); err != nil {
+			return err
+		}
+		*x = Rat{b: b}
+		return nil
+	}
+	return fmt.Errorf("rational: unknown gob tag %d", data[0])
+}

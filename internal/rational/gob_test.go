@@ -1,0 +1,54 @@
+package rational
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"math/big"
+	"testing"
+)
+
+// TestGobRoundTrip: the gob encoding must be representation-preserving
+// — fast-path values come back on the fast path (Raw ok, same pair),
+// promoted values come back promoted — so WireBytes and the wire-lane
+// encodings of a decoded value match the original exactly.
+func TestGobRoundTrip(t *testing.T) {
+	big1 := FromBig(new(big.Rat).SetFrac(
+		new(big.Int).Lsh(big.NewInt(7), 80), big.NewInt(3)))
+	cases := []Rat{
+		Zero, One, FromInt(-17), FromFrac(22, 7), FromFrac(-9, 4),
+		FromInt(math.MaxInt64), FromFrac(1, math.MaxInt64), big1,
+	}
+	for _, x := range cases {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(x); err != nil {
+			t.Fatalf("encode %v: %v", x, err)
+		}
+		var y Rat
+		if err := gob.NewDecoder(&buf).Decode(&y); err != nil {
+			t.Fatalf("decode %v: %v", x, err)
+		}
+		if !x.Equal(y) {
+			t.Fatalf("round trip changed value: %v -> %v", x, y)
+		}
+		if x.IsBig() != y.IsBig() {
+			t.Fatalf("round trip changed representation of %v: big %v -> %v", x, x.IsBig(), y.IsBig())
+		}
+		xn, xd, xok := x.Raw()
+		yn, yd, yok := y.Raw()
+		if xok != yok || xn != yn || xd != yd {
+			t.Fatalf("raw form changed: (%d,%d,%v) -> (%d,%d,%v)", xn, xd, xok, yn, yd, yok)
+		}
+		if x.WireBytes() != y.WireBytes() {
+			t.Fatalf("wire size changed: %d -> %d", x.WireBytes(), y.WireBytes())
+		}
+	}
+
+	// Truncated and garbage payloads must error, never panic.
+	var z Rat
+	for _, bad := range [][]byte{nil, {}, {0}, {0, 0x80}, {2, 1, 2}, {1}} {
+		if err := z.GobDecode(bad); err == nil {
+			t.Fatalf("GobDecode accepted %v", bad)
+		}
+	}
+}

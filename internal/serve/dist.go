@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"anoncover/internal/check"
+	"anoncover/internal/core/edgepack"
+	"anoncover/internal/dist"
+	"anoncover/internal/graph"
+)
+
+// Distributed serving: when Config.WorkerAddrs is set, the server is
+// the coordinator of a worker fleet (anoncoverd -worker processes) and
+// plain port-model vertex-cover requests execute across it — the
+// coordinator ships per-worker shard plans once per topology, workers
+// exchange halo frames directly, and the serving layers above (solver
+// cache, weight snapshots, memo, coalescing, admission) work unchanged
+// on top of distributed sessions.  Requests the fleet cannot serve
+// (broadcast model, per-request engine overrides, progress streams)
+// fall back to the local solver path; results are bit-identical either
+// way, which is what lets the two paths share one service surface.
+
+// distSolver adapts one dist.Session to the solver cache: Close for
+// eviction, UpdateWeights for the snapshot-install path, and a
+// serialized run method (the fleet executes one run per session at a
+// time; the mutex turns concurrent requests into a queue instead of
+// worker-side rejections).
+type distSolver struct {
+	sess *dist.Session
+
+	mu      sync.Mutex
+	weights []int64 // fleet's current snapshot, global node order
+}
+
+func newDistSolver(coord *dist.Coordinator, g *graph.G) (*distSolver, error) {
+	sess, err := coord.CompileVC(g)
+	if err != nil {
+		return nil, err
+	}
+	return &distSolver{sess: sess, weights: g.Weights()}, nil
+}
+
+func (d *distSolver) Close() error { return d.sess.Close() }
+
+// Weights returns the fleet's current snapshot vector.
+func (d *distSolver) Weights() []int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]int64(nil), d.weights...)
+}
+
+// UpdateWeights broadcasts a new snapshot to every worker; the
+// signature matches the local solvers so installSnapshot serves both.
+func (d *distSolver) UpdateWeights(w []int64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.installLocked(w)
+}
+
+func (d *distSolver) installLocked(w []int64) error {
+	if len(w) != d.sess.N() {
+		return fmt.Errorf("%d weights for %d nodes", len(w), d.sess.N())
+	}
+	for i, x := range w {
+		if x <= 0 {
+			return fmt.Errorf("non-positive weight %d at node %d", x, i)
+		}
+	}
+	if weightsEqual(d.weights, w) {
+		return nil
+	}
+	if err := d.sess.UpdateVCWeights(w); err != nil {
+		return err
+	}
+	d.weights = append([]int64(nil), w...)
+	return nil
+}
+
+// run executes one distributed vertex-cover run pinned to the given
+// weights, re-installing the fleet snapshot first if a concurrent
+// request moved it.  It returns the weight view the run used, for
+// response assembly and verification.
+func (d *distSolver) run(ctx context.Context, weights []int64, opt dist.RunOptions) (*edgepack.Result, *graph.G, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.installLocked(weights); err != nil {
+		return nil, nil, fmt.Errorf("updating weights: %w", err)
+	}
+	res, err := d.sess.VertexCover(ctx, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, d.sess.Graph(), nil
+}
+
+func weightsEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, x := range a {
+		if x != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// distEligible reports whether the request can execute on the fleet:
+// a plain port-model run with no engine override and no progress
+// stream (the distributed barrier has no per-round observer hook; such
+// requests fall back to the local path with bit-identical results).
+func (s *Server) distEligible(p runParams) bool {
+	return s.coord != nil && p.model == "port" && len(p.engine) == 0 && p.progress == ""
+}
+
+// handleVCDist serves a dist-eligible full-instance request: acquire
+// or compile the distributed session for the fingerprint, then run the
+// shared memo → coalesce → run pipeline against the fleet.
+func (s *Server) handleVCDist(w http.ResponseWriter, ctx context.Context, p runParams,
+	g *graph.G, fp string, start time.Time) {
+
+	e, hit, err := s.dvc.acquire(ctx, fp, func() (*distSolver, error) {
+		s.ctrs.Compiles.Add(1)
+		t0 := time.Now()
+		sol, cerr := newDistSolver(s.coord, g)
+		traceFrom(ctx).mark(phaseCompile, time.Since(t0))
+		return sol, cerr
+	})
+	if err != nil {
+		writeError(w, s.compileStatus(err), "compiling distributed session: %v", err)
+		return
+	}
+	defer s.dvc.release(e)
+	if hit {
+		s.ctrs.CacheHits.Add(1)
+	}
+	s.serveVCDist(w, ctx, p, e, fp, g.Weights(), hit, start)
+}
+
+// serveVCDist is serveVC for distributed sessions: snapshot
+// bookkeeping through the shared installSnapshot, then memo →
+// coalesce → fleet run.
+func (s *Server) serveVCDist(w http.ResponseWriter, ctx context.Context, p runParams,
+	e *entry[*distSolver], fp string, weights []int64, hit bool, start time.Time) {
+
+	cacheLabel, whash, err := installSnapshot(s, e, weights, hit)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "updating weights: %v", err)
+		return
+	}
+
+	const algo = "vertexcover"
+	mkey := p.memoKey(algo, whash)
+	tr := traceFrom(ctx)
+	tr.label(algo, fp, cacheLabel)
+	tr.setEngine("distributed")
+
+	serve := func(resp vcResponse, label string) {
+		tr.setCache(label)
+		tr.result(resp.Rounds, resp.Messages, resp.Bytes)
+		resp.Cache = label
+		resp.ElapsedMS = msSince(start)
+		writeJSON(w, http.StatusOK, resp)
+	}
+	fkey := strings.Join([]string{"dvc", fp, mkey}, "|")
+	for {
+		if v, ok := e.memo.get(mkey); ok {
+			s.ctrs.MemoHits.Add(1)
+			serve(v.(vcResponse), "memo")
+			return
+		}
+		f, leader := s.flights.join(fkey)
+		if leader {
+			resp, status, errMsg := s.execVCDist(ctx, p, e, fp, weights, cacheLabel)
+			if errMsg == "" {
+				e.memo.put(mkey, resp)
+			}
+			f.resp, f.status, f.errMsg = resp, status, errMsg
+			s.flights.leave(fkey, f)
+			if errMsg != "" {
+				writeError(w, status, "%s", errMsg)
+				return
+			}
+			serve(resp, cacheLabel)
+			return
+		}
+		s.ctrs.Coalesced.Add(1)
+		select {
+		case <-f.done:
+			if f.errMsg == "" {
+				serve(f.resp.(vcResponse), "coalesced")
+				return
+			}
+			if ctx.Err() != nil {
+				s.waitFailure(w, ctx)
+				return
+			}
+			if retryShared(f.status, ctx) {
+				continue
+			}
+			writeError(w, f.status, "%s", f.errMsg)
+			return
+		case <-ctx.Done():
+			s.waitFailure(w, ctx)
+			return
+		}
+	}
+}
+
+// execVCDist runs one fleet run and builds the response; error
+// contract as execVC.  Verification happens coordinator-side against
+// the weight view the run used.
+func (s *Server) execVCDist(ctx context.Context, p runParams, e *entry[*distSolver],
+	fp string, weights []int64, cacheLabel string) (vcResponse, int, string) {
+
+	s.ctrs.Runs.Add(1)
+	tr := traceFrom(ctx)
+	t0 := time.Now()
+	res, gv, err := e.solver.run(ctx, weights, dist.RunOptions{
+		ScrambleSeed: p.scramble, RoundBudget: p.budget,
+	})
+	tr.mark(phaseRun, time.Since(t0))
+	if err != nil {
+		return vcResponse{}, s.failStatus(err), fmt.Sprintf("run failed: %v", err)
+	}
+	s.tel.observeRun("vertexcover", res.Rounds, res.Stats.Messages, res.Stats.Bytes)
+	resp := vcResponse{
+		Fingerprint: fp, Algorithm: "vertexcover",
+		N: gv.N(), M: gv.M(),
+		Cover: coverIndices(res.Cover), Weight: res.CoverWeight(gv),
+		Rounds: res.Rounds, Messages: res.Stats.Messages, Bytes: res.Stats.Bytes,
+		Cache: cacheLabel,
+	}
+	resp.CoverSize = len(resp.Cover)
+	if p.verify {
+		t0 = time.Now()
+		verr := check.EdgePackingMaximal(gv, res.Y)
+		if verr == nil {
+			verr = check.VCDualityCertificate(gv, res.Y, res.Cover)
+		}
+		tr.mark(phaseVerify, time.Since(t0))
+		if verr != nil {
+			s.ctrs.RunErrors.Add(1)
+			return vcResponse{}, http.StatusInternalServerError, fmt.Sprintf("INVARIANT VIOLATION: %v", verr)
+		}
+		resp.Verified = true
+	}
+	return resp, 0, ""
+}
+
+// distStats is the /v1/stats block reporting the worker fleet: health
+// of every worker (probed at request time) and the coordinator's
+// transport counters.
+type distStats struct {
+	Workers   []dist.WorkerHealth `json:"workers"`
+	Sessions  int                 `json:"sessions"`
+	Transport dist.Snapshot       `json:"transport"`
+}
+
+func (s *Server) distStats() *distStats {
+	if s.coord == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return &distStats{
+		Workers:   s.coord.Health(ctx),
+		Sessions:  s.dvc.len(),
+		Transport: s.coord.Metrics().SnapshotNow(),
+	}
+}

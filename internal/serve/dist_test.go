@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"anoncover/internal/dist"
+)
+
+// startDistWorkers brings up n in-process shard workers on loopback
+// ports and returns their addresses.
+func startDistWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		w := dist.NewWorker()
+		if err := w.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = w.Addr()
+		go w.Serve()
+		t.Cleanup(func() { w.Close() })
+	}
+	return addrs
+}
+
+// TestServeDistributed walks the distributed serving story end to end
+// against real workers: a dist-eligible request executes across the
+// fleet bit-identically to the local path, weight-only reposts reuse
+// the compiled distributed session without recompiling, /v1/stats
+// reports the fleet, and the transport counters land on /metrics.
+func TestServeDistributed(t *testing.T) {
+	addrs := startDistWorkers(t, 2)
+
+	dsrv := New(Config{WorkerAddrs: addrs})
+	defer dsrv.Close()
+	dts := httptest.NewServer(dsrv.Handler())
+	defer dts.Close()
+
+	lsrv := New(Config{})
+	defer lsrv.Close()
+	lts := httptest.NewServer(lsrv.Handler())
+	defer lts.Close()
+
+	client := dts.Client()
+	body, _ := gridText(t, 6, 7, testWeights(42, 8))
+
+	code, data := post(t, client, dts.URL+"/v1/vertexcover?verify=true", body)
+	if code != http.StatusOK {
+		t.Fatalf("distributed run: code %d: %s", code, data)
+	}
+	dr := decodeVC(t, data)
+	if !dr.Verified {
+		t.Fatal("distributed response not verified")
+	}
+
+	code, data = post(t, client, lts.URL+"/v1/vertexcover?verify=true", body)
+	if code != http.StatusOK {
+		t.Fatalf("local run: code %d: %s", code, data)
+	}
+	lr := decodeVC(t, data)
+	if dr.Weight != lr.Weight || dr.Rounds != lr.Rounds || len(dr.Cover) != len(lr.Cover) {
+		t.Fatalf("distributed != local: weight %d/%d rounds %d/%d cover %d/%d",
+			dr.Weight, lr.Weight, dr.Rounds, lr.Rounds, len(dr.Cover), len(lr.Cover))
+	}
+	for i, v := range dr.Cover {
+		if v != lr.Cover[i] {
+			t.Fatalf("cover[%d]: distributed %d local %d", i, v, lr.Cover[i])
+		}
+	}
+
+	// Weight-only repost by fingerprint: served by the cached
+	// distributed session — a snapshot install, not a recompile.
+	w2 := testWeights(42, 9)
+	var sb strings.Builder
+	sb.WriteString(`{"weights":[`)
+	for i, x := range w2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.FormatInt(x, 10))
+	}
+	sb.WriteString(`]}`)
+	code, data = post(t, client, dts.URL+"/v1/vertexcover/"+dr.Fingerprint+"?verify=true", sb.String())
+	if code != http.StatusOK {
+		t.Fatalf("weight repost: code %d: %s", code, data)
+	}
+	r2 := decodeVC(t, data)
+	if !r2.Verified || r2.Weight == dr.Weight {
+		t.Fatalf("weight repost: verified=%v weight %d (want change from %d)",
+			r2.Verified, r2.Weight, dr.Weight)
+	}
+
+	st := serverStats(t, client, dts.URL)
+	if st.Compiles != 1 {
+		t.Fatalf("compiles = %d, want 1 (weight repost must not recompile)", st.Compiles)
+	}
+	if st.WeightUpdates == 0 {
+		t.Fatal("weight repost did not count as a snapshot install")
+	}
+	if st.Distributed == nil {
+		t.Fatal("stats missing distributed block")
+	}
+	if st.Distributed.Sessions != 1 {
+		t.Fatalf("distributed sessions = %d, want 1", st.Distributed.Sessions)
+	}
+	for _, wh := range st.Distributed.Workers {
+		if !wh.OK {
+			t.Fatalf("worker %s unhealthy: %s", wh.Addr, wh.Error)
+		}
+	}
+	if st.Distributed.Transport.FramesOut == 0 {
+		t.Fatal("coordinator transport shows zero frames out")
+	}
+
+	resp, err := client.Get(dts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	metrics, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(metrics), "anoncover_dist_frames_total") {
+		t.Fatal("/metrics missing anoncover_dist_frames_total")
+	}
+}
+
+// TestServeDistFallback checks that requests the fleet cannot serve —
+// broadcast model, engine overrides, progress streams — fall back to
+// the local path instead of erroring.
+func TestServeDistFallback(t *testing.T) {
+	addrs := startDistWorkers(t, 2)
+	srv := New(Config{WorkerAddrs: addrs})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, _ := gridText(t, 4, 4, nil)
+	for _, q := range []string{"?model=broadcast", "?engine=sequential"} {
+		code, data := post(t, ts.Client(), ts.URL+"/v1/vertexcover"+q, body)
+		if code != http.StatusOK {
+			t.Fatalf("fallback %s: code %d: %s", q, code, data)
+		}
+	}
+	st := serverStats(t, ts.Client(), ts.URL)
+	if st.Distributed.Transport.Runs != 0 {
+		t.Fatalf("fallback requests ran on the fleet: %d runs", st.Distributed.Transport.Runs)
+	}
+}

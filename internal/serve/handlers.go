@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"anoncover"
+	"anoncover/internal/graph"
 )
 
 // runParams are the per-request knobs, parsed from the query string.
@@ -374,6 +375,20 @@ func (s *Server) handleVertexCover(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if s.distEligible(p) {
+		// Coordinator mode: eligible requests execute across the worker
+		// fleet; the body parses into the internal graph form the shard
+		// planner consumes.
+		ig, err := graph.Parse(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "parsing graph: %v", err)
+			return
+		}
+		ctx, cancel := p.runContext(r)
+		defer cancel()
+		s.handleVCDist(w, ctx, p, ig, ig.Fingerprint(), start)
+		return
+	}
 	g, err := anoncover.ReadGraph(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "parsing graph: %v", err)
@@ -436,6 +451,29 @@ func (s *Server) handleVertexCoverCached(w http.ResponseWriter, r *http.Request)
 	ctx, cancel := p.runContext(r)
 	defer cancel()
 	fp := r.PathValue("fp")
+	if s.distEligible(p) {
+		de, err := s.dvc.lookup(ctx, fp)
+		if err != nil {
+			writeError(w, s.compileStatus(err), "cached distributed session: %v", err)
+			return
+		}
+		if de != nil {
+			defer s.dvc.release(de)
+			s.ctrs.CacheHits.Add(1)
+			weights, err := readWeightsBody(r, s.cfg.MaxBody)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			if weights == nil {
+				weights = de.solver.Weights()
+			}
+			s.serveVCDist(w, ctx, p, de, fp, weights, true, start)
+			return
+		}
+		// Fall through: the fingerprint may be cached as a local solver
+		// (compiled by a non-eligible request).
+	}
 	e, err := s.vc.lookup(ctx, fp)
 	if err != nil {
 		writeError(w, s.compileStatus(err), "cached solver: %v", err)

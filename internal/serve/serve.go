@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"anoncover"
+	"anoncover/internal/dist"
 )
 
 // Config tunes the service; the zero value serves with sane defaults.
@@ -86,6 +87,16 @@ type Config struct {
 	// BatchLimit flushes a window early once this many requests are
 	// parked in it.  Default 64.
 	BatchLimit int
+	// WorkerAddrs, when non-empty, turns the server into the
+	// coordinator of a distributed worker fleet (anoncoverd -worker
+	// processes listening at these addresses): plain port-model
+	// vertex-cover requests compile into distributed sessions and
+	// execute across the fleet, with weight updates broadcast off the
+	// same snapshot machinery.  Other requests use the local engines.
+	WorkerAddrs []string
+	// DistTimeout bounds control-frame round trips and worker barrier
+	// waits in distributed mode; 0 uses the dist package default.
+	DistTimeout time.Duration
 	// Logger receives one structured access-log record per request plus
 	// request-lifecycle events.  nil discards logs (tests, embedding).
 	Logger *slog.Logger
@@ -145,6 +156,8 @@ type Server struct {
 	cfg     Config
 	vc      *cache[*anoncover.Solver]
 	sc      *cache[*anoncover.SetCoverSolver]
+	coord   *dist.Coordinator   // nil unless WorkerAddrs configured
+	dvc     *cache[*distSolver] // distributed sessions; nil with coord
 	adm     *admission
 	ctrs    counters
 	flights *flights
@@ -166,6 +179,13 @@ func New(cfg Config) *Server {
 	}
 	s.vc = newCache[*anoncover.Solver](cfg.CacheSize, cfg.MemoSize, &s.ctrs)
 	s.sc = newCache[*anoncover.SetCoverSolver](cfg.CacheSize, cfg.MemoSize, &s.ctrs)
+	if len(cfg.WorkerAddrs) > 0 {
+		s.coord = dist.NewCoordinator(cfg.WorkerAddrs)
+		if cfg.DistTimeout > 0 {
+			s.coord.FrameTimeout = cfg.DistTimeout
+		}
+		s.dvc = newCache[*distSolver](cfg.CacheSize, cfg.MemoSize, &s.ctrs)
+	}
 	if cfg.BatchWindow > 0 {
 		// The session options are validated at Compile time too, so a
 		// config the batcher rejects would fail every request anyway;
@@ -186,6 +206,9 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.tel = newTelemetry(s, cfg.Logger, cfg.RunLogSize)
+	if s.coord != nil {
+		s.coord.Metrics().Register(s.tel.reg)
+	}
 	mux.HandleFunc("GET /v1/runs", s.handleRuns)
 	mux.Handle("GET /metrics", s.MetricsHandler())
 	s.mux = mux
@@ -208,6 +231,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Close() error {
 	s.vc.closeAll()
 	s.sc.closeAll()
+	if s.coord != nil {
+		s.dvc.closeAll()
+		s.coord.Close()
+	}
 	if s.batch != nil {
 		s.batch.close()
 	}
@@ -229,6 +256,7 @@ func (s *Server) Stats() Stats {
 	if bi.revision != "unknown" {
 		st.Revision = bi.revision
 	}
+	st.Distributed = s.distStats()
 	return st
 }
 

@@ -58,6 +58,11 @@ type Stats struct {
 	UptimeSeconds float64   `json:"uptime_seconds"`
 	GoVersion     string    `json:"go_version"`
 	Revision      string    `json:"revision,omitempty"`
+
+	// Distributed reports the worker fleet in coordinator mode: per-
+	// worker health probes, cached distributed sessions, and the
+	// coordinator's transport counters.  Absent in single-process mode.
+	Distributed *distStats `json:"distributed,omitempty"`
 }
 
 func (c *counters) snapshot() Stats {

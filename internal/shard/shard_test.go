@@ -137,7 +137,7 @@ func TestTopologyRouting(t *testing.T) {
 func TestTopologyPortSource(t *testing.T) {
 	ft := graph.RandomRegular(60, 4, 2).Flat()
 	st := BuildK(ft, 3)
-	if err := graph.Flatten(st).Validate(ft); err != nil {
+	if err := graph.MustFlatten(st).Validate(ft); err != nil {
 		t.Fatalf("sharded view diverges as a port source: %v", err)
 	}
 }

@@ -72,9 +72,25 @@ type Shard struct {
 	BSrc []uint64
 	// HaloOut is the size of the shard's halo-out buffer.
 	HaloOut int
+	// Out describes the halo-out buffer's layout as outgoing segments,
+	// ordered by destination shard: the cut half-edges bound for shard
+	// Out[i].Dst occupy slots [Out[i].Off, Out[i].Off+Out[i].Len).  The
+	// in-memory engines never need it (receivers drain through In), but
+	// a transport that ships halo buffers between processes flushes one
+	// frame per segment, and this table is the sender's view of the
+	// same layout In describes on the receiving side.
+	Out []Seg
 	// In describes the shard's incoming halo segments, ordered by
 	// source shard.
 	In []HaloIn
+}
+
+// Seg is one outgoing halo segment: a contiguous destination-sorted
+// block of the owning shard's halo-out buffer, bound for shard Dst.
+// The receiving side's matching HaloIn has Src = the owner, Lo = Off
+// and len(Slots) = Len.
+type Seg struct {
+	Dst, Off, Len int32
 }
 
 // InboxLen returns the size of the shard's local inbox (the shard's
@@ -167,6 +183,7 @@ func Build(ft *graph.FlatTopology, p *Partition) *Topology {
 		var off int32
 		for _, t := range dests[s] {
 			segs[s][t] = &segment{off: off, entries: make([]cutEntry, 0, counts[t])}
+			st.Shards[s].Out = append(st.Shards[s].Out, Seg{Dst: t, Off: off, Len: counts[t]})
 			off += counts[t]
 		}
 		st.Shards[s].HaloOut = int(off)
@@ -291,6 +308,34 @@ func (st *Topology) Validate() error {
 				}
 				j++
 			}
+		}
+	}
+	// The outgoing segment table must tile each halo-out buffer exactly
+	// and mirror the receiving side's In descriptors.
+	for s := range st.Shards {
+		sh := &st.Shards[s]
+		var off int32
+		for _, sg := range sh.Out {
+			if sg.Off != off {
+				return fmt.Errorf("shard %d: out segment for %d starts at %d, want %d", s, sg.Dst, sg.Off, off)
+			}
+			found := false
+			for _, in := range st.Shards[sg.Dst].In {
+				if in.Src == int32(s) {
+					found = true
+					if in.Lo != sg.Off || int32(len(in.Slots)) != sg.Len {
+						return fmt.Errorf("shard %d: out segment for %d is [%d,+%d), receiver sees [%d,+%d)",
+							s, sg.Dst, sg.Off, sg.Len, in.Lo, len(in.Slots))
+					}
+				}
+			}
+			if !found {
+				return fmt.Errorf("shard %d: out segment for %d has no matching In descriptor", s, sg.Dst)
+			}
+			off += sg.Len
+		}
+		if int(off) != sh.HaloOut {
+			return fmt.Errorf("shard %d: out segments cover %d halo slots, want %d", s, off, sh.HaloOut)
 		}
 	}
 	// Halo drain.

@@ -97,6 +97,24 @@ func (r *runner) run(rounds int) (Stats, error) {
 			k = runtime.GOMAXPROCS(0)
 		}
 		return r.runSharded(rounds, k)
+	case Distributed:
+		// The runner owns the round loop; per-round facilities that
+		// need a global barrier are structurally unavailable (each
+		// shard advances on per-pair synchronization), so reject them
+		// the way the CSP engine does.  Context and RoundBudget are
+		// honoured at each shard's network barrier.
+		switch {
+		case r.opt.Dist == nil:
+			return Stats{}, errors.New("sim: Engine Distributed needs Options.Dist (a dist runner)")
+		case r.opt.Observer != nil:
+			return Stats{}, errors.New("sim: the Distributed engine has no global barrier to call an Observer from")
+		case r.opt.Trace:
+			return Stats{}, errors.New("sim: Trace is not supported by the Distributed engine (no global barrier)")
+		}
+		if r.port != nil {
+			return r.opt.Dist.RunPort(r.top, r.port, rounds, r.opt)
+		}
+		return r.opt.Dist.RunBroadcast(r.top, r.bcast, rounds, r.opt)
 	case CSP:
 		// The CSP engine has no global barrier, so every per-round
 		// facility is structurally unavailable; reject rather than
@@ -131,13 +149,14 @@ func count(m Message, msgs, bytes *int64) {
 
 // flatten returns the CSR view of top, reusing it when top already is
 // one (e.g. the caller pre-flattened a topology shared across runs) or
-// carries one (a pre-built sharded view).
-func flatten(top Topology) *graph.FlatTopology {
+// carries one (a pre-built sharded view).  A topology too large for
+// int32 CSR offsets surfaces graph.ErrTooLarge as a run-level error.
+func flatten(top Topology) (*graph.FlatTopology, error) {
 	switch t := top.(type) {
 	case *graph.FlatTopology:
-		return t
+		return t, nil
 	case *shard.Topology:
-		return t.Flat()
+		return t.Flat(), nil
 	}
 	return graph.Flatten(top)
 }
@@ -364,7 +383,11 @@ func (r *runner) runBarrier(rounds, workers int) (Stats, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	r.ft = flatten(r.top)
+	ft, err := flatten(r.top)
+	if err != nil {
+		return Stats{}, err
+	}
+	r.ft = ft
 	r.interned = r.isBroadcast() && !r.opt.NoWire
 	r.wireSetup(rounds)
 	a, done := r.arenaFor()
@@ -613,6 +636,16 @@ func (r *runner) runCSP(rounds int) Stats {
 		stats.Bytes += byteCounts[v]
 	}
 	return stats
+}
+
+// Scramble permutes a broadcast round's messages exactly as the
+// in-process engines do for Options.ScrambleSeed, deterministically in
+// (seed, node, round).  Exported for the distributed runner, which
+// replays the same permutation on the receiving worker so that a
+// scrambled distributed run stays bit-identical to a scrambled
+// sequential one.
+func Scramble(msgs []Message, seed int64, node, round int) {
+	scramble(msgs, seed, node, round)
 }
 
 // scramble permutes msgs in place, deterministically in (seed, node,

@@ -51,7 +51,11 @@ func (r *runner) runSharded(rounds, k int) (Stats, error) {
 		st = pre
 		r.ft = pre.Flat()
 	} else {
-		r.ft = flatten(r.top)
+		ft, err := flatten(r.top)
+		if err != nil {
+			return Stats{}, err
+		}
+		r.ft = ft
 		st = shard.BuildK(r.ft, k)
 	}
 	k = st.K() // the partitioner clamps k for tiny topologies

@@ -3,12 +3,14 @@ package sim_test
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"testing"
 
 	"anoncover/internal/bipartite"
 	"anoncover/internal/core/bcastvc"
 	"anoncover/internal/core/edgepack"
 	"anoncover/internal/core/fracpack"
+	"anoncover/internal/dist"
 	"anoncover/internal/graph"
 	"anoncover/internal/rational"
 	"anoncover/internal/selfstab"
@@ -40,20 +42,47 @@ type engineVariant struct {
 	engine  sim.Engine
 	workers int
 	noWire  bool
+	dist    sim.DistRunner
 }
 
 func engineVariants() []engineVariant {
 	return []engineVariant{
-		{"sequential", sim.Sequential, 0, false},
-		{"sequential-boxed", sim.Sequential, 0, true},
-		{"parallel-2", sim.Parallel, 2, false},
-		{"parallel-2-boxed", sim.Parallel, 2, true},
-		{fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), sim.Parallel, runtime.GOMAXPROCS(0), false},
-		{"sharded-2", sim.Sharded, 2, false},
-		{"sharded-4", sim.Sharded, 4, false},
-		{"sharded-4-boxed", sim.Sharded, 4, true},
-		{"csp", sim.CSP, 0, false},
+		{"sequential", sim.Sequential, 0, false, nil},
+		{"sequential-boxed", sim.Sequential, 0, true, nil},
+		{"parallel-2", sim.Parallel, 2, false, nil},
+		{"parallel-2-boxed", sim.Parallel, 2, true, nil},
+		{fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), sim.Parallel, runtime.GOMAXPROCS(0), false, nil},
+		{"sharded-2", sim.Sharded, 2, false, nil},
+		{"sharded-4", sim.Sharded, 4, false, nil},
+		{"sharded-4-boxed", sim.Sharded, 4, true, nil},
+		{"csp", sim.CSP, 0, false, nil},
+		// Distributed rows run the loopback cluster: in-process shard
+		// workers exchanging halo frames over real 127.0.0.1 sockets,
+		// so the multi-process wire path sits inside the same
+		// bit-identity contract as the in-memory engines.
+		{"distributed-2", sim.Distributed, 0, false, distCluster(2)},
+		{"distributed-2-boxed", sim.Distributed, 0, true, distCluster(2)},
+		{"distributed-3", sim.Distributed, 0, false, distCluster(3)},
 	}
+}
+
+// distClusters are shared across the suite: a cluster holds no sockets
+// between runs (each run dials its own mesh) and serializes runs, so
+// reuse is safe and keeps the matrix readable.
+var (
+	distClustersMu sync.Mutex
+	distClusters   = map[int]*dist.Cluster{}
+)
+
+func distCluster(k int) *dist.Cluster {
+	distClustersMu.Lock()
+	defer distClustersMu.Unlock()
+	if c := distClusters[k]; c != nil {
+		return c
+	}
+	c := dist.NewCluster(k)
+	distClusters[k] = c
+	return c
 }
 
 var scrambleSeeds = []int64{1, 42, 9999}
@@ -123,7 +152,7 @@ func TestEquivEdgepack(t *testing.T) {
 			ref := edgepack.MustRun(g, edgepack.Options{Engine: sim.Sequential})
 			for _, ev := range engineVariants() {
 				t.Run(ev.name, func(t *testing.T) {
-					got := edgepack.MustRun(g, edgepack.Options{Engine: ev.engine, Workers: ev.workers, NoWire: ev.noWire})
+					got := edgepack.MustRun(g, edgepack.Options{Engine: ev.engine, Workers: ev.workers, NoWire: ev.noWire, Dist: ev.dist})
 					mustEqualCover(t, ref.Cover, got.Cover)
 					mustEqualRats(t, "edge packing y", ref.Y, got.Y)
 					mustEqualStats(t, ref.Stats, got.Stats)
@@ -162,7 +191,7 @@ func TestEquivBcastvc(t *testing.T) {
 				for _, seed := range scrambleSeeds {
 					t.Run(fmt.Sprintf("%s/seed%d", ev.name, seed), func(t *testing.T) {
 						got := bcastvc.MustRun(g, bcastvc.Options{
-							Engine: ev.engine, Workers: ev.workers, ScrambleSeed: seed, NoWire: ev.noWire,
+							Engine: ev.engine, Workers: ev.workers, ScrambleSeed: seed, NoWire: ev.noWire, Dist: ev.dist,
 						})
 						mustEqualCover(t, ref.Cover, got.Cover)
 						mustEqualRats(t, "edge y", ref.Y, got.Y)
@@ -187,7 +216,7 @@ func TestEquivFracpack(t *testing.T) {
 				for _, seed := range scrambleSeeds {
 					t.Run(fmt.Sprintf("%s/seed%d", ev.name, seed), func(t *testing.T) {
 						got := fracpack.MustRun(ins, fracpack.Options{
-							Engine: ev.engine, Workers: ev.workers, ScrambleSeed: seed, NoWire: ev.noWire,
+							Engine: ev.engine, Workers: ev.workers, ScrambleSeed: seed, NoWire: ev.noWire, Dist: ev.dist,
 						})
 						mustEqualCover(t, ref.Cover, got.Cover)
 						mustEqualRats(t, "element y", ref.Y, got.Y)
@@ -215,7 +244,7 @@ func TestEquivFlatTopologyAsInput(t *testing.T) {
 					progs[v] = nodes[v]
 				}
 				stats, err := sim.RunPort(top, progs, edgepack.Rounds(params), sim.Options{
-					Engine: ev.engine, Workers: ev.workers, NoWire: ev.noWire,
+					Engine: ev.engine, Workers: ev.workers, NoWire: ev.noWire, Dist: ev.dist,
 				})
 				if err != nil {
 					t.Fatal(err)
@@ -263,7 +292,7 @@ func TestEquivShardedTopologyAsInput(t *testing.T) {
 						progs[v] = nodes[v]
 					}
 					stats, err := sim.RunPort(st, progs, edgepack.Rounds(params), sim.Options{
-						Engine: ev.engine, Workers: ev.workers, NoWire: ev.noWire,
+						Engine: ev.engine, Workers: ev.workers, NoWire: ev.noWire, Dist: ev.dist,
 					})
 					if err != nil {
 						t.Fatal(err)
@@ -296,7 +325,11 @@ func TestEquivSelfstab(t *testing.T) {
 				env := envs[v]
 				factories[v] = func() sim.PortProgram { return edgepack.New(env) }
 			}
-			ref := edgepack.MustRun(g, edgepack.Options{})
+			// The reference runs on the Distributed engine, so the
+			// self-stabilised outputs are pinned directly against the
+			// multi-process wire path (which TestEquivEdgepack in turn
+			// pins against Sequential).
+			ref := edgepack.MustRun(g, edgepack.Options{Engine: sim.Distributed, Dist: distCluster(2)})
 			outs := selfstab.Run(g, edgepack.Rounds(params), factories)
 			for v, out := range outs {
 				nr, ok := out.(edgepack.NodeResult)

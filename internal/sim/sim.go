@@ -174,6 +174,15 @@ const (
 	// buffers flushed at the phase barrier.  Options.Workers sets the
 	// shard count.
 	Sharded
+	// Distributed runs the sharded execution plan across processes:
+	// each shard is owned by a worker that executes rounds locally and
+	// exchanges halo messages as length-prefixed TCP frames at the
+	// phase barrier, with per-pair generation-counted synchronization
+	// instead of a global barrier.  The engine itself lives in
+	// internal/dist (sim cannot import it); a run selects it by setting
+	// Options.Dist to a dist runner (e.g. a loopback cluster) and the
+	// runner is handed the topology, programs and options verbatim.
+	Distributed
 )
 
 func (e Engine) String() string {
@@ -186,8 +195,21 @@ func (e Engine) String() string {
 		return "csp"
 	case Sharded:
 		return "sharded"
+	case Distributed:
+		return "distributed"
 	}
 	return fmt.Sprintf("engine(%d)", int(e))
+}
+
+// DistRunner executes a run across processes on behalf of the
+// Distributed engine.  Implementations live in internal/dist; sim only
+// defines the seam so algorithm packages can thread a runner through
+// their Options without an import cycle.  The runner must honour the
+// engine contract: outputs and Stats bit-identical to the Sequential
+// reference engine, errors per the RunPort/RunBroadcast documentation.
+type DistRunner interface {
+	RunPort(top Topology, progs []PortProgram, rounds int, opt Options) (Stats, error)
+	RunBroadcast(top Topology, progs []BroadcastProgram, rounds int, opt Options) (Stats, error)
 }
 
 // RoundInfo is the per-round progress snapshot handed to an
@@ -238,6 +260,10 @@ type Options struct {
 	// switch exists for those tests and for ablation benchmarks.
 	// Barrier engines only; the CSP engine is always boxed.
 	NoWire bool
+	// Dist supplies the process-spanning runner the Distributed engine
+	// delegates to; required when Engine == Distributed, ignored
+	// otherwise.  See DistRunner.
+	Dist DistRunner
 	// Pool, when non-nil, supplies reusable execution resources —
 	// persistent worker pools and recycled inbox/message arenas — so
 	// back-to-back runs skip the per-run goroutine spawn and O(E)
