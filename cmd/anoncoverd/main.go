@@ -116,6 +116,7 @@ func main() {
 		workerMode  = flag.Bool("worker", false, "run as a distributed shard worker on -addr instead of serving HTTP")
 		distWorkers = flag.String("dist-workers", "", "comma-separated worker addresses; makes this server the coordinator of a distributed fleet")
 		distTimeout = flag.Duration("dist-timeout", 0, "frame/barrier timeout for distributed mode; 0 = default")
+		probeEvery  = flag.Duration("probe-interval", 0, "background worker health-probe cadence in coordinator mode (drives failure detection and worker rejoin); 0 = default 5s, negative disables")
 	)
 	flag.Parse()
 
@@ -157,6 +158,7 @@ func main() {
 			}
 		}
 		cfg.DistTimeout = *distTimeout
+		cfg.ProbeInterval = *probeEvery
 	}
 	switch *engine {
 	case "sequential":

@@ -36,6 +36,14 @@ func (b *GraphBuilder) SetWeight(v int, w int64) *GraphBuilder {
 // Build finalizes the graph.
 func (b *GraphBuilder) Build() *Graph { return &Graph{g: b.b.Build()} }
 
+// WrapGraph adopts an already-built internal graph.  It exists for the
+// serving layer, which holds internal graphs (e.g. the one a
+// distributed session was compiled from) and needs to compile a local
+// solver over the same topology and weights — the distributed failover
+// path.  Outside this module the parameter type is unconstructible, so
+// the function is inert.
+func WrapGraph(g *graph.G) *Graph { return &Graph{g: g} }
+
 // N returns the number of nodes.
 func (g *Graph) N() int { return g.g.N() }
 

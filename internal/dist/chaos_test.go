@@ -1,0 +1,278 @@
+package dist_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"anoncover/internal/core/edgepack"
+	"anoncover/internal/dist"
+	"anoncover/internal/graph"
+	"anoncover/internal/sim"
+)
+
+// Chaos suite: deterministic fault injection (dist.FaultPlan) against
+// the real coordinator/worker transport.  Every scenario asserts the
+// invariant the fault-tolerance layer promises — a request either
+// returns the bit-identical correct cover or a prompt classified
+// error, and the fleet converges back to healthy.
+
+// restartWorker rebinds a fresh worker on a just-vacated address,
+// retrying while the kernel releases the port.
+func restartWorker(t *testing.T, addr string) *dist.Worker {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		w := dist.NewWorker()
+		err := w.Listen(addr)
+		if err == nil {
+			go w.Serve()
+			t.Cleanup(func() { w.Close() })
+			return w
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebinding %s: %v", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// assertSameCover fails unless got matches the sequential reference
+// bit for bit — cover, duals, and round/message stats.
+func assertSameCover(t *testing.T, label string, got, ref *edgepack.Result) {
+	t.Helper()
+	for v := range ref.Cover {
+		if got.Cover[v] != ref.Cover[v] {
+			t.Fatalf("%s: cover diverges at node %d", label, v)
+		}
+	}
+	for i := range ref.Y {
+		if !got.Y[i].Equal(ref.Y[i]) {
+			t.Fatalf("%s: dual diverges at edge %d", label, i)
+		}
+	}
+	if got.Stats.Rounds != ref.Stats.Rounds || got.Stats.Messages != ref.Stats.Messages {
+		t.Fatalf("%s: stats %+v != %+v", label, got.Stats, ref.Stats)
+	}
+}
+
+// TestChaosHalfShippedSetup: the control connection dies while the
+// plan is in flight (delivered hello, killed on the setup frame).
+// Compile must fail promptly after its retry budget — every retry
+// meets the same fault — and the identical compile must succeed once
+// the fault clears, proving a half-shipped setup leaves no debris on
+// the workers.
+func TestChaosHalfShippedSetup(t *testing.T) {
+	g := graph.Grid(5, 5)
+	graph.RandomWeights(g, 25, 8)
+	_, addrs := startWorkers(t, 2)
+
+	c := dist.NewCoordinator(addrs)
+	c.FrameTimeout = 2 * time.Second
+	fp := &dist.FaultPlan{CloseAfterWrites: 1} // hello lands, setup kills the conn
+	c.ConnHook = fp.Hook()
+	defer c.Close()
+
+	start := time.Now()
+	if _, err := c.CompileVC(g); err == nil {
+		t.Fatal("compile succeeded over a connection that dies mid-setup")
+	}
+	if el := time.Since(start); el > 15*time.Second {
+		t.Fatalf("half-shipped compile took %v; must fail within the retry budget", el)
+	}
+	if c.Metrics().Retries.Load() == 0 {
+		t.Fatal("transient setup failures were not retried")
+	}
+
+	c.ConnHook = nil
+	sess, err := c.CompileVC(g)
+	if err != nil {
+		t.Fatalf("post-fault compile: %v", err)
+	}
+	defer sess.Close()
+	got, err := sess.VertexCover(context.Background(), dist.RunOptions{})
+	if err != nil {
+		t.Fatalf("post-fault run: %v", err)
+	}
+	assertSameCover(t, "post-fault", got, edgepack.MustRun(g, edgepack.Options{Engine: sim.Sequential}))
+}
+
+// TestChaosPartitionDuringSetup: a cut partition black-holes the
+// control frames — no RST, just silence — so setup must fail on frame
+// timeouts rather than hang, and the same session must compile and run
+// bit-identically once the partition heals.
+func TestChaosPartitionDuringSetup(t *testing.T) {
+	g := graph.Grid(4, 4)
+	graph.RandomWeights(g, 9, 2)
+	_, addrs := startWorkers(t, 2)
+
+	part := &dist.Partition{}
+	fp := &dist.FaultPlan{Partition: part}
+	c := dist.NewCoordinator(addrs)
+	c.FrameTimeout = 500 * time.Millisecond
+	c.ConnHook = fp.Hook()
+	defer c.Close()
+
+	part.Cut()
+	start := time.Now()
+	if _, err := c.CompileVC(g); err == nil {
+		t.Fatal("compile succeeded across a cut partition")
+	}
+	if el := time.Since(start); el > 15*time.Second {
+		t.Fatalf("partitioned compile took %v; must time out within the retry budget", el)
+	}
+
+	part.Heal()
+	sess, err := c.CompileVC(g)
+	if err != nil {
+		t.Fatalf("post-heal compile: %v", err)
+	}
+	defer sess.Close()
+	got, err := sess.VertexCover(context.Background(), dist.RunOptions{})
+	if err != nil {
+		t.Fatalf("post-heal run: %v", err)
+	}
+	assertSameCover(t, "post-heal", got, edgepack.MustRun(g, edgepack.Options{Engine: sim.Sequential}))
+}
+
+// TestChaosSlowPeer: per-write delays on one worker's connections slow
+// the barrier but must not change a single output bit or trip any
+// failure path.
+func TestChaosSlowPeer(t *testing.T) {
+	g := graph.Grid(5, 5)
+	graph.RandomWeights(g, 25, 8)
+
+	slow := dist.NewWorker()
+	slow.ConnHook = (&dist.FaultPlan{Delay: time.Millisecond}).Hook()
+	if err := slow.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go slow.Serve()
+	t.Cleanup(func() { slow.Close() })
+	_, addrs := startWorkers(t, 1)
+	addrs = append(addrs, slow.Addr())
+
+	c := dist.NewCoordinator(addrs)
+	defer c.Close()
+	sess, err := c.CompileVC(g)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	defer sess.Close()
+	got, err := sess.VertexCover(context.Background(), dist.RunOptions{})
+	if err != nil {
+		t.Fatalf("slow-peer run: %v", err)
+	}
+	assertSameCover(t, "slow-peer", got, edgepack.MustRun(g, edgepack.Options{Engine: sim.Sequential}))
+}
+
+// TestChaosWorkerRejoin: kill one worker of a live session, watch the
+// next run fail promptly, restart the worker on the same address, and
+// watch the following run succeed bit-identically — the coordinator
+// re-ships its cached plans at a bumped generation (a rejoin, counted)
+// instead of recompiling, and the surviving worker swaps to the new
+// generation cleanly.
+func TestChaosWorkerRejoin(t *testing.T) {
+	g := graph.Grid(6, 6)
+	graph.RandomWeights(g, 25, 3)
+	workers, addrs := startWorkers(t, 2)
+	c := dist.NewCoordinator(addrs)
+	c.FrameTimeout = 2 * time.Second
+	defer c.Close()
+
+	sess, err := c.CompileVC(g)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	defer sess.Close()
+	ref := edgepack.MustRun(g, edgepack.Options{Engine: sim.Sequential})
+	got, err := sess.VertexCover(context.Background(), dist.RunOptions{})
+	if err != nil {
+		t.Fatalf("pre-fault run: %v", err)
+	}
+	assertSameCover(t, "pre-fault", got, ref)
+
+	workers[1].Close()
+	start := time.Now()
+	if _, err := sess.VertexCover(context.Background(), dist.RunOptions{}); err == nil {
+		t.Fatal("run against a killed worker succeeded")
+	}
+	if el := time.Since(start); el > 15*time.Second {
+		t.Fatalf("killed-worker run took %v", el)
+	}
+
+	restartWorker(t, addrs[1])
+	got2, err := sess.VertexCover(context.Background(), dist.RunOptions{})
+	if err != nil {
+		t.Fatalf("post-rejoin run: %v", err)
+	}
+	assertSameCover(t, "post-rejoin", got2, ref)
+	if c.Metrics().Rejoins.Load() == 0 {
+		t.Fatal("restart was not counted as a rejoin")
+	}
+
+	// The rejoined fleet must also absorb a weight update and keep
+	// serving the updated instance bit-identically.
+	n := g.N()
+	w2 := make([]int64, n)
+	for v := 0; v < n; v++ {
+		w2[v] = g.Weight(v)*2 + 1
+	}
+	if err := sess.UpdateVCWeights(w2); err != nil {
+		t.Fatalf("post-rejoin weight update: %v", err)
+	}
+	g2 := graph.Grid(6, 6)
+	for v := 0; v < n; v++ {
+		g2.SetWeight(v, w2[v])
+	}
+	ref2 := edgepack.MustRun(g2, edgepack.Options{Engine: sim.Sequential})
+	got3, err := sess.VertexCover(context.Background(), dist.RunOptions{})
+	if err != nil {
+		t.Fatalf("post-update run: %v", err)
+	}
+	assertSameCover(t, "post-update", got3, ref2)
+}
+
+// TestChaosRejoinKeepsWeights: a worker that restarts AFTER a weight
+// update must be re-shipped the updated plan, not the compile-time
+// weights — the cached plans fold in every successful broadcast.
+func TestChaosRejoinKeepsWeights(t *testing.T) {
+	g := graph.Grid(4, 5)
+	graph.RandomWeights(g, 9, 4)
+	workers, addrs := startWorkers(t, 2)
+	c := dist.NewCoordinator(addrs)
+	c.FrameTimeout = 2 * time.Second
+	defer c.Close()
+
+	sess, err := c.CompileVC(g)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	defer sess.Close()
+
+	n := g.N()
+	w2 := make([]int64, n)
+	for v := 0; v < n; v++ {
+		w2[v] = g.Weight(v) + int64(v%5)*3 + 1
+	}
+	if err := sess.UpdateVCWeights(w2); err != nil {
+		t.Fatalf("weight update: %v", err)
+	}
+
+	workers[0].Close()
+	restartWorker(t, addrs[0])
+
+	g2 := graph.Grid(4, 5)
+	for v := 0; v < n; v++ {
+		g2.SetWeight(v, w2[v])
+	}
+	ref := edgepack.MustRun(g2, edgepack.Options{Engine: sim.Sequential})
+	got, err := sess.VertexCover(context.Background(), dist.RunOptions{})
+	if err != nil {
+		t.Fatalf("post-rejoin run: %v", err)
+	}
+	assertSameCover(t, "post-rejoin", got, ref)
+	if c.Metrics().Rejoins.Load() == 0 {
+		t.Fatal("restart was not counted as a rejoin")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	mrand "math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -30,13 +31,25 @@ type Coordinator struct {
 	// workers' barrier-wait bound; zero means the default.
 	FrameTimeout time.Duration
 
-	addrs []string
-	mx    Metrics
-	nonce atomic.Uint32
+	// ConnHook, when set before the first dial, wraps every control
+	// connection the coordinator opens — the fault-injection seam.
+	ConnHook func(net.Conn) net.Conn
 
-	mu     sync.Mutex
-	ctrls  []*ctrlConn // lazily dialed, index-aligned with addrs
-	closed bool
+	addrs   []string
+	mx      Metrics
+	nonce   atomic.Uint32
+	dialSeq atomic.Uint64 // control-connection epochs, see ctrlConn
+
+	mu       sync.Mutex
+	ctrls    []*ctrlConn // lazily dialed, index-aligned with addrs
+	sessions map[uint64]*Session
+	closed   bool
+
+	probeMu    sync.Mutex
+	probeStop  chan struct{}
+	probeWG    sync.WaitGroup
+	lastHealth []WorkerHealth
+	lastProbe  time.Time
 }
 
 // NewCoordinator returns a coordinator over the given worker listen
@@ -47,6 +60,7 @@ func NewCoordinator(addrs []string) *Coordinator {
 		addrs:        append([]string(nil), addrs...),
 	}
 	c.ctrls = make([]*ctrlConn, len(c.addrs))
+	c.sessions = make(map[uint64]*Session)
 	return c
 }
 
@@ -56,8 +70,10 @@ func (c *Coordinator) Metrics() *Metrics { return &c.mx }
 // Workers returns the configured worker addresses.
 func (c *Coordinator) Workers() []string { return append([]string(nil), c.addrs...) }
 
-// Close drops every control connection.
+// Close stops the background prober and drops every control
+// connection.
 func (c *Coordinator) Close() error {
+	c.StopProbes()
 	c.mu.Lock()
 	c.closed = true
 	ctrls := c.ctrls
@@ -79,6 +95,12 @@ func (c *Coordinator) Close() error {
 type ctrlConn struct {
 	addr string
 	fc   *frameConn
+	// epoch is a coordinator-wide dial sequence number.  A session
+	// records the epoch its plan was installed through; a later, higher
+	// epoch on the same worker index means the connection was redialed
+	// — the worker may have restarted — so the plan must be re-shipped
+	// before the next run.
+	epoch uint64
 
 	mu      sync.Mutex
 	pending map[uint32]chan frame
@@ -190,12 +212,16 @@ func (c *Coordinator) ctrl(i int) (*ctrlConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dist: dialing worker %s: %w", c.addrs[i], err)
 	}
+	if c.ConnHook != nil {
+		conn = c.ConnHook(conn)
+	}
 	fc := newFrameConn(conn, c.timeout(), &c.mx)
 	if err := fc.write(&frame{typ: fHello}); err != nil {
 		fc.close()
 		return nil, fmt.Errorf("dist: hello to worker %s: %w", c.addrs[i], err)
 	}
-	cc := &ctrlConn{addr: c.addrs[i], fc: fc, pending: make(map[uint32]chan frame)}
+	cc := &ctrlConn{addr: c.addrs[i], fc: fc, epoch: c.dialSeq.Add(1),
+		pending: make(map[uint32]chan frame)}
 
 	c.mu.Lock()
 	if c.closed {
@@ -222,12 +248,9 @@ func (c *Coordinator) timeout() time.Duration {
 	return defaultFrameTimeout
 }
 
-// request sends one frame to worker i and awaits its echo-nonce reply.
-func (c *Coordinator) request(ctx context.Context, i int, f *frame, timeout time.Duration) (frame, error) {
-	cc, err := c.ctrl(i)
-	if err != nil {
-		return frame{}, err
-	}
+// requestOn sends one frame over an already-established control
+// connection and awaits its echo-nonce reply.
+func (c *Coordinator) requestOn(ctx context.Context, cc *ctrlConn, f *frame, timeout time.Duration) (frame, error) {
 	ch, err := cc.register(f.run)
 	if err != nil {
 		return frame{}, err
@@ -238,6 +261,100 @@ func (c *Coordinator) request(ctx context.Context, i int, f *frame, timeout time
 		return frame{}, fmt.Errorf("dist: writing to worker %s: %w", cc.addr, err)
 	}
 	return cc.await(ch, ctx, timeout)
+}
+
+// request sends one frame to worker i and awaits its echo-nonce reply.
+func (c *Coordinator) request(ctx context.Context, i int, f *frame, timeout time.Duration) (frame, error) {
+	cc, err := c.ctrl(i)
+	if err != nil {
+		return frame{}, err
+	}
+	return c.requestOn(ctx, cc, f, timeout)
+}
+
+// retryAttempts is the total number of tries for a retryable control
+// request (1 initial + 2 retries).  Backoff is capped exponential with
+// ±50% jitter, small enough that a dead fleet still fails requests
+// promptly.
+const retryAttempts = 3
+
+// backoffSleep waits out the capped exponential backoff before retry
+// attempt a (0-based), honoring ctx.
+func backoffSleep(ctx context.Context, a int) error {
+	d := 25 * time.Millisecond << a
+	if d > 250*time.Millisecond {
+		d = 250 * time.Millisecond
+	}
+	d = d/2 + time.Duration(mrand.Int63n(int64(d)))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-t.C:
+		return nil
+	case <-done:
+		return ctx.Err()
+	}
+}
+
+// ctrlRetry dials worker i's control connection, retrying transient
+// dial failures with backoff.
+func (c *Coordinator) ctrlRetry(ctx context.Context, i int) (*ctrlConn, error) {
+	var cc *ctrlConn
+	var err error
+	for a := 0; a < retryAttempts; a++ {
+		if a > 0 {
+			c.mx.Retries.Add(1)
+			if serr := backoffSleep(ctx, a-1); serr != nil {
+				return nil, serr
+			}
+		}
+		cc, err = c.ctrl(i)
+		if err == nil {
+			return cc, nil
+		}
+		if !transientErr(err) {
+			break
+		}
+	}
+	return nil, err
+}
+
+// requestRetry sends a control frame to worker i, retrying transient
+// failures (dead dial, broken connection, crashed worker) with capped
+// backoff and re-dialing between attempts.  It returns the reply and
+// the epoch of the connection it succeeded on, so callers installing
+// state can later detect a redial.  Only idempotent frames may use it:
+// fSetup, fStart (pre-launch prepare), fWeights, fPing — never fGo.
+func (c *Coordinator) requestRetry(ctx context.Context, i int, f *frame, timeout time.Duration, want byte) (frame, uint64, error) {
+	var lastErr error
+	for a := 0; a < retryAttempts; a++ {
+		if a > 0 {
+			c.mx.Retries.Add(1)
+			if serr := backoffSleep(ctx, a-1); serr != nil {
+				return frame{}, 0, serr
+			}
+		}
+		cc, err := c.ctrl(i)
+		if err == nil {
+			var reply frame
+			reply, err = c.requestOn(ctx, cc, f, timeout)
+			if err == nil {
+				err = ackError(&reply, want)
+			}
+			if err == nil {
+				return reply, cc.epoch, nil
+			}
+		}
+		lastErr = err
+		if !transientErr(err) {
+			break
+		}
+	}
+	return frame{}, 0, lastErr
 }
 
 // WorkerHealth is one worker's liveness snapshot.
@@ -287,6 +404,16 @@ type Session struct {
 	nodes    [][]int32 // per worker, owned global node ids
 	n        int
 	g        *graph.G // set by CompileVC, for result assembly
+
+	// insMu serializes (re-)installs.  plans caches each worker's
+	// setup message so a reconnecting worker gets its shard back
+	// without a recompile; epochs records the control-connection epoch
+	// each plan was shipped through, and gen stamps every install so
+	// workers can tell a re-ship from a stale duplicate.
+	insMu  sync.Mutex
+	plans  []*WorkerPlan
+	epochs []uint64
+	gen    uint64
 
 	mu     sync.Mutex
 	params sim.Params
@@ -340,13 +467,15 @@ func (c *Coordinator) Compile(algo string, top sim.Topology, weights []int64, ki
 	s := &Session{
 		c: c, id: id, algoName: algo, algo: def,
 		k: k, n: n, params: params,
-		nodes: make([][]int32, k),
+		nodes:  make([][]int32, k),
+		plans:  make([]*WorkerPlan, k),
+		epochs: make([]uint64, k),
+		gen:    1,
 	}
-	var wg sync.WaitGroup
-	errs := make([]error, k)
 	for w := 0; w < k; w++ {
 		plan := &WorkerPlan{
 			Session: id,
+			Gen:     s.gen,
 			Algo:    algo,
 			Workers: k,
 			Self:    int32(w),
@@ -361,29 +490,89 @@ func (c *Coordinator) Compile(algo string, top sim.Topology, weights []int64, ki
 			plan.Weights[i] = weights[v]
 			plan.Kinds[i] = kinds[v]
 		}
-		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(plan); err != nil {
-			return nil, fmt.Errorf("dist: encoding plan: %w", err)
+		s.plans[w] = plan
+	}
+	if err := s.installAll(nil); err != nil {
+		s.Close() // best-effort teardown of the workers that did install
+		return nil, err
+	}
+	c.addSession(s)
+	return s, nil
+}
+
+// encodePlan gob-encodes one worker's setup message.
+func encodePlan(plan *WorkerPlan) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(plan); err != nil {
+		return nil, fmt.Errorf("dist: encoding plan: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// installAll ships every cached plan to its worker concurrently, with
+// transient-failure retry, and records the connection epochs the
+// installs landed on.  Callers hold insMu or own the session
+// exclusively (Compile).
+func (s *Session) installAll(ctx context.Context) error {
+	var wg sync.WaitGroup
+	errs := make([]error, s.k)
+	epochs := make([]uint64, s.k)
+	for w := 0; w < s.k; w++ {
+		payload, err := encodePlan(s.plans[w])
+		if err != nil {
+			return err
 		}
 		wg.Add(1)
 		go func(w int, payload []byte) {
 			defer wg.Done()
-			f, err := c.request(nil, w, &frame{typ: fSetup, run: c.nonce.Add(1), payload: payload},
-				2*c.timeout())
-			if err == nil {
-				err = ackError(&f, fReady)
-			}
-			errs[w] = err
-		}(w, buf.Bytes())
+			_, ep, err := s.c.requestRetry(ctx, w,
+				&frame{typ: fSetup, run: s.c.nonce.Add(1), payload: payload},
+				2*s.c.timeout(), fReady)
+			errs[w], epochs[w] = err, ep
+		}(w, payload)
 	}
 	wg.Wait()
 	for w, err := range errs {
 		if err != nil {
-			s.Close() // best-effort teardown of the workers that did install
-			return nil, fmt.Errorf("dist: installing session on worker %s: %w", c.addrs[w], err)
+			return fmt.Errorf("dist: installing session on worker %s: %w", s.c.addrs[w], err)
 		}
 	}
-	return s, nil
+	copy(s.epochs, epochs)
+	return nil
+}
+
+// ensureInstalled re-establishes the session on any worker whose
+// control connection was redialed since its plan was shipped — the
+// rejoin path for a restarted worker.  Because the fleet must agree on
+// the install generation (peer hellos carry it), a single stale worker
+// re-ships the whole session at a bumped generation; workers already
+// holding the session swap state in place without recompiling anything
+// coordinator-side.
+func (s *Session) ensureInstalled(ctx context.Context) error {
+	s.insMu.Lock()
+	defer s.insMu.Unlock()
+	stale := 0
+	for w := 0; w < s.k; w++ {
+		cc, err := s.c.ctrlRetry(ctx, w)
+		if err != nil {
+			return fmt.Errorf("dist: reaching worker %s: %w", s.c.addrs[w], err)
+		}
+		if cc.epoch != s.epochs[w] {
+			stale++
+		}
+	}
+	if stale == 0 {
+		return nil
+	}
+	s.gen++
+	for _, plan := range s.plans {
+		plan.Gen = s.gen
+	}
+	if err := s.installAll(ctx); err != nil {
+		return err
+	}
+	s.c.mx.Rejoins.Add(int64(stale))
+	return nil
 }
 
 // ackError converts a control reply into an error unless it is the
@@ -433,6 +622,12 @@ func (s *Session) Run(ctx context.Context, opt RunOptions) (*RunResult, error) {
 	params := s.params
 	s.mu.Unlock()
 
+	// Heal first: a worker that restarted since the last run gets its
+	// cached plan re-shipped before the run touches it.
+	if err := s.ensureInstalled(ctx); err != nil {
+		return nil, err
+	}
+
 	runID := s.c.nonce.Add(1)
 	rounds := s.algo.rounds(params)
 	spec := &StartSpec{
@@ -480,16 +675,37 @@ func (s *Session) Run(ctx context.Context, opt RunOptions) (*RunResult, error) {
 	}
 
 	// Prepare: every worker installs fresh programs and staging.
+	// Preparing is idempotent until the run launches, so transient
+	// transport failures retry; fGo below never does.
 	prep := s.sessionPayload(spec)
-	for _, r := range phase(func(w int) (frame, error) {
-		f, err := s.c.request(ctx, w, &frame{typ: fStart, run: runID, payload: prep}, 3*s.c.timeout())
-		if err == nil {
-			err = ackError(&f, fReady)
+	prepare := func() error {
+		for _, r := range phase(func(w int) (frame, error) {
+			f, _, err := s.c.requestRetry(ctx, w, &frame{typ: fStart, run: runID, payload: prep},
+				3*s.c.timeout(), fReady)
+			return f, err
+		}) {
+			if r.err != nil {
+				return fmt.Errorf("dist: preparing run on worker %s: %w", s.c.addrs[r.w], r.err)
+			}
 		}
-		return f, err
-	}) {
-		if r.err != nil {
-			return fail(fmt.Errorf("dist: preparing run on worker %s: %w", s.c.addrs[r.w], r.err))
+		return nil
+	}
+	if err := prepare(); err != nil {
+		if !errors.Is(err, errWorkerRejected) {
+			return fail(err)
+		}
+		// A rejection here means a worker lost the session state the
+		// coordinator believes is installed — it restarted between the
+		// liveness check above and this prepare, faster than the dead
+		// connection was noticed.  The redial that carried the rejected
+		// prepare bumped that worker's connection epoch, so a second
+		// ensureInstalled now sees the staleness, re-ships the cached
+		// plans, and the retried prepare lands on restored state.
+		if ierr := s.ensureInstalled(ctx); ierr != nil {
+			return fail(err)
+		}
+		if err := prepare(); err != nil {
+			return fail(err)
 		}
 	}
 
@@ -572,37 +788,72 @@ func (s *Session) UpdateWeights(weights []int64, params sim.Params) error {
 	}
 	s.mu.Unlock()
 
-	nonce := s.c.nonce.Add(1)
+	if err := s.ensureInstalled(nil); err != nil {
+		return err
+	}
+
+	subs := make([][]int64, s.k)
+	payloads := make([][]byte, s.k)
 	var sid [8]byte
 	binary.LittleEndian.PutUint64(sid[:], s.id)
-	errs := make([]error, s.k)
-	var wg sync.WaitGroup
 	for w := 0; w < s.k; w++ {
 		sub := make([]int64, len(s.nodes[w]))
 		for i, v := range s.nodes[w] {
 			sub[i] = weights[v]
 		}
+		subs[w] = sub
 		var buf bytes.Buffer
 		buf.Write(sid[:])
 		if err := gob.NewEncoder(&buf).Encode(&weightsMsg{Weights: sub, Params: params}); err != nil {
 			return err
 		}
-		wg.Add(1)
-		go func(w int, payload []byte) {
-			defer wg.Done()
-			f, err := s.c.request(nil, w, &frame{typ: fWeights, run: nonce, payload: payload}, 2*s.c.timeout())
-			if err == nil {
-				err = ackError(&f, fWeightsOK)
-			}
-			errs[w] = err
-		}(w, buf.Bytes())
+		payloads[w] = buf.Bytes()
 	}
-	wg.Wait()
-	for w, err := range errs {
-		if err != nil {
-			return fmt.Errorf("dist: updating weights on worker %s: %w", s.c.addrs[w], err)
+	broadcast := func() error {
+		nonce := s.c.nonce.Add(1)
+		errs := make([]error, s.k)
+		var wg sync.WaitGroup
+		for w := 0; w < s.k; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				_, _, err := s.c.requestRetry(nil, w,
+					&frame{typ: fWeights, run: nonce, payload: payloads[w]}, 2*s.c.timeout(), fWeightsOK)
+				errs[w] = err
+			}(w)
+		}
+		wg.Wait()
+		for w, err := range errs {
+			if err != nil {
+				return fmt.Errorf("dist: updating weights on worker %s: %w", s.c.addrs[w], err)
+			}
+		}
+		return nil
+	}
+	if err := broadcast(); err != nil {
+		// Same restart race as Run's prepare: a worker that came back
+		// between the install check and this broadcast rejects the
+		// unknown session, and the redial that carried the rejection
+		// bumped its epoch — so re-establish and retry once.
+		if !errors.Is(err, errWorkerRejected) {
+			return err
+		}
+		if ierr := s.ensureInstalled(nil); ierr != nil {
+			return err
+		}
+		if err := broadcast(); err != nil {
+			return err
 		}
 	}
+	// Fold the new assignment into the cached plans too: a worker that
+	// rejoins after this point must come back with these weights, or a
+	// failover replay would not be bit-identical.
+	s.insMu.Lock()
+	for w, plan := range s.plans {
+		plan.Weights = subs[w]
+		plan.Params = params
+	}
+	s.insMu.Unlock()
 	s.mu.Lock()
 	s.params = params
 	if s.g != nil {
@@ -623,6 +874,110 @@ func (s *Session) Graph() *graph.G {
 	return s.g
 }
 
+// addSession registers a live session for the background prober.
+func (c *Coordinator) addSession(s *Session) {
+	c.mu.Lock()
+	if c.sessions == nil {
+		c.sessions = make(map[uint64]*Session)
+	}
+	c.sessions[s.id] = s
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) removeSession(s *Session) {
+	c.mu.Lock()
+	delete(c.sessions, s.id)
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) liveSessions() []*Session {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Session, 0, len(c.sessions))
+	for _, s := range c.sessions {
+		out = append(out, s)
+	}
+	return out
+}
+
+// probeOnce pings the fleet, caches the result for LastHealth, and —
+// when every worker answers — drives session re-establishment so a
+// restarted worker rejoins in the background instead of on the next
+// request's critical path.
+func (c *Coordinator) probeOnce() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*c.timeout())
+	health := c.Health(ctx)
+	cancel()
+	c.probeMu.Lock()
+	c.lastHealth = health
+	c.lastProbe = time.Now()
+	c.probeMu.Unlock()
+	for _, h := range health {
+		if !h.OK {
+			return
+		}
+	}
+	for _, s := range c.liveSessions() {
+		s.ensureInstalled(nil) // best effort; the next run retries
+	}
+}
+
+// StartProbes launches the background health prober: an immediate
+// probe, then one per interval until StopProbes or Close.  Safe to
+// call once per coordinator.
+func (c *Coordinator) StartProbes(interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	c.probeMu.Lock()
+	if c.probeStop != nil {
+		c.probeMu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	c.probeStop = stop
+	c.probeMu.Unlock()
+	c.probeWG.Add(1)
+	go func() {
+		defer c.probeWG.Done()
+		c.probeOnce()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				c.probeOnce()
+			}
+		}
+	}()
+}
+
+// StopProbes halts the background prober and waits for it to exit.
+func (c *Coordinator) StopProbes() {
+	c.probeMu.Lock()
+	stop := c.probeStop
+	c.probeStop = nil
+	c.probeMu.Unlock()
+	if stop != nil {
+		close(stop)
+		c.probeWG.Wait()
+	}
+}
+
+// LastHealth returns the prober's most recent fleet snapshot, if one
+// exists — the serving layer reads this instead of pinging the fleet
+// on every stats request.
+func (c *Coordinator) LastHealth() ([]WorkerHealth, time.Time, bool) {
+	c.probeMu.Lock()
+	defer c.probeMu.Unlock()
+	if c.lastHealth == nil {
+		return nil, time.Time{}, false
+	}
+	return append([]WorkerHealth(nil), c.lastHealth...), c.lastProbe, true
+}
+
 // Close tears the session down on every worker, best effort.
 func (s *Session) Close() error {
 	s.mu.Lock()
@@ -632,6 +987,7 @@ func (s *Session) Close() error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.c.removeSession(s)
 	var sid [8]byte
 	binary.LittleEndian.PutUint64(sid[:], s.id)
 	var firstErr error

@@ -1,0 +1,145 @@
+package dist
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault injection: a deterministic net.Conn wrapper over the transport
+// seam every dist connection passes through — coordinator control
+// dials, worker accepts, worker-to-worker peer dials.  The chaos test
+// suite uses it to make failure scenarios reproducible: a seeded plan
+// produces the same drops, delays and closes on every run, so a test
+// asserting "the request still returns the correct cover" exercises
+// the same failure interleaving each time.
+//
+// Granularity note: frameConn flushes once per frame and its buffered
+// writer holds 64 KiB, so every frame below that size reaches the
+// wrapped conn as exactly one Write call.  Fault plans therefore count
+// Write calls as frames; a giant halo frame spanning several writes
+// counts as several, which only makes the injected fault earlier, not
+// weaker.
+
+// Partition is a shared black-hole switch: while cut, every wrapped
+// connection holding it swallows writes (reporting success) so the far
+// side starves at its read timeouts, exactly like a network partition
+// — no RST, no FIN, just silence.  Heal restores delivery.  One
+// Partition may be shared by many FaultPlans to cut a whole link set
+// atomically.
+type Partition struct {
+	cut atomic.Bool
+}
+
+// Cut starts black-holing writes on every connection under this
+// partition.
+func (p *Partition) Cut() { p.cut.Store(true) }
+
+// Heal restores delivery.
+func (p *Partition) Heal() { p.cut.Store(false) }
+
+func (p *Partition) active() bool { return p != nil && p.cut.Load() }
+
+// FaultPlan describes the deterministic faults one wrapped connection
+// injects.  The zero value injects nothing.  Wrap is safe to reuse on
+// any number of connections; each gets its own counters and its own
+// seeded RNG stream, so a plan shared across a fleet still replays
+// identically for a fixed accept/dial order.
+type FaultPlan struct {
+	// Seed drives the probabilistic faults; connections wrapped by one
+	// plan derive their streams from it in wrap order.
+	Seed int64
+	// DropEveryNth swallows every Nth write (1-based count), reporting
+	// success; 0 disables.
+	DropEveryNth int
+	// DropProb swallows each write with this probability, deterministic
+	// in Seed; 0 disables.
+	DropProb float64
+	// Delay stalls every write by this duration before delivery — the
+	// slow-peer fault; 0 disables.
+	Delay time.Duration
+	// CloseAfterWrites closes the underlying connection after this many
+	// delivered writes, making the next write (and the peer's read)
+	// fail — the kill-mid-conversation fault; 0 disables.
+	CloseAfterWrites int
+	// Partition, when non-nil and cut, black-holes every write while
+	// leaving the connection open.
+	Partition *Partition
+
+	mu    sync.Mutex
+	wraps int64
+}
+
+// errFaultClosed marks a connection closed by its own fault plan.
+var errFaultClosed = errors.New("dist: connection closed by fault plan")
+
+// Wrap returns c with the plan's faults injected on the write path.
+// Reads pass through untouched: the peer's writes are where its
+// faults live.
+func (fp *FaultPlan) Wrap(c net.Conn) net.Conn {
+	if fp == nil {
+		return c
+	}
+	fp.mu.Lock()
+	fp.wraps++
+	seed := fp.Seed + fp.wraps
+	fp.mu.Unlock()
+	return &faultConn{Conn: c, plan: fp, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Hook returns Wrap as a connection hook, the shape Worker.ConnHook
+// and Coordinator.ConnHook take.
+func (fp *FaultPlan) Hook() func(net.Conn) net.Conn {
+	return fp.Wrap
+}
+
+// faultConn injects one FaultPlan's faults into a net.Conn.  Write
+// calls are counted as frames (see the package note on granularity).
+type faultConn struct {
+	net.Conn
+	plan *FaultPlan
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	writes int64 // delivered writes
+	calls  int64 // all write attempts
+	closed bool
+}
+
+func (fc *faultConn) Write(b []byte) (int, error) {
+	fc.mu.Lock()
+	p := fc.plan
+	if fc.closed {
+		fc.mu.Unlock()
+		return 0, errFaultClosed
+	}
+	if p.Partition.active() {
+		fc.mu.Unlock()
+		return len(b), nil // black hole: success reported, nothing sent
+	}
+	fc.calls++
+	if p.DropEveryNth > 0 && fc.calls%int64(p.DropEveryNth) == 0 {
+		fc.mu.Unlock()
+		return len(b), nil
+	}
+	if p.DropProb > 0 && fc.rng.Float64() < p.DropProb {
+		fc.mu.Unlock()
+		return len(b), nil
+	}
+	if p.CloseAfterWrites > 0 && fc.writes >= int64(p.CloseAfterWrites) {
+		fc.closed = true
+		fc.mu.Unlock()
+		fc.Conn.Close()
+		return 0, errFaultClosed
+	}
+	fc.writes++
+	delay := p.Delay
+	fc.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return fc.Conn.Write(b)
+}

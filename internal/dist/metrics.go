@@ -24,6 +24,8 @@ type Metrics struct {
 	StaleDrops          atomic.Int64 // frames dropped for a dead run id
 	Runs, RunErrors     atomic.Int64
 	Rounds              atomic.Int64
+	Retries             atomic.Int64 // control requests retried after a transient failure
+	Rejoins             atomic.Int64 // plan re-installs onto reconnected workers
 
 	mu    sync.Mutex
 	pairs map[pairKey]*PairWait
@@ -135,6 +137,12 @@ func (m *Metrics) Register(reg *obs.Registry) {
 	reg.CounterFuncs("anoncover_dist_stale_frames_total",
 		"Frames dropped because their run id was no longer live.").
 		Add(func() float64 { return float64(m.StaleDrops.Load()) })
+	reg.CounterFuncs("anoncover_dist_retries_total",
+		"Coordinator control requests retried after a transient transport failure.").
+		Add(func() float64 { return float64(m.Retries.Load()) })
+	reg.CounterFuncs("anoncover_dist_rejoins_total",
+		"Cached shard plans re-shipped to workers that reconnected.").
+		Add(func() float64 { return float64(m.Rejoins.Load()) })
 	m.mu.Lock()
 	m.hv = reg.HistogramVec("anoncover_dist_barrier_wait_seconds",
 		"Time a shard spent at its network barrier waiting for one peer's halo frame.",
@@ -171,6 +179,8 @@ type Snapshot struct {
 	Runs        int64          `json:"runs,omitempty"`
 	RunErrors   int64          `json:"run_errors,omitempty"`
 	Rounds      int64          `json:"rounds,omitempty"`
+	Retries     int64          `json:"retries,omitempty"`
+	Rejoins     int64          `json:"rejoins,omitempty"`
 	PairWaits   []PairWaitStat `json:"pair_waits,omitempty"`
 }
 
@@ -183,7 +193,8 @@ func (m *Metrics) SnapshotNow() Snapshot {
 		LaneFrames: m.LaneFrames.Load(), BoxedFrames: m.BoxedFrames.Load(),
 		StaleDrops: m.StaleDrops.Load(),
 		Runs:       m.Runs.Load(), RunErrors: m.RunErrors.Load(),
-		Rounds: m.Rounds.Load(),
+		Rounds:  m.Rounds.Load(),
+		Retries: m.Retries.Load(), Rejoins: m.Rejoins.Load(),
 	}
 	m.mu.Lock()
 	for k, p := range m.pairs {

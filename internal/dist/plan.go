@@ -140,6 +140,12 @@ func (p *ShardPlan) validate(workers int) error {
 // re-plan.
 type WorkerPlan struct {
 	Session uint64
+	// Gen is the session's install generation.  The coordinator bumps
+	// it when it re-ships cached plans to a rejoining worker; workers
+	// ack a plan they already hold (same session, same gen), replace
+	// state for a newer gen, and reject a stale one, which makes
+	// re-installs idempotent under retries and restarts.
+	Gen     uint64
 	Algo    string
 	Workers int      // effective shard count
 	Self    int32    // == Shard.ID

@@ -115,7 +115,7 @@ func codeError(payload []byte) error {
 	case ecDraining:
 		return fmt.Errorf("%w: %s", ErrWorkerDraining, text)
 	case ecBadRequest:
-		return fmt.Errorf("dist: worker rejected request: %s", text)
+		return fmt.Errorf("%w: %s", errWorkerRejected, text)
 	}
 	return fmt.Errorf("dist: worker error: %s", text)
 }
@@ -123,3 +123,44 @@ func codeError(payload []byte) error {
 // ErrWorkerDraining is returned for runs that reach a worker after it
 // began its graceful shutdown.
 var ErrWorkerDraining = errors.New("dist: worker is draining")
+
+// errWorkerRejected wraps ecBadRequest responses: the worker examined
+// the request and refused it, so retrying the same frame cannot help.
+var errWorkerRejected = errors.New("dist: worker rejected request")
+
+// Transient reports whether a session error is a fleet fault — a
+// transport failure, worker crash, drain, or protocol-level refusal —
+// as opposed to something the caller owns (its own cancellation or
+// deadline) or a semantic verdict the algorithms produced (round
+// budget, persistent wire overflow).  The serving layer fails fleet
+// faults over to local execution; caller-owned and semantic errors
+// would reproduce identically there, so it surfaces them instead.
+func Transient(err error) bool {
+	switch {
+	case err == nil,
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, sim.ErrRoundBudget),
+		errors.Is(err, sim.ErrWireOverflow):
+		return false
+	}
+	return true
+}
+
+// transientErr reports whether a coordinator-side error is worth
+// retrying: transport failures and worker crashes are; the client's
+// own cancellation, semantic run errors the algorithms surface, and
+// deliberate worker refusals are not.
+func transientErr(err error) bool {
+	switch {
+	case err == nil,
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, sim.ErrRoundBudget),
+		errors.Is(err, sim.ErrWireOverflow),
+		errors.Is(err, ErrWorkerDraining),
+		errors.Is(err, errWorkerRejected):
+		return false
+	}
+	return true
+}

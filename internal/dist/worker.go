@@ -29,12 +29,17 @@ type Worker struct {
 	// the default.
 	FrameTimeout time.Duration
 
+	// ConnHook, when set before Serve, wraps every connection the
+	// worker accepts or dials — the fault-injection seam.
+	ConnHook func(net.Conn) net.Conn
+
 	mx Metrics
 	ln net.Listener
 
 	mu       sync.Mutex
 	sessions map[uint64]*wsession
-	pending  map[uint64][]*peerConn // peer conns that arrived before their session's setup
+	pending  map[uint64][]*peerConn  // peer conns that arrived before their session's setup
+	ctrls    map[*frameConn]struct{} // live coordinator control connections
 	draining bool
 	closed   bool
 
@@ -44,6 +49,7 @@ type Worker struct {
 
 type peerConn struct {
 	src int32
+	gen uint64 // install generation the dialing peer holds
 	fc  *frameConn
 }
 
@@ -53,6 +59,7 @@ func NewWorker() *Worker {
 		FrameTimeout: defaultFrameTimeout,
 		sessions:     make(map[uint64]*wsession),
 		pending:      make(map[uint64][]*peerConn),
+		ctrls:        make(map[*frameConn]struct{}),
 	}
 }
 
@@ -86,9 +93,11 @@ func (w *Worker) Serve() error {
 		conn, err := w.ln.Accept()
 		if err != nil {
 			w.mu.Lock()
-			closed := w.closed
+			stopping := w.closed || w.draining
 			w.mu.Unlock()
-			if closed {
+			if stopping {
+				// The listener went away as part of an orderly drain or
+				// close: that is success, not an accept failure.
 				return nil
 			}
 			return err
@@ -137,10 +146,18 @@ func (w *Worker) Close() error {
 	w.sessions = make(map[uint64]*wsession)
 	pend := w.pending
 	w.pending = make(map[uint64][]*peerConn)
+	ctrls := w.ctrls
+	w.ctrls = make(map[*frameConn]struct{})
 	w.mu.Unlock()
 
 	if w.ln != nil {
 		w.ln.Close()
+	}
+	// Sever coordinator control connections too: a dead process drops
+	// its sockets, and the coordinator's rejoin detection (connection
+	// epochs) relies on seeing this one die.
+	for fc := range ctrls {
+		fc.close()
 	}
 	for _, s := range sessions {
 		s.teardown(errors.New("dist: worker closed"))
@@ -154,6 +171,9 @@ func (w *Worker) Close() error {
 }
 
 func (w *Worker) handleConn(conn net.Conn) {
+	if w.ConnHook != nil {
+		conn = w.ConnHook(conn)
+	}
 	fc := newFrameConn(conn, w.FrameTimeout, &w.mx)
 	first, err := fc.readTimeout(w.FrameTimeout)
 	if err != nil {
@@ -171,14 +191,18 @@ func (w *Worker) handleConn(conn net.Conn) {
 }
 
 // attachPeer hands an incoming peer data connection to its session,
-// parking it if the session's setup has not arrived yet.
+// parking it if the session's setup — at the hello's install
+// generation — has not arrived yet.  A hello from a stale generation
+// (this worker already reinstalled past it) is dropped; the dialing
+// peer is itself about to be reinstalled and will dial again.
 func (w *Worker) attachPeer(fc *frameConn, hello *frame) {
-	if len(hello.payload) != 8 {
+	if len(hello.payload) != 16 {
 		fc.close()
 		return
 	}
 	session := binary.LittleEndian.Uint64(hello.payload)
-	pc := &peerConn{src: int32(hello.src), fc: fc}
+	gen := binary.LittleEndian.Uint64(hello.payload[8:])
+	pc := &peerConn{src: int32(hello.src), gen: gen, fc: fc}
 
 	w.mu.Lock()
 	if w.closed {
@@ -187,18 +211,35 @@ func (w *Worker) attachPeer(fc *frameConn, hello *frame) {
 		return
 	}
 	s := w.sessions[session]
-	if s == nil {
+	if s == nil || gen > s.plan.Gen {
 		w.pending[session] = append(w.pending[session], pc)
 		w.mu.Unlock()
 		return
 	}
 	w.mu.Unlock()
+	if gen < s.plan.Gen {
+		fc.close()
+		return
+	}
 	s.addPeer(pc)
 }
 
 // controlLoop serves one coordinator connection.
 func (w *Worker) controlLoop(fc *frameConn) {
-	defer fc.close()
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		fc.close()
+		return
+	}
+	w.ctrls[fc] = struct{}{}
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		delete(w.ctrls, fc)
+		w.mu.Unlock()
+		fc.close()
+	}()
 	for {
 		f, err := fc.read()
 		if err != nil {
@@ -252,7 +293,6 @@ func (w *Worker) handleSetup(fc *frameConn, f *frame) {
 		plan:    plan,
 		weights: append([]int64(nil), plan.Weights...),
 		params:  plan.Params,
-		ctrl:    fc,
 		peers:   make(map[int32]*frameConn),
 		peerOK:  make(chan struct{}, 1),
 	}
@@ -264,9 +304,32 @@ func (w *Worker) handleSetup(fc *frameConn, f *frame) {
 		return
 	}
 	if old := w.sessions[plan.Session]; old != nil {
-		w.mu.Unlock()
-		sendErr(fc, f.run, ecBadRequest, "session already installed")
-		return
+		switch {
+		case plan.Gen < old.plan.Gen:
+			w.mu.Unlock()
+			sendErr(fc, f.run, ecBadRequest, "stale session generation")
+			return
+		case plan.Gen == old.plan.Gen:
+			// The coordinator retransmitted an install we already hold
+			// — a retry whose ack was lost, or a fleet-wide re-ship
+			// after another worker restarted.  Ack idempotently.
+			w.mu.Unlock()
+			fc.write(&frame{typ: fReady, run: f.run})
+			return
+		default:
+			// Newer generation: replace the session wholesale.  Peer
+			// connections are per-generation (the hello carries it), so
+			// the old mesh is torn down and redialed.
+			delete(w.sessions, plan.Session)
+			w.mu.Unlock()
+			old.teardown(errors.New("dist: session reinstalled at a newer generation"))
+			w.mu.Lock()
+			if w.closed || w.draining {
+				w.mu.Unlock()
+				sendErr(fc, f.run, ecDraining, "worker is draining")
+				return
+			}
+		}
 	}
 	w.sessions[plan.Session] = s
 	parked := w.pending[plan.Session]
@@ -274,7 +337,18 @@ func (w *Worker) handleSetup(fc *frameConn, f *frame) {
 	w.mu.Unlock()
 
 	for _, pc := range parked {
-		s.addPeer(pc)
+		switch {
+		case pc.gen == plan.Gen:
+			s.addPeer(pc)
+		case pc.gen > plan.Gen:
+			// A peer already installed a future generation; park the
+			// conn again for the re-ship that is on its way here.
+			w.mu.Lock()
+			w.pending[plan.Session] = append(w.pending[plan.Session], pc)
+			w.mu.Unlock()
+		default:
+			pc.fc.close()
+		}
 	}
 	// Dial the higher-numbered peers this shard exchanges frames with;
 	// lower-numbered ones dial us.
@@ -363,7 +437,7 @@ func (w *Worker) handleGo(fc *frameConn, f *frame) {
 		sendErr(fc, f.run, ecBadRequest, "unknown session")
 		return
 	}
-	s.launch(f.run)
+	s.launch(fc, f.run)
 }
 
 func (w *Worker) handleAbort(f *frame) {
@@ -413,7 +487,6 @@ func (w *Worker) handleClose(fc *frameConn, f *frame) {
 type wsession struct {
 	w      *Worker
 	plan   WorkerPlan
-	ctrl   *frameConn
 	peerOK chan struct{} // pulsed when a peer attaches
 
 	mu        sync.Mutex
@@ -458,14 +531,18 @@ func (s *wsession) dialPeer(peer int32) error {
 	if err != nil {
 		return fmt.Errorf("dist: shard %d dialing peer %d at %s: %w", s.plan.Self, peer, addr, err)
 	}
+	if s.w.ConnHook != nil {
+		conn = s.w.ConnHook(conn)
+	}
 	fc := newFrameConn(conn, s.w.FrameTimeout, &s.w.mx)
-	var sid [8]byte
-	binary.LittleEndian.PutUint64(sid[:], s.plan.Session)
-	if err := fc.write(&frame{typ: fPeerHello, src: uint16(s.plan.Self), dst: uint16(peer), payload: sid[:]}); err != nil {
+	var hello [16]byte
+	binary.LittleEndian.PutUint64(hello[:], s.plan.Session)
+	binary.LittleEndian.PutUint64(hello[8:], s.plan.Gen)
+	if err := fc.write(&frame{typ: fPeerHello, src: uint16(s.plan.Self), dst: uint16(peer), payload: hello[:]}); err != nil {
 		fc.close()
 		return fmt.Errorf("dist: peer hello to %d: %w", peer, err)
 	}
-	s.addPeer(&peerConn{src: peer, fc: fc})
+	s.addPeer(&peerConn{src: peer, gen: s.plan.Gen, fc: fc})
 	return nil
 }
 
@@ -479,6 +556,11 @@ func (s *wsession) peerReadLoop(peer int32, fc *frameConn) {
 			rs := s.actRS
 			torn := s.torn
 			live := s.peers[peer] == fc
+			if live {
+				// Forget the dead connection so waitPeers blocks for a
+				// replacement instead of trusting a corpse.
+				delete(s.peers, peer)
+			}
 			s.mu.Unlock()
 			if torn == nil && live && rs != nil {
 				rs.fail(fmt.Errorf("dist: shard %d lost peer %d: %w", s.plan.Self, peer, err), prioIO)
@@ -542,6 +624,22 @@ func (s *wsession) waitPeers(deadline time.Time) error {
 // prepare installs a fresh run: programs rebuilt from the current
 // weights, staging reset, peers verified.
 func (s *wsession) prepare(run uint32, spec *StartSpec) error {
+	// Heal the mesh first: re-dial any higher-numbered peer whose
+	// connection died since the last run; lower-numbered peers re-dial
+	// us from their own prepare by the same rule.
+	for _, peer := range s.plan.Shard.peerSet() {
+		if peer < s.plan.Self {
+			continue
+		}
+		s.mu.Lock()
+		have := s.peers[peer] != nil
+		s.mu.Unlock()
+		if !have {
+			if err := s.dialPeer(peer); err != nil {
+				return err
+			}
+		}
+	}
 	if err := s.waitPeers(time.Now().Add(s.w.FrameTimeout)); err != nil {
 		return err
 	}
@@ -610,13 +708,13 @@ func (e *shardExec) segOf(src int32) (int, bool) {
 }
 
 // launch executes the prepared run on its own goroutine and reports
-// the outcome on the control connection.
-func (s *wsession) launch(run uint32) {
+// the outcome on the control connection the go frame arrived over.
+func (s *wsession) launch(ctrl *frameConn, run uint32) {
 	s.mu.Lock()
 	exec := s.actExec
 	if exec == nil || s.actRun != run || s.running {
 		s.mu.Unlock()
-		sendErr(s.ctrl, run, ecBadRequest, "go without a prepared run")
+		sendErr(ctrl, run, ecBadRequest, "go without a prepared run")
 		return
 	}
 	s.running = true
@@ -638,7 +736,7 @@ func (s *wsession) launch(run uint32) {
 		}
 		if err != nil {
 			s.w.mx.RunErrors.Add(1)
-			sendErr(s.ctrl, run, errorCode(err), err.Error())
+			sendErr(ctrl, run, errorCode(err), err.Error())
 			return
 		}
 		outs := make([]any, len(exec.plan.Nodes))
@@ -655,10 +753,10 @@ func (s *wsession) launch(run uint32) {
 		if gerr := gob.NewEncoder(&buf).Encode(&outputsMsg{
 			Rounds: exec.rounds, Messages: exec.msgs, Bytes: exec.bytes, Outs: outs,
 		}); gerr != nil {
-			sendErr(s.ctrl, run, ecInternal, "encoding outputs: "+gerr.Error())
+			sendErr(ctrl, run, ecInternal, "encoding outputs: "+gerr.Error())
 			return
 		}
-		s.ctrl.write(&frame{typ: fOutputs, run: run, payload: buf.Bytes()})
+		ctrl.write(&frame{typ: fOutputs, run: run, payload: buf.Bytes()})
 	}()
 }
 

@@ -1,0 +1,358 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"anoncover/internal/dist"
+)
+
+// Serving-layer chaos suite: worker death, fleet-wide outage, and
+// network partition against a live HTTP server.  The contract under
+// test is the one the README promises operators — every request still
+// returns the correct, verified cover (transparently failing over to a
+// local solver when the fleet cannot serve), the circuit breaker opens
+// under sustained fleet faults and re-closes when the fleet heals, and
+// a restarted worker rejoins without a recompile.
+
+// startKillableWorkers is startDistWorkers, but hands back the worker
+// handles so a test can kill specific ones mid-flight.
+func startKillableWorkers(t *testing.T, n int) ([]*dist.Worker, []string) {
+	t.Helper()
+	workers := make([]*dist.Worker, n)
+	addrs := make([]string, n)
+	for i := range addrs {
+		w := dist.NewWorker()
+		if err := w.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		workers[i], addrs[i] = w, w.Addr()
+		go w.Serve()
+		t.Cleanup(func() { w.Close() })
+	}
+	return workers, addrs
+}
+
+// restartDistWorker rebinds a fresh worker on a just-vacated address,
+// retrying while the kernel releases the port.
+func restartDistWorker(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		w := dist.NewWorker()
+		err := w.Listen(addr)
+		if err == nil {
+			go w.Serve()
+			t.Cleanup(func() { w.Close() })
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebinding %s: %v", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// weightsJSON renders a weight vector as a /v1/vertexcover/<fp> body.
+func weightsJSON(w []int64) string {
+	var sb strings.Builder
+	sb.WriteString(`{"weights":[`)
+	for i, x := range w {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.FormatInt(x, 10))
+	}
+	sb.WriteString(`]}`)
+	return sb.String()
+}
+
+// TestServeChaosFailover: a worker dies under a live distributed
+// session; the next request must transparently re-execute on a local
+// solver — same status, same verified cover as a purely local server,
+// labelled dist_failover — and the stats must show exactly one extra
+// compile (the failover solver) plus the failover count.
+func TestServeChaosFailover(t *testing.T) {
+	workers, addrs := startKillableWorkers(t, 2)
+
+	dsrv := New(Config{WorkerAddrs: addrs, DistTimeout: 2 * time.Second, ProbeInterval: -1})
+	defer dsrv.Close()
+	dts := httptest.NewServer(dsrv.Handler())
+	defer dts.Close()
+
+	lsrv := New(Config{})
+	defer lsrv.Close()
+	lts := httptest.NewServer(lsrv.Handler())
+	defer lts.Close()
+
+	client := dts.Client()
+	body, _ := gridText(t, 6, 6, testWeights(36, 5))
+
+	code, data := post(t, client, dts.URL+"/v1/vertexcover?verify=true", body)
+	if code != http.StatusOK {
+		t.Fatalf("warm distributed run: code %d: %s", code, data)
+	}
+	warm := decodeVC(t, data)
+	if !warm.Verified {
+		t.Fatal("warm distributed response not verified")
+	}
+	code, data = post(t, client, lts.URL+"/v1/vertexcover?verify=true", body)
+	if code != http.StatusOK {
+		t.Fatalf("warm local run: code %d: %s", code, data)
+	}
+	lwarm := decodeVC(t, data)
+
+	workers[1].Close()
+
+	w2 := testWeights(36, 6)
+	code, data = post(t, client, dts.URL+"/v1/vertexcover/"+warm.Fingerprint+"?verify=true", weightsJSON(w2))
+	if code != http.StatusOK {
+		t.Fatalf("failover request: code %d: %s", code, data)
+	}
+	fr := decodeVC(t, data)
+	if !fr.Verified {
+		t.Fatal("failover response not verified")
+	}
+	if fr.Cache != "dist_failover" {
+		t.Fatalf("failover cache label %q, want dist_failover", fr.Cache)
+	}
+
+	code, data = post(t, client, lts.URL+"/v1/vertexcover/"+lwarm.Fingerprint+"?verify=true", weightsJSON(w2))
+	if code != http.StatusOK {
+		t.Fatalf("local reference request: code %d: %s", code, data)
+	}
+	lr := decodeVC(t, data)
+	if fr.Weight != lr.Weight || fr.Rounds != lr.Rounds || len(fr.Cover) != len(lr.Cover) {
+		t.Fatalf("failover != local: weight %d/%d rounds %d/%d cover %d/%d",
+			fr.Weight, lr.Weight, fr.Rounds, lr.Rounds, len(fr.Cover), len(lr.Cover))
+	}
+	for i, v := range fr.Cover {
+		if v != lr.Cover[i] {
+			t.Fatalf("cover[%d]: failover %d local %d", i, v, lr.Cover[i])
+		}
+	}
+
+	st := serverStats(t, client, dts.URL)
+	if st.Compiles != 2 {
+		t.Fatalf("compiles = %d, want 2 (one distributed, one failover)", st.Compiles)
+	}
+	if st.Distributed == nil || st.Distributed.Failovers < 1 {
+		t.Fatalf("stats failovers = %+v, want >= 1", st.Distributed)
+	}
+
+	// The failover solver is cached: a second request while the fleet
+	// is still down must not compile again.
+	code, data = post(t, client, dts.URL+"/v1/vertexcover/"+warm.Fingerprint+"?verify=true", weightsJSON(testWeights(36, 7)))
+	if code != http.StatusOK {
+		t.Fatalf("second failover request: code %d: %s", code, data)
+	}
+	if st := serverStats(t, client, dts.URL); st.Compiles != 2 {
+		t.Fatalf("compiles = %d after second failover, want 2 (cached failover solver)", st.Compiles)
+	}
+}
+
+// TestServeChaosBreaker: a fleet-wide outage opens the breaker after
+// the configured consecutive faults — requests keep succeeding on the
+// cached failover solver without touching the dead fleet — and once
+// every worker is back, the half-open trial re-closes it and requests
+// run distributed again.
+func TestServeChaosBreaker(t *testing.T) {
+	workers, addrs := startKillableWorkers(t, 2)
+
+	srv := New(Config{
+		WorkerAddrs:      addrs,
+		DistTimeout:      2 * time.Second,
+		ProbeInterval:    25 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  100 * time.Millisecond,
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	body, _ := gridText(t, 5, 5, testWeights(25, 11))
+	code, data := post(t, client, ts.URL+"/v1/vertexcover?verify=true", body)
+	if code != http.StatusOK {
+		t.Fatalf("warm run: code %d: %s", code, data)
+	}
+	warm := decodeVC(t, data)
+
+	for _, w := range workers {
+		w.Close()
+	}
+
+	// Each repost carries distinct weights so nothing is memoized;
+	// every one must still return a verified cover via failover, and
+	// by the threshold the breaker must be open.
+	for i := 0; i < 3; i++ {
+		code, data := post(t, client, ts.URL+"/v1/vertexcover/"+warm.Fingerprint+"?verify=true",
+			weightsJSON(testWeights(25, int64(20+i))))
+		if code != http.StatusOK {
+			t.Fatalf("outage request %d: code %d: %s", i, code, data)
+		}
+		if r := decodeVC(t, data); !r.Verified {
+			t.Fatalf("outage request %d not verified", i)
+		}
+	}
+	st := serverStats(t, client, ts.URL)
+	if st.Distributed.Breaker != "open" {
+		t.Fatalf("breaker %q after fleet-wide outage, want open", st.Distributed.Breaker)
+	}
+	compiles := st.Compiles
+
+	// While open, requests bypass the fleet entirely: still correct,
+	// still verified, no new compiles.
+	runsBefore := st.Distributed.Transport.Runs
+	code, data = post(t, client, ts.URL+"/v1/vertexcover/"+warm.Fingerprint+"?verify=true",
+		weightsJSON(testWeights(25, 30)))
+	if code != http.StatusOK {
+		t.Fatalf("breaker-open request: code %d: %s", code, data)
+	}
+	if r := decodeVC(t, data); !r.Verified {
+		t.Fatal("breaker-open response not verified")
+	}
+	st = serverStats(t, client, ts.URL)
+	if st.Compiles != compiles {
+		t.Fatalf("compiles %d -> %d while breaker open, want flat", compiles, st.Compiles)
+	}
+
+	// Fleet heals: the breaker must re-close and runs must flow
+	// distributed again.
+	for _, a := range addrs {
+		restartDistWorker(t, a)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	seed := int64(40)
+	for {
+		time.Sleep(50 * time.Millisecond)
+		code, data := post(t, client, ts.URL+"/v1/vertexcover/"+warm.Fingerprint+"?verify=true",
+			weightsJSON(testWeights(25, seed)))
+		seed++
+		if code != http.StatusOK {
+			t.Fatalf("post-heal request: code %d: %s", code, data)
+		}
+		if r := decodeVC(t, data); !r.Verified {
+			t.Fatal("post-heal response not verified")
+		}
+		st = serverStats(t, client, ts.URL)
+		if st.Distributed.Breaker == "closed" && st.Distributed.Transport.Runs > runsBefore {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker did not re-close after fleet heal: state %q, runs %d (was %d)",
+				st.Distributed.Breaker, st.Distributed.Transport.Runs, runsBefore)
+		}
+	}
+}
+
+// TestServeChaosRejoin: a worker restarts under a live session; the
+// background prober re-establishes it and subsequent requests run
+// distributed with zero extra compiles — the cached shard plans are
+// re-shipped, not rebuilt.
+func TestServeChaosRejoin(t *testing.T) {
+	workers, addrs := startKillableWorkers(t, 2)
+
+	srv := New(Config{WorkerAddrs: addrs, DistTimeout: 2 * time.Second, ProbeInterval: 25 * time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	body, _ := gridText(t, 6, 5, testWeights(30, 3))
+	code, data := post(t, client, ts.URL+"/v1/vertexcover?verify=true", body)
+	if code != http.StatusOK {
+		t.Fatalf("warm run: code %d: %s", code, data)
+	}
+	warm := decodeVC(t, data)
+
+	workers[0].Close()
+	restartDistWorker(t, addrs[0])
+
+	// The prober rejoins the worker in the background; wait for the
+	// counter rather than racing it.
+	deadline := time.Now().Add(15 * time.Second)
+	for serverStats(t, client, ts.URL).Distributed.Transport.Rejoins == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("restarted worker never rejoined")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	code, data = post(t, client, ts.URL+"/v1/vertexcover/"+warm.Fingerprint+"?verify=true",
+		weightsJSON(testWeights(30, 4)))
+	if code != http.StatusOK {
+		t.Fatalf("post-rejoin request: code %d: %s", code, data)
+	}
+	r := decodeVC(t, data)
+	if !r.Verified {
+		t.Fatal("post-rejoin response not verified")
+	}
+	if r.Cache == "dist_failover" {
+		t.Fatal("post-rejoin request failed over; want distributed execution")
+	}
+
+	st := serverStats(t, client, ts.URL)
+	if st.Compiles != 1 {
+		t.Fatalf("compiles = %d after rejoin, want 1 (re-ship, not recompile)", st.Compiles)
+	}
+	if st.Distributed.Breaker != "closed" {
+		t.Fatalf("breaker %q after rejoin, want closed", st.Distributed.Breaker)
+	}
+}
+
+// TestServeChaosPartition: a partition black-holes the coordinator's
+// frames mid-session — no RST, just silence — so the dist attempt must
+// fail over on frame timeouts, and healing the partition restores
+// distributed execution.
+func TestServeChaosPartition(t *testing.T) {
+	_, addrs := startKillableWorkers(t, 2)
+
+	part := &dist.Partition{}
+	fp := &dist.FaultPlan{Partition: part}
+	srv := New(Config{
+		WorkerAddrs:   addrs,
+		DistTimeout:   300 * time.Millisecond,
+		ProbeInterval: -1,
+		distConnHook:  fp.Hook(),
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	body, _ := gridText(t, 5, 5, testWeights(25, 9))
+	code, data := post(t, client, ts.URL+"/v1/vertexcover?verify=true", body)
+	if code != http.StatusOK {
+		t.Fatalf("pre-partition run: code %d: %s", code, data)
+	}
+	warm := decodeVC(t, data)
+
+	part.Cut()
+	start := time.Now()
+	code, data = post(t, client, ts.URL+"/v1/vertexcover/"+warm.Fingerprint+"?verify=true",
+		weightsJSON(testWeights(25, 10)))
+	if code != http.StatusOK {
+		t.Fatalf("partitioned request: code %d: %s", code, data)
+	}
+	if el := time.Since(start); el > 15*time.Second {
+		t.Fatalf("partitioned request took %v; must fail over within the retry budget", el)
+	}
+	r := decodeVC(t, data)
+	if !r.Verified {
+		t.Fatal("partitioned response not verified")
+	}
+	if r.Cache != "dist_failover" {
+		t.Fatalf("partitioned cache label %q, want dist_failover", r.Cache)
+	}
+
+	part.Heal()
+	st := serverStats(t, client, ts.URL)
+	if st.Distributed.Failovers < 1 {
+		t.Fatalf("failovers = %d after partition, want >= 1", st.Distributed.Failovers)
+	}
+}

@@ -2,12 +2,14 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
 	"sync"
 	"time"
 
+	"anoncover"
 	"anoncover/internal/check"
 	"anoncover/internal/core/edgepack"
 	"anoncover/internal/dist"
@@ -40,12 +42,38 @@ type distSolver struct {
 func newDistSolver(coord *dist.Coordinator, g *graph.G) (*distSolver, error) {
 	sess, err := coord.CompileVC(g)
 	if err != nil {
-		return nil, err
+		return nil, &fleetErr{err}
 	}
 	return &distSolver{sess: sess, weights: g.Weights()}, nil
 }
 
 func (d *distSolver) Close() error { return d.sess.Close() }
+
+// graph returns the internal graph the session was compiled from, the
+// topology the failover path compiles a local solver over.
+func (d *distSolver) graph() *graph.G { return d.sess.Graph() }
+
+// fleetErr marks an error that came back from an actual fleet call
+// (compile, weight broadcast, run) as opposed to serve-side validation
+// failing before any fleet contact.  Only marked errors are failover
+// candidates: a bad weight vector would fail identically on a local
+// solver, so re-executing it locally is waste, not resilience.
+type fleetErr struct{ err error }
+
+func (e *fleetErr) Error() string { return e.err.Error() }
+func (e *fleetErr) Unwrap() error { return e.err }
+
+// distTransient reports whether err warrants transparent local
+// failover: it reached the fleet, the fleet (not the client or the
+// algorithm) faulted, and the request's own context is still live so a
+// local re-execution can complete.
+func distTransient(ctx context.Context, err error) bool {
+	var fe *fleetErr
+	if !errors.As(err, &fe) {
+		return false
+	}
+	return ctx.Err() == nil && dist.Transient(fe.err)
+}
 
 // Weights returns the fleet's current snapshot vector.
 func (d *distSolver) Weights() []int64 {
@@ -75,7 +103,7 @@ func (d *distSolver) installLocked(w []int64) error {
 		return nil
 	}
 	if err := d.sess.UpdateVCWeights(w); err != nil {
-		return err
+		return &fleetErr{err}
 	}
 	d.weights = append([]int64(nil), w...)
 	return nil
@@ -93,7 +121,7 @@ func (d *distSolver) run(ctx context.Context, weights []int64, opt dist.RunOptio
 	}
 	res, err := d.sess.VertexCover(ctx, opt)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, &fleetErr{err}
 	}
 	return res, d.sess.Graph(), nil
 }
@@ -113,9 +141,85 @@ func weightsEqual(a, b []int64) bool {
 // distEligible reports whether the request can execute on the fleet:
 // a plain port-model run with no engine override and no progress
 // stream (the distributed barrier has no per-round observer hook; such
-// requests fall back to the local path with bit-identical results).
+// requests fall back to the local path with bit-identical results),
+// and the circuit breaker admits it — while the breaker is open the
+// whole dist path is quarantined and requests flow straight to the
+// local solvers without paying a doomed fleet attempt.  A true return
+// in half-open state takes the breaker's single trial slot; every path
+// out of the dist handlers must settle it (success, failure, or
+// forgive).
 func (s *Server) distEligible(p runParams) bool {
-	return s.coord != nil && p.model == "port" && len(p.engine) == 0 && p.progress == ""
+	return s.coord != nil && p.model == "port" && len(p.engine) == 0 && p.progress == "" &&
+		s.brk.allow()
+}
+
+// distVerdict settles the breaker for a failed fleet call and reports
+// whether the request should fail over to a local solver: a fleet
+// fault counts against the breaker and (while the request's own
+// context is live) is absorbed locally; anything else — serve-side
+// validation, client cancellation, semantic run errors — forgives the
+// admission and surfaces through the normal error path.
+func (s *Server) distVerdict(ctx context.Context, err error) bool {
+	if !distTransient(ctx, err) {
+		var fe *fleetErr
+		if errors.As(err, &fe) && dist.Transient(fe.err) {
+			// A fleet fault whose requester died: the breaker learns
+			// about the fleet, but there is nobody to fail over for.
+			s.brk.failure()
+		} else {
+			s.brk.forgive()
+		}
+		return false
+	}
+	s.brk.failure()
+	s.ctrs.DistFailovers.Add(1)
+	return true
+}
+
+// failoverVC transparently re-executes a fleet-faulted request on a
+// local solver compiled over the distributed session's own graph: same
+// topology, same request weights, so by the engine-equivalence
+// contract the response is bit-identical to what the fleet would have
+// produced.  The local solver lands in the regular vertex-cover cache
+// under the same fingerprint — repeated failovers (a dead worker, an
+// open breaker) compile once and hit thereafter.
+func (s *Server) failoverVC(ctx context.Context, p runParams, gv *graph.G,
+	fp string, weights []int64) (vcResponse, int, string) {
+
+	e, hit, err := s.vc.acquire(ctx, fp, func() (*anoncover.Solver, error) {
+		s.ctrs.Compiles.Add(1)
+		t0 := time.Now()
+		sol, cerr := anoncover.Compile(anoncover.WrapGraph(gv), s.sessionOpts()...)
+		traceFrom(ctx).mark(phaseCompile, time.Since(t0))
+		return sol, cerr
+	})
+	if err != nil {
+		return vcResponse{}, s.compileStatus(err), fmt.Sprintf("failover compile: %v", err)
+	}
+	defer s.vc.release(e)
+	if hit {
+		s.ctrs.CacheHits.Add(1)
+	}
+	return s.execVC(ctx, p, e, fp, weights, "vertexcover", "dist_failover", nil)
+}
+
+// serveVCFailover writes the response for a request the failover path
+// absorbed before a flight could form (session compile or weight
+// broadcast died on a fleet fault).
+func (s *Server) serveVCFailover(w http.ResponseWriter, ctx context.Context, p runParams,
+	gv *graph.G, fp string, weights []int64, start time.Time) {
+
+	tr := traceFrom(ctx)
+	tr.label("vertexcover", fp, "dist_failover")
+	resp, status, errMsg := s.failoverVC(ctx, p, gv, fp, weights)
+	if errMsg != "" {
+		writeError(w, status, "%s", errMsg)
+		return
+	}
+	tr.setCache("dist_failover")
+	tr.result(resp.Rounds, resp.Messages, resp.Bytes)
+	resp.ElapsedMS = msSince(start)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleVCDist serves a dist-eligible full-instance request: acquire
@@ -132,6 +236,10 @@ func (s *Server) handleVCDist(w http.ResponseWriter, ctx context.Context, p runP
 		return sol, cerr
 	})
 	if err != nil {
+		if s.distVerdict(ctx, err) {
+			s.serveVCFailover(w, ctx, p, g, fp, g.Weights(), start)
+			return
+		}
 		writeError(w, s.compileStatus(err), "compiling distributed session: %v", err)
 		return
 	}
@@ -150,6 +258,10 @@ func (s *Server) serveVCDist(w http.ResponseWriter, ctx context.Context, p runPa
 
 	cacheLabel, whash, err := installSnapshot(s, e, weights, hit)
 	if err != nil {
+		if s.distVerdict(ctx, err) {
+			s.serveVCFailover(w, ctx, p, e.solver.graph(), fp, weights, start)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "updating weights: %v", err)
 		return
 	}
@@ -170,6 +282,9 @@ func (s *Server) serveVCDist(w http.ResponseWriter, ctx context.Context, p runPa
 	fkey := strings.Join([]string{"dvc", fp, mkey}, "|")
 	for {
 		if v, ok := e.memo.get(mkey); ok {
+			// No fleet contact: a half-open trial admission must return
+			// its probe slot or the breaker would starve.
+			s.brk.forgive()
 			s.ctrs.MemoHits.Add(1)
 			serve(v.(vcResponse), "memo")
 			return
@@ -186,9 +301,16 @@ func (s *Server) serveVCDist(w http.ResponseWriter, ctx context.Context, p runPa
 				writeError(w, status, "%s", errMsg)
 				return
 			}
-			serve(resp, cacheLabel)
+			// A failed-over leader ran locally; label the response so
+			// stats and clients see which path actually served it.
+			label := cacheLabel
+			if resp.Cache == "dist_failover" {
+				label = "dist_failover"
+			}
+			serve(resp, label)
 			return
 		}
+		s.brk.forgive()
 		s.ctrs.Coalesced.Add(1)
 		select {
 		case <-f.done:
@@ -226,8 +348,12 @@ func (s *Server) execVCDist(ctx context.Context, p runParams, e *entry[*distSolv
 	})
 	tr.mark(phaseRun, time.Since(t0))
 	if err != nil {
+		if s.distVerdict(ctx, err) {
+			return s.failoverVC(ctx, p, e.solver.graph(), fp, weights)
+		}
 		return vcResponse{}, s.failStatus(err), fmt.Sprintf("run failed: %v", err)
 	}
+	s.brk.success()
 	s.tel.observeRun("vertexcover", res.Rounds, res.Stats.Messages, res.Stats.Bytes)
 	resp := vcResponse{
 		Fingerprint: fp, Algorithm: "vertexcover",
@@ -253,12 +379,60 @@ func (s *Server) execVCDist(ctx context.Context, p runParams, e *entry[*distSolv
 	return resp, 0, ""
 }
 
+// vcFromDistGraph serves a weights-only request whose fingerprint is
+// cached only as a distributed session while the dist path is not
+// usable for it (breaker open, or dist-ineligible options): it
+// compiles a local solver over the session's own graph — counted and
+// cached like any compile — instead of answering 404 for a topology
+// the server demonstrably holds.  Reports whether it handled the
+// request.
+func (s *Server) vcFromDistGraph(w http.ResponseWriter, ctx context.Context, p runParams,
+	r *http.Request, fp string, start time.Time) bool {
+
+	de, err := s.dvc.lookup(ctx, fp)
+	if err != nil || de == nil {
+		return false
+	}
+	gv := de.solver.graph()
+	weights := de.solver.Weights()
+	s.dvc.release(de)
+	body, err := readWeightsBody(r, s.cfg.MaxBody)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return true
+	}
+	if body != nil {
+		weights = body
+	}
+	e, hit, err := s.vc.acquire(ctx, fp, func() (*anoncover.Solver, error) {
+		s.ctrs.Compiles.Add(1)
+		t0 := time.Now()
+		sol, cerr := anoncover.Compile(anoncover.WrapGraph(gv), s.sessionOpts()...)
+		traceFrom(ctx).mark(phaseCompile, time.Since(t0))
+		return sol, cerr
+	})
+	if err != nil {
+		writeError(w, s.compileStatus(err), "compiling solver: %v", err)
+		return true
+	}
+	defer s.vc.release(e)
+	if hit {
+		s.ctrs.CacheHits.Add(1)
+	}
+	s.serveVC(w, ctx, p, e, fp, weights, hit, start)
+	return true
+}
+
 // distStats is the /v1/stats block reporting the worker fleet: health
-// of every worker (probed at request time) and the coordinator's
+// of every worker (the background prober's latest snapshot, or a live
+// probe when none has run), cached distributed sessions, the local
+// failover count, the circuit breaker state, and the coordinator's
 // transport counters.
 type distStats struct {
 	Workers   []dist.WorkerHealth `json:"workers"`
 	Sessions  int                 `json:"sessions"`
+	Failovers int64               `json:"failovers"`
+	Breaker   string              `json:"breaker"`
 	Transport dist.Snapshot       `json:"transport"`
 }
 
@@ -266,11 +440,17 @@ func (s *Server) distStats() *distStats {
 	if s.coord == nil {
 		return nil
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
+	workers, _, ok := s.coord.LastHealth()
+	if !ok {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		workers = s.coord.Health(ctx)
+	}
 	return &distStats{
-		Workers:   s.coord.Health(ctx),
+		Workers:   workers,
 		Sessions:  s.dvc.len(),
+		Failovers: s.ctrs.DistFailovers.Load(),
+		Breaker:   s.brk.stateName(),
 		Transport: s.coord.Metrics().SnapshotNow(),
 	}
 }

@@ -381,6 +381,7 @@ func (s *Server) handleVertexCover(w http.ResponseWriter, r *http.Request) {
 		// planner consumes.
 		ig, err := graph.Parse(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
 		if err != nil {
+			s.brk.forgive()
 			writeError(w, http.StatusBadRequest, "parsing graph: %v", err)
 			return
 		}
@@ -472,7 +473,9 @@ func (s *Server) handleVertexCoverCached(w http.ResponseWriter, r *http.Request)
 			return
 		}
 		// Fall through: the fingerprint may be cached as a local solver
-		// (compiled by a non-eligible request).
+		// (compiled by a non-eligible request).  The breaker admission
+		// ends here without fleet contact.
+		s.brk.forgive()
 	}
 	e, err := s.vc.lookup(ctx, fp)
 	if err != nil {
@@ -480,6 +483,12 @@ func (s *Server) handleVertexCoverCached(w http.ResponseWriter, r *http.Request)
 		return
 	}
 	if e == nil {
+		// The topology may still be cached as a distributed session the
+		// request cannot use (breaker open, dist-ineligible options);
+		// serve it locally off the session's graph rather than 404.
+		if s.coord != nil && s.vcFromDistGraph(w, ctx, p, r, fp, start) {
+			return
+		}
 		writeError(w, http.StatusNotFound, "no cached solver for fingerprint %s; POST the full instance to /v1/vertexcover", fp)
 		return
 	}

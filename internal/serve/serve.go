@@ -34,6 +34,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"runtime"
 	"time"
@@ -41,6 +42,10 @@ import (
 	"anoncover"
 	"anoncover/internal/dist"
 )
+
+// defaultProbeInterval is the coordinator's background health-probe
+// cadence when Config.ProbeInterval is unset.
+const defaultProbeInterval = 5 * time.Second
 
 // Config tunes the service; the zero value serves with sane defaults.
 type Config struct {
@@ -97,6 +102,23 @@ type Config struct {
 	// DistTimeout bounds control-frame round trips and worker barrier
 	// waits in distributed mode; 0 uses the dist package default.
 	DistTimeout time.Duration
+	// ProbeInterval is the background health-probe cadence in
+	// coordinator mode.  Probes detect worker failures between requests
+	// and, once the whole fleet answers, re-ship shard plans to workers
+	// that restarted (rejoin without a recompile).  0 uses the default
+	// (5s); negative disables background probing.
+	ProbeInterval time.Duration
+	// BreakerThreshold is the consecutive-fleet-fault count that opens
+	// the distributed path's circuit breaker (default 3);
+	// BreakerCooldown is how long it stays open before admitting a
+	// half-open trial request (default 2s).  While open, eligible
+	// requests run on local failover solvers instead of paying a doomed
+	// fleet attempt.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// distConnHook wraps every coordinator-side connection; the fault
+	// injection seam for the chaos tests.
+	distConnHook func(net.Conn) net.Conn
 	// Logger receives one structured access-log record per request plus
 	// request-lifecycle events.  nil discards logs (tests, embedding).
 	Logger *slog.Logger
@@ -158,6 +180,7 @@ type Server struct {
 	sc      *cache[*anoncover.SetCoverSolver]
 	coord   *dist.Coordinator   // nil unless WorkerAddrs configured
 	dvc     *cache[*distSolver] // distributed sessions; nil with coord
+	brk     *breaker            // distributed-path circuit breaker
 	adm     *admission
 	ctrs    counters
 	flights *flights
@@ -179,12 +202,21 @@ func New(cfg Config) *Server {
 	}
 	s.vc = newCache[*anoncover.Solver](cfg.CacheSize, cfg.MemoSize, &s.ctrs)
 	s.sc = newCache[*anoncover.SetCoverSolver](cfg.CacheSize, cfg.MemoSize, &s.ctrs)
+	s.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	if len(cfg.WorkerAddrs) > 0 {
 		s.coord = dist.NewCoordinator(cfg.WorkerAddrs)
 		if cfg.DistTimeout > 0 {
 			s.coord.FrameTimeout = cfg.DistTimeout
 		}
+		s.coord.ConnHook = cfg.distConnHook
 		s.dvc = newCache[*distSolver](cfg.CacheSize, cfg.MemoSize, &s.ctrs)
+		interval := cfg.ProbeInterval
+		if interval == 0 {
+			interval = defaultProbeInterval
+		}
+		if interval > 0 {
+			s.coord.StartProbes(interval)
+		}
 	}
 	if cfg.BatchWindow > 0 {
 		// The session options are validated at Compile time too, so a
@@ -208,6 +240,12 @@ func New(cfg Config) *Server {
 	s.tel = newTelemetry(s, cfg.Logger, cfg.RunLogSize)
 	if s.coord != nil {
 		s.coord.Metrics().Register(s.tel.reg)
+		s.tel.reg.CounterFuncs("anoncover_dist_failovers_total",
+			"Distributed attempts transparently re-executed on a local solver.").
+			Add(func() float64 { return float64(s.ctrs.DistFailovers.Load()) })
+		s.tel.reg.GaugeFuncs("anoncover_dist_breaker_state",
+			"Distributed-path circuit breaker state (0 closed, 1 open, 2 half-open).").
+			Add(func() float64 { return s.brk.stateVal() })
 	}
 	mux.HandleFunc("GET /v1/runs", s.handleRuns)
 	mux.Handle("GET /metrics", s.MetricsHandler())

@@ -26,6 +26,7 @@ type counters struct {
 	Coalesced     atomic.Int64 // requests that joined another identical request's in-flight run
 	Batched       atomic.Int64 // requests executed through the batch window
 	BatchRuns     atomic.Int64 // pooled batch runs executed (Batched/BatchRuns = mean occupancy)
+	DistFailovers atomic.Int64 // distributed attempts transparently re-executed on a local solver
 }
 
 // Stats is the JSON shape of /v1/stats.
