@@ -31,7 +31,12 @@
 //	curl -s localhost:8080/metrics
 //
 // The -debug-addr mux serves net/http/pprof and a second /metrics,
-// keeping profiling endpoints off the service listener.
+// keeping profiling endpoints off the service listener.  It works in
+// -worker mode too, where /metrics exposes the worker's own
+// anoncover_worker_* families (per-shard round phase histograms,
+// staging occupancy, generation swaps) plus the transport counters:
+//
+//	anoncoverd -worker -addr 127.0.0.1:9001 -debug-addr 127.0.0.1:9011
 package main
 
 import (
@@ -50,6 +55,7 @@ import (
 
 	"anoncover"
 	"anoncover/internal/dist"
+	"anoncover/internal/obs"
 	"anoncover/internal/serve"
 )
 
@@ -58,8 +64,9 @@ import (
 // drains gracefully — in-flight runs finish their rounds and flush
 // their final halo frames before the listener closes — mirroring the
 // HTTP server's shutdown path.
-func runWorker(logger *slog.Logger, addr string, frameTimeout time.Duration) int {
+func runWorker(logger *slog.Logger, addr, debugAddr string, frameTimeout time.Duration) int {
 	w := dist.NewWorker()
+	w.Logger = logger
 	if frameTimeout > 0 {
 		w.FrameTimeout = frameTimeout
 	}
@@ -68,6 +75,33 @@ func runWorker(logger *slog.Logger, addr string, frameTimeout time.Duration) int
 		return 1
 	}
 	logger.Info("anoncoverd: worker serving", "addr", w.Addr())
+
+	// The worker's own telemetry surface: pprof plus /metrics with the
+	// anoncover_worker_* families (per-shard round phase histograms,
+	// staging occupancy, generation swaps) and the transport counters.
+	var debugSrv *http.Server
+	if debugAddr != "" {
+		reg := obs.NewRegistry()
+		w.RegisterMetrics(reg)
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/metrics", reg.Handler())
+		debugSrv = &http.Server{
+			Addr:              debugAddr,
+			Handler:           dmux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Info("anoncoverd: worker debug mux serving", "addr", debugAddr)
+			if derr := debugSrv.ListenAndServe(); !errors.Is(derr, http.ErrServerClosed) {
+				logger.Error("anoncoverd: worker debug mux failed", "error", derr)
+			}
+		}()
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -80,6 +114,9 @@ func runWorker(logger *slog.Logger, addr string, frameTimeout time.Duration) int
 		defer cancel()
 		if err := w.Shutdown(ctx); err != nil {
 			logger.Warn("anoncoverd: worker drain incomplete", "error", err)
+		}
+		if debugSrv != nil {
+			debugSrv.Shutdown(ctx)
 		}
 	}()
 
@@ -128,7 +165,7 @@ func main() {
 	slog.SetDefault(logger)
 
 	if *workerMode {
-		os.Exit(runWorker(logger, *addr, *distTimeout))
+		os.Exit(runWorker(logger, *addr, *debugAddr, *distTimeout))
 	}
 
 	cfg := serve.Config{

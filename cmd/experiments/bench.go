@@ -342,6 +342,7 @@ func benchMatrix(path string, quick bool) {
 	serverRows(&file, quick)
 	fleetRows(&file, quick)
 	stragglerRows(&file, quick)
+	traceOverheadRows(&file, quick)
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		panic(err)

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"anoncover/internal/dist"
+	"anoncover/internal/graph"
+	"anoncover/internal/shard"
+	"anoncover/internal/sim"
+)
+
+// traceOverheadRows measures what distributed run tracing costs on the
+// wall clock.  Tracing is on by default for every fleet run, so its
+// budget is strict: per round and shard it is four monotonic clock
+// reads and one store into a preallocated arena (0 allocs/round — the
+// alloc tests pin that side), and this row pins the time side by
+// running the identical wireport workload on the loopback cluster with
+// tracing on and off, interleaved, median-of-runs.  The acceptance
+// budget is ≤5% overhead; the expected reading is noise, since clock
+// reads are a few ns against a round that moves halo frames over TCP.
+func traceOverheadRows(file *benchFile, quick bool) {
+	fmt.Println("\ntrace overhead: distributed wireport workload, tracing on vs off")
+	fmt.Println("| family | n | k | rounds | mode | wall | overhead |")
+	fmt.Println("|---|---|---|---|---|---|---|")
+
+	const k = 4
+	// 21 interleaved pairs: the per-run delta under measurement is a
+	// few percent of a run whose wall is mostly loopback scheduling, so
+	// it needs more samples than the throughput rows to stabilize.
+	side, rounds, runs := 48, 32, 21
+	if quick {
+		side, rounds, runs = 24, 12, 5
+	}
+	procs := runtime.GOMAXPROCS(0)
+
+	g := graph.Grid(side, side)
+	family := fmt.Sprintf("grid-%dx%d", side, side)
+	ft := g.Flat()
+	st := shard.BuildK(ft, k)
+
+	progs := func() []sim.PortProgram {
+		out := make([]sim.PortProgram, g.N())
+		for v := range out {
+			out[v] = newWirePortProg(ft.Deg(v))
+		}
+		return out
+	}
+
+	cluster := dist.NewCluster(k)
+	opt := sim.Options{Engine: sim.Distributed, Dist: cluster, Workers: k}
+	sample := func(traceOff bool) int64 {
+		cluster.TraceOff = traceOff
+		start := time.Now()
+		if _, err := sim.RunPort(st, progs(), rounds, opt); err != nil {
+			panic(err)
+		}
+		return time.Since(start).Nanoseconds()
+	}
+	// Warm both settings (dials the mesh, faults the arenas), then
+	// sample interleaved with the within-pair order alternating: on
+	// loopback the first run of a pair can eat a scheduling hiccup the
+	// second doesn't, and a fixed order would book that bias to one
+	// mode.
+	sample(false)
+	sample(true)
+	onSamples := make([]int64, 0, runs)
+	offSamples := make([]int64, 0, runs)
+	for i := 0; i < runs; i++ {
+		if i%2 == 0 {
+			onSamples = append(onSamples, sample(false))
+			offSamples = append(offSamples, sample(true))
+		} else {
+			offSamples = append(offSamples, sample(true))
+			onSamples = append(onSamples, sample(false))
+		}
+	}
+
+	median := func(samples []int64) int64 {
+		sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+		return samples[len(samples)/2]
+	}
+	offWall := median(offSamples)
+	onWall := median(onSamples)
+	for _, m := range []struct {
+		mode string
+		wall int64
+	}{
+		{"dist-trace-off", offWall},
+		{"dist-trace-on", onWall},
+	} {
+		file.Rows = append(file.Rows, benchRow{
+			Engine: fmt.Sprintf("distributed-%d", k), Workers: k, Mode: m.mode,
+			Workload:   fmt.Sprintf("wireport-%dr-dist", rounds),
+			Gomaxprocs: procs, Family: family, N: g.N(),
+			HalfEdges: ft.HalfEdges(), CutEdges: st.Part().CutEdges,
+			Rounds: rounds, WallNS: m.wall,
+			NsPerNodeRound: float64(m.wall) / float64(rounds) / float64(g.N()),
+		})
+		overhead := "—"
+		if m.mode == "dist-trace-on" {
+			overhead = fmt.Sprintf("%+.1f%%", 100*(float64(onWall)/float64(offWall)-1))
+		}
+		fmt.Printf("| %s | %d | %d | %d | %s | %v | %s |\n",
+			family, g.N(), k, rounds, m.mode,
+			time.Duration(m.wall).Round(time.Microsecond), overhead)
+	}
+}

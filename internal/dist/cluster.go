@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"anoncover/internal/graph"
+	"anoncover/internal/obs"
 	"anoncover/internal/shard"
 	"anoncover/internal/sim"
 )
@@ -39,10 +40,22 @@ type Cluster struct {
 	// FrameTimeout bounds each barrier wait and frame write; zero
 	// means the default.  Set before the first run.
 	FrameTimeout time.Duration
+	// TraceOff disables per-round phase tracing (on by default; the
+	// bench harness toggles it to measure the tracer's own cost).
+	TraceOff bool
 
-	mx     Metrics
-	mu     sync.Mutex // serializes runs
-	nextID atomic.Uint32
+	mx        Metrics
+	mu        sync.Mutex // serializes runs
+	nextID    atomic.Uint32
+	lastTrace *obs.RunTrace
+}
+
+// LastTrace returns the merged phase trace of the most recent run, or
+// nil if tracing was off (or no run has completed).
+func (c *Cluster) LastTrace() *obs.RunTrace {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastTrace
 }
 
 // NewCluster returns a loopback cluster of the given worker count
@@ -164,6 +177,9 @@ func (c *Cluster) run(top sim.Topology, port []sim.PortProgram, bcast []sim.Broa
 			mx:    &c.mx,
 			waits: waits[s],
 		}
+		if !c.TraceOff {
+			e.trace = obs.NewShardTrace(int32(s), rounds, 0)
+		}
 		if port != nil {
 			e.port = make([]sim.PortProgram, len(plans[s].Nodes))
 			for i, v := range plans[s].Nodes {
@@ -191,6 +207,16 @@ func (c *Cluster) run(top sim.Topology, port []sim.PortProgram, bcast []sim.Broa
 	rs.finish()
 	cleanup() // idempotent; unblocks the readers before we wait on them
 	readers.Wait()
+
+	if !c.TraceOff {
+		sps := make([]*obs.ShardSpans, k)
+		for s, e := range execs {
+			if e.trace != nil {
+				sps[s] = e.trace.Spans(err != nil)
+			}
+		}
+		c.lastTrace = obs.MergeTrace("", sps)
+	}
 
 	if err != nil {
 		c.mx.RunErrors.Add(1)

@@ -16,6 +16,7 @@ import (
 
 	"anoncover/internal/core/edgepack"
 	"anoncover/internal/graph"
+	"anoncover/internal/obs"
 	"anoncover/internal/shard"
 	"anoncover/internal/sim"
 )
@@ -415,24 +416,44 @@ type Session struct {
 	epochs []uint64
 	gen    uint64
 
-	mu     sync.Mutex
-	params sim.Params
-	closed bool
+	mu        sync.Mutex
+	params    sim.Params
+	closed    bool
+	lastTrace *obs.RunTrace
 }
 
 // RunOptions are the per-run knobs; the zero value is the default
-// (wire path, no scramble, no budget).
+// (wire path, no scramble, no budget, tracing on at round
+// granularity).
 type RunOptions struct {
 	NoWire       bool
 	ScrambleSeed int64
 	RoundBudget  int
+	// TraceOff disables per-round phase tracing; TraceEvery > 1
+	// samples every n-th round instead of all of them.
+	TraceOff   bool
+	TraceEvery int
+	// Tag names the run in worker logs and the merged trace —
+	// typically the serving layer's run ID.
+	Tag string
 }
 
 // RunResult is one distributed run's assembled outcome: node outputs
-// in global node order plus engine-contract Stats.
+// in global node order plus engine-contract Stats, and — unless the
+// run opted out — the merged per-shard phase trace.
 type RunResult struct {
 	Outs  []any
 	Stats sim.Stats
+	Trace *obs.RunTrace
+}
+
+// LastTrace returns the merged trace of the session's most recent
+// traced run, including failed runs (whose traces are partial) —
+// which RunResult can never carry.
+func (s *Session) LastTrace() *obs.RunTrace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastTrace
 }
 
 // Compile plans the topology across the fleet and installs the session
@@ -622,9 +643,25 @@ func (s *Session) Run(ctx context.Context, opt RunOptions) (*RunResult, error) {
 	params := s.params
 	s.mu.Unlock()
 
+	// emptyTrace records that a traced run died before any shard could
+	// report: every shard missing, explicitly partial.  Pre-launch
+	// failures store it so the trace surface tells "never launched"
+	// apart from "launched and lost shards" — and from the previous
+	// run's trace, which would otherwise linger under a stale tag.
+	emptyTrace := func() {
+		if opt.TraceOff {
+			return
+		}
+		tr := obs.MergeTrace(opt.Tag, make([]*obs.ShardSpans, s.k))
+		s.mu.Lock()
+		s.lastTrace = tr
+		s.mu.Unlock()
+	}
+
 	// Heal first: a worker that restarted since the last run gets its
 	// cached plan re-shipped before the run touches it.
 	if err := s.ensureInstalled(ctx); err != nil {
+		emptyTrace()
 		return nil, err
 	}
 
@@ -636,6 +673,9 @@ func (s *Session) Run(ctx context.Context, opt RunOptions) (*RunResult, error) {
 		NoWire:       opt.NoWire,
 		ScrambleSeed: opt.ScrambleSeed,
 		RoundBudget:  opt.RoundBudget,
+		TraceOff:     opt.TraceOff,
+		TraceEvery:   opt.TraceEvery,
+		Tag:          opt.Tag,
 	}
 	collectTimeout := time.Duration(0) // unbounded: worker barrier timeouts are the backstop
 	if ctx != nil {
@@ -692,6 +732,7 @@ func (s *Session) Run(ctx context.Context, opt RunOptions) (*RunResult, error) {
 	}
 	if err := prepare(); err != nil {
 		if !errors.Is(err, errWorkerRejected) {
+			emptyTrace()
 			return fail(err)
 		}
 		// A rejection here means a worker lost the session state the
@@ -702,17 +743,49 @@ func (s *Session) Run(ctx context.Context, opt RunOptions) (*RunResult, error) {
 		// ensureInstalled now sees the staleness, re-ships the cached
 		// plans, and the retried prepare lands on restored state.
 		if ierr := s.ensureInstalled(ctx); ierr != nil {
+			emptyTrace()
 			return fail(err)
 		}
 		if err := prepare(); err != nil {
+			emptyTrace()
 			return fail(err)
 		}
 	}
 
-	// Go + collect: one request whose response is the run outcome.
+	// Go + collect: one request whose response is the run outcome.  A
+	// worker whose run fails ships its partial phase trace as an
+	// fTrace frame ahead of the error verdict on the same nonce, so
+	// the collect loop stashes trace frames and returns on the first
+	// outcome frame.
 	goPl := s.sessionPayload(nil)
+	traces := make([]*obs.ShardSpans, s.k)
 	replies := phase(func(w int) (frame, error) {
-		return s.c.request(ctx, w, &frame{typ: fGo, run: runID, payload: goPl}, collectTimeout)
+		cc, err := s.c.ctrl(w)
+		if err != nil {
+			return frame{}, err
+		}
+		ch, err := cc.register(runID)
+		if err != nil {
+			return frame{}, err
+		}
+		defer cc.unregister(runID)
+		if err := cc.fc.write(&frame{typ: fGo, run: runID, payload: goPl}); err != nil {
+			cc.shutdown(err)
+			return frame{}, fmt.Errorf("dist: writing to worker %s: %w", cc.addr, err)
+		}
+		for {
+			f, err := cc.await(ch, ctx, collectTimeout)
+			if err != nil {
+				return frame{}, err
+			}
+			if f.typ != fTrace {
+				return f, nil
+			}
+			var sp obs.ShardSpans
+			if gob.NewDecoder(bytes.NewReader(f.payload)).Decode(&sp) == nil {
+				traces[w] = &sp
+			}
+		}
 	})
 	var firstErr error
 	outs := make([]any, s.n)
@@ -752,14 +825,31 @@ func (s *Session) Run(ctx context.Context, opt RunOptions) (*RunResult, error) {
 		}
 		stats.Messages += om.Messages
 		stats.Bytes += om.Bytes
+		if om.HasTrace {
+			sp := om.Trace
+			traces[r.w] = &sp
+		}
 		for i, v := range s.nodes[r.w] {
 			outs[v] = om.Outs[i]
 		}
 	}
+	// Merge whatever trace material the fleet produced — failed runs
+	// included, which is exactly when straggler attribution matters —
+	// and keep it on the session for the serving layer.
+	var trace *obs.RunTrace
+	if !opt.TraceOff {
+		trace = obs.MergeTrace(opt.Tag, traces)
+		if firstErr != nil {
+			trace.Partial = true
+		}
+		s.mu.Lock()
+		s.lastTrace = trace
+		s.mu.Unlock()
+	}
 	if firstErr != nil {
 		return fail(firstErr)
 	}
-	return &RunResult{Outs: outs, Stats: stats}, nil
+	return &RunResult{Outs: outs, Stats: stats, Trace: trace}, nil
 }
 
 // abortRun fans fAbort out to every worker, best effort.

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"anoncover/internal/obs"
 	"anoncover/internal/sim"
 )
 
@@ -185,6 +186,13 @@ type shardExec struct {
 	mx    *Metrics
 	waits []*PairWait // per In segment, may be nil
 
+	// trace, when non-nil, records per-round phase timings into its
+	// preallocated arena; every time.Now() below is gated on it so an
+	// untraced run pays nothing.  The optional histograms mirror the
+	// same observations into the worker's /metrics surface.
+	trace                              *obs.ShardTrace
+	hCompute, hSerialize, hWait, hSend *obs.Histogram
+
 	// Wire-path state, mirroring sim's wireSetup.
 	wprogs      []sim.WirePortProgram
 	codec       sim.WireCodec
@@ -299,6 +307,13 @@ func (e *shardExec) run() error {
 		}
 		gen := round & 1
 
+		rec := e.trace != nil && e.trace.Sample(round)
+		var computeNS, serializeNS, waitNS, sendNS int64
+		var mark time.Time
+		if rec {
+			mark = time.Now()
+		}
+
 		// Send phase: step the shard's nodes, scattering local
 		// messages straight into the inbox and cut messages into this
 		// generation's halo-out buffer.
@@ -379,6 +394,12 @@ func (e *shardExec) run() error {
 			}
 		}
 
+		if rec {
+			now := time.Now()
+			computeNS += now.Sub(mark).Nanoseconds()
+			mark = now
+		}
+
 		// Flush: one frame per outgoing cut-edge block.  Wire rounds
 		// ship the raw lane words verbatim (stale words included —
 		// round stamps make them inert); boxed rounds ship a sparse
@@ -403,6 +424,11 @@ func (e *shardExec) run() error {
 				}
 				f.payload = pl
 			}
+			if rec {
+				now := time.Now()
+				serializeNS += now.Sub(mark).Nanoseconds()
+				mark = now
+			}
 			pc := e.peers[sg.Dst]
 			if pc == nil {
 				err := fmt.Errorf("dist: shard %d has no connection to peer %d", p.ID, sg.Dst)
@@ -415,12 +441,22 @@ func (e *shardExec) run() error {
 				e.rs.fail(err, prioIO)
 				return err
 			}
+			if rec {
+				now := time.Now()
+				sendNS += now.Sub(mark).Nanoseconds()
+				mark = now
+			}
 		}
 
 		// Per-pair network barrier: wait only for the peers this shard
 		// actually receives from.
 		if err := e.waitFrames(round); err != nil {
 			return err
+		}
+		if rec {
+			now := time.Now()
+			waitNS = now.Sub(mark).Nanoseconds()
+			mark = now
 		}
 
 		// Apply the staged segments, then run the receive phase.
@@ -463,6 +499,13 @@ func (e *shardExec) run() error {
 			}
 		}
 		e.stage.doneRound(round)
+		if rec {
+			// Staged-segment apply is deserialization work: the lane or
+			// boxed decode mirror of the flush above.
+			now := time.Now()
+			serializeNS += now.Sub(mark).Nanoseconds()
+			mark = now
+		}
 
 		switch {
 		case e.bcast != nil:
@@ -480,6 +523,16 @@ func (e *shardExec) run() error {
 		default:
 			for i := range p.Nodes {
 				e.port[i].Recv(round, inbox[p.Off[i]:p.Off[i+1]])
+			}
+		}
+		if rec {
+			computeNS += time.Since(mark).Nanoseconds()
+			e.trace.Record(round, computeNS, serializeNS, waitNS, sendNS)
+			if e.hCompute != nil {
+				e.hCompute.Observe(float64(computeNS) * 1e-9)
+				e.hSerialize.Observe(float64(serializeNS) * 1e-9)
+				e.hWait.Observe(float64(waitNS) * 1e-9)
+				e.hSend.Observe(float64(sendNS) * 1e-9)
 			}
 		}
 		if e.mx != nil {

@@ -76,7 +76,8 @@ const (
 	fPing                      // coordinator → worker: health probe
 	fPong                      // worker → coordinator: health reply
 	fClose                     // coordinator → worker: tear down session (8-byte LE id)
-	fMaxType   = fClose
+	fTrace                     // worker → coordinator: gob obs.ShardSpans for a failed run
+	fMaxType   = fTrace
 )
 
 // fError payload codes, mapped back to sentinel errors at the

@@ -3,6 +3,7 @@ package dist
 import (
 	"fmt"
 
+	"anoncover/internal/obs"
 	"anoncover/internal/shard"
 	"anoncover/internal/sim"
 )
@@ -169,15 +170,28 @@ type StartSpec struct {
 	// clock, from receipt); 0 means the coordinator's abort frame is
 	// the only cancellation path.
 	DeadlineMillis int64
+	// TraceOff disables per-round phase tracing for this run; the zero
+	// value traces at round granularity.  TraceEvery > 1 samples every
+	// n-th round instead (the fleet-scale burst knob).
+	TraceOff   bool
+	TraceEvery int
+	// Tag is the serving layer's run ID, threaded into worker logs so
+	// a fleet-wide grep reconstructs one request.
+	Tag string
 }
 
 // outputsMsg is the fOutputs payload: the worker's node outputs in
-// plan order plus its shard's stats contribution.
+// plan order plus its shard's stats contribution.  Trace carries the
+// shard's phase timeline when tracing was on (HasTrace distinguishes
+// "off" from an empty trace); a run that fails before fOutputs ships
+// its partial trace as a separate fTrace frame instead.
 type outputsMsg struct {
 	Rounds   int
 	Messages int64
 	Bytes    int64
 	Outs     []any
+	Trace    obs.ShardSpans
+	HasTrace bool
 }
 
 // weightsMsg is the fWeights payload: new weights for the worker's

@@ -1,0 +1,291 @@
+package dist_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"anoncover/internal/core/edgepack"
+	"anoncover/internal/dist"
+	"anoncover/internal/graph"
+	"anoncover/internal/obs"
+	"anoncover/internal/shard"
+	"anoncover/internal/sim"
+)
+
+// sleepPort is a minimal port program for trace tests: all-nil
+// messages, with an optional per-round compute stall on designated
+// nodes — the seeded straggler.
+type sleepPort struct {
+	out   []sim.Message
+	stall time.Duration
+}
+
+func (p *sleepPort) Init(env sim.Env) { p.out = make([]sim.Message, env.Degree) }
+func (p *sleepPort) Send(r int) []sim.Message {
+	if p.stall > 0 {
+		time.Sleep(p.stall)
+	}
+	return p.out
+}
+func (p *sleepPort) Recv(r int, msgs []sim.Message) {}
+func (p *sleepPort) Output() any                    { return nil }
+
+// checkCoherent asserts the structural invariants every merged trace
+// must satisfy, full or partial.
+func checkCoherent(t *testing.T, label string, rt *obs.RunTrace, workers int) {
+	t.Helper()
+	if rt == nil {
+		t.Fatalf("%s: no trace", label)
+	}
+	if rt.Workers != workers {
+		t.Fatalf("%s: workers = %d, want %d", label, rt.Workers, workers)
+	}
+	if len(rt.Shards)+len(rt.Missing) != workers {
+		t.Fatalf("%s: %d shards + %d missing != %d workers", label, len(rt.Shards), len(rt.Missing), workers)
+	}
+	for _, sp := range rt.Shards {
+		for _, rp := range sp.Rounds {
+			if rp.Compute < 0 || rp.Serialize < 0 || rp.Wait < 0 || rp.Send < 0 {
+				t.Fatalf("%s: shard %d round %d has a negative phase: %+v", label, sp.Shard, rp.Round, rp)
+			}
+		}
+	}
+	for _, ra := range rt.Rounds {
+		if ra.Slowest < 0 || ra.SlowestNanos < ra.MeanNanos {
+			t.Fatalf("%s: bad round attribution %+v", label, ra)
+		}
+	}
+}
+
+// TestClusterTraceStragglerAttribution seeds one persistently slow
+// shard on the loopback cluster and asserts the merged trace pins the
+// blame on it: per-round slowest, the whole-run straggler, a skew
+// ratio near the shard count, and a visible wait fraction on the
+// fleet.
+func TestClusterTraceStragglerAttribution(t *testing.T) {
+	const k, rounds = 2, 12
+	g := graph.Grid(8, 8)
+	st := shard.BuildK(g.Flat(), k)
+	part := st.Part()
+	if part.K() != k {
+		t.Fatalf("partitioner produced k=%d", part.K())
+	}
+
+	// The first node owned by shard 1 stalls 2ms every round; at
+	// microsecond compute scales that dominates every attribution.
+	progs := make([]sim.PortProgram, g.N())
+	for v := range progs {
+		p := &sleepPort{}
+		p.Init(sim.Env{Degree: g.Deg(v)})
+		progs[v] = p
+	}
+	if len(part.Nodes[1]) == 0 {
+		t.Fatal("shard 1 owns no nodes")
+	}
+	progs[part.Nodes[1][0]].(*sleepPort).stall = 2 * time.Millisecond
+
+	cl := dist.NewCluster(k)
+	if _, err := cl.RunPort(st, progs, rounds, sim.Options{}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	rt := cl.LastTrace()
+	checkCoherent(t, "straggler", rt, k)
+	if rt.Partial || len(rt.Missing) != 0 {
+		t.Fatalf("clean run marked partial: %+v", rt)
+	}
+	if len(rt.Rounds) != rounds {
+		t.Fatalf("merged %d rounds, want %d", len(rt.Rounds), rounds)
+	}
+	slow1 := 0
+	for _, ra := range rt.Rounds {
+		if ra.Slowest == 1 {
+			slow1++
+		}
+	}
+	if slow1 < rounds-1 {
+		t.Fatalf("shard 1 slowest in only %d/%d rounds", slow1, rounds)
+	}
+	if rt.Straggler != 1 {
+		t.Fatalf("straggler = %d, want the seeded shard 1", rt.Straggler)
+	}
+	if rt.SkewRatio < 1.5 {
+		t.Fatalf("skew ratio = %v, want > 1.5 with one of two shards stalled", rt.SkewRatio)
+	}
+	if rt.WaitFrac < 0.2 {
+		t.Fatalf("wait frac = %v; the fast shard should be visibly barrier-bound", rt.WaitFrac)
+	}
+}
+
+// TestClusterTraceOff: the escape hatch records nothing.
+func TestClusterTraceOff(t *testing.T) {
+	g := graph.Grid(4, 4)
+	graph.RandomWeights(g, 9, 2)
+	cl := dist.NewCluster(2)
+	cl.TraceOff = true
+	edgepack.MustRun(g, edgepack.Options{Engine: sim.Distributed, Dist: cl})
+	if cl.LastTrace() != nil {
+		t.Fatal("TraceOff cluster still produced a trace")
+	}
+}
+
+// TestRemoteTrace: a coordinator-driven fleet run yields a full merged
+// trace — every shard's per-round spans, the run tag as ID, rounds
+// matching the run's stats — and a sampled run keeps the stride.
+func TestRemoteTrace(t *testing.T) {
+	g := graph.Grid(6, 7)
+	graph.RandomWeights(g, 25, 8)
+	_, addrs := startWorkers(t, 3)
+	c := dist.NewCoordinator(addrs)
+	defer c.Close()
+
+	sess, err := c.CompileVC(g)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	defer sess.Close()
+
+	got, err := sess.VertexCover(context.Background(), dist.RunOptions{Tag: "trace-run-1"})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	rt := sess.LastTrace()
+	checkCoherent(t, "full", rt, 3)
+	if rt.ID != "trace-run-1" {
+		t.Fatalf("trace ID = %q", rt.ID)
+	}
+	if rt.Partial || len(rt.Missing) != 0 {
+		t.Fatalf("clean run marked partial: missing=%v", rt.Missing)
+	}
+	if len(rt.Rounds) != got.Stats.Rounds {
+		t.Fatalf("merged %d rounds, run had %d", len(rt.Rounds), got.Stats.Rounds)
+	}
+	for _, sp := range rt.Shards {
+		if len(sp.Rounds) != got.Stats.Rounds {
+			t.Fatalf("shard %d recorded %d rounds, want %d", sp.Shard, len(sp.Rounds), got.Stats.Rounds)
+		}
+		if sp.Totals.Compute <= 0 {
+			t.Fatalf("shard %d recorded no compute time", sp.Shard)
+		}
+	}
+
+	// Sampling stride: every 4th round recorded, totals still per-run.
+	if _, err := sess.VertexCover(context.Background(), dist.RunOptions{TraceEvery: 4, Tag: "sampled"}); err != nil {
+		t.Fatalf("sampled run: %v", err)
+	}
+	rt = sess.LastTrace()
+	checkCoherent(t, "sampled", rt, 3)
+	if rt.ID != "sampled" {
+		t.Fatalf("trace ID = %q", rt.ID)
+	}
+	want := (got.Stats.Rounds + 3) / 4
+	for _, sp := range rt.Shards {
+		if sp.Every != 4 || len(sp.Rounds) != want {
+			t.Fatalf("shard %d: every=%d rounds=%d, want stride 4 with %d samples",
+				sp.Shard, sp.Every, len(sp.Rounds), want)
+		}
+	}
+
+	// The escape hatch: TraceOff leaves no trace behind (the previous
+	// run's trace is deliberately retained, so tag inspection tells the
+	// difference).
+	if _, err := sess.VertexCover(context.Background(), dist.RunOptions{TraceOff: true, Tag: "off"}); err != nil {
+		t.Fatalf("trace-off run: %v", err)
+	}
+	if rt := sess.LastTrace(); rt != nil && rt.ID == "off" {
+		t.Fatal("TraceOff run still produced a trace")
+	}
+}
+
+// TestRemoteTraceAbortedRun: a run aborted mid-flight by its round
+// budget still yields a coherent trace — every worker ships its spans
+// on the dedicated trace frame ahead of the error verdict, the merge
+// is marked partial, and the recorded prefix stops at the budget.
+func TestRemoteTraceAbortedRun(t *testing.T) {
+	g := graph.Grid(6, 6)
+	graph.RandomWeights(g, 25, 3)
+	_, addrs := startWorkers(t, 2)
+	c := dist.NewCoordinator(addrs)
+	c.FrameTimeout = 2 * time.Second
+	defer c.Close()
+
+	sess, err := c.CompileVC(g)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	defer sess.Close()
+
+	const budget = 3
+	if _, err := sess.Run(context.Background(), dist.RunOptions{RoundBudget: budget, Tag: "aborted"}); !errors.Is(err, sim.ErrRoundBudget) {
+		t.Fatalf("budget run: err=%v", err)
+	}
+	rt := sess.LastTrace()
+	checkCoherent(t, "aborted", rt, 2)
+	if rt.ID != "aborted" || !rt.Partial {
+		t.Fatalf("aborted run must yield a partial trace: id=%q partial=%v", rt.ID, rt.Partial)
+	}
+	if len(rt.Missing) != 0 {
+		t.Fatalf("both workers answered, missing=%v", rt.Missing)
+	}
+	for _, sp := range rt.Shards {
+		if !sp.Partial || len(sp.Rounds) > budget {
+			t.Fatalf("shard %d: partial=%v rounds=%d, want a partial ≤%d-round prefix",
+				sp.Shard, sp.Partial, len(sp.Rounds), budget)
+		}
+	}
+}
+
+// TestChaosTraceWorkerKillAndRejoin: killing a worker mid-session must
+// still yield a coherent, explicitly-partial trace naming the dead
+// shard as missing, and after the worker rejoins the next run's trace
+// is whole again.
+func TestChaosTraceWorkerKillAndRejoin(t *testing.T) {
+	g := graph.Grid(6, 6)
+	graph.RandomWeights(g, 25, 3)
+	workers, addrs := startWorkers(t, 2)
+	c := dist.NewCoordinator(addrs)
+	c.FrameTimeout = 2 * time.Second
+	defer c.Close()
+
+	sess, err := c.CompileVC(g)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	defer sess.Close()
+	if _, err := sess.VertexCover(context.Background(), dist.RunOptions{Tag: "pre-kill"}); err != nil {
+		t.Fatalf("pre-kill run: %v", err)
+	}
+	checkCoherent(t, "pre-kill", sess.LastTrace(), 2)
+
+	workers[1].Close()
+	if _, err := sess.VertexCover(context.Background(), dist.RunOptions{Tag: "killed"}); err == nil {
+		t.Fatal("run against a killed worker succeeded")
+	}
+	rt := sess.LastTrace()
+	checkCoherent(t, "killed", rt, 2)
+	if rt.ID != "killed" || !rt.Partial {
+		t.Fatalf("failed run must yield a partial trace: id=%q partial=%v", rt.ID, rt.Partial)
+	}
+	missing1 := false
+	for _, m := range rt.Missing {
+		missing1 = missing1 || m == 1
+	}
+	if !missing1 {
+		t.Fatalf("dead shard 1 not reported missing: missing=%v", rt.Missing)
+	}
+
+	restartWorker(t, addrs[1])
+	if _, err := sess.VertexCover(context.Background(), dist.RunOptions{Tag: "rejoined"}); err != nil {
+		t.Fatalf("post-rejoin run: %v", err)
+	}
+	rt = sess.LastTrace()
+	checkCoherent(t, "rejoined", rt, 2)
+	if rt.ID != "rejoined" || rt.Partial || len(rt.Missing) != 0 {
+		t.Fatalf("post-rejoin trace not whole: id=%q partial=%v missing=%v", rt.ID, rt.Partial, rt.Missing)
+	}
+	if len(rt.Shards) != 2 {
+		t.Fatalf("post-rejoin trace has %d shards", len(rt.Shards))
+	}
+}

@@ -7,10 +7,13 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"anoncover/internal/obs"
 	"anoncover/internal/sim"
 )
 
@@ -33,8 +36,15 @@ type Worker struct {
 	// worker accepts or dials — the fault-injection seam.
 	ConnHook func(net.Conn) net.Conn
 
-	mx Metrics
-	ln net.Listener
+	// Logger, when set before Serve, receives session and run
+	// lifecycle events with run_id/generation fields, so a fleet-wide
+	// log grep on one run ID reconstructs the whole request.
+	Logger *slog.Logger
+
+	mx        Metrics
+	ln        net.Listener
+	genSwaps  atomic.Int64
+	phaseHist *obs.HistogramVec // set by RegisterMetrics
 
 	mu       sync.Mutex
 	sessions map[uint64]*wsession
@@ -45,6 +55,13 @@ type Worker struct {
 
 	runs sync.WaitGroup // in-flight runs, for the drain
 	wg   sync.WaitGroup // connection handlers
+}
+
+// log emits one structured lifecycle event if a Logger is configured.
+func (w *Worker) log(msg string, args ...any) {
+	if w.Logger != nil {
+		w.Logger.Info(msg, args...)
+	}
 }
 
 type peerConn struct {
@@ -65,6 +82,61 @@ func NewWorker() *Worker {
 
 // Metrics exposes the worker's transport counters.
 func (w *Worker) Metrics() *Metrics { return &w.mx }
+
+// RegisterMetrics exposes the worker's telemetry surface on an obs
+// registry — the shared transport families plus worker-specific ones:
+// per-shard round phase histograms (fed by the run tracer), scrape-
+// time staging occupancy, installed sessions, and generation swaps.
+// Call once, before Serve.
+func (w *Worker) RegisterMetrics(reg *obs.Registry) {
+	w.mx.Register(reg)
+	w.phaseHist = reg.HistogramVec("anoncover_worker_round_phase_seconds",
+		"Per-round shard phase timings (compute, serialize, wait, send).",
+		obs.ExpBuckets(1e-6, 4, 12), "shard", "phase")
+	reg.GaugeFuncs("anoncover_worker_sessions",
+		"Sessions currently installed on this worker.").
+		Add(func() float64 {
+			w.mu.Lock()
+			defer w.mu.Unlock()
+			return float64(len(w.sessions))
+		})
+	reg.GaugeFuncs("anoncover_worker_staging_occupancy",
+		"Halo segments staged ahead of the consumer across active runs.").
+		Add(func() float64 { return float64(w.stagingOccupancy()) })
+	reg.CounterFuncs("anoncover_worker_generation_swaps_total",
+		"Sessions replaced in place by a newer install generation.").
+		Add(func() float64 { return float64(w.genSwaps.Load()) })
+}
+
+// stagingOccupancy counts, across every active run, incoming segments
+// whose next round has already arrived but not yet been consumed — a
+// persistent non-zero reading means this worker is the fleet's
+// straggler (its peers run ahead of it).
+func (w *Worker) stagingOccupancy() int {
+	w.mu.Lock()
+	sessions := make([]*wsession, 0, len(w.sessions))
+	for _, s := range w.sessions {
+		sessions = append(sessions, s)
+	}
+	w.mu.Unlock()
+	occ := 0
+	for _, s := range sessions {
+		s.mu.Lock()
+		st := s.actStage
+		s.mu.Unlock()
+		if st == nil {
+			continue
+		}
+		st.mu.Lock()
+		for _, a := range st.arrived {
+			if a > st.consumed {
+				occ++
+			}
+		}
+		st.mu.Unlock()
+	}
+	return occ
+}
 
 // Listen binds the worker's frame listener.
 func (w *Worker) Listen(addr string) error {
@@ -323,6 +395,10 @@ func (w *Worker) handleSetup(fc *frameConn, f *frame) {
 			delete(w.sessions, plan.Session)
 			w.mu.Unlock()
 			old.teardown(errors.New("dist: session reinstalled at a newer generation"))
+			w.genSwaps.Add(1)
+			w.log("session generation swap",
+				"session", plan.Session, "shard", plan.Self,
+				"generation", plan.Gen, "old_generation", old.plan.Gen)
 			w.mu.Lock()
 			if w.closed || w.draining {
 				w.mu.Unlock()
@@ -362,6 +438,9 @@ func (w *Worker) handleSetup(fc *frameConn, f *frame) {
 			return
 		}
 	}
+	w.log("session installed",
+		"session", plan.Session, "shard", plan.Self,
+		"generation", plan.Gen, "workers", plan.Workers, "algo", plan.Algo)
 	fc.write(&frame{typ: fReady, run: f.run})
 }
 
@@ -495,6 +574,7 @@ type wsession struct {
 	peers     map[int32]*frameConn
 	torn      error
 	actRun    uint32
+	actTag    string // log identity of the active run
 	actStage  *staging
 	actRS     *runState
 	actExec   *shardExec
@@ -693,8 +773,30 @@ func (s *wsession) prepare(run uint32, spec *StartSpec) error {
 		mx:    &s.w.mx,
 		waits: waits,
 	}
-	s.actRun, s.actStage, s.actRS, s.actExec = run, stage, rs, exec
+	if !spec.TraceOff {
+		exec.trace = obs.NewShardTrace(s.plan.Self, spec.Rounds, spec.TraceEvery)
+		if hv := s.w.phaseHist; hv != nil {
+			sh := itoa(s.plan.Self)
+			exec.hCompute = hv.With(sh, "compute")
+			exec.hSerialize = hv.With(sh, "serialize")
+			exec.hWait = hv.With(sh, "wait")
+			exec.hSend = hv.With(sh, "send")
+		}
+	}
+	s.actRun, s.actStage, s.actRS, s.actExec, s.actTag = run, stage, rs, exec, runTag(spec.Tag, run)
+	s.w.log("run prepared",
+		"run_id", s.actTag, "session", s.plan.Session, "shard", s.plan.Self,
+		"generation", s.plan.Gen, "rounds", spec.Rounds, "trace", !spec.TraceOff)
 	return nil
+}
+
+// runTag is the log identity of a run: the serving layer's run ID when
+// the coordinator threaded one through, the run nonce otherwise.
+func runTag(tag string, run uint32) string {
+	if tag != "" {
+		return tag
+	}
+	return fmt.Sprintf("run-%d", run)
 }
 
 // segOf maps a source shard to its In-segment index.
@@ -728,6 +830,7 @@ func (s *wsession) launch(ctrl *frameConn, run uint32) {
 		err := s.execute(exec)
 		s.mu.Lock()
 		s.running = false
+		tag := s.actTag
 		cancel := s.actCancel
 		s.actExec, s.actStage, s.actRS, s.actCancel = nil, nil, nil, nil
 		s.mu.Unlock()
@@ -736,9 +839,25 @@ func (s *wsession) launch(ctrl *frameConn, run uint32) {
 		}
 		if err != nil {
 			s.w.mx.RunErrors.Add(1)
+			s.w.log("run failed",
+				"run_id", tag, "session", s.plan.Session, "shard", s.plan.Self,
+				"generation", s.plan.Gen, "error", err.Error())
+			// The partial trace still matters — it shows where the run
+			// was when it died — but fOutputs will never carry it, so
+			// ship it on its own frame ahead of the error verdict.
+			if exec.trace != nil {
+				var tb bytes.Buffer
+				if gob.NewEncoder(&tb).Encode(exec.trace.Spans(true)) == nil {
+					ctrl.write(&frame{typ: fTrace, src: uint16(s.plan.Self),
+						run: run, payload: tb.Bytes()})
+				}
+			}
 			sendErr(ctrl, run, errorCode(err), err.Error())
 			return
 		}
+		s.w.log("run finished",
+			"run_id", tag, "session", s.plan.Session, "shard", s.plan.Self,
+			"generation", s.plan.Gen, "rounds", exec.rounds)
 		outs := make([]any, len(exec.plan.Nodes))
 		if exec.port != nil {
 			for i, p := range exec.port {
@@ -749,10 +868,15 @@ func (s *wsession) launch(ctrl *frameConn, run uint32) {
 				outs[i] = p.Output()
 			}
 		}
-		var buf bytes.Buffer
-		if gerr := gob.NewEncoder(&buf).Encode(&outputsMsg{
+		om := outputsMsg{
 			Rounds: exec.rounds, Messages: exec.msgs, Bytes: exec.bytes, Outs: outs,
-		}); gerr != nil {
+		}
+		if exec.trace != nil {
+			om.Trace = *exec.trace.Spans(false)
+			om.HasTrace = true
+		}
+		var buf bytes.Buffer
+		if gerr := gob.NewEncoder(&buf).Encode(&om); gerr != nil {
 			sendErr(ctrl, run, ecInternal, "encoding outputs: "+gerr.Error())
 			return
 		}

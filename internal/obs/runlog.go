@@ -53,6 +53,9 @@ type RunRecord struct {
 	VerifyMS    float64   `json:"verify_ms"`
 	TotalMS     float64   `json:"total_ms"`
 	StartedAt   time.Time `json:"started_at"`
+	// Trace marks runs with a per-shard distributed trace available at
+	// GET /v1/runs/{id}/trace.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // RunLog is a bounded ring of the most recent run records, the backing
@@ -97,6 +100,20 @@ func (l *RunLog) Snapshot(max int) []RunRecord {
 		out[i] = l.buf[(l.next-1-i+len(l.buf)*2)%len(l.buf)]
 	}
 	return out
+}
+
+// Get returns the record with the given run ID, scanning newest
+// first, or false if it has been evicted (or never existed).
+func (l *RunLog) Get(id string) (RunRecord, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := 0; i < l.n; i++ {
+		r := l.buf[(l.next-1-i+len(l.buf)*2)%len(l.buf)]
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return RunRecord{}, false
 }
 
 // Len reports the number of records held.

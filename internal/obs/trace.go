@@ -1,0 +1,235 @@
+package obs
+
+// Distributed run tracing: every shard records its per-round phase
+// split (compute, serialize, barrier wait, frame send) into a
+// ShardTrace — a fixed-slot arena preallocated at run prepare, so the
+// round hot path records with plain stores and never allocates — and
+// ships a ShardSpans snapshot back to the coordinator, which merges
+// the shard timelines into one RunTrace with per-round straggler
+// attribution.  The types live here rather than in internal/dist so
+// the serving layer can expose them without importing the transport.
+
+// RoundPhases is one recorded round's phase split, in nanoseconds.
+// "Busy" time is Compute + Serialize + Send; Wait is idle time spent
+// blocked on peers at the per-pair barrier.
+type RoundPhases struct {
+	Round     uint32 `json:"round"`
+	Compute   int64  `json:"compute_ns"`
+	Serialize int64  `json:"serialize_ns"`
+	Wait      int64  `json:"wait_ns"`
+	Send      int64  `json:"send_ns"`
+}
+
+func (p *RoundPhases) busy() int64 { return p.Compute + p.Serialize + p.Send }
+
+// PhaseTotals accumulates phase time across every sampled round,
+// including rounds that no longer fit in the ring (see ShardTrace).
+type PhaseTotals struct {
+	Compute   int64 `json:"compute_ns"`
+	Serialize int64 `json:"serialize_ns"`
+	Wait      int64 `json:"wait_ns"`
+	Send      int64 `json:"send_ns"`
+}
+
+// ShardTrace is one shard's per-run phase recorder: a slot arena sized
+// at prepare time (one allocation per run, none per round).  Record
+// writes into the next free slot; once full, further rounds fold into
+// the totals only and are counted as dropped, so an over-long run
+// degrades to a summary instead of allocating.
+type ShardTrace struct {
+	shard   int32
+	every   int
+	slots   []RoundPhases
+	used    int
+	dropped int
+	totals  PhaseTotals
+}
+
+// maxTraceSlots bounds the arena: runs longer than this keep exact
+// totals but lose per-round detail for the tail.
+const maxTraceSlots = 4096
+
+// NewShardTrace returns an arena for a run of the given round count.
+// every is the sampling stride: 0 or 1 records every round, n > 1
+// records rounds 1, n+1, 2n+1, ...
+func NewShardTrace(shard int32, rounds, every int) *ShardTrace {
+	if every < 1 {
+		every = 1
+	}
+	cap := (rounds + every - 1) / every
+	if cap < 1 {
+		cap = 1
+	}
+	if cap > maxTraceSlots {
+		cap = maxTraceSlots
+	}
+	return &ShardTrace{shard: shard, every: every, slots: make([]RoundPhases, cap)}
+}
+
+// Sample reports whether the given 1-based round should be recorded.
+func (t *ShardTrace) Sample(round int) bool {
+	return t.every <= 1 || (round-1)%t.every == 0
+}
+
+// Record stores one round's phase split.  It performs no allocation:
+// a slot store plus total accumulation, nothing else.
+func (t *ShardTrace) Record(round int, compute, serialize, wait, send int64) {
+	t.totals.Compute += compute
+	t.totals.Serialize += serialize
+	t.totals.Wait += wait
+	t.totals.Send += send
+	if t.used < len(t.slots) {
+		s := &t.slots[t.used]
+		s.Round = uint32(round)
+		s.Compute = compute
+		s.Serialize = serialize
+		s.Wait = wait
+		s.Send = send
+		t.used++
+		return
+	}
+	t.dropped++
+}
+
+// Spans snapshots the arena into its portable form.  partial marks a
+// run that did not complete (abort, fault, budget); the merged trace
+// propagates the mark instead of guessing from round counts.
+func (t *ShardTrace) Spans(partial bool) *ShardSpans {
+	sp := &ShardSpans{
+		Shard:   t.shard,
+		Every:   t.every,
+		Rounds:  append([]RoundPhases(nil), t.slots[:t.used]...),
+		Dropped: t.dropped,
+		Totals:  t.totals,
+		Partial: partial,
+	}
+	return sp
+}
+
+// ShardSpans is one shard's trace as it travels: gob-encodable for the
+// frame protocol, JSON-encodable for the trace endpoint.
+type ShardSpans struct {
+	Shard   int32         `json:"shard"`
+	Every   int           `json:"every,omitempty"`
+	Rounds  []RoundPhases `json:"rounds"`
+	Dropped int           `json:"dropped,omitempty"`
+	Totals  PhaseTotals   `json:"totals"`
+	Partial bool          `json:"partial,omitempty"`
+}
+
+// RoundAttr is the merged per-round attribution: which shard was
+// slowest (by busy time), how skewed the round was, and where the
+// fleet's time went.
+type RoundAttr struct {
+	Round        uint32  `json:"round"`
+	Slowest      int32   `json:"slowest"`
+	SlowestNanos int64   `json:"slowest_ns"`
+	MeanNanos    int64   `json:"mean_ns"`
+	Skew         float64 `json:"skew"`
+	WaitNanos    int64   `json:"wait_ns"`
+	ComputeNanos int64   `json:"compute_ns"`
+}
+
+// RunTrace is the coordinator's merged view of one distributed run.
+type RunTrace struct {
+	ID      string       `json:"id,omitempty"`
+	Workers int          `json:"workers"`
+	Shards  []ShardSpans `json:"shards"`
+	Rounds  []RoundAttr  `json:"rounds,omitempty"`
+
+	// Straggler is the shard that was slowest in the most rounds (-1
+	// when no rounds merged); StragglerRounds counts how many.
+	Straggler       int32 `json:"straggler"`
+	StragglerRounds int   `json:"straggler_rounds,omitempty"`
+	// SkewRatio is max-over-shards total busy time divided by the mean:
+	// 1.0 is a perfectly balanced partition.
+	SkewRatio float64 `json:"skew_ratio,omitempty"`
+	// WaitFrac is the fleet's barrier wait as a fraction of wait+busy —
+	// the headroom an overlap-send optimization could reclaim.
+	WaitFrac float64 `json:"wait_frac,omitempty"`
+
+	// Partial marks a trace from a run that failed or lost shards;
+	// Missing lists the shard ids that contributed no spans.
+	Partial bool    `json:"partial,omitempty"`
+	Missing []int32 `json:"missing,omitempty"`
+}
+
+// MergeTrace folds per-shard spans (indexed by shard id; nil entries
+// are missing) into one coherent run trace.  Per-round attribution
+// covers the rounds every collected shard recorded; shards that died
+// mid-run still contribute their prefix, with the trace marked
+// partial.
+func MergeTrace(id string, shards []*ShardSpans) *RunTrace {
+	rt := &RunTrace{ID: id, Workers: len(shards), Straggler: -1}
+	for i, sp := range shards {
+		if sp == nil {
+			rt.Missing = append(rt.Missing, int32(i))
+			rt.Partial = true
+			continue
+		}
+		if sp.Partial {
+			rt.Partial = true
+		}
+		rt.Shards = append(rt.Shards, *sp)
+	}
+	if len(rt.Shards) == 0 {
+		return rt
+	}
+
+	// Per-round attribution over the rounds all collected shards share.
+	// Shards sample on the same stride, so indexing by position is
+	// aligned; a shard that died early just truncates the common span.
+	minRounds := len(rt.Shards[0].Rounds)
+	for _, sp := range rt.Shards[1:] {
+		if len(sp.Rounds) < minRounds {
+			minRounds = len(sp.Rounds)
+		}
+	}
+	slowCount := make(map[int32]int, len(rt.Shards))
+	for i := 0; i < minRounds; i++ {
+		attr := RoundAttr{Round: rt.Shards[0].Rounds[i].Round, Slowest: -1}
+		var sumBusy int64
+		for s := range rt.Shards {
+			rp := &rt.Shards[s].Rounds[i]
+			busy := rp.busy()
+			sumBusy += busy
+			attr.WaitNanos += rp.Wait
+			attr.ComputeNanos += rp.Compute
+			if busy > attr.SlowestNanos || attr.Slowest < 0 {
+				attr.SlowestNanos = busy
+				attr.Slowest = rt.Shards[s].Shard
+			}
+		}
+		attr.MeanNanos = sumBusy / int64(len(rt.Shards))
+		if attr.MeanNanos > 0 {
+			attr.Skew = float64(attr.SlowestNanos) / float64(attr.MeanNanos)
+		}
+		slowCount[attr.Slowest]++
+		rt.Rounds = append(rt.Rounds, attr)
+	}
+	for shard, n := range slowCount {
+		if n > rt.StragglerRounds || (n == rt.StragglerRounds && (rt.Straggler < 0 || shard < rt.Straggler)) {
+			rt.Straggler, rt.StragglerRounds = shard, n
+		}
+	}
+
+	// Whole-run skew and wait split from the exact totals (which cover
+	// dropped rounds too).
+	var sumBusy, maxBusy, sumWait int64
+	for i := range rt.Shards {
+		tt := &rt.Shards[i].Totals
+		busy := tt.Compute + tt.Serialize + tt.Send
+		sumBusy += busy
+		sumWait += tt.Wait
+		if busy > maxBusy {
+			maxBusy = busy
+		}
+	}
+	if mean := sumBusy / int64(len(rt.Shards)); mean > 0 {
+		rt.SkewRatio = float64(maxBusy) / float64(mean)
+	}
+	if sumBusy+sumWait > 0 {
+		rt.WaitFrac = float64(sumWait) / float64(sumBusy+sumWait)
+	}
+	return rt
+}

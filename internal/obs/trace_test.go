@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestShardTraceRecordNoAllocs is the tracing half of the 0-allocs/round
+// budget: once the arena is preallocated, recording a round is plain
+// stores.
+func TestShardTraceRecordNoAllocs(t *testing.T) {
+	tr := NewShardTrace(0, 1024, 0)
+	round := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		round++
+		tr.Record(round, 100, 20, 30, 10)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f per round, want 0", allocs)
+	}
+}
+
+func TestShardTraceSampling(t *testing.T) {
+	tr := NewShardTrace(2, 100, 10)
+	var recorded []int
+	for r := 1; r <= 100; r++ {
+		if tr.Sample(r) {
+			recorded = append(recorded, r)
+			tr.Record(r, int64(r), 0, 0, 0)
+		}
+	}
+	if len(recorded) != 10 || recorded[0] != 1 || recorded[1] != 11 || recorded[9] != 91 {
+		t.Fatalf("stride-10 sampling recorded %v", recorded)
+	}
+	sp := tr.Spans(false)
+	if len(sp.Rounds) != 10 || sp.Every != 10 || sp.Shard != 2 {
+		t.Fatalf("spans = %+v", sp)
+	}
+	// Totals cover exactly the sampled rounds.
+	want := int64(1 + 11 + 21 + 31 + 41 + 51 + 61 + 71 + 81 + 91)
+	if sp.Totals.Compute != want {
+		t.Fatalf("totals.Compute = %d, want %d", sp.Totals.Compute, want)
+	}
+}
+
+func TestShardTraceOverflowDegradesToTotals(t *testing.T) {
+	tr := NewShardTrace(0, 4, 0)
+	for r := 1; r <= 10; r++ {
+		tr.Record(r, 1, 1, 1, 1)
+	}
+	sp := tr.Spans(false)
+	if len(sp.Rounds) != 4 {
+		t.Fatalf("kept %d rounds, want 4", len(sp.Rounds))
+	}
+	if sp.Dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", sp.Dropped)
+	}
+	if sp.Totals.Compute != 10 || sp.Totals.Wait != 10 {
+		t.Fatalf("totals must cover dropped rounds too: %+v", sp.Totals)
+	}
+}
+
+// spans builds a ShardSpans by recording the given per-round busy/wait
+// pairs on a fresh arena.
+func spans(shard int32, busyWait [][2]int64) *ShardSpans {
+	tr := NewShardTrace(shard, len(busyWait), 0)
+	for i, bw := range busyWait {
+		tr.Record(i+1, bw[0], 0, bw[1], 0)
+	}
+	return tr.Spans(false)
+}
+
+func TestMergeTraceStraggler(t *testing.T) {
+	// Shard 1 is slowest in rounds 1-3 of 4; shard 0 in round 4.
+	s0 := spans(0, [][2]int64{{100, 900}, {100, 900}, {100, 900}, {500, 0}})
+	s1 := spans(1, [][2]int64{{1000, 0}, {1000, 0}, {1000, 0}, {100, 400}})
+	rt := MergeTrace("run-x", []*ShardSpans{s0, s1})
+
+	if rt.ID != "run-x" || rt.Workers != 2 || rt.Partial || len(rt.Missing) != 0 {
+		t.Fatalf("header = %+v", rt)
+	}
+	if rt.Straggler != 1 || rt.StragglerRounds != 3 {
+		t.Fatalf("straggler = %d over %d rounds, want shard 1 over 3", rt.Straggler, rt.StragglerRounds)
+	}
+	if len(rt.Rounds) != 4 {
+		t.Fatalf("merged %d rounds, want 4", len(rt.Rounds))
+	}
+	r0 := rt.Rounds[0]
+	if r0.Slowest != 1 || r0.SlowestNanos != 1000 || r0.MeanNanos != 550 {
+		t.Fatalf("round 1 attribution = %+v", r0)
+	}
+	if r0.Skew < 1.8 || r0.Skew > 1.82 {
+		t.Fatalf("round 1 skew = %v, want 1000/550", r0.Skew)
+	}
+	if rt.Rounds[3].Slowest != 0 {
+		t.Fatalf("round 4 slowest = %d, want 0", rt.Rounds[3].Slowest)
+	}
+	// Whole run: busy 800 vs 3100, mean 1950 → skew 3100/1950.
+	if rt.SkewRatio < 1.58 || rt.SkewRatio > 1.6 {
+		t.Fatalf("skew ratio = %v", rt.SkewRatio)
+	}
+	// Wait 3100 of busy+wait 7000.
+	if rt.WaitFrac < 0.44 || rt.WaitFrac > 0.45 {
+		t.Fatalf("wait frac = %v", rt.WaitFrac)
+	}
+}
+
+func TestMergeTraceStragglerTie(t *testing.T) {
+	// Each shard slowest in one round: the tie breaks to the lower id.
+	s0 := spans(0, [][2]int64{{10, 0}, {1, 0}})
+	s1 := spans(1, [][2]int64{{1, 0}, {10, 0}})
+	rt := MergeTrace("", []*ShardSpans{s0, s1})
+	if rt.Straggler != 0 || rt.StragglerRounds != 1 {
+		t.Fatalf("tie broke to shard %d (%d rounds), want 0", rt.Straggler, rt.StragglerRounds)
+	}
+}
+
+func TestMergeTraceMissingShard(t *testing.T) {
+	s0 := spans(0, [][2]int64{{10, 1}, {10, 1}})
+	rt := MergeTrace("r", []*ShardSpans{s0, nil, nil})
+	if !rt.Partial {
+		t.Fatal("missing shards must mark the trace partial")
+	}
+	if len(rt.Missing) != 2 || rt.Missing[0] != 1 || rt.Missing[1] != 2 {
+		t.Fatalf("missing = %v, want [1 2]", rt.Missing)
+	}
+	if rt.Workers != 3 || len(rt.Shards) != 1 {
+		t.Fatalf("workers=%d shards=%d", rt.Workers, len(rt.Shards))
+	}
+	if len(rt.Rounds) != 2 || rt.Rounds[0].Slowest != 0 {
+		t.Fatalf("surviving shard's rounds still merge: %+v", rt.Rounds)
+	}
+}
+
+func TestMergeTraceShortPrefix(t *testing.T) {
+	// A shard that died after 2 rounds truncates the common attribution
+	// span but keeps its own spans intact.
+	s0 := spans(0, [][2]int64{{10, 0}, {10, 0}, {10, 0}, {10, 0}})
+	tr := NewShardTrace(1, 4, 0)
+	tr.Record(1, 20, 0, 0, 0)
+	tr.Record(2, 20, 0, 0, 0)
+	s1 := tr.Spans(true)
+	rt := MergeTrace("", []*ShardSpans{s0, s1})
+	if !rt.Partial {
+		t.Fatal("a partial shard must mark the merged trace partial")
+	}
+	if len(rt.Rounds) != 2 {
+		t.Fatalf("attribution covers %d rounds, want the 2-round common prefix", len(rt.Rounds))
+	}
+	if len(rt.Shards[0].Rounds) != 4 {
+		t.Fatal("the surviving shard's full span list must be preserved")
+	}
+	if rt.Straggler != 1 {
+		t.Fatalf("straggler = %d, want 1", rt.Straggler)
+	}
+}
+
+func TestMergeTraceAllMissing(t *testing.T) {
+	rt := MergeTrace("x", []*ShardSpans{nil, nil})
+	if !rt.Partial || rt.Straggler != -1 || len(rt.Rounds) != 0 {
+		t.Fatalf("empty merge = %+v", rt)
+	}
+}

@@ -345,8 +345,17 @@ func (s *Server) execVCDist(ctx context.Context, p runParams, e *entry[*distSolv
 	t0 := time.Now()
 	res, gv, err := e.solver.run(ctx, weights, dist.RunOptions{
 		ScrambleSeed: p.scramble, RoundBudget: p.budget,
+		TraceOff: p.traceOff, TraceEvery: p.traceEvery, Tag: tr.runID(),
 	})
 	tr.mark(phaseRun, time.Since(t0))
+	// Stash whatever trace the fleet produced — success or abort — so
+	// GET /v1/runs/{id}/trace works for failed runs too.  The ID check
+	// guards against picking up a stale trace from an earlier request
+	// when this run died before the fleet recorded anything.
+	if rt := e.solver.sess.LastTrace(); rt != nil && rt.ID != "" && rt.ID == tr.runID() {
+		s.traces.put(rt)
+		tr.setTrace()
+	}
 	if err != nil {
 		if s.distVerdict(ctx, err) {
 			return s.failoverVC(ctx, p, e.solver.graph(), fp, weights)

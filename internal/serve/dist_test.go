@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -9,6 +11,7 @@ import (
 	"testing"
 
 	"anoncover/internal/dist"
+	"anoncover/internal/obs"
 )
 
 // startDistWorkers brings up n in-process shard workers on loopback
@@ -125,6 +128,205 @@ func TestServeDistributed(t *testing.T) {
 	metrics, _ := io.ReadAll(resp.Body)
 	if !strings.Contains(string(metrics), "anoncover_dist_frames_total") {
 		t.Fatal("/metrics missing anoncover_dist_frames_total")
+	}
+}
+
+// postID is post with a pinned X-Request-Id, the handle the trace
+// endpoints key on.
+func postID(t *testing.T, client *http.Client, url, body, id string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", id)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestServeRunTrace drives the tracing surface end to end over real
+// workers: a fleet run stores a merged per-shard trace under its run
+// ID, GET /v1/runs/{id} serves the single-run summary with the trace
+// flag, GET /v1/runs/{id}/trace serves the full span timeline, memo
+// hits and trace=off runs answer 404 with their reason, and the run
+// ring filters by outcome and algo.
+func TestServeRunTrace(t *testing.T) {
+	addrs := startDistWorkers(t, 2)
+	srv := New(Config{WorkerAddrs: addrs})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := ts.Client()
+
+	body, _ := gridText(t, 6, 7, testWeights(42, 8))
+	code, data := postID(t, cl, ts.URL+"/v1/vertexcover?verify=true", body, "trace-e2e-1")
+	if code != http.StatusOK {
+		t.Fatalf("fleet run: code %d: %s", code, data)
+	}
+	dr := decodeVC(t, data)
+
+	// Single-run detail: the record carries the trace marker.
+	resp, err := cl.Get(ts.URL + "/v1/runs/trace-e2e-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec obs.RunRecord
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run detail status %d", resp.StatusCode)
+	}
+	if rec.ID != "trace-e2e-1" || rec.Engine != "distributed" || !rec.Trace {
+		t.Fatalf("run detail = %+v, want a traced distributed record", rec)
+	}
+
+	// The merged trace: both shards, per-round spans over the full run.
+	resp, err = cl.Get(ts.URL + "/v1/runs/trace-e2e-1/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rt obs.RunTrace
+	if err := json.NewDecoder(resp.Body).Decode(&rt); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d", resp.StatusCode)
+	}
+	if rt.ID != "trace-e2e-1" || rt.Workers != 2 || len(rt.Shards) != 2 || rt.Partial {
+		t.Fatalf("trace header: id=%q workers=%d shards=%d partial=%v",
+			rt.ID, rt.Workers, len(rt.Shards), rt.Partial)
+	}
+	for _, sp := range rt.Shards {
+		if len(sp.Rounds) != dr.Rounds {
+			t.Fatalf("shard %d recorded %d rounds, run had %d", sp.Shard, len(sp.Rounds), dr.Rounds)
+		}
+	}
+	if len(rt.Rounds) != dr.Rounds || rt.Straggler < 0 {
+		t.Fatalf("attribution: %d rounds, straggler %d", len(rt.Rounds), rt.Straggler)
+	}
+
+	// A memo hit never contacts the fleet, so it has no trace of its
+	// own; the 404 names the cache class.
+	code, _ = postID(t, cl, ts.URL+"/v1/vertexcover?verify=true", body, "trace-memo-1")
+	if code != http.StatusOK {
+		t.Fatalf("memo repost: code %d", code)
+	}
+	resp, err = cl.Get(ts.URL + "/v1/runs/trace-memo-1/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || !strings.Contains(string(msg), "memo") {
+		t.Fatalf("memo trace: status %d body %s", resp.StatusCode, msg)
+	}
+
+	// trace=off executes on the fleet but records nothing.
+	code, _ = postID(t, cl, ts.URL+"/v1/vertexcover?verify=true&trace=off", body, "trace-off-1")
+	if code != http.StatusOK {
+		t.Fatalf("trace=off run: code %d", code)
+	}
+	if resp, err = cl.Get(ts.URL + "/v1/runs/trace-off-1/trace"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("trace=off trace: status %d, want 404", resp.StatusCode)
+	}
+
+	// Unknown IDs on both endpoints.
+	for _, p := range []string{"/v1/runs/nope", "/v1/runs/nope/trace"} {
+		resp, err := cl.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d, want 404", p, resp.StatusCode)
+		}
+	}
+
+	// Ring filters: all three runs were ok/vertexcover; a non-matching
+	// outcome filter returns none, and n= bounds after filtering.
+	if rr := getRuns(t, cl, ts.URL, "?outcome=ok&algo=vertexcover"); len(rr.Runs) != 3 {
+		t.Fatalf("outcome/algo filter returned %d runs, want 3", len(rr.Runs))
+	}
+	if rr := getRuns(t, cl, ts.URL, "?outcome=error"); len(rr.Runs) != 0 {
+		t.Fatalf("outcome=error returned %d runs, want 0", len(rr.Runs))
+	}
+	if rr := getRuns(t, cl, ts.URL, "?outcome=ok&n=1"); len(rr.Runs) != 1 {
+		t.Fatalf("filtered n=1 returned %d runs", len(rr.Runs))
+	}
+
+	// Validation: bad trace knobs are rejected up front.
+	for _, q := range []string{"?trace=maybe", "?trace_every=0"} {
+		code, _ := post(t, cl, ts.URL+"/v1/vertexcover"+q, body)
+		if code != http.StatusBadRequest {
+			t.Fatalf("%s: code %d, want 400", q, code)
+		}
+	}
+}
+
+// TestWorkerMetricsExposition holds the worker's own telemetry surface
+// to the same strict OpenMetrics contract as the coordinator's: after
+// a fleet run, each worker's registry exposes valid per-shard phase
+// histograms with one observation per executed round, a live session
+// gauge, and zeroed swap counters.
+func TestWorkerMetricsExposition(t *testing.T) {
+	const n = 2
+	addrs := make([]string, n)
+	regs := make([]*obs.Registry, n)
+	for i := range addrs {
+		w := dist.NewWorker()
+		regs[i] = obs.NewRegistry()
+		w.RegisterMetrics(regs[i])
+		if err := w.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = w.Addr()
+		go w.Serve()
+		t.Cleanup(func() { w.Close() })
+	}
+
+	srv := New(Config{WorkerAddrs: addrs})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body, _ := gridText(t, 6, 7, testWeights(42, 8))
+	code, data := post(t, ts.Client(), ts.URL+"/v1/vertexcover", body)
+	if code != http.StatusOK {
+		t.Fatalf("fleet run: code %d: %s", code, data)
+	}
+	rounds := decodeVC(t, data).Rounds
+
+	for i, reg := range regs {
+		ms := httptest.NewServer(reg.Handler())
+		samples := scrape(t, ms.Client(), ms.URL)
+		ms.Close()
+		if got := samples["anoncover_worker_sessions"]; got != 1 {
+			t.Fatalf("worker %d: sessions gauge = %v, want 1", i, got)
+		}
+		if got := samples["anoncover_worker_generation_swaps_total"]; got != 0 {
+			t.Fatalf("worker %d: generation swaps = %v, want 0", i, got)
+		}
+		for _, phase := range []string{"compute", "serialize", "wait", "send"} {
+			key := fmt.Sprintf(`anoncover_worker_round_phase_seconds_count{shard="%d",phase="%s"}`, i, phase)
+			if got := samples[key]; got != float64(rounds) {
+				t.Fatalf("worker %d: %s = %v, want one observation per round (%d)", i, key, got, rounds)
+			}
+		}
 	}
 }
 

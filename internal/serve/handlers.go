@@ -31,6 +31,11 @@ type runParams struct {
 	progress   string // "", "ndjson" or "sse"
 	every      int    // stream every N rounds
 	timeout    time.Duration
+	// Distributed-trace knobs: trace=off disables per-round phase
+	// tracing for a fleet run, trace_every=N samples every N-th round.
+	// Neither affects results, so both stay out of the memo key.
+	traceOff   bool
+	traceEvery int
 }
 
 func (s *Server) parseRunParams(r *http.Request) (runParams, error) {
@@ -105,6 +110,19 @@ func (s *Server) parseRunParams(r *http.Request) (runParams, error) {
 			return p, fmt.Errorf("bad timeout_ms %q", tm)
 		}
 		p.timeout = time.Duration(n) * time.Millisecond
+	}
+	if t := q.Get("trace"); t != "" {
+		if t != "off" && t != "on" {
+			return p, fmt.Errorf("bad trace %q (want on or off)", t)
+		}
+		p.traceOff = t == "off"
+	}
+	if te := q.Get("trace_every"); te != "" {
+		n, err := strconv.Atoi(te)
+		if err != nil || n < 1 {
+			return p, fmt.Errorf("bad trace_every %q", te)
+		}
+		p.traceEvery = n
 	}
 	if s.cfg.Timeout > 0 && (p.timeout == 0 || p.timeout > s.cfg.Timeout) {
 		p.timeout = s.cfg.Timeout

@@ -184,7 +184,8 @@ type Server struct {
 	adm     *admission
 	ctrs    counters
 	flights *flights
-	batch   *vcBatcher // nil when BatchWindow is 0
+	batch   *vcBatcher  // nil when BatchWindow is 0
+	traces  *traceStore // merged distributed run traces, by run ID
 	tel     *telemetry
 	mux     *http.ServeMux
 	handler http.Handler // mux wrapped in the telemetry middleware
@@ -204,6 +205,7 @@ func New(cfg Config) *Server {
 	s.sc = newCache[*anoncover.SetCoverSolver](cfg.CacheSize, cfg.MemoSize, &s.ctrs)
 	s.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	if len(cfg.WorkerAddrs) > 0 {
+		s.traces = newTraceStore(0)
 		s.coord = dist.NewCoordinator(cfg.WorkerAddrs)
 		if cfg.DistTimeout > 0 {
 			s.coord.FrameTimeout = cfg.DistTimeout
@@ -246,8 +248,13 @@ func New(cfg Config) *Server {
 		s.tel.reg.GaugeFuncs("anoncover_dist_breaker_state",
 			"Distributed-path circuit breaker state (0 closed, 1 open, 2 half-open).").
 			Add(func() float64 { return s.brk.stateVal() })
+		s.tel.reg.GaugeFuncs("anoncover_dist_traces",
+			"Merged distributed run traces retained for GET /v1/runs/{id}/trace.").
+			Add(func() float64 { return float64(s.traces.len()) })
 	}
 	mux.HandleFunc("GET /v1/runs", s.handleRuns)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleRunDetail)
+	mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleRunTrace)
 	mux.Handle("GET /metrics", s.MetricsHandler())
 	s.mux = mux
 	s.handler = s.instrument(mux)

@@ -183,6 +183,9 @@ type reqTrace struct {
 	rounds   int
 	messages int64
 	bytes    int64
+	// hasTrace marks that a merged distributed phase trace was stored
+	// for this run ID (GET /v1/runs/{id}/trace will answer).
+	hasTrace bool
 }
 
 // mark records that the request entered a phase and how long it spent
@@ -228,6 +231,12 @@ func (tr *reqTrace) setEngine(e string) {
 func (tr *reqTrace) setBatch(n int) {
 	if tr != nil {
 		tr.batch = n
+	}
+}
+
+func (tr *reqTrace) setTrace() {
+	if tr != nil {
+		tr.hasTrace = true
 	}
 }
 
@@ -358,7 +367,7 @@ func (t *telemetry) finish(r *http.Request, tr *reqTrace, status int, total time
 		rec := obs.RunRecord{
 			ID: tr.id, Algo: tr.algo, Engine: tr.engine,
 			Fingerprint: tr.fp, Cache: cache, Outcome: outcome,
-			Status: status, Batch: tr.batch,
+			Status: status, Batch: tr.batch, Trace: tr.hasTrace,
 			Rounds: tr.rounds, Messages: tr.messages, Bytes: tr.bytes,
 			QueueMS:   durMS(tr.phases[phaseQueue]),
 			CompileMS: durMS(tr.phases[phaseCompile]),
@@ -418,22 +427,69 @@ type runsResponse struct {
 	Runs []obs.RunRecord `json:"runs"`
 }
 
-// handleRuns serves the run ring, newest first; ?n= bounds the count.
+// handleRuns serves the run ring, newest first; ?n= bounds the count,
+// ?outcome= and ?algo= filter on the bounded label sets (filters apply
+// before the count bound, so n= means "the newest n matching runs").
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
 	max := 0
-	if q := r.URL.Query().Get("n"); q != "" {
-		n, err := strconv.Atoi(q)
+	if v := q.Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			writeError(w, http.StatusBadRequest, "bad n %q", q)
+			writeError(w, http.StatusBadRequest, "bad n %q", v)
 			return
 		}
 		max = n
 	}
-	runs := s.tel.runs.Snapshot(max)
+	outcome, algo := q.Get("outcome"), q.Get("algo")
+	runs := s.tel.runs.Snapshot(0)
+	if outcome != "" || algo != "" {
+		kept := runs[:0]
+		for _, rec := range runs {
+			if (outcome == "" || rec.Outcome == outcome) && (algo == "" || rec.Algo == algo) {
+				kept = append(kept, rec)
+			}
+		}
+		runs = kept
+	}
+	if max > 0 && len(runs) > max {
+		runs = runs[:max]
+	}
 	if runs == nil {
 		runs = []obs.RunRecord{}
 	}
 	writeJSON(w, http.StatusOK, runsResponse{Runs: runs})
+}
+
+// handleRunDetail serves one run summary from the ring by run ID.
+func (s *Server) handleRunDetail(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.tel.runs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no run %q in the run log", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleRunTrace serves the merged distributed phase trace for a run.
+// Only runs that executed on the worker fleet have one: memo hits,
+// coalesced joiners, local-engine runs and failovers never contact the
+// fleet, and trace=off disables recording — the 404 message says which
+// case applies when the run itself is still in the ring.
+func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if rt, ok := s.traces.get(id); ok {
+		writeJSON(w, http.StatusOK, rt)
+		return
+	}
+	if rec, ok := s.tel.runs.Get(id); ok {
+		writeError(w, http.StatusNotFound,
+			"run %q has no distributed trace (cache=%s engine=%s; only fresh fleet runs with tracing on record one)",
+			id, rec.Cache, rec.Engine)
+		return
+	}
+	writeError(w, http.StatusNotFound, "no trace for run %q", id)
 }
 
 // --- build info ---

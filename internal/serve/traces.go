@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"sync"
+
+	"anoncover/internal/obs"
+)
+
+// traceStore holds merged distributed run traces keyed by run ID, so
+// GET /v1/runs/{id}/trace can serve the phase timeline after the run
+// response has gone out.  It is a bounded FIFO: at most cap traces are
+// retained and the oldest is evicted first — traces are forensic
+// artifacts for recent runs, not an archive.  A trace is stored only
+// for requests that actually executed on the fleet; memo hits,
+// coalesced joiners, local-engine runs and failovers never touch the
+// fleet, so they legitimately have no trace.
+type traceStore struct {
+	mu    sync.Mutex
+	cap   int
+	order []string // insertion order, oldest first
+	byID  map[string]*obs.RunTrace
+}
+
+func newTraceStore(capacity int) *traceStore {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &traceStore{cap: capacity, byID: make(map[string]*obs.RunTrace, capacity)}
+}
+
+// put stores a trace under its run ID, evicting the oldest entry when
+// full.  Re-storing an existing ID (a boxed-overflow rerun of the same
+// request) overwrites in place without consuming a slot.
+func (ts *traceStore) put(rt *obs.RunTrace) {
+	if ts == nil || rt == nil || rt.ID == "" {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if _, ok := ts.byID[rt.ID]; ok {
+		ts.byID[rt.ID] = rt
+		return
+	}
+	if len(ts.order) >= ts.cap {
+		old := ts.order[0]
+		ts.order = ts.order[1:]
+		delete(ts.byID, old)
+	}
+	ts.order = append(ts.order, rt.ID)
+	ts.byID[rt.ID] = rt
+}
+
+// get returns the trace stored for a run ID.
+func (ts *traceStore) get(id string) (*obs.RunTrace, bool) {
+	if ts == nil {
+		return nil, false
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	rt, ok := ts.byID[id]
+	return rt, ok
+}
+
+func (ts *traceStore) len() int {
+	if ts == nil {
+		return 0
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.order)
+}

@@ -95,6 +95,11 @@ func TestEngineAllocsPerRound(t *testing.T) {
 		{"parallel-4", Options{Engine: Parallel, Workers: 4}, 2},
 		{"sharded-2", Options{Engine: Sharded, Workers: 2}, 2},
 		{"sharded-4", Options{Engine: Sharded, Workers: 4}, 2},
+		// Tracing must not break the steady state: the per-round and
+		// per-phase slices are preallocated at run start, so recording a
+		// round is appends into existing capacity.
+		{"sequential-traced", Options{Engine: Sequential, Trace: true}, 0.5},
+		{"sharded-4-traced", Options{Engine: Sharded, Workers: 4, Trace: true}, 2},
 	}
 	// Each engine runs on its default delivery path (interned broadcast
 	// values, wire lanes for quietWire) and forced boxed; the 0-allocs

@@ -493,6 +493,8 @@ func (r *runner) runPhases(rounds, workers int, body func(w, phase int), counts 
 	if trace {
 		stats.RoundNanos = make([]int64, 0, rounds)
 		stats.RoundAllocs = make([]uint64, 0, rounds)
+		stats.RoundSendNanos = make([]int64, 0, rounds)
+		stats.RoundRecvNanos = make([]int64, 0, rounds)
 	}
 	for round := 1; round <= rounds; round++ {
 		if ctx != nil {
@@ -527,12 +529,20 @@ func (r *runner) runPhases(rounds, workers int, body func(w, phase int), counts 
 		} else {
 			pool.dispatch(phaseSend)
 		}
+		var sendNS int64
+		if trace {
+			sendNS = time.Since(t0).Nanoseconds()
+		}
 		if r.codec != nil && r.wireFail.Load() {
 			// A lane could not hold its value; receivers would decode
 			// garbage, so stop at the phase barrier.  Program state is
 			// unusable — the caller rebuilds and reruns boxed.
 			err = ErrWireOverflow
 			break
+		}
+		var t1 time.Time
+		if trace {
+			t1 = time.Now()
 		}
 		if pool == nil {
 			body(0, phaseRecv)
@@ -541,6 +551,8 @@ func (r *runner) runPhases(rounds, workers int, body func(w, phase int), counts 
 		}
 		stats.Rounds = round
 		if trace {
+			stats.RoundRecvNanos = append(stats.RoundRecvNanos, time.Since(t1).Nanoseconds())
+			stats.RoundSendNanos = append(stats.RoundSendNanos, sendNS)
 			stats.RoundNanos = append(stats.RoundNanos, time.Since(t0).Nanoseconds())
 			runtime.ReadMemStats(&ms)
 			stats.RoundAllocs = append(stats.RoundAllocs, ms.Mallocs-m0)

@@ -291,6 +291,12 @@ type Stats struct {
 
 	RoundNanos  []int64  // per-round wall time (Options.Trace only)
 	RoundAllocs []uint64 // per-round heap allocations (Options.Trace only)
+	// Per-phase split of RoundNanos: the send phase (node stepping plus
+	// message emission) and the receive phase (delivery plus state
+	// update).  Together they bound RoundNanos from below; the gap is
+	// barrier overhead.  Options.Trace only.
+	RoundSendNanos []int64
+	RoundRecvNanos []int64
 }
 
 // GraphEnvs builds per-node environments for a plain graph.
